@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and emits a
+plain-text report with the measured series next to the paper's published
+numbers.  Reports are written to ``benchmarks/results/`` (pytest captures
+stdout, so files are the reliable channel) and also printed for ``-s``
+runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def report(name: str, text: str) -> str:
+    """Persist a benchmark report and echo it (visible with ``pytest -s``)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    print(f"\n[{name}]\n{text}\n(report saved to {path})")
+    return path
+
+
+def seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}s"
+
+
+def ratio(slow: float, fast: float) -> str:
+    if fast <= 0:
+        return "-"
+    return f"{slow / fast:.1f}x"

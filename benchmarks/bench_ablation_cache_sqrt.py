@@ -1,0 +1,81 @@
+"""Ablation: the square-root law of the Tetris cache (Section 4.4).
+
+"For two-dimensional UB-Trees the cache size is a square root function
+of the number of Z-regions overlapping the query box, i.e.
+cache = sqrt(P * s1 * s2)."  This benchmark measures the peak slice
+cache (in pages) over growing tables and checks the sqrt fit.
+"""
+
+import math
+import random
+
+from repro.core import QueryBox, UBTree, ZSpace, tetris_sorted
+from repro.storage import BufferPool, SimulatedDisk
+
+from _support import format_table, report
+
+PAGE_CAPACITY = 16
+ROW_COUNTS = [2000, 4000, 8000, 16000, 32000]
+
+
+def build(rows):
+    disk = SimulatedDisk()
+    tree = UBTree(BufferPool(disk, 256), ZSpace([9, 9]), page_capacity=PAGE_CAPACITY)
+    rng = random.Random(rows)
+    for index in range(rows):
+        tree.insert((rng.randrange(512), rng.randrange(512)), index)
+    return tree
+
+
+def sweep():
+    lines = []
+    for rows in ROW_COUNTS:
+        tree = build(rows)
+        box = QueryBox.full(tree.space.coord_max)  # s1 = s2 = 1
+        scan = tetris_sorted(tree, box, 1)
+        for _ in scan:
+            pass
+        cache_pages = scan.stats.cache_pages(PAGE_CAPACITY)
+        lines.append(
+            {
+                "rows": rows,
+                "regions": tree.region_count,
+                "cache_pages": cache_pages,
+                "sqrt_p": math.sqrt(tree.region_count),
+                "fit": cache_pages / math.sqrt(tree.region_count),
+            }
+        )
+    return lines
+
+
+def test_ablation_cache_sqrt(benchmark):
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report(
+        "ablation_cache_sqrt",
+        "Ablation — Tetris cache vs sqrt(P) on 2-d UB-Trees (full-space sort)\n\n"
+        + format_table(
+            ["rows", "P (regions)", "cache pages", "sqrt(P)", "cache/sqrt(P)"],
+            [
+                [
+                    l["rows"],
+                    l["regions"],
+                    l["cache_pages"],
+                    f"{l['sqrt_p']:.1f}",
+                    f"{l['fit']:.2f}",
+                ]
+                for l in lines
+            ],
+        ),
+    )
+
+    # the sqrt fit holds within a small constant across a 16x size range
+    for line in lines:
+        assert 0.3 <= line["fit"] <= 3.0, line
+    # doubling the table multiplies the cache by ~sqrt(2), not 2:
+    # total growth over 16x data stays well below linear
+    growth = lines[-1]["cache_pages"] / max(1, lines[0]["cache_pages"])
+    size_growth = lines[-1]["regions"] / lines[0]["regions"]
+    assert growth < size_growth / 2
+    benchmark.extra_info["cache_growth"] = growth
+    benchmark.extra_info["size_growth"] = round(size_growth, 2)

@@ -1,0 +1,84 @@
+"""Ablation: page capacity (tuples per Z-region).
+
+Larger pages mean fewer, coarser Z-regions: fewer random accesses for
+the Tetris sweep but more useless tuples per fetched page (worse
+filtering ratio) and a bigger slice cache.  The paper fixes ~80 tuples
+per 8 kB page; this ablation shows how the trade-off moves around that
+point for a 50 % restriction.
+"""
+
+import random
+
+from repro.core import QueryBox, UBTree, ZSpace, tetris_sorted
+from repro.storage import BufferPool, ICDE99_TESTBED, SimulatedDisk
+
+from _support import format_table, report
+
+ROWS = 16000
+CAPACITIES = [10, 20, 40, 80, 160]
+
+
+def points():
+    rng = random.Random(31)
+    return [(rng.randrange(512), rng.randrange(512)) for _ in range(ROWS)]
+
+
+DATA = points()
+
+
+def run(capacity):
+    disk = SimulatedDisk(ICDE99_TESTBED)
+    tree = UBTree(BufferPool(disk, 128), ZSpace((9, 9)), page_capacity=capacity)
+    for index, point in enumerate(DATA):
+        tree.insert(point, index)
+    box = QueryBox((0, 0), (255, 511))  # 50% restriction on dim 0
+    scan = tetris_sorted(tree, box, 1)
+    rows = sum(1 for _ in scan)
+    useful = rows / (scan.stats.regions_read * capacity)
+    return {
+        "capacity": capacity,
+        "regions": tree.region_count,
+        "read": scan.stats.regions_read,
+        "time": scan.stats.elapsed,
+        "useful_fraction": useful,
+        "cache": scan.stats.max_cache_tuples,
+        "rows": rows,
+    }
+
+
+def test_ablation_page_capacity(benchmark):
+    lines = benchmark.pedantic(
+        lambda: [run(c) for c in CAPACITIES], rounds=1, iterations=1
+    )
+
+    report(
+        "ablation_page_capacity",
+        "Ablation — tuples per Z-region page (50% restriction, sorted read)\n\n"
+        + format_table(
+            ["capacity", "regions", "read", "sim time", "useful tuples/page", "cache"],
+            [
+                [
+                    l["capacity"],
+                    l["regions"],
+                    l["read"],
+                    f"{l['time']:.2f}s",
+                    f"{l['useful_fraction']:.0%}",
+                    l["cache"],
+                ]
+                for l in lines
+            ],
+        ),
+    )
+
+    # identical results at every capacity
+    assert len({l["rows"] for l in lines}) == 1
+    # bigger pages: monotonically fewer regions and fewer reads
+    regions = [l["regions"] for l in lines]
+    assert regions == sorted(regions, reverse=True)
+    reads = [l["read"] for l in lines]
+    assert reads == sorted(reads, reverse=True)
+    # with a random-access cost per region, fewer reads = faster
+    times = [l["time"] for l in lines]
+    assert times == sorted(times, reverse=True)
+    # the cache (in tuples) grows with page size
+    assert lines[-1]["cache"] > lines[0]["cache"]

@@ -1,0 +1,92 @@
+"""Ablation: the prefetch factor C.
+
+The cost model's FTS advantage rests entirely on prefetching (``c_scan``
+amortizes one positioning op over C pages), while Tetris and the IOTs
+pay full random accesses regardless.  Sweeping C shows the FTS-sort
+curve fall as C grows and the Tetris curve stay flat — and locates the
+C below which Tetris would win even *without* any restriction benefit.
+"""
+
+import random
+
+from repro.relational import Attribute, Database, IntEncoder, Schema
+from repro.relational.operators import ExternalMergeSort, FullTableScan, TetrisOperator
+from repro.storage import DiskParameters
+
+from _support import format_table, report
+
+PREFETCH_VALUES = [1, 2, 4, 8, 16, 32]
+
+
+def build_db(prefetch):
+    schema = Schema(
+        [
+            Attribute("a1", IntEncoder(0, 255)),
+            Attribute("a2", IntEncoder(0, 255)),
+            Attribute("v", IntEncoder(0, 10**9)),
+        ]
+    )
+    db = Database(DiskParameters(t_pi=0.01, t_tau=0.001, prefetch=prefetch), 64)
+    rng = random.Random(9)
+    rows = [(rng.randrange(256), rng.randrange(256), i) for i in range(8000)]
+    heap = db.create_heap_table("heap", schema, 40)
+    heap.load(rows)
+    ub = db.create_ub_table("ub", schema, dims=("a1", "a2"), page_capacity=40)
+    ub.load(rows)
+    return db, heap, ub
+
+
+def sweep():
+    lines = []
+    for prefetch in PREFETCH_VALUES:
+        db, heap, ub = build_db(prefetch)
+        db.reset_measurement()
+        before = db.disk.snapshot()
+        list(TetrisOperator(ub, {"a1": (0, 127)}, "a2"))
+        tetris_time = (db.disk.snapshot() - before).time
+
+        db.reset_measurement()
+        before = db.disk.snapshot()
+        list(
+            ExternalMergeSort(
+                FullTableScan(heap, predicate=lambda r: r[0] <= 127),
+                key=lambda r: r[1],
+                disk=db.disk,
+                memory_pages=8,
+                page_capacity=40,
+            )
+        )
+        fts_time = (db.disk.snapshot() - before).time
+        lines.append({"prefetch": prefetch, "tetris": tetris_time, "fts": fts_time})
+    return lines
+
+
+def test_ablation_prefetch(benchmark):
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report(
+        "ablation_prefetch",
+        "Ablation — prefetch window C (s1 = 50%, sort on A2)\n"
+        "FTS-sort relies on C; the Tetris random accesses do not\n\n"
+        + format_table(
+            ["C", "Tetris", "FTS-sort", "winner"],
+            [
+                [
+                    l["prefetch"],
+                    f"{l['tetris']:.2f}s",
+                    f"{l['fts']:.2f}s",
+                    "tetris" if l["tetris"] < l["fts"] else "fts-sort",
+                ]
+                for l in lines
+            ],
+        ),
+    )
+
+    # Tetris cost is independent of C
+    tetris_times = [l["tetris"] for l in lines]
+    assert max(tetris_times) - min(tetris_times) < 1e-9
+    # FTS-sort strictly improves with C
+    fts_times = [l["fts"] for l in lines]
+    assert all(a > b for a, b in zip(fts_times, fts_times[1:]))
+    # without prefetching, Tetris dominates outright
+    assert lines[0]["tetris"] < lines[0]["fts"] / 2

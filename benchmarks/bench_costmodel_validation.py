@@ -1,0 +1,87 @@
+"""Cost-model validation: measured Z-region counts vs. the n_j product.
+
+Section 4.2 claims the region-count formula "describes the actual
+behavior of the UB-Tree very accurately".  This benchmark builds uniform
+UB-Trees of several sizes and dimensionalities, runs Tetris sweeps at a
+grid of selectivities and compares the measured number of regions read
+with ``Π n_j(d, P, y_j, z_j)``.
+"""
+
+import random
+
+from repro.core import QueryBox, UBTree, ZSpace, tetris_sorted
+from repro.costmodel import tetris_regions
+from repro.storage import BufferPool, SimulatedDisk
+
+from _support import format_table, report
+
+
+def build(bits, rows, seed=0, page_capacity=8):
+    disk = SimulatedDisk()
+    tree = UBTree(BufferPool(disk, 256), ZSpace(bits), page_capacity=page_capacity)
+    rng = random.Random(seed)
+    for index in range(rows):
+        tree.insert(tuple(rng.randrange(1 << b) for b in bits), index)
+    return tree
+
+
+def validate():
+    cases = []
+    for bits, rows in [((8, 8), 4000), ((8, 8), 12000), ((6, 6, 6), 8000)]:
+        tree = build(bits, rows)
+        dims = len(bits)
+        for selectivity in (0.25, 0.5, 1.0):
+            lo = [0] * dims
+            hi = [int(selectivity * (1 << b)) - 1 for b in bits]
+            hi[-1] = (1 << bits[-1]) - 1  # restrict all but the sort dim
+            ranges = [
+                (0.0, (h + 1) / (1 << b)) for h, b in zip(hi, bits)
+            ]
+            scan = tetris_sorted(tree, QueryBox(lo, hi), dims - 1)
+            for _ in scan:
+                pass
+            predicted = tetris_regions(tree.page_count, ranges)
+            cases.append(
+                {
+                    "dims": dims,
+                    "pages": tree.page_count,
+                    "selectivity": selectivity,
+                    "measured": scan.stats.regions_read,
+                    "predicted": predicted,
+                    "ratio": scan.stats.regions_read / predicted,
+                }
+            )
+    return cases
+
+
+def test_costmodel_region_counts(benchmark):
+    cases = benchmark.pedantic(validate, rounds=1, iterations=1)
+
+    report(
+        "costmodel_validation",
+        "Cost-model validation — measured regions read vs Π n_j\n\n"
+        + format_table(
+            ["d", "P (regions)", "restriction", "measured", "predicted", "ratio"],
+            [
+                [
+                    c["dims"],
+                    c["pages"],
+                    f"{c['selectivity']:.0%}",
+                    c["measured"],
+                    f"{c['predicted']:.0f}",
+                    f"{c['ratio']:.2f}",
+                ]
+                for c in cases
+            ],
+        ),
+    )
+
+    for case in cases:
+        assert 0.35 <= case["ratio"] <= 2.5, case
+    # unrestricted sweeps must touch essentially every region
+    full = [c for c in cases if c["selectivity"] == 1.0]
+    for case in full:
+        assert case["measured"] == case["pages"]
+    mean_ratio = sum(c["ratio"] for c in cases) / len(cases)
+    benchmark.extra_info["mean_ratio"] = round(mean_ratio, 3)
+    assert 0.6 <= mean_ratio <= 1.7

@@ -1,0 +1,86 @@
+"""Figure 4-3: sorting on A2 with s1 = 20 %, table-size sweep.
+
+Analytic reproduction with the Section 4.3 parameters.  Expected shape
+(asserted): once the restricted data spills out of the 32 MB work
+memory, Tetris is cheapest and the gap widens with table size; below the
+spill threshold the in-memory-sorted FTS wins (the left edge of the
+paper's plot, where all curves bunch together).
+"""
+
+from repro.costmodel import (
+    SECTION_4_PARAMS,
+    c_fts_sort,
+    c_iot_sort,
+    c_sort,
+    c_tetris,
+)
+
+from _support import format_table, report
+
+SELECTIVITY = 0.2
+TABLE_PAGES = [2_000, 10_000, 25_000, 50_000, 125_000, 250_000, 500_000]
+
+
+def cost_lines():
+    rows = []
+    for pages in TABLE_PAGES:
+        rows.append(
+            {
+                "pages": pages,
+                "tetris": c_tetris(
+                    pages, [(0.0, SELECTIVITY), (0.0, 1.0)], SECTION_4_PARAMS
+                ),
+                "fts-sort": c_fts_sort(pages, [SELECTIVITY, 1.0], SECTION_4_PARAMS),
+                "iot-a1-sort": c_iot_sort(
+                    pages, [SELECTIVITY, 1.0], SECTION_4_PARAMS
+                ),
+                "iot-a2": c_iot_sort(
+                    pages, [1.0, SELECTIVITY], SECTION_4_PARAMS, sort_on_leading=True
+                ),
+                "spills": c_sort(pages, [SELECTIVITY, 1.0], SECTION_4_PARAMS) > 0,
+            }
+        )
+    return rows
+
+
+def test_fig4_3_tablesize_sweep(benchmark):
+    rows = benchmark.pedantic(cost_lines, rounds=1, iterations=1)
+
+    table = format_table(
+        ["pages", "Tetris", "FTS-sort", "IOT(A1)+sort", "IOT(A2)", "sort spills"],
+        [
+            [
+                f"{r['pages']:,}",
+                f"{r['tetris']:.1f}s",
+                f"{r['fts-sort']:.1f}s",
+                f"{r['iot-a1-sort']:.1f}s",
+                f"{r['iot-a2']:.1f}s",
+                "yes" if r["spills"] else "no",
+            ]
+            for r in rows
+        ],
+    )
+    report(
+        "fig4_3_cost_tablesize",
+        "Figure 4-3 — sorting on A2 with s1 = 20%, varying table size\n"
+        "paper shape: Tetris cheapest for every table size that spills the\n"
+        "32 MB sort memory, and the advantage grows with the table\n\n" + table,
+    )
+
+    # Tetris wins strictly for every table clearly past the spill point,
+    # and keeps winning once it is ahead (a single crossover)
+    for r in rows:
+        if r["pages"] >= 50_000:
+            assert r["tetris"] < r["fts-sort"], r["pages"]
+            assert r["tetris"] < r["iot-a1-sort"], r["pages"]
+            assert r["tetris"] < r["iot-a2"], r["pages"]
+    wins = [r["tetris"] < r["fts-sort"] for r in rows]
+    first_win = wins.index(True)
+    assert all(wins[first_win:]), "Tetris must keep winning past the crossover"
+    crossover_pages = rows[first_win]["pages"]
+    assert 10_000 < crossover_pages <= 50_000  # near the spill threshold
+    # the advantage grows with size
+    gaps = [r["fts-sort"] / r["tetris"] for r in rows if r["spills"]]
+    assert gaps[-1] > gaps[0]
+    benchmark.extra_info["gap_at_max_size"] = round(gaps[-1], 2)
+    benchmark.extra_info["crossover_pages"] = crossover_pages

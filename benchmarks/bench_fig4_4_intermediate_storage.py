@@ -1,0 +1,80 @@
+"""Figure 4-4: intermediate storage sizes (and time to first result).
+
+Analytic reproduction of Section 4.4 with s1 = 20 %: the merge sort
+behind FTS/IOT needs temporary storage linear in the restricted data,
+while the Tetris cache holds one slice — a square-root law for 2-d
+UB-Trees.  Qualitatively the same curves describe the delay until the
+first result is available.
+"""
+
+import math
+
+from repro.costmodel import (
+    SECTION_4_PARAMS,
+    c_fts_sort,
+    merge_sort_temp_pages,
+    tetris_cache_pages,
+    tetris_first_response,
+)
+
+from _support import format_table, report
+
+SELECTIVITY = 0.2
+TABLE_PAGES = [10_000, 25_000, 50_000, 125_000, 250_000, 500_000, 1_000_000]
+PAGE_KB = 8
+
+
+def storage_lines():
+    rows = []
+    for pages in TABLE_PAGES:
+        ranges = [(0.0, SELECTIVITY), (0.0, 1.0)]
+        rows.append(
+            {
+                "pages": pages,
+                "merge_temp": merge_sort_temp_pages(pages, [SELECTIVITY, 1.0]),
+                "tetris_cache": tetris_cache_pages(pages, ranges, 1),
+                "tetris_first": tetris_first_response(pages, ranges, 1),
+                "sort_first": c_fts_sort(pages, [SELECTIVITY, 1.0]),
+            }
+        )
+    return rows
+
+
+def test_fig4_4_intermediate_storage(benchmark):
+    rows = benchmark.pedantic(storage_lines, rounds=1, iterations=1)
+
+    table = format_table(
+        ["pages", "merge-sort temp", "Tetris cache", "1st result sort", "1st result Tetris"],
+        [
+            [
+                f"{r['pages']:,}",
+                f"{r['merge_temp'] * PAGE_KB / 1024:.1f} MB",
+                f"{r['tetris_cache'] * PAGE_KB / 1024:.2f} MB",
+                f"{r['sort_first']:.1f}s",
+                f"{r['tetris_first']:.2f}s",
+            ]
+            for r in rows
+        ],
+    )
+    report(
+        "fig4_4_intermediate_storage",
+        "Figure 4-4 — intermediate storage, s1 = 20% (and first-result delay)\n"
+        "paper shape: merge-sort temp grows linearly, the Tetris cache like a\n"
+        "square root; first results arrive orders of magnitude earlier\n\n"
+        + table,
+    )
+
+    # linear vs sqrt growth
+    first, last = rows[0], rows[-1]
+    size_factor = last["pages"] / first["pages"]
+    assert last["merge_temp"] / first["merge_temp"] == size_factor
+    cache_growth = last["tetris_cache"] / first["tetris_cache"]
+    assert cache_growth < math.sqrt(size_factor) * 2
+    # the sqrt law of Section 4.4 within a small factor
+    for r in rows:
+        sqrt_law = math.sqrt(r["pages"] * SELECTIVITY * 1.0)
+        assert 0.3 <= r["tetris_cache"] / sqrt_law <= 3.0
+    # first results orders of magnitude earlier
+    for r in rows:
+        assert r["tetris_first"] < r["sort_first"] / 30
+    benchmark.extra_info["cache_growth_factor"] = round(cache_growth, 2)

@@ -1,0 +1,89 @@
+"""Figure 5-6: Q3 cache size — Tetris cache vs. merge-sort temp storage.
+
+Measured companion to Table 5-1's storage columns across scale factors:
+the Tetris cache (one slice) stays two orders of magnitude below the
+temporary storage of the sort-based plans and grows sublinearly.
+"""
+
+import pytest
+
+from repro.relational.table import Database
+from repro.storage import ICDE99_TESTBED
+from repro.tpcd import plans
+from repro.tpcd.queries import Q3Params
+
+from _support import format_table, report
+
+SCALES = [0.25, 0.5, 1.0]
+PAGE_MB = 8 / 1024
+
+#: the paper's cache/temp columns of Table 5-1 (MB)
+PAPER = {0.25: (1.4, 183), 0.5: (2.1, 326), 1.0: (2.6, 751)}
+
+
+def measure(data):
+    db = Database(ICDE99_TESTBED, buffer_pages=128)
+    heap = plans.build_lineitem_heap(db, data)
+    ub = plans.build_lineitem_ub_sort(db, data)
+    params = Q3Params()
+
+    db.reset_measurement()
+    tetris_plan, tetris_op = plans.q3_lineitem_access("tetris", db, ub, params)
+    rows = sum(1 for _ in tetris_plan)
+    cache_mb = tetris_op.stats.cache_pages(ub.page_capacity) * PAGE_MB
+
+    db.reset_measurement()
+    fts_plan, sort_op = plans.q3_lineitem_access("fts-sort", db, heap, params)
+    assert sum(1 for _ in fts_plan) == rows
+    temp_mb = sort_op.stats.peak_temp_pages * PAGE_MB
+    return {
+        "cache_mb": cache_mb,
+        "temp_mb": temp_mb,
+        "table_mb": heap.page_count * PAGE_MB,
+        "cache_tuples": tetris_op.stats.max_cache_tuples,
+        "result_rows": rows,
+    }
+
+
+def test_fig5_6_cache_vs_temp(benchmark, tpcd):
+    results = benchmark.pedantic(
+        lambda: {scale: measure(tpcd(scale)) for scale in SCALES},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for scale in SCALES:
+        r = results[scale]
+        paper_cache, paper_temp = PAPER[scale]
+        rows.append(
+            [
+                scale,
+                f"{r['table_mb']:.1f}MB",
+                f"{paper_cache}MB",
+                f"{r['cache_mb']:.2f}MB",
+                f"{paper_temp}MB",
+                f"{r['temp_mb']:.1f}MB",
+            ]
+        )
+    report(
+        "fig5_6_q3_cache",
+        "Figure 5-6 — Q3 cache size: Tetris cache vs merge-sort temp storage\n"
+        "(paper columns at full scale, measured at 1/100 scale)\n\n"
+        + format_table(
+            ["SF", "table", "paper cache", "measured cache", "paper temp", "measured temp"],
+            rows,
+        ),
+    )
+
+    for scale in SCALES:
+        r = results[scale]
+        # the cache is a small fraction of both the temp storage and result
+        assert r["cache_mb"] < r["temp_mb"] / 10, scale
+        assert r["cache_tuples"] < r["result_rows"] / 4, scale
+    # sublinear growth: 4x data -> far less than 4x cache
+    growth = results[1.0]["cache_mb"] / results[0.25]["cache_mb"]
+    temp_growth = results[1.0]["temp_mb"] / results[0.25]["temp_mb"]
+    assert growth < temp_growth
+    benchmark.extra_info["cache_growth"] = round(growth, 2)
+    benchmark.extra_info["temp_growth"] = round(temp_growth, 2)

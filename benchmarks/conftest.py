@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.tpcd import TPCDConfig, generate
+
+
+@pytest.fixture(scope="session")
+def tpcd():
+    """Memoized TPC-D dataset factory keyed by scale factor."""
+    cache = {}
+
+    def get(scale_factor: float):
+        if scale_factor not in cache:
+            cache[scale_factor] = generate(TPCDConfig(scale_factor=scale_factor))
+        return cache[scale_factor]
+
+    return get

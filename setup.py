@@ -1,0 +1,7 @@
+"""Legacy shim so editable installs work offline (no `wheel` package
+available in this environment; pip then needs the setup.py develop path).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

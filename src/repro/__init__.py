@@ -1,0 +1,70 @@
+"""repro — a full reproduction of the Tetris algorithm (ICDE 1999).
+
+Markl, Zirkel, Bayer: *Processing Operations with Restrictions in RDBMS
+without External Sorting: The Tetris Algorithm*.
+
+The package builds every layer the paper relies on:
+
+* ``repro.storage`` — a simulated disk priced with the paper's cost model,
+* ``repro.btree`` — B+-trees, index-organized tables, secondary indexes,
+* ``repro.core`` — Z-order / Tetris-order curves, UB-Trees, the Tetris
+  sweep itself,
+* ``repro.relational`` — schemas, encoders, tables and Volcano-style
+  operators (scans, external merge sort, joins, grouping),
+* ``repro.costmodel`` — the analytic formulas of Section 4,
+* ``repro.planner`` — cost-based access-path selection (the paper's
+  future-work optimizer sketch),
+* ``repro.tpcd`` — a TPC-D-like generator and the Q3/Q4/Q6 workloads,
+* ``repro.viz`` — ASCII visualizations of partitionings and sweeps.
+"""
+
+from .core import (
+    ComparisonSpace,
+    Curve,
+    IntersectionSpace,
+    PredicateSpace,
+    QueryBox,
+    QuerySpace,
+    TetrisScan,
+    TetrisStats,
+    UBTree,
+    ZRegion,
+    ZSpace,
+    tetris_sorted,
+)
+from .storage import (
+    BufferPool,
+    DiskParameters,
+    HeapFile,
+    ICDE99_ANALYSIS,
+    ICDE99_TESTBED,
+    IOStats,
+    Page,
+    SimulatedDisk,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferPool",
+    "ComparisonSpace",
+    "Curve",
+    "DiskParameters",
+    "HeapFile",
+    "ICDE99_ANALYSIS",
+    "ICDE99_TESTBED",
+    "IOStats",
+    "IntersectionSpace",
+    "Page",
+    "PredicateSpace",
+    "QueryBox",
+    "QuerySpace",
+    "SimulatedDisk",
+    "TetrisScan",
+    "TetrisStats",
+    "UBTree",
+    "ZRegion",
+    "ZSpace",
+    "tetris_sorted",
+    "__version__",
+]

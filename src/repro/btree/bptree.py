@@ -1,0 +1,381 @@
+"""A disk-page-based B+-tree (the paper's B*-Tree substrate).
+
+The UB-Tree is "easily implemented above any RDBMS by utilizing the
+B*-Tree of this RDBMS" (Section 1): its Z-regions are simply the leaves
+of a B+-tree keyed by Z-address, with the inner-node separators acting as
+region boundaries.  The same tree, keyed by a composite attribute tuple,
+is the paper's IOT baseline (index-organized table).
+
+Storage model
+-------------
+* Leaves are record pages on the simulated disk; they carry ``(key,
+  value)`` pairs sorted by key and a ``next`` pointer for range scans.
+* Inner nodes live on payload pages.  Following the paper ("almost all
+  levels of a B*-Tree are cached during the normal operation of a DBMS"),
+  inner-node reads are *recorded but not priced* (``charge=False``).
+* Leaf reads are priced as **random** accesses: a real index scan follows
+  logical leaf order, which matches physical order only by accident, and
+  the paper's cost model charges ``t_pi + t_tau`` per IOT page.
+
+Duplicate keys are supported, but a page split never separates equal
+keys; a page whose records all share one key may therefore exceed its
+nominal capacity (an overflow page, counted in ``overflow_pages``).
+Deletion removes records without rebalancing — standard practice in
+production B-trees (e.g. no-merge deletes) and irrelevant to the paper's
+read-only experiments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator
+
+from ..storage.buffer import BufferPool
+from ..storage.page import Page
+
+
+class _InnerNode:
+    """Separator keys and child page ids; ``children[i]`` covers keys
+    ``(keys[i-1], keys[i]]`` with the outermost bounds unbounded."""
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: list[Any], children: list[int]) -> None:
+        self.keys = keys
+        self.children = children
+
+
+class BPlusTree:
+    """A B+-tree over the simulated disk.
+
+    Parameters
+    ----------
+    buffer:
+        Buffer pool through which all page accesses flow.
+    leaf_capacity:
+        Records per leaf page (the paper's "page capacity").
+    fanout:
+        Separator capacity of inner nodes.
+    category:
+        I/O statistics bucket charged for leaf accesses.
+    """
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        leaf_capacity: int,
+        fanout: int = 128,
+        category: str = "data",
+    ) -> None:
+        if leaf_capacity < 2:
+            raise ValueError("leaf capacity must be at least 2")
+        if fanout < 3:
+            raise ValueError("fanout must be at least 3")
+        self.buffer = buffer
+        self.disk = buffer.disk
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.category = category
+        self.height = 1
+        self.record_count = 0
+        self.leaf_count = 1
+        self.overflow_pages = 0
+        root = self._new_leaf()
+        self.root_id = root.page_id
+        self.first_leaf_id = root.page_id
+
+    # ------------------------------------------------------------------
+    # page helpers
+    # ------------------------------------------------------------------
+    def _new_leaf(self) -> Page:
+        page = self.disk.allocate(self.leaf_capacity)
+        page.payload = {"leaf": True, "next": None}
+        return page
+
+    def _new_inner(self, keys: list[Any], children: list[int]) -> Page:
+        page = self.disk.allocate(0)
+        page.payload = _InnerNode(keys, children)
+        return page
+
+    def _fetch(self, page_id: int, *, charge: bool) -> Page:
+        return self.buffer.get(
+            page_id, sequential=False, category=self.category, charge=charge
+        )
+
+    def _is_leaf(self, page: Page) -> bool:
+        return isinstance(page.payload, dict)
+
+    # ------------------------------------------------------------------
+    # descent
+    # ------------------------------------------------------------------
+    def _locate(
+        self, key: Any, *, want_path: bool = False
+    ) -> tuple[int, Any, Any, list[tuple[Page, int]]]:
+        """Descend the *inner* levels only; never touches the leaf page.
+
+        Returns the leaf's page id, its covered separator interval
+        ``(low, high]`` (``None`` = unbounded) and, when requested, the
+        inner-node path for split propagation.  Keeping leaves out of the
+        descent matters for accounting: the caller decides whether the
+        leaf access is priced, and an unpriced bounds probe (a Tetris
+        event-point computation) must not smuggle the data page into the
+        buffer pool for free.
+        """
+        low: Any = None
+        high: Any = None
+        path: list[tuple[Page, int]] = []
+        page_id = self.root_id
+        for _ in range(self.height - 1):
+            page = self._fetch(page_id, charge=False)
+            node: _InnerNode = page.payload
+            idx = bisect_left(node.keys, key)
+            if want_path:
+                path.append((page, idx))
+            if idx > 0:
+                low = node.keys[idx - 1]
+            if idx < len(node.keys):
+                high = node.keys[idx]
+            page_id = node.children[idx]
+        return page_id, low, high, path
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert one record (duplicates allowed)."""
+        leaf_id, _, _, path = self._locate(key, want_path=True)
+        leaf = self.disk.peek(leaf_id)  # load phase: not a priced access
+        insort(leaf.records, (key, value), key=lambda r: r[0])
+        self.record_count += 1
+        if len(leaf.records) > self.leaf_capacity:
+            self._split_leaf(leaf, path)
+
+    def _split_leaf(self, leaf: Page, path: list[tuple[Page, int]]) -> None:
+        split = self._split_index([r[0] for r in leaf.records])
+        if split is None:
+            # all records share one key: overflow rather than break the
+            # separator invariant (split keys must be key boundaries)
+            self.overflow_pages += 1
+            return
+        right = self._new_leaf()
+        right.records = leaf.records[split:]
+        leaf.records = leaf.records[:split]
+        right.payload["next"] = leaf.payload["next"]
+        leaf.payload["next"] = right.page_id
+        self.leaf_count += 1
+        separator = leaf.records[-1][0]
+        self._insert_separator(path, separator, right.page_id)
+
+    @staticmethod
+    def _split_index(keys: list[Any]) -> int | None:
+        """Index nearest the middle where ``keys[i-1] != keys[i]``."""
+        mid = len(keys) // 2
+        for offset in range(mid + 1):
+            left = mid - offset
+            right = mid + offset
+            if 0 < left < len(keys) and keys[left - 1] != keys[left]:
+                return left
+            if 0 < right < len(keys) and keys[right - 1] != keys[right]:
+                return right
+        return None
+
+    def _insert_separator(
+        self, path: list[tuple[Page, int]], separator: Any, right_id: int
+    ) -> None:
+        while path:
+            page, idx = path.pop()
+            node: _InnerNode = page.payload
+            node.keys.insert(idx, separator)
+            node.children.insert(idx + 1, right_id)
+            if len(node.keys) <= self.fanout:
+                return
+            mid = len(node.keys) // 2
+            separator = node.keys[mid]
+            right_node = self._new_inner(node.keys[mid + 1:], node.children[mid + 1:])
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+            right_id = right_node.page_id
+        new_root = self._new_inner([separator], [self.root_id, right_id])
+        self.root_id = new_root.page_id
+        self.height += 1
+
+    def bulk_load(self, pairs: "list[tuple[Any, Any]]", fill: float = 1.0) -> None:
+        """Build the tree bottom-up from key-sorted ``(key, value)`` pairs.
+
+        Replaces insert-driven loading for initial builds: leaves are
+        packed to ``fill`` of their capacity (split-grown trees sit near
+        ~70 %), which shrinks the page count and therefore the Z-region
+        count of a UB-Tree built on top.  Requires an empty tree; equal
+        keys are never split across leaves (overflowing one if needed).
+        Load I/O is not priced, like insert-based loading.
+        """
+        if self.record_count:
+            raise RuntimeError("bulk_load requires an empty tree")
+        if not 0.1 <= fill <= 1.0:
+            raise ValueError("fill factor must be in [0.1, 1.0]")
+        for previous, current in zip(pairs, pairs[1:]):
+            if current[0] < previous[0]:
+                raise ValueError("bulk_load input must be sorted by key")
+        if not pairs:
+            return
+
+        old_root = self.root_id
+        target = max(2, int(self.leaf_capacity * fill))
+        leaves: list[Page] = []
+        start = 0
+        while start < len(pairs):
+            end = min(start + target, len(pairs))
+            # never split a run of equal keys: extend to the run's end
+            while end < len(pairs) and pairs[end][0] == pairs[end - 1][0]:
+                end += 1
+            if end - start > self.leaf_capacity:
+                self.overflow_pages += 1
+            leaf = self._new_leaf()
+            leaf.records = list(pairs[start:end])
+            if leaves:
+                leaves[-1].payload["next"] = leaf.page_id
+            leaves.append(leaf)
+            start = end
+
+        self.first_leaf_id = leaves[0].page_id
+        self.leaf_count = len(leaves)
+        self.record_count = len(pairs)
+        self.height = 1
+
+        # build inner levels bottom-up: (max_key, page_id) per child
+        level = [(leaf.records[-1][0], leaf.page_id) for leaf in leaves]
+        while len(level) > 1:
+            next_level: list[tuple[Any, int]] = []
+            for chunk_start in range(0, len(level), self.fanout + 1):
+                chunk = level[chunk_start : chunk_start + self.fanout + 1]
+                if len(chunk) == 1 and next_level:
+                    # fold a lone trailing child into the previous node
+                    prev_key, prev_id = next_level[-1]
+                    prev_node: _InnerNode = self.disk.peek(prev_id).payload
+                    prev_node.keys.append(prev_key)
+                    prev_node.children.append(chunk[0][1])
+                    next_level[-1] = (chunk[0][0], prev_id)
+                    continue
+                keys = [max_key for max_key, _ in chunk[:-1]]
+                children = [page_id for _, page_id in chunk]
+                node = self._new_inner(keys, children)
+                next_level.append((chunk[-1][0], node.page_id))
+            level = next_level
+            self.height += 1
+        self.root_id = level[0][1]
+        self.disk.free(old_root)
+
+    def delete(self, key: Any, value: Any = None) -> bool:
+        """Remove the first record matching ``key`` (and ``value`` if given).
+
+        Returns whether a record was removed.  Pages are never merged.
+        """
+        leaf_id, _, _, _ = self._locate(key)
+        leaf = self.disk.peek(leaf_id)
+        keys = [r[0] for r in leaf.records]
+        idx = bisect_left(keys, key)
+        while idx < len(leaf.records) and leaf.records[idx][0] == key:
+            if value is None or leaf.records[idx][1] == value:
+                del leaf.records[idx]
+                self.record_count -= 1
+                return True
+            idx += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def search(self, key: Any) -> list[Any]:
+        """All values stored under ``key`` (priced: one random leaf read)."""
+        leaf_id, _, _, _ = self._locate(key)
+        leaf = self._fetch(leaf_id, charge=True)
+        keys = [r[0] for r in leaf.records]
+        lo = bisect_left(keys, key)
+        hi = bisect_right(keys, key)
+        return [value for _, value in leaf.records[lo:hi]]
+
+    def leaf_for(self, key: Any, *, charge: bool = True) -> tuple[Page, Any, Any]:
+        """The leaf covering ``key`` and its separator bounds ``(low, high]``.
+
+        This is the UB-Tree point query: one tree descent and — when
+        ``charge`` is set — one priced (random) leaf access.  With
+        ``charge=False`` only the inner levels are walked and the leaf is
+        handed back without accounting (callers use its id and bounds).
+        """
+        leaf_id, low, high, _ = self._locate(key)
+        if charge:
+            leaf = self._fetch(leaf_id, charge=True)
+        else:
+            leaf = self.disk.peek(leaf_id)
+        return leaf, low, high
+
+    def range_scan(self, lo: Any = None, hi: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi`` in key order.
+
+        Every visited leaf costs one random page access (the IOT regime of
+        the paper's cost model).
+        """
+        if lo is None:
+            page_id: int | None = self.first_leaf_id
+        else:
+            page_id, _, _, _ = self._locate(lo)
+        while page_id is not None:
+            leaf = self._fetch(page_id, charge=True)
+            for key, value in leaf.records:
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key > hi:
+                    return
+                yield key, value
+            page_id = leaf.payload["next"]
+
+    def iterate_leaves(self, *, charge: bool = True) -> Iterator[Page]:
+        """Walk the leaf chain left to right (priced random per leaf)."""
+        page_id: int | None = self.first_leaf_id
+        while page_id is not None:
+            if charge:
+                leaf = self._fetch(page_id, charge=True)
+            else:
+                leaf = self.disk.peek(page_id)
+            yield leaf
+            page_id = leaf.payload["next"]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate ordering and separator containment (tests only)."""
+        self._check_node(self.root_id, None, None)
+        previous: Any = None
+        count = 0
+        for leaf in self.iterate_leaves(charge=False):
+            for key, _ in leaf.records:
+                if previous is not None and key < previous:
+                    raise AssertionError("leaf chain out of order")
+                previous = key
+                count += 1
+        if count != self.record_count:
+            raise AssertionError(
+                f"leaf chain holds {count} records, expected {self.record_count}"
+            )
+
+    def _check_node(self, page_id: int, low: Any, high: Any) -> None:
+        page = self.disk.peek(page_id)
+        if self._is_leaf(page):
+            keys = [r[0] for r in page.records]
+            if keys != sorted(keys):
+                raise AssertionError("leaf records out of order")
+            for key in keys:
+                if low is not None and key <= low:
+                    raise AssertionError("leaf key below separator bound")
+                if high is not None and key > high:
+                    raise AssertionError("leaf key above separator bound")
+            return
+        node: _InnerNode = page.payload
+        if node.keys != sorted(node.keys):
+            raise AssertionError("inner keys out of order")
+        if len(node.children) != len(node.keys) + 1:
+            raise AssertionError("inner node arity mismatch")
+        bounds = [low, *node.keys, high]
+        for idx, child in enumerate(node.children):
+            self._check_node(child, bounds[idx], bounds[idx + 1])

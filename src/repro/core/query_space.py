@@ -1,0 +1,244 @@
+"""Query spaces: the restriction side of the Tetris operator.
+
+Section 3 of the paper defines a *query space* as "some subspace of a
+relation defined by restrictions" and notes that it is *mostly* a query
+box (an iso-oriented hyper-rectangle) — but the formal model, and the
+Q4 discussion in Section 5.2, explicitly allow non-rectangular spaces
+such as the triangular region ``COMMITDATE < RECEIPTDATE``.  The paper
+leaves that extension unimplemented ("has not been implemented yet");
+this module implements it.
+
+A :class:`QuerySpace` must provide three things:
+
+* a bounding :meth:`bounding_box` that drives BIGMIN-based enumeration,
+* an exact per-tuple membership test :meth:`contains_point`, and
+* a box-intersection test :meth:`intersects_box` used to prune whole
+  Z-regions without I/O.  The test may be conservative (report an
+  intersection that is actually empty — the page is then read and its
+  tuples filtered) but must never miss a real intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+Box = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+def box_is_empty(box: Box) -> bool:
+    """True when any attribute range of the box is inverted."""
+    lo, hi = box
+    return any(l > h for l, h in zip(lo, hi))
+
+
+class QuerySpace:
+    """Base class for restriction subspaces of the universe."""
+
+    dims: int
+
+    def bounding_box(self) -> Box | None:
+        """Smallest enclosing box, or ``None`` when the space is unbounded.
+
+        An *empty* space is reported as a box with an inverted range
+        (check with :func:`box_is_empty`), never as ``None``.
+        """
+        raise NotImplementedError
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """Exact membership test, applied to every candidate tuple."""
+        raise NotImplementedError
+
+    def intersects_box(self, lo: Sequence[int], hi: Sequence[int]) -> bool:
+        """Exact-or-conservative intersection test against a box."""
+        raise NotImplementedError
+
+    def intersect(self, other: "QuerySpace") -> "QuerySpace":
+        """Conjunction of two query spaces."""
+        return IntersectionSpace([self, other])
+
+
+class QueryBox(QuerySpace):
+    """The common case: ``Q = [[y, z]]``, one closed range per attribute."""
+
+    def __init__(self, lo: Sequence[int], hi: Sequence[int]) -> None:
+        if len(lo) != len(hi):
+            raise ValueError("lo and hi must have the same dimensionality")
+        self.lo = tuple(lo)
+        self.hi = tuple(hi)
+        self.dims = len(self.lo)
+
+    @classmethod
+    def full(cls, coord_max: Sequence[int]) -> "QueryBox":
+        """The unrestricted base space ``Ω``."""
+        return cls(tuple(0 for _ in coord_max), tuple(coord_max))
+
+    @classmethod
+    def with_range(
+        cls, coord_max: Sequence[int], dim: int, lo: int, hi: int
+    ) -> "QueryBox":
+        """A *cluster* in the paper's sense: one attribute restricted."""
+        los = [0] * len(coord_max)
+        his = list(coord_max)
+        los[dim] = lo
+        his[dim] = hi
+        return cls(los, his)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(l > h for l, h in zip(self.lo, self.hi))
+
+    def bounding_box(self) -> Box | None:
+        return self.lo, self.hi
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return all(l <= x <= h for x, l, h in zip(point, self.lo, self.hi))
+
+    def intersects_box(self, lo: Sequence[int], hi: Sequence[int]) -> bool:
+        return all(
+            box_lo <= self_hi and self_lo <= box_hi
+            for box_lo, box_hi, self_lo, self_hi in zip(lo, hi, self.lo, self.hi)
+        )
+
+    def clamp(self, other: "QueryBox") -> "QueryBox":
+        """Intersection of two boxes (may be empty)."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return QueryBox(lo, hi)
+
+    def restricted(self, dim: int, lo: int, hi: int) -> "QueryBox":
+        """Copy with one attribute range tightened (sweep-plane slices)."""
+        los = list(self.lo)
+        his = list(self.hi)
+        los[dim] = max(los[dim], lo)
+        his[dim] = min(his[dim], hi)
+        return QueryBox(los, his)
+
+    def volume(self) -> int:
+        if self.is_empty:
+            return 0
+        result = 1
+        for l, h in zip(self.lo, self.hi):
+            result *= h - l + 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QueryBox) and self.lo == other.lo and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ranges = ", ".join(f"[{l}, {h}]" for l, h in zip(self.lo, self.hi))
+        return f"QueryBox({ranges})"
+
+
+_COMPARATORS: dict[str, Callable[[int, int], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ComparisonSpace(QuerySpace):
+    """A half-space comparing two attributes, e.g. ``COMMITDATE < RECEIPTDATE``.
+
+    This is the triangular search space of TPC-D Q4 (Section 5.2), which
+    the paper names as the natural non-rectangular extension of the Tetris
+    algorithm.  Box intersection is exact: a box meets ``x_a < x_b`` iff
+    its smallest ``a`` beats its largest ``b``.
+    """
+
+    def __init__(self, dims: int, left_dim: int, op: str, right_dim: int) -> None:
+        if op not in _COMPARATORS:
+            raise ValueError(f"unsupported comparison {op!r}")
+        for dim in (left_dim, right_dim):
+            if not 0 <= dim < dims:
+                raise ValueError(f"dimension {dim} out of range for {dims} dims")
+        if left_dim == right_dim:
+            raise ValueError("comparison needs two distinct attributes")
+        self.dims = dims
+        self.left_dim = left_dim
+        self.op = op
+        self.right_dim = right_dim
+        self._cmp = _COMPARATORS[op]
+
+    def bounding_box(self) -> Box | None:
+        # The half-space alone does not bound any attribute; callers
+        # intersect it with a box (usually the universe).
+        return None
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return self._cmp(point[self.left_dim], point[self.right_dim])
+
+    def intersects_box(self, lo: Sequence[int], hi: Sequence[int]) -> bool:
+        # The most favourable corner decides: min of the left attribute
+        # against max of the right one (or vice versa for > / >=).
+        return self._cmp(
+            lo[self.left_dim] if self.op in ("<", "<=") else hi[self.left_dim],
+            hi[self.right_dim] if self.op in ("<", "<=") else lo[self.right_dim],
+        )
+
+
+class PredicateSpace(QuerySpace):
+    """An opaque predicate; box pruning is conservatively disabled.
+
+    Useful to push arbitrary residual predicates into the sweep without
+    claiming any geometric knowledge about them.
+    """
+
+    def __init__(self, dims: int, predicate: Callable[[Sequence[int]], bool]) -> None:
+        self.dims = dims
+        self.predicate = predicate
+
+    def bounding_box(self) -> Box | None:
+        return None
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return self.predicate(point)
+
+    def intersects_box(self, lo: Sequence[int], hi: Sequence[int]) -> bool:
+        return True
+
+
+class IntersectionSpace(QuerySpace):
+    """Conjunction of query spaces (box ∧ half-space ∧ …)."""
+
+    def __init__(self, parts: Sequence[QuerySpace]) -> None:
+        if not parts:
+            raise ValueError("intersection of zero spaces is the universe; use QueryBox.full")
+        flattened: list[QuerySpace] = []
+        for part in parts:
+            if isinstance(part, IntersectionSpace):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+        self.dims = self.parts[0].dims
+        if any(p.dims != self.dims for p in self.parts):
+            raise ValueError("all parts must share the same dimensionality")
+
+    def bounding_box(self) -> Box | None:
+        lo: list[int] | None = None
+        hi: list[int] | None = None
+        for part in self.parts:
+            box = part.bounding_box()
+            if box is None:
+                continue  # unbounded part contributes no constraint
+            part_lo, part_hi = box
+            if lo is None or hi is None:
+                lo, hi = list(part_lo), list(part_hi)
+            else:
+                lo = [max(a, b) for a, b in zip(lo, part_lo)]
+                hi = [min(a, b) for a, b in zip(hi, part_hi)]
+        if lo is None or hi is None:
+            return None
+        return tuple(lo), tuple(hi)
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return all(part.contains_point(point) for part in self.parts)
+
+    def intersects_box(self, lo: Sequence[int], hi: Sequence[int]) -> bool:
+        return all(part.intersects_box(lo, hi) for part in self.parts)

@@ -1,0 +1,53 @@
+"""Z-regions: the unit of the UB-Tree's space partitioning.
+
+A Z-region ``[α : β]`` is the part of the universe covered by an interval
+on the Z-curve (Section 3.3).  Each Z-region maps onto exactly one disk
+page.  Regions are recovered from the separator keys of the underlying
+B+-tree, so this class is a value object; the tree remains the source of
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .query_space import QueryBox, QuerySpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .curves import Curve
+
+
+@dataclass(frozen=True)
+class ZRegion:
+    """An address interval ``[first, last]`` stored on page ``page_id``."""
+
+    first: int
+    last: int
+    page_id: int
+
+    def __post_init__(self) -> None:
+        if self.first > self.last:
+            raise ValueError(f"inverted Z-region [{self.first}:{self.last}]")
+
+    def contains(self, z_address: int) -> bool:
+        return self.first <= z_address <= self.last
+
+    @property
+    def address_count(self) -> int:
+        return self.last - self.first + 1
+
+    def intersects(self, curve: "Curve", space: QuerySpace) -> bool:
+        """Exact-or-conservative test whether the region meets ``space``.
+
+        The Z-interval is decomposed into aligned boxes (each an axis-
+        aligned hyper-rectangle); the region intersects iff any box does.
+        For plain :class:`QueryBox` spaces the test is exact.
+        """
+        return any(
+            space.intersects_box(lo, hi)
+            for lo, hi in curve.interval_boxes(self.first, self.last)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZRegion[{self.first}:{self.last}]@page{self.page_id}"

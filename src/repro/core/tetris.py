@@ -1,0 +1,472 @@
+"""The Tetris algorithm (Section 3): sorted reading without external sort.
+
+Given a UB-Tree-organized relation, a query space ``Q`` and a sort
+attribute ``A_j``, the algorithm delivers the qualifying tuples in sort
+order of ``A_j`` while
+
+* reading only the Z-region pages that overlap ``Q``,
+* reading each such page **exactly once** (one random access each), and
+* caching only the tuples of the currently open *slice* — the sub-linear
+  Tetris cache of Section 4.4.
+
+Two interchangeable strategies are provided:
+
+``eager`` (default)
+    Enumerate the overlapping regions (index-only), key each by
+    ``min T_j over (region ∩ Q)`` — a static quantity because Z-regions
+    are disjoint — and process a min-heap.
+
+``sweep``
+    The paper's event-point formulation (Figure 3-7), kept as the
+    literal reference implementation.  The retrieved space ``Φ`` is
+    maintained as a set of merged Z-intervals; the next event point
+    ``min { T_j(x) | x ∈ Q, x ∉ Φ }`` is advanced with the generic
+    BIGMIN primitive, skipping already-retrieved Z-intervals by
+    decomposing their complement into aligned boxes.
+
+Because the region partitioning is disjoint, the event point always lies
+in the unread region with the smallest static key, so both strategies
+provably retrieve pages in the same order and emit the same stream; the
+test suite asserts this equivalence property.  The two differ only in
+CPU: the sweep recomputes event points against ``Φ`` and its cost grows
+with the number of region/slice crossings, which is why the eager
+formulation is the default (real UB-Tree implementations organize the
+sweep per slice for the same reason).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from .curves import Curve
+from .intervals import IntervalSet
+from .query_space import QueryBox, QuerySpace, box_is_empty
+from .ubtree import UBTree
+
+SortedTuple = tuple[tuple[int, ...], Any]
+
+#: a region scheduled for reading plus the emission barrier that becomes
+#: valid once it has been read: (first, last, page_id, next_key_or_None)
+_ScheduledRegion = tuple[int, int, int, "int | None"]
+
+_MISSING = object()  # sentinel distinguishing "not cached" from "cached None"
+
+
+@dataclass
+class TetrisStats:
+    """Instrumentation of one Tetris run (Tables 5-1 and 5-2 metrics)."""
+
+    regions_examined: int = 0  #: index descents performed
+    regions_read: int = 0  #: data pages actually fetched (random accesses)
+    regions_skipped: int = 0  #: pruned by non-rectangular geometry
+    tuples_output: int = 0
+    slices: int = 0  #: flush batches — completed processing ranges
+    max_cache_tuples: int = 0  #: peak size of the Tetris cache
+    first_output_clock: float | None = None  #: simulated time of first tuple
+    start_clock: float = 0.0
+    end_clock: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_clock - self.start_clock
+
+    @property
+    def time_to_first(self) -> float | None:
+        if self.first_output_clock is None:
+            return None
+        return self.first_output_clock - self.start_clock
+
+    def cache_pages(self, page_capacity: int) -> int:
+        """Peak cache expressed in pages (how the paper reports it)."""
+        return -(-self.max_cache_tuples // page_capacity)
+
+
+class _FlippedCurve:
+    """A curve seen through a per-dimension coordinate reflection.
+
+    Flipping the sort dimension (``x_j ↦ coord_max_j - x_j``) turns a
+    descending Tetris sweep into an ascending one over the same pages:
+    reflections map boxes to boxes and preserve monotonicity, so BIGMIN
+    keeps working.
+    """
+
+    def __init__(self, curve: Curve, flip_dims: frozenset[int]) -> None:
+        self._curve = curve
+        self._flip = flip_dims
+        self.total_bits = curve.total_bits
+        self.address_max = curve.address_max
+        self.dims = curve.dims
+        self.coord_max = curve.coord_max
+
+    def _reflect(self, point: Sequence[int]) -> tuple[int, ...]:
+        return tuple(
+            self.coord_max[dim] - value if dim in self._flip else value
+            for dim, value in enumerate(point)
+        )
+
+    def encode(self, point: Sequence[int]) -> int:
+        return self._curve.encode(self._reflect(point))
+
+    def decode(self, address: int) -> tuple[int, ...]:
+        return self._reflect(self._curve.decode(address))
+
+    def box_min_corner(
+        self, lo: Sequence[int], hi: Sequence[int]
+    ) -> tuple[int, ...]:
+        """The corner of ``[lo, hi]`` with the smallest flipped address."""
+        return tuple(
+            hi[dim] if dim in self._flip else lo[dim] for dim in range(self.dims)
+        )
+
+    def next_in_box(
+        self, address: int, lo: Sequence[int], hi: Sequence[int]
+    ) -> int | None:
+        # reflecting the box swaps lo and hi only in the flipped dimensions
+        reflected_lo = self._reflect(lo)
+        reflected_hi = self._reflect(hi)
+        box_lo = tuple(min(a, b) for a, b in zip(reflected_lo, reflected_hi))
+        box_hi = tuple(max(a, b) for a, b in zip(reflected_lo, reflected_hi))
+        return self._curve.next_in_box(address, box_lo, box_hi)
+
+
+@dataclass
+class _CacheEntry:
+    key: int
+    order: int
+    point: tuple[int, ...]
+    payload: Any = field(compare=False)
+
+    def __lt__(self, other: "_CacheEntry") -> bool:
+        return (self.key, self.order) < (other.key, other.order)
+
+
+class TetrisScan:
+    """Iterator over ``(point, payload)`` pairs in ``A_j`` sort order.
+
+    Consume it like any iterator; ``stats`` fills in as the sweep
+    progresses and is final once iteration ends.
+
+    Parameters
+    ----------
+    ubtree:
+        The multidimensionally organized relation.
+    space:
+        Restrictions — a :class:`QueryBox` or any composite
+        :class:`QuerySpace` (e.g. including the triangular
+        ``COMMITDATE < RECEIPTDATE`` half-space of Q4).
+    sort_dim:
+        Index of the sort attribute ``A_j`` — or a sequence of indexes
+        for a composite (multi-column) sort order, lexicographic in the
+        listed attributes.
+    descending:
+        Emit in descending order of the sort attribute(s).
+    strategy:
+        ``"eager"`` (static region keys + heap, the default) or
+        ``"sweep"`` (event points, the paper's literal loop).
+    """
+
+    def __init__(
+        self,
+        ubtree: UBTree,
+        space: QuerySpace,
+        sort_dim: "int | Sequence[int]",
+        *,
+        descending: bool = False,
+        strategy: str = "eager",
+    ) -> None:
+        if strategy not in ("sweep", "eager"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        sort_dims = (sort_dim,) if isinstance(sort_dim, int) else tuple(sort_dim)
+        if not sort_dims:
+            raise ValueError("at least one sort dimension required")
+        if len(set(sort_dims)) != len(sort_dims):
+            raise ValueError("duplicate sort dimensions")
+        for dim in sort_dims:
+            if not 0 <= dim < ubtree.space.dims:
+                raise ValueError(f"sort dimension {dim} out of range")
+        self.ubtree = ubtree
+        self.space = space
+        self.sort_dims = sort_dims
+        self.sort_dim = sort_dims[0]
+        self.descending = descending
+        self.strategy = strategy
+        self.stats = TetrisStats()
+
+        base = ubtree.space.tetris(sort_dims)
+        if descending:
+            self.tetris_curve: Curve | _FlippedCurve = _FlippedCurve(
+                base, frozenset(sort_dims)
+            )
+        else:
+            self.tetris_curve = base
+
+        box = space.bounding_box()
+        if box is None:
+            box = ubtree.space.universe_box()
+        self._box = box
+        self._page_reads: list[int] = []  # page access order, for tests
+        # sweep-strategy memos: next event beyond a covered interval, and
+        # the box decomposition of an interval's complement (see
+        # _skip_interval for the monotonicity argument)
+        self._skip_cache: dict[tuple[int, int], int | None] = {}
+        self._complement_boxes: dict[
+            tuple[int, int], list[tuple[tuple[int, ...], tuple[int, ...]]]
+        ] = {}
+
+    @property
+    def page_access_order(self) -> list[int]:
+        """Page ids in retrieval order (used by equivalence tests)."""
+        return self._page_reads
+
+    def __iter__(self) -> Iterator[SortedTuple]:
+        if box_is_empty(self._box):
+            disk = self.ubtree.tree.buffer.disk
+            self.stats.start_clock = disk.clock
+            self.stats.end_clock = disk.clock
+            return iter(())
+        if self.strategy == "eager":
+            return self._run(self._eager_regions())
+        return self._run(self._sweep_regions())
+
+    # ------------------------------------------------------------------
+    # shared driver: read regions in Tetris order, cache, flush slices
+    # ------------------------------------------------------------------
+    def _run(self, regions: Iterator[_ScheduledRegion]) -> Iterator[SortedTuple]:
+        disk = self.ubtree.tree.buffer.disk
+        buffer = self.ubtree.tree.buffer
+        curve = self.tetris_curve
+        space = self.space
+        stats = self.stats
+        stats.start_clock = disk.clock
+        cache: list[_CacheEntry] = []
+        order = 0
+
+        for first, last, page_id, barrier in regions:
+            page = buffer.get(page_id, category=self.ubtree.category)
+            stats.regions_read += 1
+            self._page_reads.append(page_id)
+            for _, (point, payload) in page.records:
+                if space.contains_point(point):
+                    heapq.heappush(
+                        cache, _CacheEntry(curve.encode(point), order, point, payload)
+                    )
+                    order += 1
+            stats.max_cache_tuples = max(stats.max_cache_tuples, len(cache))
+
+            # everything below the next event point can never be beaten by
+            # a tuple from an unread region: the slice is complete
+            flushed = False
+            while cache and (barrier is None or cache[0].key < barrier):
+                entry = heapq.heappop(cache)
+                if stats.first_output_clock is None:
+                    stats.first_output_clock = disk.clock
+                stats.tuples_output += 1
+                stats.end_clock = disk.clock
+                flushed = True
+                yield entry.point, entry.payload
+            if flushed:
+                stats.slices += 1
+
+        while cache:  # no regions at all, or a conservative final barrier
+            entry = heapq.heappop(cache)
+            if stats.first_output_clock is None:
+                stats.first_output_clock = disk.clock
+            stats.tuples_output += 1
+            yield entry.point, entry.payload
+        stats.end_clock = disk.clock
+
+    # ------------------------------------------------------------------
+    # eager strategy: static keys, min-heap
+    # ------------------------------------------------------------------
+    def _eager_regions(self) -> Iterator[_ScheduledRegion]:
+        z_curve = self.ubtree.space.z
+        heap: list[tuple[int, int, int, int]] = []
+        for region in self.ubtree.regions_overlapping(self.space, prune=False):
+            self.stats.regions_examined += 1
+            if not isinstance(self.space, QueryBox) and not region.intersects(
+                z_curve, self.space
+            ):
+                self.stats.regions_skipped += 1
+                continue
+            key = self._region_key(region.first, region.last)
+            if key is None:
+                self.stats.regions_skipped += 1
+                continue
+            heapq.heappush(heap, (key, region.first, region.last, region.page_id))
+        while heap:
+            _, first, last, page_id = heapq.heappop(heap)
+            yield first, last, page_id, heap[0][0] if heap else None
+
+    def _region_key(self, first: int, last: int) -> int | None:
+        """``min T_j over (region ∩ bounding box)`` — or None if disjoint.
+
+        Static because Z-regions are disjoint: no later retrieval changes
+        which part of the region lies inside the query.
+        """
+        lo, hi = self._box
+        z_curve = self.ubtree.space.z
+        curve = self.tetris_curve
+        best: int | None = None
+        for box_lo, box_hi in z_curve.interval_boxes(first, last):
+            clamped_lo = tuple(max(a, b) for a, b in zip(box_lo, lo))
+            clamped_hi = tuple(min(a, b) for a, b in zip(box_hi, hi))
+            if any(a > b for a, b in zip(clamped_lo, clamped_hi)):
+                continue
+            if isinstance(curve, _FlippedCurve):
+                corner = curve.box_min_corner(clamped_lo, clamped_hi)
+            else:
+                corner = clamped_lo
+            candidate = curve.encode(corner)
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    # sweep strategy: the paper's event-point loop
+    # ------------------------------------------------------------------
+    def _sweep_regions(self) -> Iterator[_ScheduledRegion]:
+        lo, hi = self._box
+        curve = self.tetris_curve
+        z_space = self.ubtree.space
+        phi = IntervalSet()
+
+        event = curve.next_in_box(0, lo, hi)
+        while event is not None:
+            point = curve.decode(event)
+            z_address = z_space.z_address(point)
+            covered = phi.containing(z_address)
+            if covered is None:
+                region, _ = self.ubtree.region_for(z_address, charge=False)
+                self.stats.regions_examined += 1
+                phi.add(region.first, region.last)
+                covered = (region.first, region.last)
+                if isinstance(self.space, QueryBox) or region.intersects(
+                    z_space.z, self.space
+                ):
+                    next_event = self._skip_interval(event, covered)
+                    yield region.first, region.last, region.page_id, next_event
+                    event = next_event
+                    continue
+                self.stats.regions_skipped += 1
+            event = self._skip_interval(event, covered)
+
+    def _skip_interval(self, event: int, interval: tuple[int, int]) -> int | None:
+        """Smallest Tetris address ``> event`` in the box but outside
+        the covered Z-interval.
+
+        The complement of the interval decomposes into aligned boxes;
+        BIGMIN over each (intersected with the query bounding box) yields
+        candidates, and the minimum wins.  O(total_bits²) bit operations,
+        no I/O — the paper's "inexpensive bit operations".
+
+        The result may still lie inside *another* already-retrieved
+        interval; the sweep loop then skips again.  As an emission
+        barrier it is therefore a lower bound on the true next event
+        point, which only delays flushing, never corrupts order.
+
+        Two memos keep the whole sweep near-linear in the region count:
+
+        * the complement decomposition of an interval is cached, and
+        * so is the computed next event.  Events only increase, so a
+          cached answer ``c`` computed at some earlier event ``t0 <= t``
+          with ``c > t`` is still the minimum beyond ``t`` — nothing of
+          the complement lies in ``(t0, t]``.  When ``Φ`` merges the
+          interval into a larger one, its key changes and the stale
+          entries are simply never consulted again.
+        """
+        cached = self._skip_cache.get(interval, _MISSING)
+        if cached is not _MISSING and (cached is None or cached > event):
+            return cached
+
+        curve = self.tetris_curve
+        decomposition = self._complement_boxes.get(interval)
+        if decomposition is None:
+            decomposition = self._decompose_complement(interval)
+            self._complement_boxes[interval] = decomposition
+        ceilings, entries, suffix_min_floor = decomposition
+
+        # boxes whose entire Tetris range lies below the event can never
+        # supply a candidate: start at the first box with ceiling >= event
+        start = bisect_left(ceilings, event)
+        best: int | None = None
+        for position in range(start, len(entries)):
+            floor, clamped_lo, clamped_hi = entries[position]
+            if best is not None and best <= suffix_min_floor[position]:
+                break
+            if best is not None and best <= floor:
+                continue
+            candidate = curve.next_in_box(event, clamped_lo, clamped_hi)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
+        self._skip_cache[interval] = best
+        return best
+
+    def _decompose_complement(self, interval: tuple[int, int]):
+        """Aligned boxes of the interval's complement, clamped to the
+        query bounding box, sorted by their *maximal* Tetris address.
+
+        Returns ``(ceilings, entries, suffix_min_floor)`` where
+        ``entries[i] = (floor_i, lo_i, hi_i)`` and ``suffix_min_floor[i]``
+        is the smallest floor among ``entries[i:]`` — the early-exit
+        bound for the candidate scan.
+        """
+        lo, hi = self._box
+        curve = self.tetris_curve
+        z_curve = self.ubtree.space.z
+        first, last = interval
+        pieces: list[tuple[int, int]] = []
+        if first > 0:
+            pieces.append((0, first - 1))
+        if last < z_curve.address_max:
+            pieces.append((last + 1, z_curve.address_max))
+        raw: list[tuple[int, int, tuple[int, ...], tuple[int, ...]]] = []
+        for piece_first, piece_last in pieces:
+            for box_lo, box_hi in z_curve.interval_boxes(piece_first, piece_last):
+                clamped_lo = tuple(max(a, b) for a, b in zip(box_lo, lo))
+                clamped_hi = tuple(min(a, b) for a, b in zip(box_hi, hi))
+                if any(a > b for a, b in zip(clamped_lo, clamped_hi)):
+                    continue
+                if isinstance(curve, _FlippedCurve):
+                    min_corner = curve.box_min_corner(clamped_lo, clamped_hi)
+                    max_corner = tuple(
+                        clamped_lo[d] if d in self.sort_dims else clamped_hi[d]
+                        for d in range(curve.dims)
+                    )
+                else:
+                    min_corner = clamped_lo
+                    max_corner = clamped_hi
+                raw.append(
+                    (
+                        curve.encode(max_corner),
+                        curve.encode(min_corner),
+                        clamped_lo,
+                        clamped_hi,
+                    )
+                )
+        raw.sort(key=lambda entry: entry[0])
+        ceilings = [entry[0] for entry in raw]
+        entries = [(floor, lo_c, hi_c) for _, floor, lo_c, hi_c in raw]
+        suffix_min_floor: list[int] = [0] * len(entries)
+        running = None
+        for position in range(len(entries) - 1, -1, -1):
+            floor = entries[position][0]
+            running = floor if running is None else min(running, floor)
+            suffix_min_floor[position] = running
+        return ceilings, entries, suffix_min_floor
+
+
+def tetris_sorted(
+    ubtree: UBTree,
+    space: QuerySpace,
+    sort_dim: int,
+    *,
+    descending: bool = False,
+    strategy: str = "eager",
+) -> TetrisScan:
+    """Convenience constructor for a :class:`TetrisScan`."""
+    return TetrisScan(
+        ubtree, space, sort_dim, descending=descending, strategy=strategy
+    )

@@ -1,0 +1,111 @@
+"""Z-addresses and Tetris addresses in the paper's vocabulary.
+
+:class:`ZSpace` wraps a multidimensional universe ``Ω = Ω_1 × … × Ω_d``
+(with ``s_i`` bits per attribute) and exposes the operations of
+Sections 3.3 and 3.4:
+
+* ``z_address(x)`` — the ordinal of the tuple on the Z-curve,
+* ``extract(α, j)`` / ``reduce(α, j)`` — the decomposition of a Z-address
+  into one attribute value and the (d-1)-dimensional rest,
+* ``tetris_address(x, j)`` — ``T_j(x) = extract(Z(x), j) ∘ reduce(Z(x), j)``,
+* conversions between the two orders.
+
+All of it is implemented on top of :class:`~repro.core.curves.Curve`;
+``T_j`` is simply the curve whose bit schedule puts attribute ``j`` first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .curves import Curve
+
+
+class ZSpace:
+    """A d-dimensional universe addressed by the Z-curve and Tetris orders."""
+
+    def __init__(self, bit_lengths: Sequence[int]) -> None:
+        self.bit_lengths = tuple(bit_lengths)
+        self.dims = len(self.bit_lengths)
+        if self.dims < 1:
+            raise ValueError("a ZSpace needs at least one dimension")
+        if any(s < 1 for s in self.bit_lengths):
+            raise ValueError("every dimension needs at least one bit")
+        self.z = Curve.z_curve(self.bit_lengths)
+        self.total_bits = self.z.total_bits
+        self.address_max = self.z.address_max
+        self.coord_max = self.z.coord_max
+        self._tetris: dict[tuple[int, ...], Curve] = {}
+        self._reduced: dict[int, Curve] = {}
+
+    # ------------------------------------------------------------------
+    # curves
+    # ------------------------------------------------------------------
+    def tetris(self, sort_dims: "int | Sequence[int]") -> Curve:
+        """The curve realizing the Tetris order for the sort attribute(s).
+
+        A single dimension gives the paper's ``T_j``; a sequence gives the
+        composite order — lexicographic in the listed attributes with
+        Z-order of the remaining ones as tiebreak (multi-column ORDER BY).
+        """
+        key = (sort_dims,) if isinstance(sort_dims, int) else tuple(sort_dims)
+        if key not in self._tetris:
+            self._tetris[key] = Curve.tetris_curve(self.bit_lengths, key)
+        return self._tetris[key]
+
+    def reduced(self, drop_dim: int) -> Curve:
+        """The (d-1)-dimensional Z-curve with ``drop_dim`` removed."""
+        if self.dims < 2:
+            raise ValueError("cannot reduce a one-dimensional space")
+        if drop_dim not in self._reduced:
+            lengths = [s for dim, s in enumerate(self.bit_lengths) if dim != drop_dim]
+            self._reduced[drop_dim] = Curve.z_curve(lengths)
+        return self._reduced[drop_dim]
+
+    # ------------------------------------------------------------------
+    # addresses
+    # ------------------------------------------------------------------
+    def z_address(self, point: Sequence[int]) -> int:
+        """``Z(x)``: the ordinal of ``point`` on the Z-curve."""
+        return self.z.encode(point)
+
+    def point_of(self, z_address: int) -> tuple[int, ...]:
+        """``Z^{-1}(α)``."""
+        return self.z.decode(z_address)
+
+    def extract(self, z_address: int, dim: int) -> int:
+        """``extract(α, j)``: attribute ``j``'s value packed in a Z-address."""
+        return self.z.decode(z_address)[dim]
+
+    def reduce(self, z_address: int, dim: int) -> int:
+        """``reduce(α, j)``: the (d-1)-dimensional Z-address of the rest."""
+        point = self.z.decode(z_address)
+        rest = [v for d, v in enumerate(point) if d != dim]
+        return self.reduced(dim).encode(rest)
+
+    def tetris_address(self, point: Sequence[int], sort_dim: int) -> int:
+        """``T_j(x)``: the Tetris ordinal of ``point`` for sort attribute ``j``."""
+        return self.tetris(sort_dim).encode(point)
+
+    def z_to_tetris(self, z_address: int, sort_dim: int) -> int:
+        """Re-address a point from Z order into Tetris order."""
+        return self.tetris(sort_dim).encode(self.z.decode(z_address))
+
+    def tetris_to_z(self, tetris_address: int, sort_dim: int) -> int:
+        """``Z(T_j^{-1}(t))``: back from Tetris order into Z order."""
+        return self.z.encode(self.tetris(sort_dim).decode(tetris_address))
+
+    # ------------------------------------------------------------------
+    # paper-model helpers
+    # ------------------------------------------------------------------
+    def hyperplane_contains(self, z_address: int, sort_dim: int, value: int) -> bool:
+        """Membership in the hyper-plane ``H_j(v) = {Z(x) | x_j = v}``."""
+        return self.extract(z_address, sort_dim) == value
+
+    def universe_box(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The full base space ``[λ_1, ν_1] × … × [λ_d, ν_d]``."""
+        lo = tuple(0 for _ in range(self.dims))
+        return lo, self.coord_max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZSpace(bits={self.bit_lengths})"

@@ -1,0 +1,17 @@
+"""Cost-based access-path selection (the paper's future-work optimizer)."""
+
+from .executor import ExecutablePlan, PhysicalDesign, plan_sorted_query
+from .optimizer import CandidatePlan, RelationStats, choose_plan, enumerate_plans
+from .statistics import AttributeHistogram, TableStatistics
+
+__all__ = [
+    "AttributeHistogram",
+    "CandidatePlan",
+    "ExecutablePlan",
+    "PhysicalDesign",
+    "RelationStats",
+    "choose_plan",
+    "TableStatistics",
+    "enumerate_plans",
+    "plan_sorted_query",
+]

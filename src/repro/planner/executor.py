@@ -1,0 +1,224 @@
+"""From chosen plan to running operators.
+
+:mod:`repro.planner.optimizer` prices candidate access paths with the
+Section 4 cost model; this module closes the loop: it derives the
+model's inputs (page counts, normalized selectivities) from actual
+table instances, asks the optimizer for the cheapest plan and builds
+the corresponding operator tree — the full
+"restriction + sort" query service the paper envisions for a DBMS
+kernel with multidimensional indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..costmodel.model import CostParameters
+from ..relational.operators import (
+    ExternalMergeSort,
+    FullTableScan,
+    IOTScan,
+    Operator,
+    Select,
+    TetrisOperator,
+)
+from ..relational.table import HeapTable, IOTTable, UBTable
+from .optimizer import CandidatePlan, RelationStats, choose_plan
+from .statistics import TableStatistics
+
+ValueRange = tuple[Any, Any]
+
+
+@dataclass
+class PhysicalDesign:
+    """The physical instances available for one logical relation.
+
+    All instances must share the same schema and contents.  ``attributes``
+    lists the index-relevant attributes (the UB-Tree dimension order when
+    a UB instance exists).
+    """
+
+    attributes: tuple[str, ...]
+    heap: HeapTable | None = None
+    iots: dict[str, IOTTable] = field(default_factory=dict)  #: leading attr -> table
+    ub: UBTable | None = None
+
+    def __post_init__(self) -> None:
+        if self.heap is None and not self.iots and self.ub is None:
+            raise ValueError("a physical design needs at least one instance")
+        for leading, table in self.iots.items():
+            if table.key_attrs[0] != leading:
+                raise ValueError(
+                    f"IOT registered under {leading!r} leads with "
+                    f"{table.key_attrs[0]!r}"
+                )
+        if self.ub is not None and tuple(self.ub.dims) != self.attributes:
+            raise ValueError("UB instance dimensions must match `attributes`")
+
+    @property
+    def schema(self):
+        for table in self._instances():
+            return table.schema
+        raise AssertionError("unreachable: design has at least one instance")
+
+    def _instances(self):
+        if self.heap is not None:
+            yield self.heap
+        yield from self.iots.values()
+        if self.ub is not None:
+            yield self.ub
+
+    def relation_stats(self) -> RelationStats:
+        """Model inputs derived from the actual instances."""
+        if self.heap is not None:
+            pages = self.heap.page_count
+        else:
+            pages = min(table.page_count for table in self._instances())
+        ub_fill = self.ub.page_count / pages if self.ub is not None else 1.4
+        return RelationStats(
+            pages=pages,
+            attributes=self.attributes,
+            heap_instance=self.heap.name if self.heap is not None else None,
+            iot_instances=tuple(
+                (leading, table.name) for leading, table in self.iots.items()
+            ),
+            ub_instance=self.ub.name if self.ub is not None else None,
+            ub_fill_factor=ub_fill,
+        )
+
+    def normalized_restrictions(
+        self,
+        restrictions: dict[str, ValueRange] | None,
+        statistics: "TableStatistics | None" = None,
+    ) -> dict[str, tuple[float, float]]:
+        """Value-level ranges to the model's normalized ``(y, z)`` pairs.
+
+        Without ``statistics`` the mapping assumes a uniform domain (the
+        paper's Section 4 assumption); with gathered
+        :class:`~repro.planner.statistics.TableStatistics` the range is
+        mapped through the empirical CDF instead — UB-Tree regions split
+        at data medians, so quantile positions are what the region-count
+        model actually responds to.
+        """
+        result: dict[str, tuple[float, float]] = {}
+        schema = self.schema
+        for attr, (lo, hi) in (restrictions or {}).items():
+            if statistics is not None and attr in statistics.histograms:
+                result[attr] = statistics.normalized_range(attr, lo, hi)
+                continue
+            encoder = schema.attribute(attr).encoder
+            domain = encoder.code_max + 1
+            lo_code = encoder.encode(lo) if lo is not None else 0
+            hi_code = encoder.encode(hi) if hi is not None else encoder.code_max
+            result[attr] = (lo_code / domain, (hi_code + 1) / domain)
+        return result
+
+
+def _predicate(schema, restrictions: dict[str, ValueRange] | None):
+    """Residual tuple predicate re-checking every value-level range."""
+    if not restrictions:
+        return None
+    checks = [
+        (schema.position(attr), lo, hi)
+        for attr, (lo, hi) in restrictions.items()
+    ]
+
+    def passes(row: tuple) -> bool:
+        for position, lo, hi in checks:
+            value = row[position]
+            if lo is not None and value < lo:
+                return False
+            if hi is not None and value > hi:
+                return False
+        return True
+
+    return passes
+
+
+@dataclass
+class ExecutablePlan:
+    """The optimizer's pick, bound to a runnable operator tree."""
+
+    choice: CandidatePlan
+    operator: Operator
+
+
+def plan_sorted_query(
+    design: PhysicalDesign,
+    restrictions: dict[str, ValueRange] | None,
+    sort_attr: str,
+    params: CostParameters,
+    *,
+    descending: bool = False,
+    require_pipelined: bool = False,
+    statistics: "TableStatistics | None" = None,
+) -> ExecutablePlan:
+    """Choose and build the cheapest plan for a sort+restriction query.
+
+    Returns the costed choice plus an operator tree that streams the
+    restricted relation in ``sort_attr`` order.  Pass gathered
+    ``statistics`` to price restrictions by data quantiles instead of
+    the uniform-domain assumption.
+    """
+    schema = design.schema
+    stats = design.relation_stats()
+    normalized = design.normalized_restrictions(restrictions, statistics)
+    choice = choose_plan(
+        stats, normalized, sort_attr, params, require_pipelined=require_pipelined
+    )
+    predicate = _predicate(schema, restrictions)
+    sort_position = schema.position(sort_attr)
+    sort_key = lambda row: row[sort_position]  # noqa: E731
+
+    if choice.method == "tetris":
+        assert design.ub is not None
+        index_restrictions = {
+            attr: bounds
+            for attr, bounds in (restrictions or {}).items()
+            if attr in design.ub.dims
+        }
+        operator: Operator = TetrisOperator(
+            design.ub,
+            index_restrictions or None,
+            sort_attr,
+            descending=descending,
+            predicate=predicate,
+        )
+    elif choice.method == "fts-sort":
+        assert design.heap is not None
+        operator = ExternalMergeSort(
+            FullTableScan(design.heap, predicate=predicate),
+            key=sort_key,
+            disk=design.heap.db.disk,
+            memory_pages=params.memory_pages,
+            page_capacity=design.heap.page_capacity,
+            merge_degree=params.merge_degree,
+            descending=descending,
+        )
+    elif choice.method in ("iot-sort", "iot-presorted"):
+        leading = next(
+            attr for attr, table in design.iots.items()
+            if table.name == choice.instance
+        )
+        table = design.iots[leading]
+        bounds = (restrictions or {}).get(leading, (None, None))
+        scan = IOTScan(
+            table, leading_lo=bounds[0], leading_hi=bounds[1], predicate=predicate
+        )
+        if choice.method == "iot-presorted" and not descending:
+            operator = scan
+        else:
+            operator = ExternalMergeSort(
+                scan,
+                key=sort_key,
+                disk=table.db.disk,
+                memory_pages=params.memory_pages,
+                page_capacity=table.page_capacity,
+                merge_degree=params.merge_degree,
+                descending=descending,
+            )
+    else:  # pragma: no cover - enumerate_plans only emits the above
+        raise ValueError(f"unknown method {choice.method!r}")
+
+    return ExecutablePlan(choice=choice, operator=operator)

@@ -1,0 +1,167 @@
+"""Cost-based access-path selection for sort+restriction queries.
+
+Section 6 names "a methodology for query optimization with
+multidimensional indexes" as future work; this module implements the
+obvious first instance: given the available physical instances of a
+relation, a set of range restrictions and a requested sort order, price
+every candidate access path with the Section 4 cost model and pick the
+cheapest.
+
+The candidates are exactly the paper's contenders:
+
+* full table scan + external merge sort,
+* an IOT whose leading key matches a restricted attribute (+ sort),
+* an IOT whose leading key matches the sort attribute (presorted),
+* the Tetris algorithm on a UB-Tree instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..costmodel.model import (
+    CostParameters,
+    c_fts_sort,
+    c_iot,
+    c_iot_sort,
+    c_tetris,
+)
+
+Range = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """One priced access path."""
+
+    method: str  #: "fts-sort", "iot-sort", "iot-presorted", "tetris"
+    instance: str  #: name of the physical instance used
+    cost: float  #: estimated response time in seconds
+    blocking: bool  #: True when no row is produced before the sort finishes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "blocking" if self.blocking else "pipelined"
+        return f"{self.method}({self.instance}): {self.cost:.2f}s [{kind}]"
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """What the optimizer knows about one relation's physical design.
+
+    ``pages`` is the heap page count; ``attributes`` the index-relevant
+    attribute names in UB-dimension order; ``restrictions`` are
+    normalized ``(y, z)`` ranges per attribute (``(0, 1)`` = unrestricted).
+    """
+
+    pages: int
+    attributes: tuple[str, ...]
+    heap_instance: str | None = None
+    iot_instances: tuple[tuple[str, str], ...] = ()  #: (leading attr, name)
+    ub_instance: str | None = None
+    ub_fill_factor: float = 1.4  #: UB pages per heap page (B-tree fill)
+
+
+def normalized_ranges(
+    stats: RelationStats, restrictions: dict[str, Range] | None
+) -> list[Range]:
+    """Per-attribute normalized ranges in dimension order."""
+    restrictions = restrictions or {}
+    unknown = set(restrictions) - set(stats.attributes)
+    if unknown:
+        raise KeyError(f"restrictions on unknown attributes: {sorted(unknown)}")
+    return [restrictions.get(attr, (0.0, 1.0)) for attr in stats.attributes]
+
+
+def enumerate_plans(
+    stats: RelationStats,
+    restrictions: dict[str, Range] | None,
+    sort_attr: str,
+    params: CostParameters,
+) -> list[CandidatePlan]:
+    """All priced candidate plans, cheapest first."""
+    if sort_attr not in stats.attributes:
+        raise KeyError(f"unknown sort attribute {sort_attr!r}")
+    ranges = normalized_ranges(stats, restrictions)
+    selectivities = [hi - lo for lo, hi in ranges]
+    plans: list[CandidatePlan] = []
+
+    if stats.heap_instance is not None:
+        plans.append(
+            CandidatePlan(
+                "fts-sort",
+                stats.heap_instance,
+                c_fts_sort(stats.pages, selectivities, params),
+                blocking=True,
+            )
+        )
+
+    for leading, name in stats.iot_instances:
+        position = stats.attributes.index(leading)
+        leading_selectivity = selectivities[position]
+        if leading == sort_attr:
+            # presorted: restriction on the leading attr also usable
+            plans.append(
+                CandidatePlan(
+                    "iot-presorted",
+                    name,
+                    c_iot(stats.pages, leading_selectivity, params),
+                    blocking=False,
+                )
+            )
+        else:
+            # retrieval restricted on the leading attribute, then sort;
+            # other restrictions only shrink the sort input
+            retained = [
+                s for pos, s in enumerate(selectivities) if pos != position
+            ]
+            plans.append(
+                CandidatePlan(
+                    "iot-sort",
+                    name,
+                    c_iot_sort(
+                        stats.pages,
+                        [leading_selectivity, *retained],
+                        params,
+                    ),
+                    blocking=True,
+                )
+            )
+
+    if stats.ub_instance is not None:
+        ub_pages = round(stats.pages * stats.ub_fill_factor)
+        plans.append(
+            CandidatePlan(
+                "tetris",
+                stats.ub_instance,
+                c_tetris(ub_pages, ranges, params),
+                blocking=False,
+            )
+        )
+
+    plans.sort(key=lambda plan: plan.cost)
+    return plans
+
+
+def choose_plan(
+    stats: RelationStats,
+    restrictions: dict[str, Range] | None,
+    sort_attr: str,
+    params: CostParameters,
+    *,
+    require_pipelined: bool = False,
+) -> CandidatePlan:
+    """The cheapest plan; optionally only non-blocking (pipelined) ones.
+
+    ``require_pipelined`` models an interactive consumer that needs early
+    rows — the scenario of Section 4.4 where the Tetris algorithm's
+    non-blocking behaviour is worth paying for.
+    """
+    plans = enumerate_plans(stats, restrictions, sort_attr, params)
+    if require_pipelined:
+        pipelined = [plan for plan in plans if not plan.blocking]
+        if pipelined:
+            return pipelined[0]
+    if not plans:
+        raise ValueError("no physical instance available")
+    return plans[0]

@@ -1,0 +1,124 @@
+"""Data statistics for the optimizer: histograms and quantile mapping.
+
+The Section 4 cost model takes restrictions as *normalized positions*
+``(y_j, z_j) ⊆ [0, 1]`` and assumes uniformly distributed data.  Real
+UB-Trees split full regions at median Z-addresses, so region boundaries
+follow the **data's quantiles**, not the domain's arithmetic midpoints.
+On skewed data the uniform assumption misprices every plan; mapping a
+value range through the empirical CDF (``y = F(lo), z = F(hi)``)
+restores the model's accuracy — the classic histogram trick, applied to
+the region-count formula.
+
+:class:`AttributeHistogram` is a plain equi-width histogram over the
+*encoded* attribute domain; :class:`TableStatistics` bundles one per
+attribute plus helpers that the plan executor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..relational.schema import Schema
+
+
+@dataclass
+class AttributeHistogram:
+    """Equi-width histogram over an encoded attribute domain ``[0, max]``."""
+
+    code_max: int
+    bucket_count: int
+    counts: list[int]
+    total: int
+
+    @classmethod
+    def build(
+        cls, codes: Iterable[int], code_max: int, bucket_count: int = 64
+    ) -> "AttributeHistogram":
+        bucket_count = max(1, min(bucket_count, code_max + 1))
+        counts = [0] * bucket_count
+        total = 0
+        width = (code_max + 1) / bucket_count
+        for code in codes:
+            if not 0 <= code <= code_max:
+                raise ValueError(f"code {code} outside [0, {code_max}]")
+            counts[min(bucket_count - 1, int(code / width))] += 1
+            total += 1
+        return cls(code_max, bucket_count, counts, total)
+
+    def _bucket_width(self) -> float:
+        return (self.code_max + 1) / self.bucket_count
+
+    def cdf(self, code: float) -> float:
+        """Fraction of rows with encoded value ``<= code`` (interpolated)."""
+        if self.total == 0:
+            # no data: fall back to the uniform assumption
+            return min(1.0, max(0.0, (code + 1) / (self.code_max + 1)))
+        if code < 0:
+            return 0.0
+        if code >= self.code_max:
+            return 1.0
+        width = self._bucket_width()
+        bucket = min(self.bucket_count - 1, int(code / width))
+        below = sum(self.counts[:bucket])
+        inside = self.counts[bucket] * ((code + 1 - bucket * width) / width)
+        return min(1.0, (below + inside) / self.total)
+
+    def selectivity(self, lo_code: int, hi_code: int) -> float:
+        """Estimated fraction of rows with ``lo_code <= value <= hi_code``."""
+        if lo_code > hi_code:
+            return 0.0
+        return max(0.0, self.cdf(hi_code) - self.cdf(lo_code - 1))
+
+    def normalized_range(self, lo_code: int, hi_code: int) -> tuple[float, float]:
+        """Quantile positions ``(F(lo-1), F(hi))`` for the cost model."""
+        lo = self.cdf(lo_code - 1)
+        hi = self.cdf(hi_code)
+        return (min(lo, hi), hi)
+
+
+class TableStatistics:
+    """Per-attribute histograms over one relation's rows."""
+
+    def __init__(self, schema: Schema, histograms: dict[str, AttributeHistogram]) -> None:
+        self.schema = schema
+        self.histograms = histograms
+
+    @classmethod
+    def gather(
+        cls,
+        schema: Schema,
+        rows: Iterable[tuple],
+        attributes: Sequence[str],
+        bucket_count: int = 64,
+    ) -> "TableStatistics":
+        """Scan ``rows`` once, building a histogram per listed attribute."""
+        positions = {attr: schema.position(attr) for attr in attributes}
+        encoders = {attr: schema.attribute(attr).encoder for attr in attributes}
+        codes: dict[str, list[int]] = {attr: [] for attr in attributes}
+        for row in rows:
+            for attr in attributes:
+                codes[attr].append(encoders[attr].encode(row[positions[attr]]))
+        histograms = {
+            attr: AttributeHistogram.build(
+                codes[attr], encoders[attr].code_max, bucket_count
+            )
+            for attr in attributes
+        }
+        return cls(schema, histograms)
+
+    def normalized_range(
+        self, attr: str, lo_value: Any, hi_value: Any
+    ) -> tuple[float, float]:
+        """Value-level range to quantile positions through the histogram."""
+        encoder = self.schema.attribute(attr).encoder
+        histogram = self.histograms[attr]
+        lo_code = encoder.encode(lo_value) if lo_value is not None else 0
+        hi_code = (
+            encoder.encode(hi_value) if hi_value is not None else encoder.code_max
+        )
+        return histogram.normalized_range(lo_code, hi_code)
+
+    def selectivity(self, attr: str, lo_value: Any, hi_value: Any) -> float:
+        lo, hi = self.normalized_range(attr, lo_value, hi_value)
+        return hi - lo

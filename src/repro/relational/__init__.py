@@ -1,0 +1,27 @@
+"""Relational layer: schemas, encoders, tables and operators."""
+
+from .schema import (
+    Attribute,
+    DateEncoder,
+    DecimalEncoder,
+    Encoder,
+    IntEncoder,
+    Schema,
+    StringEncoder,
+)
+from .table import BaseTable, Database, HeapTable, IOTTable, UBTable
+
+__all__ = [
+    "Attribute",
+    "BaseTable",
+    "Database",
+    "DateEncoder",
+    "DecimalEncoder",
+    "Encoder",
+    "HeapTable",
+    "IOTTable",
+    "IntEncoder",
+    "Schema",
+    "StringEncoder",
+    "UBTable",
+]

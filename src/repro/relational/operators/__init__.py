@@ -1,0 +1,57 @@
+"""Volcano-style relational operators over the simulated storage."""
+
+from .base import (
+    FirstTupleTimer,
+    InMemorySort,
+    Limit,
+    Operator,
+    Project,
+    Select,
+)
+from .group import (
+    Aggregate,
+    Avg,
+    Count,
+    Max,
+    Min,
+    ScalarAggregate,
+    SortedGroupBy,
+    Sum,
+)
+from .join import HashJoin, MergeJoin, MergeSemiJoin
+from .merge import KWayMerge
+from .scan import FullTableScan, IOTScan, TetrisOperator, UBRangeScan
+from .sets import Difference, Distinct, Intersect, Union, UnionAll
+from .sort import ExternalMergeSort, SortStats
+
+__all__ = [
+    "Aggregate",
+    "Avg",
+    "Count",
+    "Difference",
+    "Distinct",
+    "ExternalMergeSort",
+    "FirstTupleTimer",
+    "FullTableScan",
+    "HashJoin",
+    "IOTScan",
+    "InMemorySort",
+    "Intersect",
+    "KWayMerge",
+    "Limit",
+    "Max",
+    "MergeJoin",
+    "MergeSemiJoin",
+    "Min",
+    "Operator",
+    "Project",
+    "ScalarAggregate",
+    "Select",
+    "SortStats",
+    "SortedGroupBy",
+    "Sum",
+    "TetrisOperator",
+    "UBRangeScan",
+    "Union",
+    "UnionAll",
+]

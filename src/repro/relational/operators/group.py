@@ -1,0 +1,126 @@
+"""Grouping and aggregation over sorted streams (``γ``).
+
+When the input arrives sorted by the grouping key — which the Tetris
+operator guarantees — grouping is a pipelined, constant-memory pass.
+Aggregate specs are tiny accumulator objects so that plans read like
+the SQL they implement.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+from typing import Any, Callable, Iterable, Iterator
+
+from .base import Operator, Row
+
+
+class Aggregate:
+    """One aggregate column: fold ``extract(row)`` over a group."""
+
+    def __init__(self, extract: Callable[[Row], Any]) -> None:
+        self.extract = extract
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def step(self, acc: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def final(self, acc: Any) -> Any:
+        return acc
+
+
+class Sum(Aggregate):
+    def initial(self) -> Any:
+        return 0
+
+    def step(self, acc: Any, value: Any) -> Any:
+        return acc + value
+
+
+class Count(Aggregate):
+    def __init__(self) -> None:
+        super().__init__(lambda row: 1)
+
+    def initial(self) -> int:
+        return 0
+
+    def step(self, acc: int, value: Any) -> int:
+        return acc + 1
+
+
+class Min(Aggregate):
+    def initial(self) -> Any:
+        return None
+
+    def step(self, acc: Any, value: Any) -> Any:
+        return value if acc is None or value < acc else acc
+
+
+class Max(Aggregate):
+    def initial(self) -> Any:
+        return None
+
+    def step(self, acc: Any, value: Any) -> Any:
+        return value if acc is None or value > acc else acc
+
+
+class Avg(Aggregate):
+    def initial(self) -> tuple[int, float]:
+        return (0, 0.0)
+
+    def step(self, acc: tuple[int, float], value: Any) -> tuple[int, float]:
+        return (acc[0] + 1, acc[1] + value)
+
+    def final(self, acc: tuple[int, float]) -> float | None:
+        return acc[1] / acc[0] if acc[0] else None
+
+
+class SortedGroupBy(Operator):
+    """Group a key-sorted stream, emitting ``(key..., aggregates...)`` rows.
+
+    ``key`` extracts the grouping key (a tuple); output rows concatenate
+    the key with the aggregate results in declaration order.
+    """
+
+    def __init__(
+        self,
+        child: Iterable[Row],
+        key: Callable[[Row], tuple],
+        aggregates: list[Aggregate],
+    ) -> None:
+        self.child = child
+        self.key = key
+        self.aggregates = aggregates
+
+    def __iter__(self) -> Iterator[Row]:
+        for group_key, rows in groupby(self.child, key=self.key):
+            accumulators = [agg.initial() for agg in self.aggregates]
+            for row in rows:
+                for position, agg in enumerate(self.aggregates):
+                    accumulators[position] = agg.step(
+                        accumulators[position], agg.extract(row)
+                    )
+            finals = tuple(
+                agg.final(acc) for agg, acc in zip(self.aggregates, accumulators)
+            )
+            yield tuple(group_key) + finals
+
+
+class ScalarAggregate(Operator):
+    """Aggregate the entire input to a single row (Q6's ``SUM``)."""
+
+    def __init__(self, child: Iterable[Row], aggregates: list[Aggregate]) -> None:
+        self.child = child
+        self.aggregates = aggregates
+
+    def __iter__(self) -> Iterator[Row]:
+        accumulators = [agg.initial() for agg in self.aggregates]
+        for row in self.child:
+            for position, agg in enumerate(self.aggregates):
+                accumulators[position] = agg.step(
+                    accumulators[position], agg.extract(row)
+                )
+        yield tuple(
+            agg.final(acc) for agg, acc in zip(self.aggregates, accumulators)
+        )

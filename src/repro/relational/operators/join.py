@@ -1,0 +1,116 @@
+"""Join operators: sort-merge, hash, and the merge semi-join of Q4.
+
+The paper assumes sort-merge joins fed by sorted streams ("we assume a
+sort merge-join", Section 5.1); the Tetris operator produces those
+streams directly from restricted base tables.  A hash join is provided
+for completeness and for plans where sort order is not exploited.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+from typing import Any, Callable, Iterable, Iterator
+
+from .base import Operator, Row
+
+
+class MergeJoin(Operator):
+    """Inner equi-join of two streams sorted ascending on the join key.
+
+    Duplicate keys are supported on both sides (the right group is
+    buffered, as in any textbook implementation).  ``combine`` builds an
+    output row from a matching pair; the default concatenates.
+    """
+
+    def __init__(
+        self,
+        left: Iterable[Row],
+        right: Iterable[Row],
+        left_key: Callable[[Row], Any],
+        right_key: Callable[[Row], Any],
+        combine: Callable[[Row, Row], Row] | None = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.combine = combine or (lambda a, b: tuple(a) + tuple(b))
+
+    def __iter__(self) -> Iterator[Row]:
+        left_groups = groupby(self.left, key=self.left_key)
+        right_groups = groupby(self.right, key=self.right_key)
+        left_entry = next(left_groups, None)
+        right_entry = next(right_groups, None)
+        while left_entry is not None and right_entry is not None:
+            left_key, left_rows = left_entry
+            right_key, right_rows = right_entry
+            if left_key < right_key:
+                left_entry = next(left_groups, None)
+            elif left_key > right_key:
+                right_entry = next(right_groups, None)
+            else:
+                buffered_right = list(right_rows)
+                for left_row in left_rows:
+                    for right_row in buffered_right:
+                        yield self.combine(left_row, right_row)
+                left_entry = next(left_groups, None)
+                right_entry = next(right_groups, None)
+
+
+class MergeSemiJoin(Operator):
+    """Emit left rows whose key exists in the sorted right stream.
+
+    This is the EXISTS evaluation of Q4 (Figure 5-8): ORDER is processed
+    in ORDERKEY order and semi-joined against LINEITEM in the same order,
+    so neither side is materialized.
+    """
+
+    def __init__(
+        self,
+        left: Iterable[Row],
+        right: Iterable[Row],
+        left_key: Callable[[Row], Any],
+        right_key: Callable[[Row], Any],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def __iter__(self) -> Iterator[Row]:
+        right_iter = iter(self.right)
+        right_row = next(right_iter, None)
+        for left_row in self.left:
+            key = self.left_key(left_row)
+            while right_row is not None and self.right_key(right_row) < key:
+                right_row = next(right_iter, None)
+            if right_row is None:
+                return
+            if self.right_key(right_row) == key:
+                yield left_row
+
+
+class HashJoin(Operator):
+    """Inner equi-join building a hash table on the (smaller) left input."""
+
+    def __init__(
+        self,
+        build: Iterable[Row],
+        probe: Iterable[Row],
+        build_key: Callable[[Row], Any],
+        probe_key: Callable[[Row], Any],
+        combine: Callable[[Row, Row], Row] | None = None,
+    ) -> None:
+        self.build = build
+        self.probe = probe
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.combine = combine or (lambda a, b: tuple(a) + tuple(b))
+
+    def __iter__(self) -> Iterator[Row]:
+        table: dict[Any, list[Row]] = {}
+        for row in self.build:
+            table.setdefault(self.build_key(row), []).append(row)
+        for probe_row in self.probe:
+            for build_row in table.get(self.probe_key(probe_row), ()):
+                yield self.combine(build_row, probe_row)

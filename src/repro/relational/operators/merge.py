@@ -1,0 +1,30 @@
+"""The merge operator ``M`` on sorted streams (Figure 5-2/5-3).
+
+Combines several already-sorted inputs into one sorted output without
+materialization — the glue between parallel Tetris operators and a
+merge join above them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator
+
+from .base import Operator, Row
+
+
+class KWayMerge(Operator):
+    """Merge ``children`` (each sorted by ``key``) into one sorted stream."""
+
+    def __init__(
+        self,
+        children: list[Iterable[Row]],
+        key: Callable[[Row], Any],
+        descending: bool = False,
+    ) -> None:
+        self.children = children
+        self.key = key
+        self.descending = descending
+
+    def __iter__(self) -> Iterator[Row]:
+        return heapq.merge(*self.children, key=self.key, reverse=self.descending)

@@ -1,0 +1,112 @@
+"""Access-path operators: FTS, IOT scan, UB-Tree range scan, Tetris.
+
+These correspond one-to-one to the access methods the paper compares:
+full table scan (prefetch-friendly sequential reads), index-organized
+table scan (random access per leaf, sorted by the composite key), the
+UB-Tree range query (Q6) and the Tetris operator ``τ_{σ,ω}`` combining
+selection and sorting (Figures 5-3/5-4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ...core.query_space import QuerySpace
+from ...core.tetris import TetrisScan, TetrisStats
+from ..table import HeapTable, IOTTable, UBTable
+from .base import Operator, Row
+
+
+class FullTableScan(Operator):
+    """Sequential scan of a heap table."""
+
+    def __init__(
+        self, table: HeapTable, predicate: Callable[[Row], bool] | None = None
+    ) -> None:
+        self.table = table
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        if self.predicate is None:
+            return self.table.scan()
+        predicate = self.predicate
+        return (row for row in self.table.scan() if predicate(row))
+
+
+class IOTScan(Operator):
+    """Clustered-index scan, optionally restricted on the leading key."""
+
+    def __init__(
+        self,
+        table: IOTTable,
+        leading_lo: Any = None,
+        leading_hi: Any = None,
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> None:
+        self.table = table
+        self.leading_lo = leading_lo
+        self.leading_hi = leading_hi
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = self.table.scan_leading(self.leading_lo, self.leading_hi)
+        if self.predicate is None:
+            return rows
+        predicate = self.predicate
+        return (row for row in rows if predicate(row))
+
+
+class UBRangeScan(Operator):
+    """Multi-attribute range restriction via the UB-Tree (Q6 style)."""
+
+    def __init__(
+        self,
+        table: UBTable,
+        space: QuerySpace | dict[str, tuple[Any, Any]] | None,
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> None:
+        self.table = table
+        self.space = space
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = self.table.range_query(self.space)
+        if self.predicate is None:
+            return rows
+        predicate = self.predicate
+        return (row for row in rows if predicate(row))
+
+
+class TetrisOperator(Operator):
+    """``τ_{σ,ω}``: combined restriction + sort on a UB table.
+
+    After (or during) consumption, ``stats`` exposes the sweep's
+    instrumentation — regions read, cache peak, slices, first-output
+    time — which the Section 5 tables report.
+    """
+
+    def __init__(
+        self,
+        table: UBTable,
+        space: QuerySpace | dict[str, tuple[Any, Any]] | None,
+        sort_attr: str,
+        *,
+        descending: bool = False,
+        strategy: str = "eager",
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> None:
+        self.table = table
+        self.scan: TetrisScan = table.tetris_scan(
+            space, sort_attr, descending=descending, strategy=strategy
+        )
+        self.predicate = predicate
+
+    @property
+    def stats(self) -> TetrisStats:
+        return self.scan.stats
+
+    def __iter__(self) -> Iterator[Row]:
+        if self.predicate is None:
+            return (row for _, row in self.scan)
+        predicate = self.predicate
+        return (row for _, row in self.scan if predicate(row))

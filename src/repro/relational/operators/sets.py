@@ -1,0 +1,122 @@
+"""Sorted-stream set operations: the rest of Section 2's catalogue.
+
+"Projection, union, intersection and set difference are efficiently
+implemented by processing a relation in some sort order" — and the
+Tetris operator provides that sort order without an external sort, so
+these operators complete the paper's argument that a multidimensional
+organization accelerates *virtually any* relational operation.
+
+All operators below consume streams already sorted by ``key`` and run
+in a single pipelined pass with O(1) state (one lookahead row per
+input).  Bag (``ALL``) and set semantics are both provided.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+from typing import Any, Callable, Iterable, Iterator
+
+from .base import Operator, Row
+
+
+class Distinct(Operator):
+    """Duplicate elimination over a key-sorted stream (sorted projection).
+
+    Emits the first row of every key group; combined with a
+    :class:`~repro.relational.operators.base.Project` child this is the
+    classic DISTINCT projection at zero memory.
+    """
+
+    def __init__(self, child: Iterable[Row], key: Callable[[Row], Any]) -> None:
+        self.child = child
+        self.key = key
+
+    def __iter__(self) -> Iterator[Row]:
+        for _, rows in groupby(self.child, key=self.key):
+            yield next(rows)
+
+
+class UnionAll(Operator):
+    """Bag union of key-sorted streams, output still sorted (merge)."""
+
+    def __init__(
+        self, inputs: list[Iterable[Row]], key: Callable[[Row], Any]
+    ) -> None:
+        self.inputs = inputs
+        self.key = key
+
+    def __iter__(self) -> Iterator[Row]:
+        import heapq
+
+        return heapq.merge(*self.inputs, key=self.key)
+
+
+class Union(Operator):
+    """Set union: merged and deduplicated by key, output sorted."""
+
+    def __init__(
+        self, inputs: list[Iterable[Row]], key: Callable[[Row], Any]
+    ) -> None:
+        self.inputs = inputs
+        self.key = key
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(Distinct(UnionAll(self.inputs, self.key), self.key))
+
+
+class Intersect(Operator):
+    """Set intersection of two key-sorted streams (one row per key)."""
+
+    def __init__(
+        self,
+        left: Iterable[Row],
+        right: Iterable[Row],
+        key: Callable[[Row], Any],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.key = key
+
+    def __iter__(self) -> Iterator[Row]:
+        left_groups = groupby(self.left, key=self.key)
+        right_groups = groupby(self.right, key=self.key)
+        left_entry = next(left_groups, None)
+        right_entry = next(right_groups, None)
+        while left_entry is not None and right_entry is not None:
+            left_key, left_rows = left_entry
+            right_key, _ = right_entry
+            if left_key < right_key:
+                left_entry = next(left_groups, None)
+            elif left_key > right_key:
+                right_entry = next(right_groups, None)
+            else:
+                yield next(left_rows)
+                left_entry = next(left_groups, None)
+                right_entry = next(right_groups, None)
+
+
+class Difference(Operator):
+    """Set difference ``left \\ right`` of two key-sorted streams."""
+
+    def __init__(
+        self,
+        left: Iterable[Row],
+        right: Iterable[Row],
+        key: Callable[[Row], Any],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.key = key
+
+    def __iter__(self) -> Iterator[Row]:
+        left_groups = groupby(self.left, key=self.key)
+        right_groups = groupby(self.right, key=self.key)
+        left_entry = next(left_groups, None)
+        right_entry = next(right_groups, None)
+        while left_entry is not None:
+            left_key, left_rows = left_entry
+            while right_entry is not None and right_entry[0] < left_key:
+                right_entry = next(right_groups, None)
+            if right_entry is None or right_entry[0] > left_key:
+                yield next(left_rows)
+            left_entry = next(left_groups, None)

@@ -1,0 +1,295 @@
+"""Tables: one relation, one physical organization.
+
+Following the paper's experimental setup ("we created four instances of
+LINEITEM"), a table object binds a schema to exactly one physical
+organization — a heap (for full table scans), an IOT (clustered
+composite-key B*-Tree) or a UB-Tree.  A :class:`Database` owns the
+simulated disk and buffer pool that all organizations share, so their
+I/O is priced identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..btree.iot import TOP, IndexOrganizedTable
+from ..btree.secondary import SecondaryIndex
+from ..core.query_space import QueryBox, QuerySpace
+from ..core.tetris import TetrisScan
+from ..core.ubtree import UBTree
+from ..core.zorder import ZSpace
+from ..storage.buffer import BufferPool
+from ..storage.disk import DiskParameters, SimulatedDisk
+from ..storage.heap import HeapFile
+from .schema import Schema
+
+Row = tuple
+
+
+class Database:
+    """Shared simulated disk + buffer pool for a set of table instances."""
+
+    def __init__(
+        self,
+        params: DiskParameters | None = None,
+        buffer_pages: int = 256,
+    ) -> None:
+        self.disk = SimulatedDisk(params)
+        self.buffer = BufferPool(self.disk, buffer_pages)
+        self.tables: dict[str, "BaseTable"] = {}
+
+    def _register(self, table: "BaseTable") -> None:
+        if table.name in self.tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self.tables[table.name] = table
+
+    def create_heap_table(
+        self, name: str, schema: Schema, page_capacity: int
+    ) -> "HeapTable":
+        table = HeapTable(self, name, schema, page_capacity)
+        self._register(table)
+        return table
+
+    def create_iot(
+        self, name: str, schema: Schema, key: Sequence[str], page_capacity: int
+    ) -> "IOTTable":
+        table = IOTTable(self, name, schema, key, page_capacity)
+        self._register(table)
+        return table
+
+    def create_ub_table(
+        self, name: str, schema: Schema, dims: Sequence[str], page_capacity: int
+    ) -> "UBTable":
+        table = UBTable(self, name, schema, dims, page_capacity)
+        self._register(table)
+        return table
+
+    def reset_measurement(self) -> None:
+        """Drop caches and snapshot-friendly state between experiments."""
+        self.buffer.drop_all()
+
+    @property
+    def clock(self) -> float:
+        return self.disk.clock
+
+
+class BaseTable:
+    """Common behaviour of all physical organizations."""
+
+    def __init__(
+        self, db: Database, name: str, schema: Schema, page_capacity: int
+    ) -> None:
+        self.db = db
+        self.name = name
+        self.schema = schema
+        self.page_capacity = page_capacity
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    def insert(self, row: Row) -> None:
+        raise NotImplementedError
+
+    def load(self, rows: Iterable[Row]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def build_query_box(
+        self, restrictions: dict[str, tuple[Any, Any]] | None
+    ) -> QueryBox:
+        """Translate value-level ranges into an encoded query box.
+
+        ``restrictions`` maps attribute names to ``(lo, hi)`` value pairs;
+        ``None`` on either side leaves that end unbounded.  Only
+        index-dimension attributes may be restricted here — residual
+        predicates belong in a Select operator.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no index dimensions")
+
+
+class HeapTable(BaseTable):
+    """Unordered rows in contiguous extents — the FTS baseline."""
+
+    def __init__(
+        self, db: Database, name: str, schema: Schema, page_capacity: int
+    ) -> None:
+        super().__init__(db, name, schema, page_capacity)
+        self.heap = HeapFile(db.disk, page_capacity)
+        self.secondary_indexes: dict[str, SecondaryIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    @property
+    def page_count(self) -> int:
+        return self.heap.page_count
+
+    def insert(self, row: Row) -> None:
+        page_id = self.heap.append(row)
+        for index in self.secondary_indexes.values():
+            slot = len(self.db.disk.peek(page_id).records) - 1
+            index.insert(row, (page_id, slot))
+
+    def scan(self) -> Iterator[Row]:
+        """Full table scan: sequential reads, prefetch-friendly."""
+        return self.heap.scan()
+
+    def create_secondary_index(self, attr: str) -> SecondaryIndex:
+        """A non-clustered B+-tree on one attribute (Sections 5.1/5.3)."""
+        position = self.schema.position(attr)
+        index = SecondaryIndex(
+            self.db.buffer, lambda row: row[position], self.heap
+        )
+        index.build()
+        self.secondary_indexes[attr] = index
+        return index
+
+
+class IOTTable(BaseTable):
+    """Index-organized table: clustered by a composite key."""
+
+    def __init__(
+        self,
+        db: Database,
+        name: str,
+        schema: Schema,
+        key: Sequence[str],
+        page_capacity: int,
+    ) -> None:
+        super().__init__(db, name, schema, page_capacity)
+        self.key_attrs = tuple(key)
+        positions = tuple(schema.position(attr) for attr in self.key_attrs)
+        self.iot = IndexOrganizedTable(
+            db.buffer,
+            lambda row: tuple(row[p] for p in positions),
+            page_capacity,
+        )
+
+    def __len__(self) -> int:
+        return len(self.iot)
+
+    @property
+    def page_count(self) -> int:
+        return self.iot.page_count
+
+    def insert(self, row: Row) -> None:
+        self.iot.insert(row)
+
+    def bulk_load(self, rows: Sequence[Row], fill: float = 1.0) -> None:
+        """Initial load: sort by key and pack leaves bottom-up (empty table)."""
+        self.iot.bulk_load(list(rows), fill)
+
+    def scan(self, lo: tuple | None = None, hi: tuple | None = None) -> Iterator[Row]:
+        """Key-ordered scan, one random access per leaf."""
+        return self.iot.scan(lo, hi)
+
+    def scan_leading(self, lo: Any = None, hi: Any = None) -> Iterator[Row]:
+        """Scan restricted on the *leading* key attribute's value range."""
+        low_key = None if lo is None else (lo,)
+        high_key = None if hi is None else (hi, TOP)
+        return self.iot.scan(low_key, high_key)
+
+
+class UBTable(BaseTable):
+    """Multidimensionally organized table: the Tetris substrate."""
+
+    def __init__(
+        self,
+        db: Database,
+        name: str,
+        schema: Schema,
+        dims: Sequence[str],
+        page_capacity: int,
+    ) -> None:
+        super().__init__(db, name, schema, page_capacity)
+        self.dims = tuple(dims)
+        self._dim_positions = tuple(schema.position(attr) for attr in self.dims)
+        self.space = ZSpace(schema.bit_lengths(self.dims))
+        self.ubtree = UBTree(db.buffer, self.space, page_capacity)
+
+    def __len__(self) -> int:
+        return len(self.ubtree)
+
+    @property
+    def page_count(self) -> int:
+        return self.ubtree.page_count
+
+    def point_of(self, row: Row) -> tuple[int, ...]:
+        return self.schema.encode_point(row, self.dims)
+
+    def insert(self, row: Row) -> None:
+        self.ubtree.insert(self.point_of(row), row)
+
+    def bulk_load(self, rows: Iterable[Row], fill: float = 1.0) -> None:
+        """Initial load: pack full Z-region pages bottom-up (empty table)."""
+        self.ubtree.bulk_load(((self.point_of(row), row) for row in rows), fill)
+
+    def build_query_box(
+        self, restrictions: dict[str, tuple[Any, Any]] | None
+    ) -> QueryBox:
+        lo = [0] * len(self.dims)
+        hi = list(self.space.coord_max)
+        if restrictions:
+            unknown = set(restrictions) - set(self.dims)
+            if unknown:
+                raise KeyError(
+                    f"restrictions on non-index attributes: {sorted(unknown)}"
+                )
+            for pos, attr in enumerate(self.dims):
+                if attr not in restrictions:
+                    continue
+                low_value, high_value = restrictions[attr]
+                encoder = self.schema.attribute(attr).encoder
+                if low_value is not None:
+                    lo[pos] = encoder.encode(low_value)
+                if high_value is not None:
+                    hi[pos] = encoder.encode(high_value)
+        return QueryBox(lo, hi)
+
+    def comparison_space(self, left: str, op: str, right: str) -> QuerySpace:
+        """Half-space between two index attributes (Q4's triangle)."""
+        from ..core.query_space import ComparisonSpace
+
+        return ComparisonSpace(
+            len(self.dims), self.dims.index(left), op, self.dims.index(right)
+        )
+
+    def tetris_scan(
+        self,
+        space: QuerySpace | dict[str, tuple[Any, Any]] | None,
+        sort_attr: str | Sequence[str],
+        *,
+        descending: bool = False,
+        strategy: str = "eager",
+    ) -> TetrisScan:
+        """A Tetris sweep delivering rows sorted by ``sort_attr``.
+
+        ``sort_attr`` may be a single attribute name or a sequence of
+        names for a composite (multi-column) sort order.
+        """
+        if space is None or isinstance(space, dict):
+            space = self.build_query_box(space)
+        if isinstance(sort_attr, str):
+            sort_dims: int | tuple[int, ...] = self.dims.index(sort_attr)
+        else:
+            sort_dims = tuple(self.dims.index(attr) for attr in sort_attr)
+        return TetrisScan(
+            self.ubtree,
+            space,
+            sort_dims,
+            descending=descending,
+            strategy=strategy,
+        )
+
+    def range_query(
+        self, space: QuerySpace | dict[str, tuple[Any, Any]] | None
+    ) -> Iterator[Row]:
+        """Multi-attribute range query (Q6): each overlapping page once."""
+        if space is None or isinstance(space, dict):
+            space = self.build_query_box(space)
+        for _, row in self.ubtree.range_query(space):
+            yield row

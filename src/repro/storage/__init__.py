@@ -1,0 +1,26 @@
+"""Simulated storage substrate: disk, pages, buffer pool, heap files.
+
+This package replaces the paper's physical testbed (Oracle 8 on a disk
+array) with a deterministic simulation that prices I/O using the exact
+cost model of Section 4.1 — positioning time ``t_pi``, transfer time
+``t_tau`` and a prefetch window of ``C`` pages.
+"""
+
+from .buffer import BufferPool
+from .disk import ICDE99_ANALYSIS, ICDE99_TESTBED, DiskParameters, SimulatedDisk
+from .heap import HeapFile
+from .page import Page, PageOverflowError
+from .stats import CategoryStats, IOStats
+
+__all__ = [
+    "BufferPool",
+    "CategoryStats",
+    "DiskParameters",
+    "HeapFile",
+    "ICDE99_ANALYSIS",
+    "ICDE99_TESTBED",
+    "IOStats",
+    "Page",
+    "PageOverflowError",
+    "SimulatedDisk",
+]

@@ -1,0 +1,102 @@
+"""A simple LRU buffer pool on top of the simulated disk.
+
+The pool caches pages so that repeated accesses within one query are free,
+mirroring a DBMS buffer cache.  Experiments size it to hold index levels
+plus a working set, so that base-table page waves still hit the disk —
+which is the regime the paper's cost model describes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .disk import SimulatedDisk
+from .page import Page
+
+
+class BufferPool:
+    """LRU cache of disk pages with hit/miss accounting."""
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._frames: OrderedDict[int, Page] = OrderedDict()
+        self._dirty: set[int] = set()
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def get(
+        self,
+        page_id: int,
+        *,
+        sequential: bool = False,
+        category: str = "data",
+        charge: bool = True,
+    ) -> Page:
+        """Return the page, reading it from disk on a miss."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        page = self.disk.read(
+            page_id, sequential=sequential, category=category, charge=charge
+        )
+        self._admit(page, category)
+        return page
+
+    def mark_dirty(self, page_id: int) -> None:
+        if page_id in self._frames:
+            self._dirty.add(page_id)
+
+    def put(self, page: Page, *, dirty: bool = True, category: str = "data") -> None:
+        """Install a freshly created page into the pool."""
+        self._admit(page, category)
+        if dirty:
+            self._dirty.add(page.page_id)
+
+    def evict(self, page_id: int, *, category: str = "data") -> None:
+        """Explicitly drop one page, writing it back if dirty."""
+        page = self._frames.pop(page_id, None)
+        if page is not None and page_id in self._dirty:
+            self._dirty.discard(page_id)
+            self.disk.write(page, category=category)
+
+    def flush(self, *, category: str = "data") -> None:
+        """Write back all dirty pages (end of a load phase)."""
+        for page_id in sorted(self._dirty):
+            page = self._frames.get(page_id)
+            if page is not None:
+                self.disk.write(page, sequential=True, category=category)
+        self._dirty.clear()
+
+    def drop_all(self) -> None:
+        """Empty the pool without write-back (pages live in the sim anyway).
+
+        Used between experiment phases to start measurements from a cold
+        cache, the state the paper's formulas assume.
+        """
+        self._frames.clear()
+        self._dirty.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _admit(self, page: Page, category: str) -> None:
+        self._frames[page.page_id] = page
+        self._frames.move_to_end(page.page_id)
+        while len(self._frames) > self.capacity:
+            victim_id, victim = self._frames.popitem(last=False)
+            if victim_id in self._dirty:
+                self._dirty.discard(victim_id)
+                self.disk.write(victim, category=category)

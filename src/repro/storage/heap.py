@@ -1,0 +1,92 @@
+"""Heap files: the physical layout behind a full table scan.
+
+A heap file appends records into pages allocated in physically contiguous
+extents, so a scan reads consecutive addresses and benefits from the
+disk's prefetch window — this is what makes the paper's FTS "ten times
+faster" per page than an index scan and the baseline to beat.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .disk import SimulatedDisk
+from .page import Page
+
+DEFAULT_EXTENT_PAGES = 64
+
+
+class HeapFile:
+    """An append-only, extent-allocated record file on the simulated disk."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        page_capacity: int,
+        extent_pages: int = DEFAULT_EXTENT_PAGES,
+    ) -> None:
+        if page_capacity < 1:
+            raise ValueError("page capacity must be positive")
+        self.disk = disk
+        self.page_capacity = page_capacity
+        self.extent_pages = extent_pages
+        self._pages: list[Page] = []
+        self._free: list[Page] = []  # allocated but unused pages of last extent
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def page_ids(self) -> list[int]:
+        return [page.page_id for page in self._pages]
+
+    def append(self, record: Any) -> int:
+        """Append one record; returns the page id it was placed on."""
+        if not self._pages or self._pages[-1].is_full:
+            self._extend()
+        page = self._pages[-1]
+        page.add(record)
+        self._count += 1
+        return page.page_id
+
+    def load(self, records: Iterable[Any], *, charge_writes: bool = False) -> None:
+        """Bulk-append records.
+
+        ``charge_writes=True`` prices one sequential write per filled page,
+        which experiments use when the load itself is part of the measured
+        operation (e.g. writing sort runs).
+        """
+        for record in records:
+            page_id = self.append(record)
+            if charge_writes and self.disk.peek(page_id).is_full:
+                self.disk.write(self.disk.peek(page_id), sequential=True, category="temp")
+
+    def scan(self, *, category: str = "data") -> Iterator[Any]:
+        """Yield all records in physical order with sequential page reads."""
+        for page in self.scan_pages(category=category):
+            yield from page.records
+
+    def scan_pages(self, *, category: str = "data") -> Iterator[Page]:
+        """Yield pages in physical order, priced as a sequential scan."""
+        for page in self._pages:
+            yield self.disk.read(page.page_id, sequential=True, category=category)
+
+    def drop(self) -> None:
+        """Free all pages (used for temporary sort runs after merging)."""
+        for page in self._pages:
+            self.disk.free(page.page_id)
+        for page in self._free:
+            self.disk.free(page.page_id)
+        self._pages.clear()
+        self._free.clear()
+        self._count = 0
+
+    def _extend(self) -> None:
+        if not self._free:
+            self._free = self.disk.allocate_extent(self.extent_pages, self.page_capacity)
+        self._pages.append(self._free.pop(0))

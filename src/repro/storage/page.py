@@ -1,0 +1,70 @@
+"""Disk pages.
+
+A :class:`Page` is the unit of transfer between the simulated disk and the
+buffer pool.  Record-bearing pages (heap pages, UB-Tree Z-region pages,
+B+-tree leaves) keep their tuples in ``records`` and enforce a capacity in
+records per page — the paper assumes roughly 80 LINEITEM tuples per 8 kB
+page.  Structural pages (B+-tree inner nodes) store their node object in
+``payload`` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+
+class PageOverflowError(RuntimeError):
+    """Raised when more records are placed on a page than its capacity allows."""
+
+
+class Page:
+    """A fixed-capacity disk page.
+
+    Parameters
+    ----------
+    page_id:
+        The physical address of the page on the simulated disk.
+    capacity:
+        Maximum number of records the page may hold.  ``payload``-only
+        pages may pass ``capacity=0`` and never touch ``records``.
+    """
+
+    __slots__ = ("page_id", "capacity", "records", "payload")
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        self.page_id = page_id
+        self.capacity = capacity
+        self.records: list[Any] = []
+        self.payload: Any = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.records) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.records)
+
+    def add(self, record: Any) -> None:
+        """Append one record, enforcing the page capacity."""
+        if self.is_full:
+            raise PageOverflowError(
+                f"page {self.page_id} is full ({self.capacity} records)"
+            )
+        self.records.append(record)
+
+    def extend(self, records: Iterable[Any]) -> None:
+        for record in records:
+            self.add(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page(id={self.page_id}, {len(self.records)}/{self.capacity} records)"

@@ -1,0 +1,107 @@
+"""I/O accounting for the simulated disk.
+
+The paper's evaluation (Section 4.1) prices every query as a sequence of
+random page accesses (``t_pi`` each) and page transfers (``t_tau`` each),
+with a prefetch window of ``C`` pages amortizing the positioning cost of
+sequential scans.  :class:`IOStats` records the raw access counts so that
+experiments can report both counted I/O and simulated elapsed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CategoryStats:
+    """Access counts for one I/O category (``data``, ``index``, ``temp``)."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    read_seeks: int = 0
+    write_seeks: int = 0
+    unpriced_reads: int = 0
+
+    def copy(self) -> "CategoryStats":
+        return CategoryStats(
+            pages_read=self.pages_read,
+            pages_written=self.pages_written,
+            read_seeks=self.read_seeks,
+            write_seeks=self.write_seeks,
+            unpriced_reads=self.unpriced_reads,
+        )
+
+    def __sub__(self, other: "CategoryStats") -> "CategoryStats":
+        return CategoryStats(
+            pages_read=self.pages_read - other.pages_read,
+            pages_written=self.pages_written - other.pages_written,
+            read_seeks=self.read_seeks - other.read_seeks,
+            write_seeks=self.write_seeks - other.write_seeks,
+            unpriced_reads=self.unpriced_reads - other.unpriced_reads,
+        )
+
+
+@dataclass
+class IOStats:
+    """Aggregate statistics of a :class:`~repro.storage.disk.SimulatedDisk`.
+
+    ``time`` is simulated elapsed time in seconds; all other fields count
+    page-granularity events.  Statistics are split per category so that
+    experiments can separate base-table I/O from temporary (sort run) I/O,
+    mirroring the paper's separate reporting of response time and temporary
+    storage.
+    """
+
+    time: float = 0.0
+    categories: dict[str, CategoryStats] = field(default_factory=dict)
+
+    def category(self, name: str) -> CategoryStats:
+        """Return (creating if needed) the statistics bucket for ``name``."""
+        if name not in self.categories:
+            self.categories[name] = CategoryStats()
+        return self.categories[name]
+
+    @property
+    def pages_read(self) -> int:
+        return sum(c.pages_read for c in self.categories.values())
+
+    @property
+    def pages_written(self) -> int:
+        return sum(c.pages_written for c in self.categories.values())
+
+    @property
+    def read_seeks(self) -> int:
+        return sum(c.read_seeks for c in self.categories.values())
+
+    @property
+    def write_seeks(self) -> int:
+        return sum(c.write_seeks for c in self.categories.values())
+
+    @property
+    def seeks(self) -> int:
+        return self.read_seeks + self.write_seeks
+
+    def copy(self) -> "IOStats":
+        return IOStats(
+            time=self.time,
+            categories={name: c.copy() for name, c in self.categories.items()},
+        )
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        """Difference of two snapshots (``later - earlier``)."""
+        names = set(self.categories) | set(other.categories)
+        empty = CategoryStats()
+        return IOStats(
+            time=self.time - other.time,
+            categories={
+                name: self.categories.get(name, empty) - other.categories.get(name, empty)
+                for name in names
+            },
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary, handy in benchmark output."""
+        parts = [f"time={self.time:.3f}s", f"read={self.pages_read}p/{self.read_seeks}seeks"]
+        if self.pages_written:
+            parts.append(f"write={self.pages_written}p/{self.write_seeks}seeks")
+        return " ".join(parts)

@@ -1,0 +1,31 @@
+"""TPC-D substrate: generator, logical queries Q3/Q4/Q6, physical plans."""
+
+from .datagen import DEFAULT_CUSTOMERS_PER_SF, TPCDConfig, TPCDData, generate, shuffled
+from .queries import (
+    Q3Params,
+    Q4Params,
+    Q6Params,
+    q3_lineitem_selectivity,
+    q4_order_selectivity,
+    q6_selectivity,
+    reference_q3,
+    reference_q4,
+    reference_q6,
+)
+
+__all__ = [
+    "DEFAULT_CUSTOMERS_PER_SF",
+    "Q3Params",
+    "Q4Params",
+    "Q6Params",
+    "TPCDConfig",
+    "TPCDData",
+    "generate",
+    "q3_lineitem_selectivity",
+    "q4_order_selectivity",
+    "q6_selectivity",
+    "reference_q3",
+    "reference_q4",
+    "reference_q6",
+    "shuffled",
+]

@@ -1,0 +1,494 @@
+"""Physical table instances and operator plans for Q3, Q4 and Q6.
+
+The paper compares access methods by creating several physical
+*instances* of the same logical relation (Section 5.1: "we created four
+instances of LINEITEM").  The builders below do the same on the
+simulated disk; plan functions assemble operator trees per access
+method, mirroring Figures 5-2/5-3 (Q3), 5-7/5-8 (Q4) and Section 5.3
+(Q6).
+
+Rows are loaded in a deterministic shuffle — the arrival order of a
+table grown over time — so that IOT leaves are physically scattered and
+index scans pay random accesses, exactly the regime of the paper's cost
+model.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Iterable
+
+from ..core.query_space import IntersectionSpace, QuerySpace
+from ..relational.operators import (
+    Count,
+    ExternalMergeSort,
+    FullTableScan,
+    HashJoin,
+    IOTScan,
+    InMemorySort,
+    MergeJoin,
+    MergeSemiJoin,
+    Operator,
+    ScalarAggregate,
+    SortedGroupBy,
+    Sum,
+    TetrisOperator,
+    UBRangeScan,
+)
+from ..relational.table import Database, HeapTable, IOTTable, UBTable
+from ..relational.rowsize import page_capacity_for
+from .datagen import TPCDData, shuffled
+from .queries import (
+    C_CUSTKEY,
+    C_MKTSEGMENT,
+    L_COMMITDATE,
+    L_DISCOUNT,
+    L_ORDERKEY,
+    L_QUANTITY,
+    L_RECEIPTDATE,
+    L_SHIPDATE,
+    O_CUSTKEY,
+    O_ORDERDATE,
+    O_ORDERKEY,
+    O_ORDERPRIORITY,
+    O_SHIPPRIORITY,
+    Q3Params,
+    Q4Params,
+    Q6Params,
+    q6_matches,
+    revenue_numerator,
+    discounted_numerator,
+)
+
+#: Extra stored bytes per row for TPC-D columns the reproduction does not
+#: materialize as attributes (comments, clerk, ship instructions, ...).
+#: Calibrated so the page geometry matches the paper: ~80 LINEITEM rows
+#: per 8 kB page (Section 5.3), ~215 B/ORDER row (322 MB at SF 1 → ~38
+#: rows/page) and ~180 B/CUSTOMER row.
+LINEITEM_EXTRA_BYTES = 78
+ORDER_EXTRA_BYTES = 197
+CUSTOMER_EXTRA_BYTES = 157
+
+
+def lineitem_page_capacity(data: TPCDData) -> int:
+    return page_capacity_for(
+        data.lineitem_schema, extra_payload_bytes=LINEITEM_EXTRA_BYTES
+    )
+
+
+def order_page_capacity(data: TPCDData) -> int:
+    return page_capacity_for(data.order_schema, extra_payload_bytes=ORDER_EXTRA_BYTES)
+
+
+def customer_page_capacity(data: TPCDData) -> int:
+    return page_capacity_for(
+        data.customer_schema, extra_payload_bytes=CUSTOMER_EXTRA_BYTES
+    )
+
+
+# ----------------------------------------------------------------------
+# instance builders
+# ----------------------------------------------------------------------
+def build_customer_heap(db: Database, data: TPCDData) -> HeapTable:
+    table = db.create_heap_table(
+        "customer_heap", data.customer_schema, customer_page_capacity(data)
+    )
+    table.load(shuffled(data.customers))
+    return table
+
+def build_customer_ub(db: Database, data: TPCDData) -> UBTable:
+    table = db.create_ub_table(
+        "customer_ub",
+        data.customer_schema,
+        ("c_custkey", "c_mktsegment"),
+        customer_page_capacity(data),
+    )
+    table.load(shuffled(data.customers))
+    return table
+
+
+def build_order_heap(db: Database, data: TPCDData) -> HeapTable:
+    table = db.create_heap_table(
+        "order_heap", data.order_schema, order_page_capacity(data)
+    )
+    table.load(shuffled(data.orders))
+    return table
+
+
+def build_order_iot(db: Database, data: TPCDData, leading: str) -> IOTTable:
+    key = {
+        "o_orderkey": ("o_orderkey",),
+        "o_orderdate": ("o_orderdate", "o_orderkey"),
+    }[leading]
+    table = db.create_iot(
+        f"order_iot_{leading}", data.order_schema, key, order_page_capacity(data)
+    )
+    table.load(shuffled(data.orders))
+    return table
+
+
+def build_order_ub(db: Database, data: TPCDData) -> UBTable:
+    """The paper's three-dimensional organization of ORDER (Section 5.2)."""
+    table = db.create_ub_table(
+        "order_ub",
+        data.order_schema,
+        ("o_orderkey", "o_custkey", "o_orderdate"),
+        order_page_capacity(data),
+    )
+    table.load(shuffled(data.orders))
+    return table
+
+
+def build_lineitem_heap(db: Database, data: TPCDData) -> HeapTable:
+    table = db.create_heap_table(
+        "lineitem_heap", data.lineitem_schema, lineitem_page_capacity(data)
+    )
+    table.load(shuffled(data.lineitems))
+    return table
+
+
+def build_lineitem_iot(db: Database, data: TPCDData, leading: str) -> IOTTable:
+    key = {
+        "l_orderkey": ("l_orderkey", "l_linenumber"),
+        "l_shipdate": ("l_shipdate", "l_orderkey", "l_linenumber"),
+        "l_discount": ("l_discount", "l_orderkey", "l_linenumber"),
+        "l_quantity": ("l_quantity", "l_orderkey", "l_linenumber"),
+    }[leading]
+    table = db.create_iot(
+        f"lineitem_iot_{leading}",
+        data.lineitem_schema,
+        key,
+        lineitem_page_capacity(data),
+    )
+    table.load(shuffled(data.lineitems))
+    return table
+
+
+def build_lineitem_ub_sort(db: Database, data: TPCDData) -> UBTable:
+    """2-D instance for Q3: (ORDERKEY, SHIPDATE)."""
+    table = db.create_ub_table(
+        "lineitem_ub_sort",
+        data.lineitem_schema,
+        ("l_orderkey", "l_shipdate"),
+        lineitem_page_capacity(data),
+    )
+    table.load(shuffled(data.lineitems))
+    return table
+
+
+def build_lineitem_ub_q4(db: Database, data: TPCDData) -> UBTable:
+    """3-D instance for Q4: (ORDERKEY, COMMITDATE, RECEIPTDATE)."""
+    table = db.create_ub_table(
+        "lineitem_ub_q4",
+        data.lineitem_schema,
+        ("l_orderkey", "l_commitdate", "l_receiptdate"),
+        lineitem_page_capacity(data),
+    )
+    table.load(shuffled(data.lineitems))
+    return table
+
+
+def build_lineitem_ub_range(db: Database, data: TPCDData) -> UBTable:
+    """3-D instance for Q6: (SHIPDATE, DISCOUNT, QUANTITY)."""
+    table = db.create_ub_table(
+        "lineitem_ub_range",
+        data.lineitem_schema,
+        ("l_shipdate", "l_discount", "l_quantity"),
+        lineitem_page_capacity(data),
+    )
+    table.load(shuffled(data.lineitems))
+    return table
+
+
+def sort_memory_pages(table_pages: int) -> int:
+    """Work memory scaled like the paper's (32 MB against a ≥1 GB table)."""
+    return max(8, table_pages // 32)
+
+
+# ----------------------------------------------------------------------
+# Q3: sorted, restricted access to LINEITEM (Table 5-1 / Figure 5-5)
+# ----------------------------------------------------------------------
+def q3_lineitem_access(
+    method: str,
+    db: Database,
+    table: HeapTable | IOTTable | UBTable,
+    params: Q3Params | None = None,
+) -> tuple[Operator, ExternalMergeSort | TetrisOperator | None]:
+    """Restricted LINEITEM sorted by ORDERKEY, via one access method.
+
+    Returns ``(plan, instrumented)`` where ``instrumented`` is the
+    operator carrying method-specific statistics (the external sort or
+    the Tetris operator), or ``None`` for the presorted IOT.
+    """
+    params = params or Q3Params()
+    after = params.shipdate_after
+
+    def passes(row: tuple) -> bool:
+        return row[L_SHIPDATE] > after
+
+    sort_key = lambda row: (row[L_ORDERKEY], row[1])  # noqa: E731 (orderkey, linenumber)
+
+    if method == "tetris":
+        assert isinstance(table, UBTable)
+        operator = TetrisOperator(
+            table,
+            {"l_shipdate": (after + dt.timedelta(days=1), None)},
+            "l_orderkey",
+            predicate=passes,
+        )
+        return operator, operator
+    if method == "fts-sort":
+        assert isinstance(table, HeapTable)
+        sort = ExternalMergeSort(
+            FullTableScan(table, predicate=passes),
+            key=sort_key,
+            disk=db.disk,
+            memory_pages=sort_memory_pages(table.page_count),
+            page_capacity=table.page_capacity,
+        )
+        return sort, sort
+    if method == "iot-orderkey":
+        assert isinstance(table, IOTTable)
+        return IOTScan(table, predicate=passes), None
+    if method == "iot-shipdate":
+        assert isinstance(table, IOTTable)
+        scan = IOTScan(table, leading_lo=after + dt.timedelta(days=1))
+        sort = ExternalMergeSort(
+            scan,
+            key=sort_key,
+            disk=db.disk,
+            memory_pages=sort_memory_pages(table.page_count),
+            page_capacity=table.page_capacity,
+        )
+        return sort, sort
+    raise ValueError(f"unknown Q3 access method {method!r}")
+
+
+def q3_full_plan(
+    db: Database,
+    customer: HeapTable | UBTable,
+    order: HeapTable | UBTable,
+    lineitem_plan: Operator,
+    params: Q3Params | None = None,
+    *,
+    use_tetris: bool = False,
+) -> Operator:
+    """The complete Q3 tree above a sorted LINEITEM stream.
+
+    ``use_tetris`` selects between the Tetris operator tree of Figure
+    5-3 (restricted sorted reads merged on the join attributes) and the
+    standard tree of Figure 5-2 (scans + hash join).
+    """
+    params = params or Q3Params()
+
+    if use_tetris:
+        assert isinstance(customer, UBTable) and isinstance(order, UBTable)
+        customer_stream: Iterable[tuple] = TetrisOperator(
+            customer,
+            {"c_mktsegment": (params.segment, params.segment)},
+            "c_custkey",
+            predicate=lambda row: row[C_MKTSEGMENT] == params.segment,
+        )
+        order_stream: Iterable[tuple] = TetrisOperator(
+            order,
+            {"o_orderdate": (None, params.orderdate_before - dt.timedelta(days=1))},
+            "o_custkey",
+            predicate=lambda row: row[O_ORDERDATE] < params.orderdate_before,
+        )
+        customer_order = MergeJoin(
+            customer_stream,
+            order_stream,
+            left_key=lambda row: row[C_CUSTKEY],
+            right_key=lambda row: row[O_CUSTKEY],
+        )
+    else:
+        assert isinstance(customer, HeapTable) and isinstance(order, HeapTable)
+        customer_stream = FullTableScan(
+            customer, predicate=lambda row: row[C_MKTSEGMENT] == params.segment
+        )
+        order_stream = FullTableScan(
+            order, predicate=lambda row: row[O_ORDERDATE] < params.orderdate_before
+        )
+        customer_order = HashJoin(
+            customer_stream,
+            order_stream,
+            build_key=lambda row: row[C_CUSTKEY],
+            probe_key=lambda row: row[O_CUSTKEY],
+        )
+
+    customer_width = 2  # joined rows are customer ++ order
+    by_orderkey = InMemorySort(
+        customer_order, key=lambda row: row[customer_width + O_ORDERKEY]
+    )
+    joined = MergeJoin(
+        by_orderkey,
+        lineitem_plan,
+        left_key=lambda row: row[customer_width + O_ORDERKEY],
+        right_key=lambda row: row[L_ORDERKEY],
+    )
+    co_width = customer_width + 5
+    grouped = SortedGroupBy(
+        joined,
+        key=lambda row: (
+            row[co_width + L_ORDERKEY],
+            row[customer_width + O_ORDERDATE],
+            row[customer_width + O_SHIPPRIORITY],
+        ),
+        aggregates=[Sum(lambda row: revenue_numerator(row[co_width:]))],
+    )
+    return InMemorySort(
+        grouped, key=lambda row: (-row[3], row[1].toordinal(), row[0])
+    )
+
+
+# ----------------------------------------------------------------------
+# Q4: sorted, restricted access to ORDER (Table 5-2 / Figure 5-9)
+# ----------------------------------------------------------------------
+def q4_order_access(
+    method: str,
+    db: Database,
+    table: HeapTable | IOTTable | UBTable,
+    params: Q4Params | None = None,
+) -> tuple[Operator, ExternalMergeSort | TetrisOperator | None]:
+    """Restricted ORDER sorted by ORDERKEY, via one access method."""
+    params = params or Q4Params()
+    lo, hi = params.orderdate_from, params.orderdate_until
+
+    def passes(row: tuple) -> bool:
+        return lo <= row[O_ORDERDATE] < hi
+
+    sort_key = lambda row: row[O_ORDERKEY]  # noqa: E731
+
+    if method == "tetris":
+        assert isinstance(table, UBTable)
+        operator = TetrisOperator(
+            table,
+            {"o_orderdate": (lo, hi - dt.timedelta(days=1))},
+            "o_orderkey",
+            predicate=passes,
+        )
+        return operator, operator
+    if method == "fts-sort":
+        assert isinstance(table, HeapTable)
+        sort = ExternalMergeSort(
+            FullTableScan(table, predicate=passes),
+            key=sort_key,
+            disk=db.disk,
+            memory_pages=sort_memory_pages(table.page_count),
+            page_capacity=table.page_capacity,
+        )
+        return sort, sort
+    if method == "iot-orderkey":
+        assert isinstance(table, IOTTable)
+        return IOTScan(table, predicate=passes), None
+    if method == "iot-orderdate":
+        assert isinstance(table, IOTTable)
+        scan = IOTScan(table, leading_lo=lo, leading_hi=hi - dt.timedelta(days=1))
+        sort = ExternalMergeSort(
+            scan,
+            key=sort_key,
+            disk=db.disk,
+            memory_pages=sort_memory_pages(table.page_count),
+            page_capacity=table.page_capacity,
+        )
+        return sort, sort
+    raise ValueError(f"unknown Q4 access method {method!r}")
+
+
+def q4_full_plan(
+    db: Database,
+    order_plan: Operator,
+    lineitem_ub: UBTable,
+    params: Q4Params | None = None,
+) -> Operator:
+    """Figure 5-8: semijoin ORDER (sorted by key) with late LINEITEMs.
+
+    LINEITEM is processed in ORDERKEY order through the *triangular*
+    query space ``COMMITDATE < RECEIPTDATE`` — the non-rectangular
+    extension the paper describes but had not implemented.
+    """
+    params = params or Q4Params()
+    triangle: QuerySpace = IntersectionSpace(
+        [
+            lineitem_ub.build_query_box(None),
+            lineitem_ub.comparison_space("l_commitdate", "<", "l_receiptdate"),
+        ]
+    )
+    lineitem_stream = TetrisOperator(
+        lineitem_ub,
+        triangle,
+        "l_orderkey",
+        predicate=lambda row: row[L_COMMITDATE] < row[L_RECEIPTDATE],
+    )
+    semijoined = MergeSemiJoin(
+        order_plan,
+        lineitem_stream,
+        left_key=lambda row: row[O_ORDERKEY],
+        right_key=lambda row: row[L_ORDERKEY],
+    )
+    by_priority = InMemorySort(semijoined, key=lambda row: row[O_ORDERPRIORITY])
+    return SortedGroupBy(
+        by_priority,
+        key=lambda row: (row[O_ORDERPRIORITY],),
+        aggregates=[Count()],
+    )
+
+
+# ----------------------------------------------------------------------
+# Q6: multi-attribute restriction on LINEITEM (Table 5-3 / Figure 5-12)
+# ----------------------------------------------------------------------
+def q6_restriction_plan(
+    method: str,
+    db: Database,
+    table: HeapTable | IOTTable | UBTable,
+    params: Q6Params | None = None,
+) -> Operator:
+    """The restricted LINEITEM stream for Q6, via one access method."""
+    params = params or Q6Params()
+
+    def passes(row: tuple) -> bool:
+        return q6_matches(row, params)
+
+    if method == "tetris":
+        assert isinstance(table, UBTable)
+        return UBRangeScan(
+            table,
+            {
+                "l_shipdate": (
+                    params.shipdate_from,
+                    params.shipdate_until - dt.timedelta(days=1),
+                ),
+                "l_discount": (params.discount - 1, params.discount + 1),
+                "l_quantity": (None, params.quantity_below - 1),
+            },
+            predicate=passes,
+        )
+    if method == "fts":
+        assert isinstance(table, HeapTable)
+        return FullTableScan(table, predicate=passes)
+    if method.startswith("iot-"):
+        assert isinstance(table, IOTTable)
+        leading = table.key_attrs[0]
+        bounds = {
+            "l_shipdate": (
+                params.shipdate_from,
+                params.shipdate_until - dt.timedelta(days=1),
+            ),
+            "l_discount": (params.discount - 1, params.discount + 1),
+            "l_quantity": (None, params.quantity_below - 1),
+        }[leading]
+        return IOTScan(
+            table, leading_lo=bounds[0], leading_hi=bounds[1], predicate=passes
+        )
+    raise ValueError(f"unknown Q6 access method {method!r}")
+
+
+def q6_full_plan(
+    method: str,
+    db: Database,
+    table: HeapTable | IOTTable | UBTable,
+    params: Q6Params | None = None,
+) -> Operator:
+    """``SELECT SUM(L_EXTENDEDPRICE · L_DISCOUNT)`` over the restriction."""
+    restricted = q6_restriction_plan(method, db, table, params)
+    return ScalarAggregate(restricted, [Sum(discounted_numerator)])

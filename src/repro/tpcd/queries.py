@@ -1,0 +1,167 @@
+"""Logical definitions and reference evaluations of TPC-D Q3, Q4, Q6.
+
+Parameters default to selectivities matching the paper's experiments
+(50 % SHIPDATE restriction for Q3, 3.5 % ORDERDATE restriction for Q4,
+20 % / 27 % / 48 % for Q6's three attributes).  Reference evaluators
+compute results straight from the generated row lists — slow, obviously
+correct, and used by the tests to validate every physical plan.
+
+Revenue arithmetic is integer-exact: prices are cents, discounts are
+percent, so ``SUM(extendedprice * (1 - discount))`` is computed as
+``Σ extendedprice · (100 - discount)`` in cent-percent units.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .datagen import TPCDData
+from .schema import LINEITEM_COLUMNS, ORDER_COLUMNS
+
+# column positions (rows are plain tuples)
+L_ORDERKEY = LINEITEM_COLUMNS.index("l_orderkey")
+L_SHIPDATE = LINEITEM_COLUMNS.index("l_shipdate")
+L_COMMITDATE = LINEITEM_COLUMNS.index("l_commitdate")
+L_RECEIPTDATE = LINEITEM_COLUMNS.index("l_receiptdate")
+L_DISCOUNT = LINEITEM_COLUMNS.index("l_discount")
+L_QUANTITY = LINEITEM_COLUMNS.index("l_quantity")
+L_EXTENDEDPRICE = LINEITEM_COLUMNS.index("l_extendedprice")
+O_ORDERKEY = ORDER_COLUMNS.index("o_orderkey")
+O_CUSTKEY = ORDER_COLUMNS.index("o_custkey")
+O_ORDERDATE = ORDER_COLUMNS.index("o_orderdate")
+O_ORDERPRIORITY = ORDER_COLUMNS.index("o_orderpriority")
+O_SHIPPRIORITY = ORDER_COLUMNS.index("o_shippriority")
+C_CUSTKEY = 0
+C_MKTSEGMENT = 1
+
+
+def revenue_numerator(lineitem: tuple) -> int:
+    """``extendedprice · (100 - discount)`` in cent-percent units."""
+    return lineitem[L_EXTENDEDPRICE] * (100 - lineitem[L_DISCOUNT])
+
+
+def discounted_numerator(lineitem: tuple) -> int:
+    """``extendedprice · discount`` (Q6's summand), cent-percent units."""
+    return lineitem[L_EXTENDEDPRICE] * lineitem[L_DISCOUNT]
+
+
+# ----------------------------------------------------------------------
+# Q3: shipping priority (restrictions + two joins + grouping + ordering)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Q3Params:
+    segment: str = "BUILDING"
+    orderdate_before: dt.date = dt.date(1998, 5, 1)
+    shipdate_after: dt.date = dt.date(1995, 6, 30)  # ≈ 50 % of LINEITEM
+
+
+def reference_q3(data: TPCDData, params: Q3Params | None = None) -> list[tuple]:
+    """Rows ``(l_orderkey, o_orderdate, o_shippriority, revenue_numerator)``
+    ordered by revenue desc, orderdate asc."""
+    params = params or Q3Params()
+    wanted_customers = {
+        row[C_CUSTKEY] for row in data.customers if row[C_MKTSEGMENT] == params.segment
+    }
+    orders = {
+        row[O_ORDERKEY]: row
+        for row in data.orders
+        if row[O_CUSTKEY] in wanted_customers
+        and row[O_ORDERDATE] < params.orderdate_before
+    }
+    revenue: dict[tuple, int] = defaultdict(int)
+    for item in data.lineitems:
+        order = orders.get(item[L_ORDERKEY])
+        if order is None or item[L_SHIPDATE] <= params.shipdate_after:
+            continue
+        group = (item[L_ORDERKEY], order[O_ORDERDATE], order[O_SHIPPRIORITY])
+        revenue[group] += revenue_numerator(item)
+    rows = [group + (total,) for group, total in revenue.items()]
+    rows.sort(key=lambda r: (-r[3], r[1].toordinal(), r[0]))
+    return rows
+
+
+def q3_lineitem_selectivity(data: TPCDData, params: Q3Params | None = None) -> float:
+    """Fraction of LINEITEM passing the SHIPDATE restriction (paper: 50 %)."""
+    params = params or Q3Params()
+    matching = sum(
+        1 for item in data.lineitems if item[L_SHIPDATE] > params.shipdate_after
+    )
+    return matching / len(data.lineitems)
+
+
+# ----------------------------------------------------------------------
+# Q4: order priority checking (restriction + EXISTS semijoin + grouping)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Q4Params:
+    orderdate_from: dt.date = dt.date(1997, 1, 1)
+    orderdate_until: dt.date = dt.date(1997, 4, 1)  # exclusive; ≈ 3.5 %
+
+
+def reference_q4(data: TPCDData, params: Q4Params | None = None) -> list[tuple]:
+    """Rows ``(o_orderpriority, order_count)`` ordered by priority."""
+    params = params or Q4Params()
+    late_orders = {
+        item[L_ORDERKEY]
+        for item in data.lineitems
+        if item[L_COMMITDATE] < item[L_RECEIPTDATE]
+    }
+    counts: dict[str, int] = defaultdict(int)
+    for order in data.orders:
+        if not params.orderdate_from <= order[O_ORDERDATE] < params.orderdate_until:
+            continue
+        if order[O_ORDERKEY] in late_orders:
+            counts[order[O_ORDERPRIORITY]] += 1
+    return sorted(counts.items())
+
+
+def q4_order_selectivity(data: TPCDData, params: Q4Params | None = None) -> float:
+    params = params or Q4Params()
+    matching = sum(
+        1
+        for order in data.orders
+        if params.orderdate_from <= order[O_ORDERDATE] < params.orderdate_until
+    )
+    return matching / len(data.orders)
+
+
+# ----------------------------------------------------------------------
+# Q6: forecasting revenue change (pure multi-attribute restriction)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Q6Params:
+    shipdate_from: dt.date = dt.date(1994, 1, 1)
+    shipdate_days: int = 511  # ≈ 20 % of the shipdate window (paper's figure)
+    discount: int = 6  # percent; BETWEEN discount-1 AND discount+1 → ≈ 27 %
+    quantity_below: int = 25  # < 25 of 1..50 → ≈ 48 %
+
+    @property
+    def shipdate_until(self) -> dt.date:
+        """Exclusive upper bound of the shipdate range."""
+        return self.shipdate_from + dt.timedelta(days=self.shipdate_days)
+
+
+def q6_matches(item: tuple, params: Q6Params) -> bool:
+    return (
+        params.shipdate_from <= item[L_SHIPDATE] < params.shipdate_until
+        and params.discount - 1 <= item[L_DISCOUNT] <= params.discount + 1
+        and item[L_QUANTITY] < params.quantity_below
+    )
+
+
+def reference_q6(data: TPCDData, params: Q6Params | None = None) -> int:
+    """``SUM(extendedprice · discount)`` in cent-percent units."""
+    params = params or Q6Params()
+    return sum(
+        discounted_numerator(item)
+        for item in data.lineitems
+        if q6_matches(item, params)
+    )
+
+
+def q6_selectivity(data: TPCDData, params: Q6Params | None = None) -> float:
+    params = params or Q6Params()
+    matching = sum(1 for item in data.lineitems if q6_matches(item, params))
+    return matching / len(data.lineitems)

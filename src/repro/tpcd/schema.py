@@ -1,0 +1,87 @@
+"""TPC-D relation schemas (the subset Q3, Q4 and Q6 touch).
+
+Rows are plain tuples in schema order.  Monetary values are stored as
+integer cents and discounts as integer percent so that aggregates are
+exact; dates are ``datetime.date`` objects handled by
+:class:`~repro.relational.schema.DateEncoder`.
+
+Encoder domains depend on the generated scale (key ranges grow with the
+scale factor), so schemas are built per dataset by the functions below.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from ..relational.schema import Attribute, DateEncoder, IntEncoder, Schema, StringEncoder
+
+#: order dates span the classic TPC-D window
+ORDERDATE_LO = dt.date(1992, 1, 1)
+ORDERDATE_HI = dt.date(1998, 8, 2)
+#: ship/commit/receipt dates may trail order dates by up to ~5 months
+ANYDATE_LO = ORDERDATE_LO
+ANYDATE_HI = dt.date(1998, 12, 31)
+
+MKTSEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+ORDERPRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW")
+
+# column positions, exported for readable plan code
+CUSTOMER_COLUMNS = ("c_custkey", "c_mktsegment")
+ORDER_COLUMNS = (
+    "o_orderkey",
+    "o_custkey",
+    "o_orderdate",
+    "o_orderpriority",
+    "o_shippriority",
+)
+LINEITEM_COLUMNS = (
+    "l_orderkey",
+    "l_linenumber",
+    "l_shipdate",
+    "l_commitdate",
+    "l_receiptdate",
+    "l_discount",
+    "l_quantity",
+    "l_extendedprice",
+)
+
+
+def customer_schema(customer_count: int) -> Schema:
+    """CUSTOMER(C_CUSTKEY, C_MKTSEGMENT)."""
+    return Schema(
+        [
+            Attribute("c_custkey", IntEncoder(1, max(1, customer_count))),
+            Attribute("c_mktsegment", StringEncoder(prefix_chars=1)),
+        ]
+    )
+
+
+def order_schema(order_count: int, customer_count: int | None = None) -> Schema:
+    """ORDER(O_ORDERKEY, O_CUSTKEY, O_ORDERDATE, O_ORDERPRIORITY, O_SHIPPRIORITY)."""
+    if customer_count is None:
+        customer_count = order_count
+    return Schema(
+        [
+            Attribute("o_orderkey", IntEncoder(1, max(1, order_count))),
+            Attribute("o_custkey", IntEncoder(1, max(1, customer_count))),
+            Attribute("o_orderdate", DateEncoder(ORDERDATE_LO, ORDERDATE_HI)),
+            Attribute("o_orderpriority", StringEncoder(prefix_chars=1)),
+            Attribute("o_shippriority", IntEncoder(0, 1)),
+        ]
+    )
+
+
+def lineitem_schema(order_count: int) -> Schema:
+    """LINEITEM(L_ORDERKEY, ..., L_EXTENDEDPRICE); money in cents, discount in %."""
+    return Schema(
+        [
+            Attribute("l_orderkey", IntEncoder(1, max(1, order_count))),
+            Attribute("l_linenumber", IntEncoder(1, 7)),
+            Attribute("l_shipdate", DateEncoder(ANYDATE_LO, ANYDATE_HI)),
+            Attribute("l_commitdate", DateEncoder(ANYDATE_LO, ANYDATE_HI)),
+            Attribute("l_receiptdate", DateEncoder(ANYDATE_LO, ANYDATE_HI)),
+            Attribute("l_discount", IntEncoder(0, 10)),
+            Attribute("l_quantity", IntEncoder(1, 50)),
+            Attribute("l_extendedprice", IntEncoder(0, 11_000_000)),
+        ]
+    )

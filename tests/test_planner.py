@@ -1,0 +1,102 @@
+"""Tests for the cost-based access-path optimizer."""
+
+import pytest
+
+from repro.costmodel import SECTION_4_PARAMS
+from repro.planner import CandidatePlan, RelationStats, choose_plan, enumerate_plans
+
+STATS = RelationStats(
+    pages=125_000,
+    attributes=("a1", "a2"),
+    heap_instance="heap",
+    iot_instances=(("a1", "iot_a1"), ("a2", "iot_a2")),
+    ub_instance="ub",
+)
+
+
+class TestEnumeration:
+    def test_all_candidates_present(self):
+        plans = enumerate_plans(STATS, {"a1": (0.0, 0.2)}, "a2", SECTION_4_PARAMS)
+        methods = {(p.method, p.instance) for p in plans}
+        assert methods == {
+            ("fts-sort", "heap"),
+            ("iot-sort", "iot_a1"),
+            ("iot-presorted", "iot_a2"),
+            ("tetris", "ub"),
+        }
+
+    def test_sorted_by_cost(self):
+        plans = enumerate_plans(STATS, {"a1": (0.0, 0.2)}, "a2", SECTION_4_PARAMS)
+        costs = [p.cost for p in plans]
+        assert costs == sorted(costs)
+
+    def test_blocking_flags(self):
+        plans = {
+            p.method: p
+            for p in enumerate_plans(STATS, {"a1": (0.0, 0.2)}, "a2", SECTION_4_PARAMS)
+        }
+        assert plans["fts-sort"].blocking
+        assert plans["iot-sort"].blocking
+        assert not plans["iot-presorted"].blocking
+        assert not plans["tetris"].blocking
+
+    def test_rejects_unknown_attributes(self):
+        with pytest.raises(KeyError):
+            enumerate_plans(STATS, {"zzz": (0.0, 1.0)}, "a2", SECTION_4_PARAMS)
+        with pytest.raises(KeyError):
+            enumerate_plans(STATS, None, "zzz", SECTION_4_PARAMS)
+
+    def test_partial_physical_design(self):
+        stats = RelationStats(pages=1000, attributes=("a1", "a2"), heap_instance="heap")
+        plans = enumerate_plans(stats, None, "a1", SECTION_4_PARAMS)
+        assert [p.method for p in plans] == ["fts-sort"]
+
+    def test_no_instances_raises_on_choose(self):
+        stats = RelationStats(pages=1000, attributes=("a1",))
+        with pytest.raises(ValueError):
+            choose_plan(stats, None, "a1", SECTION_4_PARAMS)
+
+
+class TestChoices:
+    """The optimizer reproduces the paper's Section 4.5 guidance."""
+
+    def test_moderate_restriction_picks_tetris(self):
+        plan = choose_plan(STATS, {"a1": (0.0, 0.2)}, "a2", SECTION_4_PARAMS)
+        assert plan.method == "tetris"
+
+    def test_very_selective_restriction_picks_iot_on_it(self):
+        plan = choose_plan(STATS, {"a1": (0.0, 0.001)}, "a2", SECTION_4_PARAMS)
+        assert plan.method == "iot-sort"
+        assert plan.instance == "iot_a1"
+
+    def test_sort_on_leading_key_with_strong_restriction(self):
+        plan = choose_plan(STATS, {"a2": (0.0, 0.001)}, "a2", SECTION_4_PARAMS)
+        assert plan.method == "iot-presorted"
+
+    def test_unrestricted_sort_makes_presorted_iot_competitive(self):
+        """Figure 4-2's right edge: 'an IOT on A2 is only competitive if A1
+        is hardly restricted' — with no restriction it beats FTS-sort."""
+        plans = enumerate_plans(STATS, None, "a2", SECTION_4_PARAMS)
+        by_method = {p.method: p.cost for p in plans}
+        assert by_method["iot-presorted"] < by_method["fts-sort"]
+        # ...but loses as soon as A1 is meaningfully restricted
+        restricted = {
+            p.method: p.cost
+            for p in enumerate_plans(STATS, {"a1": (0.0, 0.2)}, "a2", SECTION_4_PARAMS)
+        }
+        assert restricted["tetris"] < restricted["iot-presorted"]
+
+    def test_require_pipelined_switches_to_tetris(self):
+        restrictions = {"a1": (0.0, 0.001)}
+        default = choose_plan(STATS, restrictions, "a2", SECTION_4_PARAMS)
+        assert default.blocking  # the cheapest plan blocks
+        interactive = choose_plan(
+            STATS, restrictions, "a2", SECTION_4_PARAMS, require_pipelined=True
+        )
+        assert not interactive.blocking
+        assert interactive.method in ("tetris", "iot-presorted")
+
+    def test_candidate_plan_str(self):
+        plan = CandidatePlan("tetris", "ub", 12.5, blocking=False)
+        text = str(plan)
+        assert "tetris" in text and "pipelined" in text

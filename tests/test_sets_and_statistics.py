@@ -1,0 +1,199 @@
+"""Tests for sorted-stream set operations and planner statistics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planner import AttributeHistogram, PhysicalDesign, TableStatistics
+from repro.relational import Attribute, Database, IntEncoder, Schema
+from repro.relational.operators import (
+    Difference,
+    Distinct,
+    Intersect,
+    Union,
+    UnionAll,
+)
+
+
+def rows(values):
+    return [(v,) for v in values]
+
+
+KEY = lambda r: r[0]  # noqa: E731
+
+
+class TestDistinct:
+    def test_basic(self):
+        assert list(Distinct(rows([1, 1, 2, 3, 3, 3]), KEY)) == rows([1, 2, 3])
+
+    def test_empty(self):
+        assert list(Distinct([], KEY)) == []
+
+    def test_no_duplicates(self):
+        assert list(Distinct(rows([1, 2, 3]), KEY)) == rows([1, 2, 3])
+
+    def test_keeps_first_of_group(self):
+        data = [(1, "a"), (1, "b"), (2, "c")]
+        assert list(Distinct(data, KEY)) == [(1, "a"), (2, "c")]
+
+
+class TestUnion:
+    def test_union_all_merges_sorted(self):
+        out = list(UnionAll([rows([1, 3, 5]), rows([2, 3, 6])], KEY))
+        assert out == rows([1, 2, 3, 3, 5, 6])
+
+    def test_union_deduplicates(self):
+        out = list(Union([rows([1, 3, 5]), rows([2, 3, 6]), rows([3])], KEY))
+        assert out == rows([1, 2, 3, 5, 6])
+
+    def test_union_empty_inputs(self):
+        assert list(Union([[], []], KEY)) == []
+        assert list(Union([rows([1]), []], KEY)) == rows([1])
+
+
+class TestIntersect:
+    def test_basic(self):
+        out = list(Intersect(rows([1, 2, 2, 4, 7]), rows([2, 4, 5]), KEY))
+        assert out == rows([2, 4])
+
+    def test_disjoint(self):
+        assert list(Intersect(rows([1, 3]), rows([2, 4]), KEY)) == []
+
+    def test_one_empty(self):
+        assert list(Intersect(rows([1, 2]), [], KEY)) == []
+        assert list(Intersect([], rows([1, 2]), KEY)) == []
+
+
+class TestDifference:
+    def test_basic(self):
+        out = list(Difference(rows([1, 2, 3, 4, 5]), rows([2, 4, 9]), KEY))
+        assert out == rows([1, 3, 5])
+
+    def test_right_empty(self):
+        assert list(Difference(rows([1, 2]), [], KEY)) == rows([1, 2])
+
+    def test_left_subset(self):
+        assert list(Difference(rows([2, 4]), rows([1, 2, 3, 4, 5]), KEY)) == []
+
+    def test_duplicates_collapse_to_one(self):
+        out = list(Difference(rows([1, 1, 2, 2]), rows([2]), KEY))
+        assert out == rows([1])
+
+
+@given(
+    st.lists(st.integers(0, 30), max_size=60),
+    st.lists(st.integers(0, 30), max_size=60),
+)
+@settings(max_examples=150, deadline=None)
+def test_set_operations_match_python_sets(a_values, b_values):
+    a = rows(sorted(a_values))
+    b = rows(sorted(b_values))
+    a_set, b_set = set(a_values), set(b_values)
+    assert [r[0] for r in Union([a, b], KEY)] == sorted(a_set | b_set)
+    assert [r[0] for r in Intersect(a, b, KEY)] == sorted(a_set & b_set)
+    assert [r[0] for r in Difference(a, b, KEY)] == sorted(a_set - b_set)
+    assert [r[0] for r in Distinct(a, KEY)] == sorted(a_set)
+
+
+# ----------------------------------------------------------------------
+# histograms and quantile normalization
+# ----------------------------------------------------------------------
+class TestAttributeHistogram:
+    def test_uniform_data_matches_uniform_assumption(self):
+        histogram = AttributeHistogram.build(range(1024), 1023, bucket_count=64)
+        assert histogram.selectivity(0, 511) == pytest.approx(0.5, abs=0.01)
+        assert histogram.cdf(1023) == 1.0
+        assert histogram.cdf(-1) == 0.0
+
+    def test_skewed_data(self):
+        # 90% of values in the bottom 10% of the domain
+        codes = [i % 100 for i in range(900)] + [1000] * 100
+        histogram = AttributeHistogram.build(codes, 1023, bucket_count=64)
+        assert histogram.selectivity(0, 101) > 0.8
+        assert histogram.selectivity(500, 900) < 0.05
+
+    def test_empty_histogram_falls_back_to_uniform(self):
+        histogram = AttributeHistogram.build([], 1023)
+        assert histogram.selectivity(0, 511) == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            AttributeHistogram.build([2000], 1023)
+
+    def test_inverted_range(self):
+        histogram = AttributeHistogram.build(range(100), 99)
+        assert histogram.selectivity(50, 10) == 0.0
+
+    def test_normalized_range_monotone(self):
+        histogram = AttributeHistogram.build(range(256), 255, bucket_count=16)
+        lo1, hi1 = histogram.normalized_range(0, 63)
+        lo2, hi2 = histogram.normalized_range(0, 127)
+        assert hi1 <= hi2
+        assert lo1 == lo2 == 0.0
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_close_to_empirical(self, codes, data):
+        histogram = AttributeHistogram.build(codes, 255, bucket_count=32)
+        probe = data.draw(st.integers(0, 255))
+        empirical = sum(1 for c in codes if c <= probe) / len(codes)
+        # the interpolation error of an equi-width histogram is bounded by
+        # the mass of the bucket the probe falls into
+        bucket = min(31, int(probe / 8))
+        bucket_mass = histogram.counts[bucket] / histogram.total
+        assert abs(histogram.cdf(probe) - empirical) <= bucket_mass + 1e-9
+
+
+class TestTableStatistics:
+    def make_world(self, skew=True, rows_count=4000):
+        schema = Schema(
+            [
+                Attribute("a1", IntEncoder(0, 1023)),
+                Attribute("a2", IntEncoder(0, 1023)),
+            ]
+        )
+        rng = random.Random(8)
+        if skew:
+            data = [
+                (min(1023, int(rng.expovariate(1 / 80))), rng.randrange(1024))
+                for _ in range(rows_count)
+            ]
+        else:
+            data = [
+                (rng.randrange(1024), rng.randrange(1024))
+                for _ in range(rows_count)
+            ]
+        return schema, data
+
+    def test_gather_and_estimate(self):
+        schema, data = self.make_world(skew=False)
+        stats = TableStatistics.gather(schema, data, ("a1", "a2"))
+        assert stats.selectivity("a1", 0, 511) == pytest.approx(0.5, abs=0.05)
+
+    def test_skew_changes_estimates(self):
+        schema, data = self.make_world(skew=True)
+        stats = TableStatistics.gather(schema, data, ("a1",))
+        # the bottom 1/8 of the domain holds most of the exponential mass
+        true_fraction = sum(1 for r in data if r[0] <= 127) / len(data)
+        estimated = stats.selectivity("a1", 0, 127)
+        assert estimated == pytest.approx(true_fraction, abs=0.05)
+        assert estimated > 0.6  # far from the uniform guess of 0.125
+
+    def test_quantile_mapping_feeds_the_planner(self):
+        """On skewed data, the histogram-normalized range prices the
+        restriction by actual data volume, not domain arithmetic."""
+        schema, data = self.make_world(skew=True)
+        db = Database(buffer_pages=64)
+        heap = db.create_heap_table("heap", schema, 40)
+        heap.load(data)
+        ub = db.create_ub_table("ub", schema, dims=("a1", "a2"), page_capacity=40)
+        ub.load(data)
+        design = PhysicalDesign(attributes=("a1", "a2"), heap=heap, ub=ub)
+        stats = TableStatistics.gather(schema, data, ("a1", "a2"))
+
+        uniform = design.normalized_restrictions({"a1": (0, 127)})
+        informed = design.normalized_restrictions({"a1": (0, 127)}, stats)
+        assert uniform["a1"][1] == pytest.approx(0.125)
+        assert informed["a1"][1] > 0.6  # quantile position, not domain position

@@ -1,0 +1,129 @@
+"""Tests for ZSpace: Z/Tetris addresses, extract/reduce, conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.zorder import ZSpace
+
+
+def test_basic_properties():
+    space = ZSpace([3, 4])
+    assert space.dims == 2
+    assert space.total_bits == 7
+    assert space.address_max == 127
+    assert space.coord_max == (7, 15)
+
+
+def test_rejects_empty_and_zero_bit_dimensions():
+    with pytest.raises(ValueError):
+        ZSpace([])
+    with pytest.raises(ValueError):
+        ZSpace([3, 0])
+
+
+def test_z_address_roundtrip():
+    space = ZSpace([3, 3])
+    for x in range(8):
+        for y in range(8):
+            assert space.point_of(space.z_address((x, y))) == (x, y)
+
+
+def test_extract_recovers_attribute():
+    space = ZSpace([3, 3, 2])
+    point = (5, 2, 3)
+    address = space.z_address(point)
+    for dim in range(3):
+        assert space.extract(address, dim) == point[dim]
+
+
+def test_reduce_drops_one_dimension():
+    space = ZSpace([3, 3])
+    point = (5, 2)
+    address = space.z_address(point)
+    # reducing away dim 0 leaves the 1-d "curve" of dim 1: identity
+    assert space.reduce(address, 0) == 2
+    assert space.reduce(address, 1) == 5
+
+
+def test_reduce_rejected_in_one_dimension():
+    space = ZSpace([4])
+    with pytest.raises(ValueError):
+        space.reduce(3, 0)
+
+
+def test_tetris_address_is_extract_concat_reduce():
+    """T_j(x) = extract(Z(x), j) ∘ reduce(Z(x), j)  (Section 3.4)."""
+    space = ZSpace([3, 2, 3])
+    for point in [(0, 0, 0), (7, 3, 5), (4, 1, 2), (1, 2, 7)]:
+        z = space.z_address(point)
+        for dim in range(3):
+            rest_bits = space.total_bits - space.bit_lengths[dim]
+            expected = (space.extract(z, dim) << rest_bits) | space.reduce(z, dim)
+            assert space.tetris_address(point, dim) == expected
+
+
+def test_z_tetris_conversions_are_inverse():
+    space = ZSpace([3, 3])
+    for z in range(64):
+        for dim in range(2):
+            t = space.z_to_tetris(z, dim)
+            assert space.tetris_to_z(t, dim) == z
+
+
+def test_tetris_order_sorts_by_attribute():
+    space = ZSpace([2, 3])
+    points = [(x, y) for x in range(4) for y in range(8)]
+    for dim in range(2):
+        ordered = sorted(points, key=lambda p: space.tetris_address(p, dim))
+        values = [p[dim] for p in ordered]
+        assert values == sorted(values)
+
+
+def test_hyperplane_contains():
+    space = ZSpace([3, 3])
+    address = space.z_address((5, 2))
+    assert space.hyperplane_contains(address, 0, 5)
+    assert space.hyperplane_contains(address, 1, 2)
+    assert not space.hyperplane_contains(address, 0, 4)
+
+
+def test_universe_box():
+    space = ZSpace([2, 4])
+    lo, hi = space.universe_box()
+    assert lo == (0, 0)
+    assert hi == (3, 15)
+
+
+def test_curves_are_cached():
+    space = ZSpace([3, 3])
+    assert space.tetris(0) is space.tetris(0)
+    assert space.reduced(1) is space.reduced(1)
+
+
+@st.composite
+def spaces_and_points(draw):
+    dims = draw(st.integers(2, 4))
+    bits = draw(st.lists(st.integers(1, 6), min_size=dims, max_size=dims))
+    space = ZSpace(bits)
+    point = tuple(draw(st.integers(0, (1 << b) - 1)) for b in bits)
+    dim = draw(st.integers(0, dims - 1))
+    return space, point, dim
+
+
+@given(spaces_and_points())
+@settings(max_examples=200, deadline=None)
+def test_tetris_composition_property(space_point_dim):
+    space, point, dim = space_point_dim
+    z = space.z_address(point)
+    rest_bits = space.total_bits - space.bit_lengths[dim]
+    expected = (space.extract(z, dim) << rest_bits) | space.reduce(z, dim)
+    assert space.tetris_address(point, dim) == expected
+
+
+@given(spaces_and_points())
+@settings(max_examples=200, deadline=None)
+def test_conversion_roundtrip_property(space_point_dim):
+    space, point, dim = space_point_dim
+    z = space.z_address(point)
+    assert space.tetris_to_z(space.z_to_tetris(z, dim), dim) == z
