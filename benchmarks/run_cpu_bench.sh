@@ -1,0 +1,5 @@
+#!/bin/sh
+# Runner for the wall-clock CPU kernel benchmark: emits BENCH_cpu.json
+# at the repo root (pass --quick for the CI smoke variant).
+cd "$(dirname "$0")/.." || exit 1
+PYTHONPATH=src exec python benchmarks/bench_cpu_kernels.py "$@"

@@ -146,6 +146,7 @@ class BPlusTree:
         leaf_id, _, _, path = self._locate(key, want_path=True)
         leaf = self.disk.peek(leaf_id)  # load phase: not a priced access
         insort(leaf.records, (key, value), key=lambda r: r[0])
+        leaf.version += 1
         self.record_count += 1
         if len(leaf.records) > self.leaf_capacity:
             self._split_leaf(leaf, path)
@@ -159,7 +160,9 @@ class BPlusTree:
             return
         right = self._new_leaf()
         right.records = leaf.records[split:]
+        right.version += 1
         leaf.records = leaf.records[:split]
+        leaf.version += 1
         right.payload["next"] = leaf.payload["next"]
         leaf.payload["next"] = right.page_id
         self.leaf_count += 1
@@ -232,6 +235,7 @@ class BPlusTree:
                 self.overflow_pages += 1
             leaf = self._new_leaf()
             leaf.records = list(pairs[start:end])
+            leaf.version += 1
             if leaves:
                 leaves[-1].payload["next"] = leaf.page_id
             leaves.append(leaf)
@@ -277,6 +281,7 @@ class BPlusTree:
         while idx < len(leaf.records) and leaf.records[idx][0] == key:
             if value is None or leaf.records[idx][1] == value:
                 del leaf.records[idx]
+                leaf.version += 1
                 self.record_count -= 1
                 return True
             idx += 1

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Sequence
 
+from .. import kernels
 from ..storage.buffer import BufferPool
 from .bptree import BPlusTree
 
@@ -97,9 +98,19 @@ class IndexOrganizedTable:
             self.insert(row)
 
     def bulk_load(self, rows: Sequence[Any], fill: float = 1.0) -> None:
-        """Sort by the composite key and build the tree bottom-up."""
-        pairs = [(self.key_of(row), row) for row in rows]
-        pairs.sort(key=lambda pair: pair[0])
+        """Sort by the composite key and build the tree bottom-up.
+
+        Key extraction and the sort permutation are batched through the
+        kernel layer (integer composite keys lexsort vectorized), the
+        same way the UB-Tree bulk load batches its Z-address encoding —
+        keeping the baseline comparisons fair.
+        """
+        key_of = self.key_of
+        keys = [key_of(row) for row in rows]
+        pairs = [
+            (keys[index], rows[index])
+            for index in kernels.get_backend().argsort_keys(keys)
+        ]
         self.tree.bulk_load(pairs, fill=fill)
 
     def delete(self, row: Any) -> bool:

@@ -211,14 +211,27 @@ class Curve:
         """Address of ``point`` on this curve."""
         if len(point) != self.dims:
             raise ValueError(f"expected {self.dims} coordinates, got {len(point)}")
-        address = 0
         for dim, value in enumerate(point):
             if not 0 <= value <= self.coord_max[dim]:
                 raise ValueError(
                     f"coordinate {value} of dimension {dim} exceeds "
                     f"{self.bit_lengths[dim]} bits"
                 )
-            address |= self._encode_tables.encode_dim(dim, value)
+        return self.encode_unchecked(point)
+
+    def encode_unchecked(self, point: Sequence[int]) -> int:
+        """Address of ``point``, skipping coordinate validation.
+
+        For internal hot paths (bulk load, region keying, batch kernels)
+        whose inputs come from storage or from box clamping and are
+        therefore valid by construction.  Out-of-range coordinates yield
+        garbage addresses; validation belongs at API boundaries
+        (:meth:`encode`).
+        """
+        address = 0
+        encode_dim = self._encode_tables.encode_dim
+        for dim, value in enumerate(point):
+            address |= encode_dim(dim, value)
         return address
 
     def decode(self, address: int) -> tuple[int, ...]:
@@ -334,17 +347,15 @@ class Curve:
     # ------------------------------------------------------------------
     # interval decomposition
     # ------------------------------------------------------------------
-    def interval_boxes(
-        self, first: int, last: int
-    ) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
-        """Decompose the address interval ``[first, last]`` into aligned boxes.
+    def interval_blocks(self, first: int, last: int) -> Iterator[tuple[int, int]]:
+        """Maximal aligned blocks tiling ``[first, last]`` as ``(position, k)``.
 
-        Any maximal aligned block of addresses (``a .. a + 2^k - 1`` with
-        ``a ≡ 0 mod 2^k``) fixes the top schedule bits and frees the bottom
-        ``k``, so it is an axis-aligned hyper-rectangle.  A Z-region —
-        an arbitrary Z-interval — therefore decomposes into at most
-        ``2 * total_bits`` boxes.  Used for region/query-space intersection
-        tests and for skipping retrieved regions in Tetris order.
+        Block ``(position, k)`` covers addresses ``position`` through
+        ``position + 2^k - 1`` with ``position ≡ 0 (mod 2^k)``.  An
+        arbitrary address interval decomposes into at most
+        ``2 * total_bits`` such blocks.  Pure bit arithmetic — no address
+        decoding — so batch kernels can enumerate the blocks cheaply and
+        decode all origins in one vectorized pass.
         """
         if first > last:
             return
@@ -357,14 +368,90 @@ class Curve:
             size = position & -position if position else 1 << self.total_bits
             while size > 1 and position + size - 1 > last:
                 size >>= 1
+            yield position, size.bit_length() - 1
+            position += size
+
+    def interval_boxes(
+        self, first: int, last: int
+    ) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Decompose the address interval ``[first, last]`` into aligned boxes.
+
+        Any maximal aligned block of addresses (``a .. a + 2^k - 1`` with
+        ``a ≡ 0 mod 2^k``) fixes the top schedule bits and frees the bottom
+        ``k``, so it is an axis-aligned hyper-rectangle.  A Z-region —
+        an arbitrary Z-interval — therefore decomposes into at most
+        ``2 * total_bits`` boxes.  Used for region/query-space intersection
+        tests and for skipping retrieved regions in Tetris order.
+        """
+        for position, k in self.interval_blocks(first, last):
             lo = self.decode(position)
-            masks = self._suffix_masks[size.bit_length() - 1]
+            masks = self._suffix_masks[k]
             hi = tuple(value | mask for value, mask in zip(lo, masks))
             yield lo, hi
-            position += size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Curve(bits={self.bit_lengths}, total={self.total_bits})"
+
+
+class FlippedCurve:
+    """A curve seen through a per-dimension coordinate reflection.
+
+    Flipping the sort dimension (``x_j ↦ coord_max_j - x_j``) turns a
+    descending Tetris sweep into an ascending one over the same pages:
+    reflections map boxes to boxes and preserve monotonicity, so BIGMIN
+    keeps working.
+    """
+
+    def __init__(self, curve: Curve, flip_dims: frozenset[int]) -> None:
+        self._curve = curve
+        self._flip = flip_dims
+        self.total_bits = curve.total_bits
+        self.address_max = curve.address_max
+        self.dims = curve.dims
+        self.coord_max = curve.coord_max
+
+    @property
+    def base_curve(self) -> Curve:
+        """The underlying un-reflected curve (used by batch kernels)."""
+        return self._curve
+
+    @property
+    def flip_dims(self) -> frozenset[int]:
+        """Dimensions whose coordinates are reflected."""
+        return self._flip
+
+    def _reflect(self, point: Sequence[int]) -> tuple[int, ...]:
+        return tuple(
+            self.coord_max[dim] - value if dim in self._flip else value
+            for dim, value in enumerate(point)
+        )
+
+    def encode(self, point: Sequence[int]) -> int:
+        return self._curve.encode(self._reflect(point))
+
+    def encode_unchecked(self, point: Sequence[int]) -> int:
+        return self._curve.encode_unchecked(self._reflect(point))
+
+    def decode(self, address: int) -> tuple[int, ...]:
+        return self._reflect(self._curve.decode(address))
+
+    def box_min_corner(
+        self, lo: Sequence[int], hi: Sequence[int]
+    ) -> tuple[int, ...]:
+        """The corner of ``[lo, hi]`` with the smallest flipped address."""
+        return tuple(
+            hi[dim] if dim in self._flip else lo[dim] for dim in range(self.dims)
+        )
+
+    def next_in_box(
+        self, address: int, lo: Sequence[int], hi: Sequence[int]
+    ) -> int | None:
+        # reflecting the box swaps lo and hi only in the flipped dimensions
+        reflected_lo = self._reflect(lo)
+        reflected_hi = self._reflect(hi)
+        box_lo = tuple(min(a, b) for a, b in zip(reflected_lo, reflected_hi))
+        box_hi = tuple(max(a, b) for a, b in zip(reflected_lo, reflected_hi))
+        return self._curve.next_in_box(address, box_lo, box_hi)
 
 
 def _load_min(value: int, weight: int) -> int:

@@ -38,10 +38,14 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any, Iterator, Sequence
 
-from .curves import Curve
+# module import (not ``from ..kernels import get_backend``): kernels and
+# core import each other, so the attribute must resolve at call time
+from .. import kernels
+from .curves import Curve, FlippedCurve
 from .intervals import IntervalSet
 from .query_space import QueryBox, QuerySpace, box_is_empty
 from .ubtree import UBTree
@@ -84,63 +88,16 @@ class TetrisStats:
         return -(-self.max_cache_tuples // page_capacity)
 
 
-class _FlippedCurve:
-    """A curve seen through a per-dimension coordinate reflection.
+#: historical location — the reflection wrapper now lives in ``curves``
+#: so the batch kernels can unwrap it without importing this module
+_FlippedCurve = FlippedCurve
 
-    Flipping the sort dimension (``x_j ↦ coord_max_j - x_j``) turns a
-    descending Tetris sweep into an ascending one over the same pages:
-    reflections map boxes to boxes and preserve monotonicity, so BIGMIN
-    keeps working.
-    """
+#: a cached tuple awaiting its slice flush: ``[tetris_key, arrival_order]``
+#: — the point and payload live in the scan's arrival registry, so cache
+#: maintenance only ever moves and compares small int pairs
+_CacheEntry = list  # [int, int]
 
-    def __init__(self, curve: Curve, flip_dims: frozenset[int]) -> None:
-        self._curve = curve
-        self._flip = flip_dims
-        self.total_bits = curve.total_bits
-        self.address_max = curve.address_max
-        self.dims = curve.dims
-        self.coord_max = curve.coord_max
-
-    def _reflect(self, point: Sequence[int]) -> tuple[int, ...]:
-        return tuple(
-            self.coord_max[dim] - value if dim in self._flip else value
-            for dim, value in enumerate(point)
-        )
-
-    def encode(self, point: Sequence[int]) -> int:
-        return self._curve.encode(self._reflect(point))
-
-    def decode(self, address: int) -> tuple[int, ...]:
-        return self._reflect(self._curve.decode(address))
-
-    def box_min_corner(
-        self, lo: Sequence[int], hi: Sequence[int]
-    ) -> tuple[int, ...]:
-        """The corner of ``[lo, hi]`` with the smallest flipped address."""
-        return tuple(
-            hi[dim] if dim in self._flip else lo[dim] for dim in range(self.dims)
-        )
-
-    def next_in_box(
-        self, address: int, lo: Sequence[int], hi: Sequence[int]
-    ) -> int | None:
-        # reflecting the box swaps lo and hi only in the flipped dimensions
-        reflected_lo = self._reflect(lo)
-        reflected_hi = self._reflect(hi)
-        box_lo = tuple(min(a, b) for a, b in zip(reflected_lo, reflected_hi))
-        box_hi = tuple(max(a, b) for a, b in zip(reflected_lo, reflected_hi))
-        return self._curve.next_in_box(address, box_lo, box_hi)
-
-
-@dataclass
-class _CacheEntry:
-    key: int
-    order: int
-    point: tuple[int, ...]
-    payload: Any = field(compare=False)
-
-    def __lt__(self, other: "_CacheEntry") -> bool:
-        return (self.key, self.order) < (other.key, other.order)
+_entry_key = itemgetter(0)
 
 
 class TetrisScan:
@@ -197,7 +154,7 @@ class TetrisScan:
 
         base = ubtree.space.tetris(sort_dims)
         if descending:
-            self.tetris_curve: Curve | _FlippedCurve = _FlippedCurve(
+            self.tetris_curve: Curve | FlippedCurve = FlippedCurve(
                 base, frozenset(sort_dims)
             )
         else:
@@ -240,42 +197,85 @@ class TetrisScan:
         curve = self.tetris_curve
         space = self.space
         stats = self.stats
+        kernel = kernels.get_backend()
         stats.start_clock = disk.clock
+        # the Tetris cache, split in two to keep maintenance off the
+        # per-page path: ``cache`` is one (key, order)-sorted run,
+        # ``pending`` holds the per-page sorted batches that arrived
+        # since the last flush.  They are consolidated only when a slice
+        # actually completes — one C-speed timsort over pre-sorted runs —
+        # so pages that merely widen the open slice cost O(page) work.
         cache: list[_CacheEntry] = []
-        order = 0
+        pending: list[list[_CacheEntry]] = []
+        pending_count = 0
+        #: (point, payload) of every qualifying tuple, by arrival order
+        arrivals: list[SortedTuple] = []
 
         for first, last, page_id, barrier in regions:
             page = buffer.get(page_id, category=self.ubtree.category)
             stats.regions_read += 1
             self._page_reads.append(page_id)
-            for _, (point, payload) in page.records:
-                if space.contains_point(point):
-                    heapq.heappush(
-                        cache, _CacheEntry(curve.encode(point), order, point, payload)
-                    )
-                    order += 1
-            stats.max_cache_tuples = max(stats.max_cache_tuples, len(cache))
+
+            # the whole page in one kernel call: filter the points
+            # against the query space, key the survivors on the Tetris
+            # curve, and sort the batch — arrival order breaks key ties
+            # exactly like the per-tuple heap pushes used to
+            count, selected, entries = kernel.scan_page(
+                curve, space, page, len(arrivals)
+            )
+            if count:
+                records = page.records
+                arrivals.extend(records[index][1] for index in selected)
+                pending.append(entries)
+                pending_count += count
+            if len(cache) + pending_count > stats.max_cache_tuples:
+                stats.max_cache_tuples = len(cache) + pending_count
 
             # everything below the next event point can never be beaten by
-            # a tuple from an unread region: the slice is complete
-            flushed = False
-            while cache and (barrier is None or cache[0].key < barrier):
-                entry = heapq.heappop(cache)
+            # a tuple from an unread region: the slice is complete.  The
+            # sorted-run heads witness whether anything flushes at all.
+            if barrier is None:
+                flushes = bool(cache) or pending_count > 0
+            else:
+                flushes = (bool(cache) and cache[0][0] < barrier) or any(
+                    batch[0][0] < barrier for batch in pending
+                )
+            if not flushes:
+                continue
+            if pending:
+                for batch in pending:
+                    cache.extend(batch)
+                # timsort merges the pre-sorted runs at C speed; (key,
+                # order) pairs are unique, so their order is total and
+                # equals the key-then-arrival order of a per-tuple heap
+                cache.sort()
+                pending.clear()
+                pending_count = 0
+            cut = (
+                len(cache)
+                if barrier is None
+                else bisect_left(cache, barrier, key=_entry_key)
+            )
+            slice_out = cache[:cut]
+            del cache[:cut]
+            for _, position in slice_out:
                 if stats.first_output_clock is None:
                     stats.first_output_clock = disk.clock
                 stats.tuples_output += 1
                 stats.end_clock = disk.clock
-                flushed = True
-                yield entry.point, entry.payload
-            if flushed:
-                stats.slices += 1
+                yield arrivals[position]
+            stats.slices += 1
 
-        while cache:  # no regions at all, or a conservative final barrier
-            entry = heapq.heappop(cache)
+        # no regions at all, or a conservative final barrier
+        for batch in pending:
+            cache.extend(batch)
+        if pending:
+            cache.sort()
+        for _, position in cache:
             if stats.first_output_clock is None:
                 stats.first_output_clock = disk.clock
             stats.tuples_output += 1
-            yield entry.point, entry.payload
+            yield arrivals[position]
         stats.end_clock = disk.clock
 
     # ------------------------------------------------------------------
@@ -283,7 +283,7 @@ class TetrisScan:
     # ------------------------------------------------------------------
     def _eager_regions(self) -> Iterator[_ScheduledRegion]:
         z_curve = self.ubtree.space.z
-        heap: list[tuple[int, int, int, int]] = []
+        candidates = []
         for region in self.ubtree.regions_overlapping(self.space, prune=False):
             self.stats.regions_examined += 1
             if not isinstance(self.space, QueryBox) and not region.intersects(
@@ -291,38 +291,28 @@ class TetrisScan:
             ):
                 self.stats.regions_skipped += 1
                 continue
-            key = self._region_key(region.first, region.last)
+            candidates.append(region)
+        # static region keys — ``min T_j over (region ∩ bounding box)``,
+        # static because Z-regions are disjoint — batched over all
+        # candidates in one kernel call
+        lo, hi = self._box
+        keys = kernels.get_backend().region_min_keys(
+            z_curve,
+            self.tetris_curve,
+            [(region.first, region.last) for region in candidates],
+            lo,
+            hi,
+        )
+        heap: list[tuple[int, int, int, int]] = []
+        for region, key in zip(candidates, keys):
             if key is None:
                 self.stats.regions_skipped += 1
                 continue
-            heapq.heappush(heap, (key, region.first, region.last, region.page_id))
+            heap.append((key, region.first, region.last, region.page_id))
+        heapq.heapify(heap)
         while heap:
             _, first, last, page_id = heapq.heappop(heap)
             yield first, last, page_id, heap[0][0] if heap else None
-
-    def _region_key(self, first: int, last: int) -> int | None:
-        """``min T_j over (region ∩ bounding box)`` — or None if disjoint.
-
-        Static because Z-regions are disjoint: no later retrieval changes
-        which part of the region lies inside the query.
-        """
-        lo, hi = self._box
-        z_curve = self.ubtree.space.z
-        curve = self.tetris_curve
-        best: int | None = None
-        for box_lo, box_hi in z_curve.interval_boxes(first, last):
-            clamped_lo = tuple(max(a, b) for a, b in zip(box_lo, lo))
-            clamped_hi = tuple(min(a, b) for a, b in zip(box_hi, hi))
-            if any(a > b for a, b in zip(clamped_lo, clamped_hi)):
-                continue
-            if isinstance(curve, _FlippedCurve):
-                corner = curve.box_min_corner(clamped_lo, clamped_hi)
-            else:
-                corner = clamped_lo
-            candidate = curve.encode(corner)
-            if best is None or candidate < best:
-                best = candidate
-        return best
 
     # ------------------------------------------------------------------
     # sweep strategy: the paper's event-point loop
@@ -429,7 +419,7 @@ class TetrisScan:
                 clamped_hi = tuple(min(a, b) for a, b in zip(box_hi, hi))
                 if any(a > b for a, b in zip(clamped_lo, clamped_hi)):
                     continue
-                if isinstance(curve, _FlippedCurve):
+                if isinstance(curve, FlippedCurve):
                     min_corner = curve.box_min_corner(clamped_lo, clamped_hi)
                     max_corner = tuple(
                         clamped_lo[d] if d in self.sort_dims else clamped_hi[d]
@@ -440,8 +430,8 @@ class TetrisScan:
                     max_corner = clamped_hi
                 raw.append(
                     (
-                        curve.encode(max_corner),
-                        curve.encode(min_corner),
+                        curve.encode_unchecked(max_corner),
+                        curve.encode_unchecked(min_corner),
                         clamped_lo,
                         clamped_hi,
                     )
@@ -461,12 +451,18 @@ class TetrisScan:
 def tetris_sorted(
     ubtree: UBTree,
     space: QuerySpace,
-    sort_dim: int,
+    sort_dim: "int | Sequence[int]",
     *,
     descending: bool = False,
     strategy: str = "eager",
 ) -> TetrisScan:
-    """Convenience constructor for a :class:`TetrisScan`."""
+    """Convenience constructor for a :class:`TetrisScan`.
+
+    ``sort_dim`` is the index of the sort attribute ``A_j`` — or a
+    sequence of indexes for a composite (multi-column) sort order,
+    lexicographic in the listed attributes with Z-order of the remaining
+    ones as tiebreak (see :meth:`~repro.core.zorder.ZSpace.tetris`).
+    """
     return TetrisScan(
         ubtree, space, sort_dim, descending=descending, strategy=strategy
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Sequence
 
+from .. import kernels
 from ..btree.bptree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.page import Page
@@ -76,11 +77,26 @@ class UBTree:
         UB-Tree would use, yielding fewer, fuller Z-regions than
         insert-driven splitting.  Requires an empty tree.
         """
+        materialized = [(tuple(point), payload) for point, payload in rows]
+        points = [point for point, _ in materialized]
+        kernel = kernels.get_backend()
+        # bulk load is an API boundary: validate the whole column at once
+        # (a box test against the universe) before the unchecked encode
+        dims = self.space.dims
+        if any(len(point) != dims for point in points):
+            bad = next(p for p in points if len(p) != dims)
+            raise ValueError(f"expected {dims} coordinates, got {len(bad)}")
+        lo, hi = self.space.universe_box()
+        if len(kernel.filter_box_batch(lo, hi, points)) != len(points):
+            for point in points:  # re-raise with the scalar error message
+                self.space.z.encode(point)
+        # one batch encode + one stable key sort for the whole dataset
+        # (payloads need not be comparable, so only addresses are keyed)
+        addresses = kernel.encode_batch(self.space.z, points)
         pairs = [
-            (self.space.z_address(point), (tuple(point), payload))
-            for point, payload in rows
+            (addresses[index], materialized[index])
+            for index in kernel.argsort_keys(addresses)
         ]
-        pairs.sort(key=lambda pair: pair[0])  # payloads need not be comparable
         self.tree.bulk_load(pairs, fill=fill)
 
     def point_query(self, point: Sequence[int]) -> list[Any]:

@@ -1,0 +1,183 @@
+"""The batch-kernel backend interface.
+
+A :class:`KernelBackend` supplies the slice-level compute primitives the
+hot paths are written against: encoding a whole column of points into
+curve addresses, filtering a page's worth of points against a query
+space, and sorting key arrays.  Two implementations exist:
+
+* :mod:`repro.kernels.pure` — tuple-at-a-time Python, always available;
+* :mod:`repro.kernels.numpy_backend` — vectorized over NumPy arrays.
+
+Both must be **observationally identical**: same addresses, same
+selected indices in the same order, same (stable) sort permutations.
+The test suite asserts this for randomized curves and workloads, and the
+Tetris sweep relies on it to keep its emitted stream and page access
+order bit-identical regardless of the backend in use.
+
+All batch entry points assume *valid* inputs (coordinates within the
+curve's per-dimension bit lengths); validation stays at API boundaries
+such as :meth:`repro.core.curves.Curve.encode`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.curves import Curve, FlippedCurve
+    from ..core.query_space import QuerySpace
+
+    AnyCurve = Curve | FlippedCurve
+
+
+class KernelBackend:
+    """Batch compute primitives over points, addresses and keys."""
+
+    #: registry name ("python", "numpy")
+    name: str = "abstract"
+
+    def encode_batch(
+        self, curve: "AnyCurve", points: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Curve address of every point, as plain Python ints.
+
+        Coordinates must already be valid for ``curve`` (unchecked fast
+        path).  Accepts plain :class:`~repro.core.curves.Curve` objects
+        and :class:`~repro.core.curves.FlippedCurve` reflections.
+        """
+        raise NotImplementedError
+
+    def decode_batch(
+        self, curve: "AnyCurve", addresses: Sequence[int]
+    ) -> list[tuple[int, ...]]:
+        """Point of every address (inverse of :meth:`encode_batch`)."""
+        raise NotImplementedError
+
+    def filter_box_batch(
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        points: Sequence[Sequence[int]],
+    ) -> list[int]:
+        """Indices (ascending) of the points inside the box ``[lo, hi]``."""
+        raise NotImplementedError
+
+    def filter_space_batch(
+        self, space: "QuerySpace", points: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Indices (ascending) of the points contained in ``space``.
+
+        Must agree exactly with per-point
+        :meth:`~repro.core.query_space.QuerySpace.contains_point`.
+        Backends may vectorize the geometric space types (boxes,
+        attribute comparisons, intersections) and fall back to the
+        per-point test for opaque predicates.
+        """
+        raise NotImplementedError
+
+    def argsort_keys(
+        self, keys: Sequence[Any], *, reverse: bool = False
+    ) -> list[int]:
+        """Stable sort permutation of ``keys``.
+
+        ``[keys[i] for i in argsort_keys(keys)]`` is sorted; ties keep
+        their original relative order even with ``reverse=True``
+        (matching ``list.sort(reverse=True)``).  Keys are typically curve
+        addresses (ints) or composite-key tuples, but any totally
+        ordered values must work.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # fused compound kernels (one call per page / per region batch)
+    # ------------------------------------------------------------------
+    def page_entries(
+        self,
+        curve: "AnyCurve",
+        space: "QuerySpace",
+        points: Sequence[Sequence[int]],
+        base: int = 0,
+    ) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
+        """Filter, key and sort one page's worth of points in one call.
+
+        Returns ``(count, selected, entries)``: ``selected`` holds the
+        qualifying point indices in ascending (arrival) order, and each
+        entry is a ``[key, order]`` pair — ``key`` the curve address of
+        the qualifying point, ``order = base + arrival_rank`` its global
+        arrival number.  Entries are sorted by ``(key, order)``, so the
+        Tetris sweep can splice them into its cache directly; orders are
+        unique across calls when ``base`` advances by ``count`` each
+        time, which makes the entry ordering total.  Vectorized backends
+        override this to convert the page to an array exactly once.
+        """
+        selected = self.filter_space_batch(space, points)
+        if not selected:
+            return 0, [], []
+        keys = self.encode_batch(curve, [points[index] for index in selected])
+        entries = [
+            [keys[rank], base + rank] for rank in self.argsort_keys(keys)
+        ]
+        return len(selected), selected, entries
+
+    def scan_page(
+        self, curve: "AnyCurve", space: "QuerySpace", page: Any, base: int = 0
+    ) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
+        """:meth:`page_entries` over a storage page's records.
+
+        ``page`` is a :class:`~repro.storage.page.Page` whose records are
+        ``(z_address, (point, payload))`` pairs — the UB-Tree Z-region
+        layout the Tetris sweep reads.  Backends may memoize derived
+        per-page state (e.g. a columnar array view) keyed on the page's
+        ``version`` counter, which the storage layer bumps on every
+        record mutation.
+        """
+        points = [record[1][0] for record in page.records]
+        return self.page_entries(curve, space, points, base)
+
+    def region_min_keys(
+        self,
+        z_curve: "Curve",
+        sort_curve: "AnyCurve",
+        intervals: Sequence[tuple[int, int]],
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> "list[int | None]":
+        """``min sort_curve-address over (interval ∩ [lo, hi])`` per interval.
+
+        Each interval is a Z-address range ``(first, last)`` on
+        ``z_curve`` (a Z-region); the result entry is ``None`` when the
+        interval's geometry is disjoint from the box.  This is the eager
+        Tetris strategy's static region keying, batched over all
+        candidate regions at once: every interval decomposes into
+        aligned boxes, each box is clamped to ``[lo, hi]``, and the
+        minimum ``sort_curve`` address of a surviving box is attained at
+        a corner (monotonicity).
+        """
+        # per-interval corner collection is shared; encoding is batched
+        corners: list[Sequence[int]] = []
+        counts: list[int] = []
+        min_corner = getattr(sort_curve, "box_min_corner", None)
+        for first, last in intervals:
+            filled = len(corners)
+            for box_lo, box_hi in z_curve.interval_boxes(first, last):
+                clamped_lo = tuple(max(a, b) for a, b in zip(box_lo, lo))
+                clamped_hi = tuple(min(a, b) for a, b in zip(box_hi, hi))
+                if any(a > b for a, b in zip(clamped_lo, clamped_hi)):
+                    continue
+                corners.append(
+                    min_corner(clamped_lo, clamped_hi)
+                    if min_corner is not None
+                    else clamped_lo
+                )
+            counts.append(len(corners) - filled)
+        keys = self.encode_batch(sort_curve, corners)
+        result: "list[int | None]" = []
+        position = 0
+        for count in counts:
+            block = keys[position : position + count]
+            position += count
+            result.append(min(block) if block else None)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelBackend {self.name}>"

@@ -1,0 +1,406 @@
+"""NumPy kernel backend: vectorized batch primitives.
+
+The scalar :class:`~repro.core.curves.Curve` already encodes through
+byte-chunked lookup tables; this backend lifts those same tables into
+``uint64`` NumPy arrays and applies them to whole columns at once — one
+fancy-indexing gather per (dimension, byte chunk) instead of a Python
+loop per tuple.  Filtering compares entire coordinate columns, and key
+sorts use NumPy's stable ``argsort`` / ``lexsort``.
+
+Addresses are carried as ``uint64``, so curves wider than 64 bits (or
+key values outside the ``uint64`` / ``int64`` range) transparently fall
+back to the pure-Python backend for that call — correctness never
+depends on vectorizability.  All results are converted back to plain
+Python ints, so downstream consumers (heap barriers, B-tree keys,
+pickled pages) see exactly what the pure backend produces.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.curves import Curve, FlippedCurve
+from ..core.query_space import (
+    ComparisonSpace,
+    IntersectionSpace,
+    QueryBox,
+    QuerySpace,
+)
+from .pure import PurePythonBackend
+
+_U64 = np.uint64
+_BYTE = _U64(0xFF)
+
+_NP_COMPARATORS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+class _PagePoints:
+    """Lazy point view of a Z-region page's records.
+
+    Vectorized space tests never touch it; only the per-point fallback
+    for opaque predicates indexes it, so the point list is not
+    materialized on the fast path.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records) -> None:
+        self._records = records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index][1][0]
+
+
+class _CurveTables:
+    """The byte-chunk lookup tables of one curve, as uint64 arrays."""
+
+    __slots__ = ("encode", "decode", "coord_max", "suffix_masks")
+
+    def __init__(self, curve: Curve) -> None:
+        #: per dimension: array (chunk_count, 256) of address contributions
+        self.encode = [
+            np.array(dim_tables, dtype=_U64)
+            for dim_tables in curve._encode_tables.tables
+        ]
+        #: array (chunk_count, 256, dims) of coordinate contributions
+        self.decode = np.array(curve._decode_tables.chunks, dtype=_U64)
+        self.coord_max = np.array(curve.coord_max, dtype=_U64)
+        #: array (total_bits + 1, dims): coordinate bits freed by the k
+        #: least significant schedule positions (aligned-block hi corners)
+        self.suffix_masks = np.array(curve._suffix_masks, dtype=_U64)
+
+
+class NumPyBackend(PurePythonBackend):
+    """Vectorized batch primitives (inherits pure loops as fallbacks)."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._tables: "weakref.WeakKeyDictionary[Curve, _CurveTables | None]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # per-QueryBox bound arrays: a scan tests the same box against
+        # every page, so the conversion must not repeat per call
+        self._boxes: "weakref.WeakKeyDictionary[QueryBox, tuple | None]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # columnar cache: the uint64 coordinate matrix of a Z-region
+        # page, keyed by the page's mutation version.  Repeated scans
+        # over the same relation (the common OLAP pattern) then skip the
+        # Python-tuple → array conversion entirely.
+        self._columns: "weakref.WeakKeyDictionary[Any, tuple]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def _box_arrays(self, space: QueryBox) -> "tuple | None":
+        arrays = self._boxes.get(space, False)
+        if arrays is False:
+            try:
+                arrays = (
+                    np.asarray(space.lo, dtype=_U64),
+                    np.asarray(space.hi, dtype=_U64),
+                )
+            except (OverflowError, ValueError, TypeError):
+                arrays = None
+            self._boxes[space] = arrays
+        return arrays
+
+    # ------------------------------------------------------------------
+    # per-curve table preparation
+    # ------------------------------------------------------------------
+    def _tables_for(self, curve: Curve) -> _CurveTables | None:
+        tables = self._tables.get(curve, False)
+        if tables is False:
+            # uint64 addresses cap the vectorizable width at 64 bits
+            tables = _CurveTables(curve) if curve.total_bits <= 64 else None
+            self._tables[curve] = tables
+        return tables
+
+    @staticmethod
+    def _unwrap(curve: "Curve | FlippedCurve") -> tuple[Curve, frozenset[int]]:
+        if isinstance(curve, FlippedCurve):
+            return curve.base_curve, curve.flip_dims
+        return curve, frozenset()
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_columns(tables: _CurveTables, columns: "np.ndarray") -> "np.ndarray":
+        """Addresses of a (n, dims) coordinate array (already reflected)."""
+        addresses = np.zeros(len(columns), dtype=_U64)
+        for dim, dim_tables in enumerate(tables.encode):
+            column = columns[:, dim]
+            for chunk in range(dim_tables.shape[0]):
+                addresses |= dim_tables[chunk][
+                    (column >> _U64(8 * chunk)) & _BYTE
+                ]
+        return addresses
+
+    @staticmethod
+    def _decode_addresses(tables: _CurveTables, packed: "np.ndarray") -> "np.ndarray":
+        """(n, dims) coordinate array of an address vector (no reflection)."""
+        coords = np.zeros((len(packed), len(tables.coord_max)), dtype=_U64)
+        for chunk in range(tables.decode.shape[0]):
+            coords |= tables.decode[chunk][(packed >> _U64(8 * chunk)) & _BYTE]
+        return coords
+
+    def encode_batch(self, curve, points):
+        if not len(points):
+            return []
+        base, flip = self._unwrap(curve)
+        tables = self._tables_for(base)
+        if tables is None:
+            return super().encode_batch(curve, points)
+        columns = np.asarray(points, dtype=_U64)
+        if flip:
+            columns = columns.copy() if columns is points else columns
+            for dim in flip:
+                columns[:, dim] = tables.coord_max[dim] - columns[:, dim]
+        return self._encode_columns(tables, columns).tolist()
+
+    def decode_batch(self, curve, addresses):
+        if not len(addresses):
+            return []
+        base, flip = self._unwrap(curve)
+        tables = self._tables_for(base)
+        if tables is None:
+            return super().decode_batch(curve, addresses)
+        packed = np.asarray(addresses, dtype=_U64)
+        coords = self._decode_addresses(tables, packed)
+        for dim in flip:
+            coords[:, dim] = tables.coord_max[dim] - coords[:, dim]
+        return [tuple(row) for row in coords.tolist()]
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def filter_box_batch(self, lo, hi, points):
+        if not len(points):
+            return []
+        try:
+            columns = np.asarray(points, dtype=_U64)
+            lo_arr = np.asarray(lo, dtype=_U64)
+            hi_arr = np.asarray(hi, dtype=_U64)
+        except (OverflowError, ValueError, TypeError):
+            return super().filter_box_batch(lo, hi, points)
+        mask = ((columns >= lo_arr) & (columns <= hi_arr)).all(axis=1)
+        return np.nonzero(mask)[0].tolist()
+
+    def filter_space_batch(self, space: QuerySpace, points):
+        if not len(points):
+            return []
+        try:
+            columns = np.asarray(points, dtype=_U64)
+        except (OverflowError, ValueError, TypeError):
+            return super().filter_space_batch(space, points)
+        mask = np.ones(len(points), dtype=bool)
+        self._mask_space(space, columns, points, mask)
+        return np.nonzero(mask)[0].tolist()
+
+    def _mask_space(
+        self,
+        space: QuerySpace,
+        columns: "np.ndarray",
+        points,
+        mask: "np.ndarray",
+    ) -> None:
+        """AND ``space`` membership into ``mask`` (vectorized per part)."""
+        if isinstance(space, QueryBox):
+            arrays = self._box_arrays(space)
+            if arrays is None:
+                self._mask_pointwise(space, points, mask)
+                return
+            lo_arr, hi_arr = arrays
+            mask &= ((columns >= lo_arr) & (columns <= hi_arr)).all(axis=1)
+        elif isinstance(space, ComparisonSpace):
+            compare = _NP_COMPARATORS[space.op]
+            mask &= compare(columns[:, space.left_dim], columns[:, space.right_dim])
+        elif isinstance(space, IntersectionSpace):
+            for part in space.parts:
+                if not mask.any():
+                    return
+                self._mask_space(part, columns, points, mask)
+        else:
+            # opaque predicate (PredicateSpace etc.): per-point test, but
+            # only on the still-surviving candidates
+            self._mask_pointwise(space, points, mask)
+
+    @staticmethod
+    def _mask_pointwise(space: QuerySpace, points, mask: "np.ndarray") -> None:
+        contains = space.contains_point
+        for index in np.nonzero(mask)[0]:
+            if not contains(points[index]):
+                mask[index] = False
+
+    # ------------------------------------------------------------------
+    # sorting
+    # ------------------------------------------------------------------
+    def argsort_keys(self, keys: Sequence[Any], *, reverse: bool = False):
+        if not len(keys):
+            return []
+        try:
+            array = np.asarray(keys)
+        except (OverflowError, ValueError, TypeError):
+            return super().argsort_keys(keys, reverse=reverse)
+        if not np.issubdtype(array.dtype, np.integer):
+            # floats, strings, objects, mixed tuples: Python semantics win
+            return super().argsort_keys(keys, reverse=reverse)
+        if reverse:
+            # ~k is strictly decreasing in k for any integer dtype, so a
+            # stable ascending sort of ~keys is a stable descending sort
+            # of keys (ties keep original order, like list.sort).
+            array = ~array
+        if array.ndim == 1:
+            return np.argsort(array, kind="stable").tolist()
+        if array.ndim == 2:
+            # composite keys: lexsort is stable, last key is primary
+            return np.lexsort(array.T[::-1]).tolist()
+        return super().argsort_keys(keys, reverse=reverse)
+
+    # ------------------------------------------------------------------
+    # fused compound kernels
+    # ------------------------------------------------------------------
+    def page_entries(self, curve, space, points, base=0):
+        """Filter + key + sort one page with a single array conversion."""
+        if not len(points):
+            return 0, [], []
+        base_curve, flip = self._unwrap(curve)
+        tables = self._tables_for(base_curve)
+        if tables is None:
+            return super().page_entries(curve, space, points, base)
+        try:
+            columns = np.asarray(points, dtype=_U64)
+        except (OverflowError, ValueError, TypeError):
+            return super().page_entries(curve, space, points, base)
+        return self._entries_from_columns(
+            tables, flip, space, columns, points, base
+        )
+
+    def _entries_from_columns(self, tables, flip, space, columns, points, base):
+        """Shared tail of :meth:`page_entries` / :meth:`scan_page`."""
+        mask = np.ones(len(columns), dtype=bool)
+        self._mask_space(space, columns, points, mask)
+        selected = np.nonzero(mask)[0]
+        if not selected.size:
+            return 0, [], []
+        chosen = columns[selected]  # fancy index copies: in-place flip is safe
+        for dim in flip:
+            chosen[:, dim] = tables.coord_max[dim] - chosen[:, dim]
+        keys = self._encode_columns(tables, chosen)
+        perm = np.argsort(keys, kind="stable")
+        entries = np.stack(
+            (keys[perm], perm.astype(_U64) + _U64(base)), axis=1
+        ).tolist()
+        return int(selected.size), selected.tolist(), entries
+
+    def _page_columns(self, page) -> "np.ndarray | None":
+        """The page's points as a cached (records, dims) uint64 matrix."""
+        cached = self._columns.get(page)
+        version = page.version
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        records = page.records
+        try:
+            # Z-region records are (z_address, (point, payload)); every
+            # stored point passed checked encoding, so the coordinate
+            # count and ranges are valid by construction and the flat
+            # fill cannot misalign
+            flat = np.fromiter(
+                (
+                    coordinate
+                    for _, (point, _) in records
+                    for coordinate in point
+                ),
+                dtype=_U64,
+            )
+            columns = flat.reshape(len(records), -1) if len(records) else None
+        except (OverflowError, ValueError, TypeError):
+            columns = None
+        try:
+            self._columns[page] = (version, columns)
+        except TypeError:  # pragma: no cover - non-weakref page stand-ins
+            pass
+        return columns
+
+    def scan_page(self, curve, space, page, base=0):
+        """Fused page kernel over the memoized columnar view."""
+        records = page.records
+        if not records:
+            return 0, [], []
+        base_curve, flip = self._unwrap(curve)
+        tables = self._tables_for(base_curve)
+        if tables is None:
+            return super().scan_page(curve, space, page, base)
+        columns = self._page_columns(page)
+        if columns is None or columns.shape[1] != base_curve.dims:
+            return super().scan_page(curve, space, page, base)
+        points = _PagePoints(records)  # materialized only by opaque spaces
+        return self._entries_from_columns(
+            tables, flip, space, columns, points, base
+        )
+
+    def region_min_keys(self, z_curve, sort_curve, intervals, lo, hi):
+        """Batched region keying: decode, clamp and encode all aligned
+        blocks of all intervals in one vectorized pass."""
+        if not intervals:
+            return []
+        base_sort, flip = self._unwrap(sort_curve)
+        z_tables = self._tables_for(z_curve)
+        sort_tables = self._tables_for(base_sort)
+        if z_tables is None or sort_tables is None:
+            return super().region_min_keys(z_curve, sort_curve, intervals, lo, hi)
+
+        # enumerating the aligned blocks is cheap bit arithmetic; decode,
+        # clamp and encode over the flattened block list are vectorized
+        positions: list[int] = []
+        sizes: list[int] = []
+        counts: list[int] = []
+        for first, last in intervals:
+            filled = len(positions)
+            for position, k in z_curve.interval_blocks(first, last):
+                positions.append(position)
+                sizes.append(k)
+            counts.append(len(positions) - filled)
+        if min(counts) == 0:  # empty interval: segment reduce needs >= 1 each
+            return super().region_min_keys(z_curve, sort_curve, intervals, lo, hi)
+
+        los = self._decode_addresses(z_tables, np.asarray(positions, dtype=_U64))
+        his = los | z_tables.suffix_masks[np.asarray(sizes)]
+        lo_arr = np.asarray(lo, dtype=_U64)
+        hi_arr = np.asarray(hi, dtype=_U64)
+        clamped_lo = np.maximum(los, lo_arr)
+        clamped_hi = np.minimum(his, hi_arr)
+        valid = (clamped_lo <= clamped_hi).all(axis=1)
+
+        # the minimal sort-curve address of a box sits at the corner that
+        # takes hi in flipped dimensions; encoding through the base curve
+        # reflects those coordinates (coord_max - hi), lo elsewhere
+        if flip:
+            corners = clamped_lo.copy()
+            for dim in flip:
+                corners[:, dim] = sort_tables.coord_max[dim] - clamped_hi[:, dim]
+        else:
+            corners = clamped_lo
+        keys = self._encode_columns(sort_tables, corners)
+        keys[~valid] = np.iinfo(_U64).max  # never the min unless it is real
+
+        offsets = np.zeros(len(counts), dtype=np.intp)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        minima = np.minimum.reduceat(keys, offsets)
+        any_valid = np.bitwise_or.reduceat(valid, offsets)
+        return [
+            int(key) if ok else None
+            for key, ok in zip(minima.tolist(), any_valid.tolist())
+        ]

@@ -1,0 +1,68 @@
+"""Pure-Python kernel backend: the always-available fallback.
+
+Tuple-at-a-time loops over the same byte-chunked lookup tables the
+scalar :class:`~repro.core.curves.Curve` API uses.  This is the
+reference semantics the NumPy backend must reproduce bit-for-bit; it is
+also what runs when NumPy is not installed (the package keeps the
+standard library as its only hard dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.query_space import (
+    ComparisonSpace,
+    IntersectionSpace,
+    QueryBox,
+    QuerySpace,
+)
+from .base import KernelBackend
+
+
+class PurePythonBackend(KernelBackend):
+    """Batch primitives implemented as plain Python loops."""
+
+    name = "python"
+
+    def encode_batch(self, curve, points):
+        encode = curve.encode_unchecked
+        return [encode(point) for point in points]
+
+    def decode_batch(self, curve, addresses):
+        decode = curve.decode
+        return [decode(address) for address in addresses]
+
+    def filter_box_batch(self, lo, hi, points):
+        return [
+            index
+            for index, point in enumerate(points)
+            if all(l <= x <= h for x, l, h in zip(point, lo, hi))
+        ]
+
+    def filter_space_batch(self, space: QuerySpace, points):
+        # QueryBox is by far the most common space; inlining its bounds
+        # avoids a method call per tuple.
+        if isinstance(space, QueryBox):
+            return self.filter_box_batch(space.lo, space.hi, points)
+        if isinstance(space, ComparisonSpace):
+            cmp = space._cmp
+            left, right = space.left_dim, space.right_dim
+            return [
+                index
+                for index, point in enumerate(points)
+                if cmp(point[left], point[right])
+            ]
+        if isinstance(space, IntersectionSpace):
+            selected = range(len(points))
+            for part in space.parts:
+                if not selected:
+                    break
+                kept = self.filter_space_batch(part, [points[i] for i in selected])
+                selected = [selected[i] for i in kept]
+            return list(selected)
+        contains = space.contains_point
+        return [index for index, point in enumerate(points) if contains(point)]
+
+    def argsort_keys(self, keys: Sequence[Any], *, reverse: bool = False):
+        return sorted(range(len(keys)), key=keys.__getitem__, reverse=reverse)

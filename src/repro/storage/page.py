@@ -29,13 +29,16 @@ class Page:
         pages may pass ``capacity=0`` and never touch ``records``.
     """
 
-    __slots__ = ("page_id", "capacity", "records", "payload")
+    __slots__ = ("page_id", "capacity", "records", "payload", "version", "__weakref__")
 
     def __init__(self, page_id: int, capacity: int) -> None:
         self.page_id = page_id
         self.capacity = capacity
         self.records: list[Any] = []
         self.payload: Any = None
+        #: bumped on every record mutation; derived views of the page
+        #: (e.g. the NumPy kernel backend's columnar cache) key on it
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -58,6 +61,7 @@ class Page:
                 f"page {self.page_id} is full ({self.capacity} records)"
             )
         self.records.append(record)
+        self.version += 1
 
     def extend(self, records: Iterable[Any]) -> None:
         for record in records:
@@ -65,6 +69,7 @@ class Page:
 
     def clear(self) -> None:
         self.records.clear()
+        self.version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Page(id={self.page_id}, {len(self.records)}/{self.capacity} records)"
