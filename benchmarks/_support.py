@@ -15,6 +15,26 @@ from typing import Sequence
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def ensure_checks_disabled() -> None:
+    """Refuse to time anything while invariant checking is on.
+
+    ``REPRO_CHECKS=1`` re-validates structures inside the hot paths and
+    re-runs page kernels on the second backend; numbers measured that
+    way are debug-mode numbers and must never land in a report or in
+    ``BENCH_cpu.json``.
+    """
+    from repro import invariants
+
+    if invariants.enabled():
+        raise RuntimeError(
+            "benchmarks must run with invariant checks disabled "
+            "(unset REPRO_CHECKS); checks-on timings are not comparable"
+        )
+
+
+ensure_checks_disabled()
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Fixed-width text table."""
     columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]

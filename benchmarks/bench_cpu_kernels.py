@@ -32,7 +32,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
-from repro import kernels
+from repro import invariants, kernels
 from repro.core.curves import Curve
 from repro.core.query_space import QueryBox
 from repro.core.tetris import tetris_sorted
@@ -173,6 +173,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="where to write the JSON report (default: repo root)",
     )
     args = parser.parse_args(argv)
+
+    if invariants.enabled():
+        raise RuntimeError(
+            "benchmarks must run with invariant checks disabled "
+            "(unset REPRO_CHECKS); checks-on timings are not comparable"
+        )
 
     kernel_count = 10_000 if args.quick else 100_000
     scan_tuples = 10_000 if args.quick else 100_000

@@ -30,6 +30,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort
 from typing import Any, Iterator
 
+from .. import invariants
 from ..storage.buffer import BufferPool
 from ..storage.page import Page
 
@@ -143,13 +144,18 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def insert(self, key: Any, value: Any) -> None:
         """Insert one record (duplicates allowed)."""
-        leaf_id, _, _, path = self._locate(key, want_path=True)
+        leaf_id, low, high, path = self._locate(key, want_path=True)
         leaf = self.disk.peek(leaf_id)  # load phase: not a priced access
         insort(leaf.records, (key, value), key=lambda r: r[0])
         leaf.version += 1
         self.record_count += 1
         if len(leaf.records) > self.leaf_capacity:
             self._split_leaf(leaf, path)
+            # a split moves the leaf's upper records into a new sibling,
+            # so only the lower separator bound still applies here
+            high = None
+        if invariants.enabled():
+            invariants.validate_leaf(self, leaf, low, high)
 
     def _split_leaf(self, leaf: Page, path: list[tuple[Page, int]]) -> None:
         split = self._split_index([r[0] for r in leaf.records])
@@ -250,16 +256,19 @@ class BPlusTree:
         level = [(leaf.records[-1][0], leaf.page_id) for leaf in leaves]
         while len(level) > 1:
             next_level: list[tuple[Any, int]] = []
-            for chunk_start in range(0, len(level), self.fanout + 1):
-                chunk = level[chunk_start : chunk_start + self.fanout + 1]
-                if len(chunk) == 1 and next_level:
-                    # fold a lone trailing child into the previous node
-                    prev_key, prev_id = next_level[-1]
-                    prev_node: _InnerNode = self.disk.peek(prev_id).payload
-                    prev_node.keys.append(prev_key)
-                    prev_node.children.append(chunk[0][1])
-                    next_level[-1] = (chunk[0][0], prev_id)
-                    continue
+            step = self.fanout + 1
+            starts = list(range(0, len(level), step))
+            if len(starts) > 1 and len(level) - starts[-1] == 1:
+                # a lone trailing child cannot form a node on its own;
+                # steal a sibling from the previous chunk rather than
+                # folding the child into it, which would push that node
+                # to fanout + 1 separators
+                starts[-1] -= 1
+            for index, chunk_start in enumerate(starts):
+                chunk_end = (
+                    starts[index + 1] if index + 1 < len(starts) else len(level)
+                )
+                chunk = level[chunk_start:chunk_end]
                 keys = [max_key for max_key, _ in chunk[:-1]]
                 children = [page_id for _, page_id in chunk]
                 node = self._new_inner(keys, children)
@@ -268,13 +277,15 @@ class BPlusTree:
             self.height += 1
         self.root_id = level[0][1]
         self.disk.free(old_root)
+        if invariants.enabled():
+            invariants.validate_bptree(self)
 
     def delete(self, key: Any, value: Any = None) -> bool:
         """Remove the first record matching ``key`` (and ``value`` if given).
 
         Returns whether a record was removed.  Pages are never merged.
         """
-        leaf_id, _, _, _ = self._locate(key)
+        leaf_id, low, high, _ = self._locate(key)
         leaf = self.disk.peek(leaf_id)
         keys = [r[0] for r in leaf.records]
         idx = bisect_left(keys, key)
@@ -283,6 +294,8 @@ class BPlusTree:
                 del leaf.records[idx]
                 leaf.version += 1
                 self.record_count -= 1
+                if invariants.enabled():
+                    invariants.validate_leaf(self, leaf, low, high)
                 return True
             idx += 1
         return False
@@ -349,38 +362,10 @@ class BPlusTree:
     # diagnostics
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Validate ordering and separator containment (tests only)."""
-        self._check_node(self.root_id, None, None)
-        previous: Any = None
-        count = 0
-        for leaf in self.iterate_leaves(charge=False):
-            for key, _ in leaf.records:
-                if previous is not None and key < previous:
-                    raise AssertionError("leaf chain out of order")
-                previous = key
-                count += 1
-        if count != self.record_count:
-            raise AssertionError(
-                f"leaf chain holds {count} records, expected {self.record_count}"
-            )
+        """Validate the full tree contract (delegates to the invariant
+        layer; see :func:`repro.invariants.validate_bptree`).
 
-    def _check_node(self, page_id: int, low: Any, high: Any) -> None:
-        page = self.disk.peek(page_id)
-        if self._is_leaf(page):
-            keys = [r[0] for r in page.records]
-            if keys != sorted(keys):
-                raise AssertionError("leaf records out of order")
-            for key in keys:
-                if low is not None and key <= low:
-                    raise AssertionError("leaf key below separator bound")
-                if high is not None and key > high:
-                    raise AssertionError("leaf key above separator bound")
-            return
-        node: _InnerNode = page.payload
-        if node.keys != sorted(node.keys):
-            raise AssertionError("inner keys out of order")
-        if len(node.children) != len(node.keys) + 1:
-            raise AssertionError("inner node arity mismatch")
-        bounds = [low, *node.keys, high]
-        for idx, child in enumerate(node.children):
-            self._check_node(child, bounds[idx], bounds[idx + 1])
+        Runs unconditionally — this is the explicit debug entry point,
+        independent of the ``REPRO_CHECKS`` gate.
+        """
+        invariants.validate_bptree(self)

@@ -44,7 +44,7 @@ from typing import Any, Iterator, Sequence
 
 # module import (not ``from ..kernels import get_backend``): kernels and
 # core import each other, so the attribute must resolve at call time
-from .. import kernels
+from .. import invariants, kernels
 from .curves import Curve, FlippedCurve
 from .intervals import IntervalSet
 from .query_space import QueryBox, QuerySpace, box_is_empty
@@ -210,6 +210,13 @@ class TetrisScan:
         pending_count = 0
         #: (point, payload) of every qualifying tuple, by arrival order
         arrivals: list[SortedTuple] = []
+        # with REPRO_CHECKS=1: validate the emitted stream (membership +
+        # monotonicity) and re-run every page kernel on the other backend
+        stream_checker = (
+            invariants.StreamChecker(self.sort_dims, self.descending, space)
+            if invariants.enabled()
+            else None
+        )
 
         for first, last, page_id, barrier in regions:
             page = buffer.get(page_id, category=self.ubtree.category)
@@ -220,9 +227,12 @@ class TetrisScan:
             # against the query space, key the survivors on the Tetris
             # curve, and sort the batch — arrival order breaks key ties
             # exactly like the per-tuple heap pushes used to
-            count, selected, entries = kernel.scan_page(
-                curve, space, page, len(arrivals)
-            )
+            base = len(arrivals)
+            count, selected, entries = kernel.scan_page(curve, space, page, base)
+            if stream_checker is not None:
+                invariants.spot_check_scan_page(
+                    kernel, curve, space, page, base, (count, selected, entries)
+                )
             if count:
                 records = page.records
                 arrivals.extend(records[index][1] for index in selected)
@@ -263,6 +273,8 @@ class TetrisScan:
                     stats.first_output_clock = disk.clock
                 stats.tuples_output += 1
                 stats.end_clock = disk.clock
+                if stream_checker is not None:
+                    stream_checker.observe(arrivals[position][0])
                 yield arrivals[position]
             stats.slices += 1
 
@@ -275,6 +287,8 @@ class TetrisScan:
             if stats.first_output_clock is None:
                 stats.first_output_clock = disk.clock
             stats.tuples_output += 1
+            if stream_checker is not None:
+                stream_checker.observe(arrivals[position][0])
             yield arrivals[position]
         stats.end_clock = disk.clock
 

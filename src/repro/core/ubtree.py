@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Sequence
 
-from .. import kernels
+from .. import invariants, kernels
 from ..btree.bptree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.page import Page
@@ -61,6 +61,12 @@ class UBTree:
     def insert(self, point: Sequence[int], payload: Any = None) -> None:
         """Insert a tuple located at ``point`` carrying ``payload``."""
         z_address = self.space.z_address(point)
+        if invariants.enabled():
+            invariants.check(
+                self.space.z.decode(z_address) == tuple(point),
+                f"Z-address {z_address} does not decode back to {point}; "
+                "curve encode/decode are no longer inverses",
+            )
         self.tree.insert(z_address, (tuple(point), payload))
 
     def load(self, rows: Iterable[tuple[Sequence[int], Any]]) -> None:
@@ -98,6 +104,8 @@ class UBTree:
             for index in kernel.argsort_keys(addresses)
         ]
         self.tree.bulk_load(pairs, fill=fill)
+        if invariants.enabled():
+            invariants.validate_ubtree(self)
 
     def point_query(self, point: Sequence[int]) -> list[Any]:
         """Payloads of all tuples stored exactly at ``point``."""
@@ -189,36 +197,29 @@ class UBTree:
         This is the multi-attribute restriction algorithm used for TPC-D
         Q6: jump along the Z-curve with BIGMIN, read every overlapping
         region page once (a random access each), and filter the page's
-        tuples against the exact predicate.
+        tuples against the exact predicate.  Filtering runs through the
+        batch kernel layer (one ``filter_space_page`` call per page), so
+        the vectorized backend evaluates the predicate over the whole
+        page at once instead of tuple at a time.
         """
         buffer = self.tree.buffer
+        kernel = kernels.get_backend()
         for region in self.regions_overlapping(space):
             page = buffer.get(region.page_id, category=self.category)
-            for _, (point, payload) in page.records:
-                if space.contains_point(point):
-                    yield point, payload
+            records = page.records
+            for index in kernel.filter_space_page(space, page):
+                point, payload = records[index][1]
+                yield point, payload
 
     def range_count(self, space: QuerySpace) -> int:
         """Number of qualifying tuples (convenience for tests)."""
         return sum(1 for _ in self.range_query(space))
 
     def check_invariants(self) -> None:
-        """Structural validation plus region/page bijection (tests only)."""
-        self.tree.check_invariants()
-        total = 0
-        previous_last = -1
-        for region in self.regions():
-            if region.first != previous_last + 1:
-                raise AssertionError("Z-regions do not tile the universe")
-            previous_last = region.last
-            page = self.tree.buffer.disk.peek(region.page_id)
-            for z_address, (point, _) in page.records:
-                if not region.contains(z_address):
-                    raise AssertionError("tuple outside its Z-region")
-                if self.space.z_address(point) != z_address:
-                    raise AssertionError("stored Z-address inconsistent with point")
-                total += 1
-        if previous_last != self.space.address_max:
-            raise AssertionError("Z-regions do not cover the universe")
-        if total != len(self):
-            raise AssertionError("record count mismatch")
+        """Structural validation plus region/page bijection.
+
+        Delegates to :func:`repro.invariants.validate_ubtree`; runs
+        unconditionally — this is the explicit debug entry point,
+        independent of the ``REPRO_CHECKS`` gate.
+        """
+        invariants.validate_ubtree(self)

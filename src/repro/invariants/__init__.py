@@ -1,0 +1,114 @@
+"""Runtime contract layer: the engine's invariants as executable checks.
+
+The paper states correctness properties the code must uphold — Z-regions
+partition the universe disjointly (Section 3.3), the Tetris sweep emits
+tuples in nondecreasing sort-key order (Section 3.1), each overlapping
+page is read exactly once — and the engine adds its own: B+-tree
+structure, buffer-pool accounting, and observational identity of the two
+kernel backends.  This package turns those contracts into validators
+that run *inside* the engine when ``REPRO_CHECKS=1`` is set, and cost
+one cheap boolean test per call site when disabled.
+
+Gate
+----
+``enabled()`` is the single gate every call site consults::
+
+    from .. import invariants
+    ...
+    if invariants.enabled():
+        invariants.validate_bptree(self)
+
+The flag is read once from the environment at import; tests flip it
+programmatically with :func:`set_enabled` or the :func:`checks` context
+manager.  Validators raise :class:`InvariantViolation` (a subclass of
+``AssertionError`` for compatibility with older callers) and are *never*
+stripped by ``python -O`` — that is the point: ``reprolint`` rule R005
+bans bare ``assert`` for data-dependent invariants, and this layer is
+the sanctioned replacement.
+
+Validators
+----------
+* :func:`validate_bptree` / :func:`validate_leaf` — key ordering,
+  separator containment, arity, balance, occupancy, leaf-chain
+  completeness (:mod:`repro.invariants.structural`).
+* :func:`validate_ubtree` — Z-region disjointness and coverage of the
+  universe, stored-address consistency, record-count bijection.
+* :func:`validate_buffer_pool` — hit/miss/lookup accounting, dirty-set
+  ⊆ frames, frame count ≤ capacity (:mod:`repro.invariants.accounting`).
+* :class:`StreamChecker` — Tetris output monotonicity in the sort
+  dimension(s) and query-space membership
+  (:mod:`repro.invariants.streams`).
+* :func:`spot_check_scan_page` — re-runs a page kernel on the *other*
+  backend and compares results (:mod:`repro.invariants.parity`).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, TypeVar
+
+from .accounting import validate_buffer_pool
+from .errors import InvariantViolation, check
+from .parity import spot_check_scan_page
+from .streams import StreamChecker
+from .structural import validate_bptree, validate_leaf, validate_ubtree
+
+__all__ = [
+    "InvariantViolation",
+    "StreamChecker",
+    "check",
+    "checks",
+    "enabled",
+    "require_instance",
+    "set_enabled",
+    "spot_check_scan_page",
+    "validate_bptree",
+    "validate_buffer_pool",
+    "validate_leaf",
+    "validate_ubtree",
+]
+
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+_enabled: bool = os.environ.get("REPRO_CHECKS", "").strip().lower() in _TRUTHY
+
+
+def enabled() -> bool:
+    """Whether runtime invariant checking is on (``REPRO_CHECKS=1``)."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Turn checking on/off programmatically; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def checks(flag: bool = True) -> Iterator[None]:
+    """Temporarily enable (or disable) invariant checking."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+_T = TypeVar("_T")
+
+
+def require_instance(obj: Any, cls: type[_T], context: str) -> _T:
+    """``obj`` narrowed to ``cls``, or a ``TypeError`` naming the contract.
+
+    The explicit replacement for dispatch-guard ``assert isinstance``
+    statements (reprolint R005): survives ``python -O`` and tells the
+    caller which plan/operator contract was broken.
+    """
+    if not isinstance(obj, cls):
+        raise TypeError(
+            f"{context} requires a {cls.__name__}, got {type(obj).__name__}"
+        )
+    return obj

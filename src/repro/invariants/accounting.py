@@ -1,0 +1,44 @@
+"""Buffer-pool accounting invariants.
+
+The experiments' I/O numbers are only as trustworthy as the buffer
+pool's bookkeeping: every lookup must be classified as exactly one hit
+or miss, every miss must correspond to one disk fetch issued by the
+pool, dirty pages must still be resident, and the pool must never hold
+more frames than its capacity.  :class:`repro.storage.buffer.BufferPool`
+maintains the ``lookups`` / ``disk_fetches`` shadow counters this
+validator cross-checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errors import check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..storage.buffer import BufferPool
+
+
+def validate_buffer_pool(pool: "BufferPool") -> None:
+    """O(dirty-set) accounting contract of one buffer pool."""
+    check(
+        pool.hits + pool.misses == pool.lookups,
+        f"buffer accounting broken: {pool.hits} hits + {pool.misses} misses "
+        f"!= {pool.lookups} lookups",
+    )
+    check(
+        pool.misses == pool.disk_fetches,
+        f"buffer accounting broken: {pool.misses} misses but "
+        f"{pool.disk_fetches} disk fetches issued",
+    )
+    check(
+        len(pool) <= pool.capacity,
+        f"buffer pool holds {len(pool)} frames, over its capacity of "
+        f"{pool.capacity}",
+    )
+    resident = pool._frames.keys()
+    stray = [page_id for page_id in pool._dirty if page_id not in resident]
+    check(
+        not stray,
+        f"dirty set references evicted pages {stray}; write-back was lost",
+    )

@@ -1,0 +1,24 @@
+"""The invariant-violation error type and the unconditional check helper."""
+
+from __future__ import annotations
+
+
+class InvariantViolation(AssertionError):
+    """A stated engine contract does not hold on the live data structures.
+
+    Subclasses ``AssertionError`` so existing callers of the
+    ``check_invariants()`` debug entry points keep catching the same
+    exception type — but unlike an ``assert`` statement, raising it is
+    never stripped by ``python -O``.
+    """
+
+
+def check(condition: object, message: str) -> None:
+    """Raise :class:`InvariantViolation` when ``condition`` is falsy.
+
+    This helper is *unconditional* — gating on ``REPRO_CHECKS`` happens
+    at the validator call sites, so a validator that runs always means
+    what it says.
+    """
+    if not condition:
+        raise InvariantViolation(message)

@@ -1,0 +1,58 @@
+"""Output-stream invariants of the Tetris sweep.
+
+Theorem-level contract of Section 3: the Tetris algorithm delivers
+exactly the qualifying tuples, in nondecreasing (or, for descending
+scans, nonincreasing) order of the sort attribute(s).  The
+:class:`StreamChecker` observes every emitted tuple and raises on the
+first violation — which localizes a corruption to the page or slice
+that produced it instead of letting it surface as a wrong query answer
+much later.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TYPE_CHECKING
+
+from .errors import check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.query_space import QuerySpace
+
+
+class StreamChecker:
+    """Validates one Tetris output stream tuple-by-tuple."""
+
+    __slots__ = ("sort_dims", "descending", "space", "_previous", "_count")
+
+    def __init__(
+        self,
+        sort_dims: Sequence[int],
+        descending: bool,
+        space: "QuerySpace",
+    ) -> None:
+        self.sort_dims = tuple(sort_dims)
+        self.descending = descending
+        self.space = space
+        self._previous: tuple[int, ...] | None = None
+        self._count = 0
+
+    def observe(self, point: Sequence[int]) -> None:
+        """Check the next emitted tuple's point against the contract."""
+        self._count += 1
+        check(
+            self.space.contains_point(point),
+            f"Tetris emitted tuple #{self._count} at {tuple(point)}, which "
+            "is outside the query space",
+        )
+        key = tuple(point[dim] for dim in self.sort_dims)
+        previous = self._previous
+        if previous is not None:
+            in_order = key <= previous if self.descending else key >= previous
+            direction = "nonincreasing" if self.descending else "nondecreasing"
+            check(
+                in_order,
+                f"Tetris output not {direction} in the sort dimension(s) "
+                f"{self.sort_dims}: tuple #{self._count} has key {key} after "
+                f"{previous}",
+            )
+        self._previous = key

@@ -49,6 +49,7 @@ __all__ = [
     "KernelBackend",
     "PurePythonBackend",
     "available_backends",
+    "backend",
     "get_backend",
     "set_backend",
     "use_backend",
@@ -56,6 +57,7 @@ __all__ = [
     "decode_batch",
     "filter_box_batch",
     "filter_space_batch",
+    "filter_space_page",
     "argsort_keys",
     "page_entries",
     "scan_page",
@@ -104,6 +106,14 @@ def get_backend() -> KernelBackend:
     return _active
 
 
+def backend(name: str) -> KernelBackend:
+    """A registered backend by name, without changing the active one.
+
+    Used by the cross-backend parity checks of :mod:`repro.invariants`.
+    """
+    return _resolve(name)
+
+
 def set_backend(name: str | None) -> KernelBackend:
     """Select a backend by name (``None`` / ``"auto"`` re-auto-selects)."""
     global _active
@@ -142,6 +152,10 @@ def filter_box_batch(
 
 def filter_space_batch(space, points: Sequence[Sequence[int]]) -> list[int]:
     return _active.filter_space_batch(space, points)
+
+
+def filter_space_page(space, page) -> list[int]:
+    return _active.filter_space_page(space, page)
 
 
 def argsort_keys(keys: Sequence[Any], *, reverse: bool = False) -> list[int]:

@@ -75,6 +75,17 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def filter_space_page(self, space: "QuerySpace", page: Any) -> list[int]:
+        """Indices (ascending) of the page records whose point is in ``space``.
+
+        Page-level twin of :meth:`filter_space_batch` over a storage
+        page's ``(z_address, (point, payload))`` records — the kernel
+        behind the UB-Tree range query, which filters but neither keys
+        nor sorts.  Backends may reuse the memoized columnar view keyed
+        on the page's ``version`` counter.
+        """
+        raise NotImplementedError
+
     def argsort_keys(
         self, keys: Sequence[Any], *, reverse: bool = False
     ) -> list[int]:
@@ -108,16 +119,9 @@ class KernelBackend:
         Tetris sweep can splice them into its cache directly; orders are
         unique across calls when ``base`` advances by ``count`` each
         time, which makes the entry ordering total.  Vectorized backends
-        override this to convert the page to an array exactly once.
+        convert the page to an array exactly once.
         """
-        selected = self.filter_space_batch(space, points)
-        if not selected:
-            return 0, [], []
-        keys = self.encode_batch(curve, [points[index] for index in selected])
-        entries = [
-            [keys[rank], base + rank] for rank in self.argsort_keys(keys)
-        ]
-        return len(selected), selected, entries
+        raise NotImplementedError
 
     def scan_page(
         self, curve: "AnyCurve", space: "QuerySpace", page: Any, base: int = 0
@@ -131,8 +135,7 @@ class KernelBackend:
         ``version`` counter, which the storage layer bumps on every
         record mutation.
         """
-        points = [record[1][0] for record in page.records]
-        return self.page_entries(curve, space, points, base)
+        raise NotImplementedError
 
     def region_min_keys(
         self,
@@ -153,31 +156,7 @@ class KernelBackend:
         minimum ``sort_curve`` address of a surviving box is attained at
         a corner (monotonicity).
         """
-        # per-interval corner collection is shared; encoding is batched
-        corners: list[Sequence[int]] = []
-        counts: list[int] = []
-        min_corner = getattr(sort_curve, "box_min_corner", None)
-        for first, last in intervals:
-            filled = len(corners)
-            for box_lo, box_hi in z_curve.interval_boxes(first, last):
-                clamped_lo = tuple(max(a, b) for a, b in zip(box_lo, lo))
-                clamped_hi = tuple(min(a, b) for a, b in zip(box_hi, hi))
-                if any(a > b for a, b in zip(clamped_lo, clamped_hi)):
-                    continue
-                corners.append(
-                    min_corner(clamped_lo, clamped_hi)
-                    if min_corner is not None
-                    else clamped_lo
-                )
-            counts.append(len(corners) - filled)
-        keys = self.encode_batch(sort_curve, corners)
-        result: "list[int | None]" = []
-        position = 0
-        for count in counts:
-            block = keys[position : position + count]
-            position += count
-            result.append(min(block) if block else None)
-        return result
+        raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<KernelBackend {self.name}>"

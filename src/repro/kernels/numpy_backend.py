@@ -244,6 +244,19 @@ class NumPyBackend(PurePythonBackend):
             if not contains(points[index]):
                 mask[index] = False
 
+    def filter_space_page(self, space: QuerySpace, page):
+        """Page-level space filter over the memoized columnar view."""
+        records = page.records
+        if not records:
+            return []
+        columns = self._page_columns(page)
+        if columns is None:
+            return super().filter_space_page(space, page)
+        points = _PagePoints(records)  # materialized only by opaque spaces
+        mask = np.ones(len(columns), dtype=bool)
+        self._mask_space(space, columns, points, mask)
+        return np.nonzero(mask)[0].tolist()
+
     # ------------------------------------------------------------------
     # sorting
     # ------------------------------------------------------------------

@@ -64,5 +64,54 @@ class PurePythonBackend(KernelBackend):
         contains = space.contains_point
         return [index for index, point in enumerate(points) if contains(point)]
 
+    def filter_space_page(self, space: QuerySpace, page):
+        points = [record[1][0] for record in page.records]
+        return self.filter_space_batch(space, points)
+
     def argsort_keys(self, keys: Sequence[Any], *, reverse: bool = False):
         return sorted(range(len(keys)), key=keys.__getitem__, reverse=reverse)
+
+    # ------------------------------------------------------------------
+    # fused compound kernels — the reference composition of the
+    # primitives above (see the interface docstrings in ``base``)
+    # ------------------------------------------------------------------
+    def page_entries(self, curve, space, points, base=0):
+        selected = self.filter_space_batch(space, points)
+        if not selected:
+            return 0, [], []
+        keys = self.encode_batch(curve, [points[index] for index in selected])
+        entries = [
+            [keys[rank], base + rank] for rank in self.argsort_keys(keys)
+        ]
+        return len(selected), selected, entries
+
+    def scan_page(self, curve, space, page, base=0):
+        points = [record[1][0] for record in page.records]
+        return self.page_entries(curve, space, points, base)
+
+    def region_min_keys(self, z_curve, sort_curve, intervals, lo, hi):
+        # per-interval corner collection is shared; encoding is batched
+        corners: list[Sequence[int]] = []
+        counts: list[int] = []
+        min_corner = getattr(sort_curve, "box_min_corner", None)
+        for first, last in intervals:
+            filled = len(corners)
+            for box_lo, box_hi in z_curve.interval_boxes(first, last):
+                clamped_lo = tuple(max(a, b) for a, b in zip(box_lo, lo))
+                clamped_hi = tuple(min(a, b) for a, b in zip(box_hi, hi))
+                if any(a > b for a, b in zip(clamped_lo, clamped_hi)):
+                    continue
+                corners.append(
+                    min_corner(clamped_lo, clamped_hi)
+                    if min_corner is not None
+                    else clamped_lo
+                )
+            counts.append(len(corners) - filled)
+        keys = self.encode_batch(sort_curve, corners)
+        result: "list[int | None]" = []
+        position = 0
+        for count in counts:
+            block = keys[position : position + count]
+            position += count
+            result.append(min(block) if block else None)
+        return result

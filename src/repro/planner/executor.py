@@ -12,7 +12,7 @@ kernel with multidimensional indexes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Iterator
 
 from ..costmodel.model import CostParameters
 from ..relational.operators import (
@@ -23,6 +23,7 @@ from ..relational.operators import (
     Select,
     TetrisOperator,
 )
+from ..relational.schema import Schema
 from ..relational.table import HeapTable, IOTTable, UBTable
 from .optimizer import CandidatePlan, RelationStats, choose_plan
 from .statistics import TableStatistics
@@ -57,12 +58,12 @@ class PhysicalDesign:
             raise ValueError("UB instance dimensions must match `attributes`")
 
     @property
-    def schema(self):
+    def schema(self) -> Schema:
         for table in self._instances():
             return table.schema
         raise AssertionError("unreachable: design has at least one instance")
 
-    def _instances(self):
+    def _instances(self) -> Iterator[HeapTable | IOTTable | UBTable]:
         if self.heap is not None:
             yield self.heap
         yield from self.iots.values()
@@ -115,7 +116,9 @@ class PhysicalDesign:
         return result
 
 
-def _predicate(schema, restrictions: dict[str, ValueRange] | None):
+def _predicate(
+    schema: Schema, restrictions: dict[str, ValueRange] | None
+) -> "Callable[[tuple], bool] | None":
     """Residual tuple predicate re-checking every value-level range."""
     if not restrictions:
         return None
@@ -172,7 +175,10 @@ def plan_sorted_query(
     sort_key = lambda row: row[sort_position]  # noqa: E731
 
     if choice.method == "tetris":
-        assert design.ub is not None
+        if design.ub is None:
+            raise RuntimeError(
+                "optimizer chose 'tetris' for a design without a UB instance"
+            )
         index_restrictions = {
             attr: bounds
             for attr, bounds in (restrictions or {}).items()
@@ -186,7 +192,10 @@ def plan_sorted_query(
             predicate=predicate,
         )
     elif choice.method == "fts-sort":
-        assert design.heap is not None
+        if design.heap is None:
+            raise RuntimeError(
+                "optimizer chose 'fts-sort' for a design without a heap instance"
+            )
         operator = ExternalMergeSort(
             FullTableScan(design.heap, predicate=predicate),
             key=sort_key,

@@ -18,7 +18,7 @@ Rows are plain tuples aligned with the schema's attribute order; a
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 
 class Encoder:
@@ -145,7 +145,7 @@ class Schema:
     def __len__(self) -> int:
         return len(self.attributes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Attribute]:
         return iter(self.attributes)
 
     def position(self, name: str) -> int:
@@ -157,7 +157,7 @@ class Schema:
     def value(self, row: Sequence[Any], name: str) -> Any:
         return row[self._index[name]]
 
-    def project(self, row: Sequence[Any], names: Sequence[str]) -> tuple:
+    def project(self, row: Sequence[Any], names: Sequence[str]) -> tuple[Any, ...]:
         return tuple(row[self._index[name]] for name in names)
 
     def encode_point(self, row: Sequence[Any], dims: Sequence[str]) -> tuple[int, ...]:

@@ -4,12 +4,19 @@ The pool caches pages so that repeated accesses within one query are free,
 mirroring a DBMS buffer cache.  Experiments size it to hold index levels
 plus a working set, so that base-table page waves still hit the disk —
 which is the regime the paper's cost model describes.
+
+With ``REPRO_CHECKS=1`` every mutation re-validates the pool's
+accounting contract (see :mod:`repro.invariants.accounting`): each
+lookup is exactly one hit or one miss, each miss issues exactly one disk
+fetch, the dirty set stays within the resident frames, and the frame
+count never exceeds the capacity.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
+from .. import invariants
 from .disk import SimulatedDisk
 from .page import Page
 
@@ -24,6 +31,10 @@ class BufferPool:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        #: shadow counters cross-checked by the invariant layer: total
+        #: lookups served, and disk reads issued by this pool on misses
+        self.lookups = 0
+        self.disk_fetches = 0
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._dirty: set[int] = set()
 
@@ -42,15 +53,19 @@ class BufferPool:
         charge: bool = True,
     ) -> Page:
         """Return the page, reading it from disk on a miss."""
+        self.lookups += 1
         if page_id in self._frames:
             self.hits += 1
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
         self.misses += 1
+        self.disk_fetches += 1
         page = self.disk.read(
             page_id, sequential=sequential, category=category, charge=charge
         )
         self._admit(page, category)
+        if invariants.enabled():
+            invariants.validate_buffer_pool(self)
         return page
 
     def mark_dirty(self, page_id: int) -> None:
@@ -62,6 +77,8 @@ class BufferPool:
         self._admit(page, category)
         if dirty:
             self._dirty.add(page.page_id)
+        if invariants.enabled():
+            invariants.validate_buffer_pool(self)
 
     def evict(self, page_id: int, *, category: str = "data") -> None:
         """Explicitly drop one page, writing it back if dirty."""
@@ -69,6 +86,8 @@ class BufferPool:
         if page is not None and page_id in self._dirty:
             self._dirty.discard(page_id)
             self.disk.write(page, category=category)
+        if invariants.enabled():
+            invariants.validate_buffer_pool(self)
 
     def flush(self, *, category: str = "data") -> None:
         """Write back all dirty pages (end of a load phase)."""

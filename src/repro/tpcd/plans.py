@@ -19,6 +19,7 @@ import datetime as dt
 from typing import Iterable
 
 from ..core.query_space import IntersectionSpace, QuerySpace
+from ..invariants import require_instance
 from ..relational.operators import (
     Count,
     ExternalMergeSort,
@@ -229,7 +230,7 @@ def q3_lineitem_access(
     sort_key = lambda row: (row[L_ORDERKEY], row[1])  # noqa: E731 (orderkey, linenumber)
 
     if method == "tetris":
-        assert isinstance(table, UBTable)
+        table = require_instance(table, UBTable, "Q3 access method 'tetris'")
         operator = TetrisOperator(
             table,
             {"l_shipdate": (after + dt.timedelta(days=1), None)},
@@ -238,7 +239,7 @@ def q3_lineitem_access(
         )
         return operator, operator
     if method == "fts-sort":
-        assert isinstance(table, HeapTable)
+        table = require_instance(table, HeapTable, "Q3 access method 'fts-sort'")
         sort = ExternalMergeSort(
             FullTableScan(table, predicate=passes),
             key=sort_key,
@@ -248,10 +249,10 @@ def q3_lineitem_access(
         )
         return sort, sort
     if method == "iot-orderkey":
-        assert isinstance(table, IOTTable)
+        table = require_instance(table, IOTTable, "Q3 access method 'iot-orderkey'")
         return IOTScan(table, predicate=passes), None
     if method == "iot-shipdate":
-        assert isinstance(table, IOTTable)
+        table = require_instance(table, IOTTable, "Q3 access method 'iot-shipdate'")
         scan = IOTScan(table, leading_lo=after + dt.timedelta(days=1))
         sort = ExternalMergeSort(
             scan,
@@ -282,7 +283,8 @@ def q3_full_plan(
     params = params or Q3Params()
 
     if use_tetris:
-        assert isinstance(customer, UBTable) and isinstance(order, UBTable)
+        customer = require_instance(customer, UBTable, "Tetris Q3 plan")
+        order = require_instance(order, UBTable, "Tetris Q3 plan")
         customer_stream: Iterable[tuple] = TetrisOperator(
             customer,
             {"c_mktsegment": (params.segment, params.segment)},
@@ -302,7 +304,8 @@ def q3_full_plan(
             right_key=lambda row: row[O_CUSTKEY],
         )
     else:
-        assert isinstance(customer, HeapTable) and isinstance(order, HeapTable)
+        customer = require_instance(customer, HeapTable, "standard Q3 plan")
+        order = require_instance(order, HeapTable, "standard Q3 plan")
         customer_stream = FullTableScan(
             customer, predicate=lambda row: row[C_MKTSEGMENT] == params.segment
         )
@@ -360,7 +363,7 @@ def q4_order_access(
     sort_key = lambda row: row[O_ORDERKEY]  # noqa: E731
 
     if method == "tetris":
-        assert isinstance(table, UBTable)
+        table = require_instance(table, UBTable, "Q4 access method 'tetris'")
         operator = TetrisOperator(
             table,
             {"o_orderdate": (lo, hi - dt.timedelta(days=1))},
@@ -369,7 +372,7 @@ def q4_order_access(
         )
         return operator, operator
     if method == "fts-sort":
-        assert isinstance(table, HeapTable)
+        table = require_instance(table, HeapTable, "Q4 access method 'fts-sort'")
         sort = ExternalMergeSort(
             FullTableScan(table, predicate=passes),
             key=sort_key,
@@ -379,10 +382,10 @@ def q4_order_access(
         )
         return sort, sort
     if method == "iot-orderkey":
-        assert isinstance(table, IOTTable)
+        table = require_instance(table, IOTTable, "Q4 access method 'iot-orderkey'")
         return IOTScan(table, predicate=passes), None
     if method == "iot-orderdate":
-        assert isinstance(table, IOTTable)
+        table = require_instance(table, IOTTable, "Q4 access method 'iot-orderdate'")
         scan = IOTScan(table, leading_lo=lo, leading_hi=hi - dt.timedelta(days=1))
         sort = ExternalMergeSort(
             scan,
@@ -450,7 +453,7 @@ def q6_restriction_plan(
         return q6_matches(row, params)
 
     if method == "tetris":
-        assert isinstance(table, UBTable)
+        table = require_instance(table, UBTable, "Q6 access method 'tetris'")
         return UBRangeScan(
             table,
             {
@@ -464,10 +467,10 @@ def q6_restriction_plan(
             predicate=passes,
         )
     if method == "fts":
-        assert isinstance(table, HeapTable)
+        table = require_instance(table, HeapTable, "Q6 access method 'fts'")
         return FullTableScan(table, predicate=passes)
     if method.startswith("iot-"):
-        assert isinstance(table, IOTTable)
+        table = require_instance(table, IOTTable, f"Q6 access method {method!r}")
         leading = table.key_attrs[0]
         bounds = {
             "l_shipdate": (

@@ -1,0 +1,317 @@
+"""Corruption-injection tests: every invariant check provably fires.
+
+Each test builds a healthy structure, verifies the validator accepts it,
+injects one targeted corruption, and asserts the matching
+:class:`~repro.invariants.InvariantViolation` (or ``TypeError``) is
+raised with a diagnostic that names the broken contract.  A final group
+checks the ``REPRO_CHECKS`` gate itself: corrupted structures must run
+*silently* when checks are off.
+"""
+
+import random
+
+import pytest
+
+from repro import invariants, kernels
+from repro.core import QueryBox, UBTree, ZSpace
+from repro.core.tetris import TetrisScan
+from repro.invariants import (
+    InvariantViolation,
+    StreamChecker,
+    require_instance,
+    validate_bptree,
+    validate_buffer_pool,
+    validate_ubtree,
+)
+from repro.storage import BufferPool, SimulatedDisk
+
+BITS = (4, 4)
+
+
+@pytest.fixture(autouse=True)
+def checks_off_between_tests():
+    """Each test opts in explicitly; never leak the flag across tests."""
+    previous = invariants.set_enabled(False)
+    yield
+    invariants.set_enabled(previous)
+
+
+def make_ubtree(count=80, page_capacity=4, seed=7):
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity=256)
+    ubtree = UBTree(pool, ZSpace(BITS), page_capacity=page_capacity)
+    rng = random.Random(seed)
+    rows = [
+        (tuple(rng.randrange(1 << b) for b in BITS), index)
+        for index in range(count)
+    ]
+    ubtree.bulk_load(rows)
+    return ubtree, pool
+
+
+def leaf_pages(ubtree):
+    return list(ubtree.tree.iterate_leaves(charge=False))
+
+
+# ----------------------------------------------------------------------
+# B+-tree structure
+# ----------------------------------------------------------------------
+class TestBPTreeCorruption:
+    def test_healthy_tree_validates(self):
+        ubtree, _ = make_ubtree()
+        validate_bptree(ubtree.tree)
+
+    def test_leaf_key_order_violation_fires(self):
+        ubtree, _ = make_ubtree()
+        leaf = next(p for p in leaf_pages(ubtree) if len(p.records) >= 2)
+        leaf.records.reverse()
+        leaf.version += 1
+        with pytest.raises(InvariantViolation, match="order"):
+            validate_bptree(ubtree.tree)
+
+    def test_separator_containment_violation_fires(self):
+        ubtree, _ = make_ubtree()
+        tree = ubtree.tree
+        assert tree.height > 1, "need inner nodes for this corruption"
+        # move the first leaf's smallest record into the last leaf: its
+        # key now sits far below that leaf's lower separator bound
+        leaves = leaf_pages(ubtree)
+        record = leaves[0].records[0]
+        leaves[-1].records.insert(0, record)
+        leaves[-1].version += 1
+        del leaves[0].records[0]
+        leaves[0].version += 1
+        with pytest.raises(InvariantViolation, match="separator"):
+            validate_bptree(tree)
+
+    def test_record_count_mismatch_fires(self):
+        ubtree, _ = make_ubtree()
+        ubtree.tree.record_count += 1
+        with pytest.raises(InvariantViolation, match="record_count"):
+            validate_bptree(ubtree.tree)
+
+    def test_leaf_count_mismatch_fires(self):
+        ubtree, _ = make_ubtree()
+        ubtree.tree.leaf_count += 1
+        with pytest.raises(InvariantViolation, match="leaf_count"):
+            validate_bptree(ubtree.tree)
+
+    def test_broken_sibling_chain_fires(self):
+        ubtree, _ = make_ubtree()
+        leaves = leaf_pages(ubtree)
+        assert len(leaves) >= 3
+        # short-circuit the chain past one leaf
+        leaves[0].payload["next"] = leaves[2].page_id
+        with pytest.raises(InvariantViolation):
+            validate_bptree(ubtree.tree)
+
+    def test_unaccounted_overflow_fires(self):
+        # distinct points -> distinct Z-addresses -> no legitimate
+        # overflow pages from equal-key runs
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=256)
+        ubtree = UBTree(pool, ZSpace(BITS), page_capacity=4)
+        rng = random.Random(11)
+        universe = [(x, y) for x in range(16) for y in range(16)]
+        ubtree.bulk_load(
+            [(point, i) for i, point in enumerate(rng.sample(universe, 60))]
+        )
+        assert ubtree.tree.overflow_pages == 0
+        # stuff a leaf beyond capacity by duplicating its largest key
+        leaf = leaf_pages(ubtree)[0]
+        key, value = leaf.records[-1]
+        while len(leaf.records) <= leaf.capacity:
+            leaf.records.append((key, value))
+            leaf.version += 1
+        ubtree.tree.record_count = sum(
+            len(p.records) for p in leaf_pages(ubtree)
+        )
+        with pytest.raises(InvariantViolation, match="capacity"):
+            validate_bptree(ubtree.tree)
+
+
+# ----------------------------------------------------------------------
+# UB-Tree Z-region contract
+# ----------------------------------------------------------------------
+class TestUBTreeCorruption:
+    def test_healthy_ubtree_validates(self):
+        ubtree, _ = make_ubtree()
+        validate_ubtree(ubtree)
+
+    def test_stored_address_inconsistent_with_point_fires(self):
+        ubtree, _ = make_ubtree()
+        leaf = next(p for p in leaf_pages(ubtree) if p.records)
+        z_address, (point, payload) = leaf.records[0]
+        other = tuple((c + 1) % (1 << b) for c, b in zip(point, BITS))
+        assert ubtree.space.z_address(other) != z_address
+        leaf.records[0] = (z_address, (other, payload))
+        leaf.version += 1
+        with pytest.raises(InvariantViolation, match="inconsistent"):
+            validate_ubtree(ubtree)
+
+    def test_check_invariants_entry_point_raises_unconditionally(self):
+        # the explicit debug entry point must not depend on REPRO_CHECKS
+        assert not invariants.enabled()
+        ubtree, _ = make_ubtree()
+        ubtree.tree.record_count += 1
+        with pytest.raises(AssertionError):
+            ubtree.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# buffer-pool accounting
+# ----------------------------------------------------------------------
+class TestBufferAccounting:
+    def test_healthy_pool_validates(self):
+        ubtree, pool = make_ubtree()
+        list(ubtree.range_query(QueryBox((0, 0), (15, 15))))
+        validate_buffer_pool(pool)
+        assert pool.lookups == pool.hits + pool.misses
+        assert pool.disk_fetches == pool.misses
+
+    def test_tampered_hit_counter_fires(self):
+        ubtree, pool = make_ubtree()
+        list(ubtree.range_query(QueryBox((0, 0), (15, 15))))
+        pool.hits += 1
+        with pytest.raises(InvariantViolation):
+            validate_buffer_pool(pool)
+
+    def test_tampered_fetch_counter_fires(self):
+        ubtree, pool = make_ubtree()
+        list(ubtree.range_query(QueryBox((0, 0), (15, 15))))
+        pool.disk_fetches += 1
+        with pytest.raises(InvariantViolation):
+            validate_buffer_pool(pool)
+
+    def test_get_validates_when_enabled(self):
+        ubtree, pool = make_ubtree()
+        first = leaf_pages(ubtree)[0].page_id
+        pool.drop_all()
+        pool.misses -= 1  # corrupt: one historical miss vanishes
+        with invariants.checks():
+            with pytest.raises(InvariantViolation):
+                pool.get(first)
+
+
+# ----------------------------------------------------------------------
+# Tetris output stream
+# ----------------------------------------------------------------------
+class TestStreamChecker:
+    SPACE = QueryBox((0, 0), (10, 10))
+
+    def test_ordered_stream_passes(self):
+        checker = StreamChecker((0,), False, self.SPACE)
+        for point in [(1, 9), (2, 0), (2, 4), (7, 7)]:
+            checker.observe(point)
+
+    def test_out_of_order_emission_fires(self):
+        checker = StreamChecker((0,), False, self.SPACE)
+        checker.observe((5, 5))
+        with pytest.raises(InvariantViolation, match="nondecreasing"):
+            checker.observe((4, 9))
+
+    def test_descending_direction_respected(self):
+        checker = StreamChecker((0,), True, self.SPACE)
+        checker.observe((5, 5))
+        checker.observe((5, 9))  # tie on the sort dim is fine
+        with pytest.raises(InvariantViolation, match="nonincreasing"):
+            checker.observe((6, 0))
+
+    def test_composite_sort_key(self):
+        checker = StreamChecker((1, 0), False, self.SPACE)
+        checker.observe((9, 2))
+        checker.observe((0, 3))
+        with pytest.raises(InvariantViolation):
+            checker.observe((8, 2))
+
+    def test_non_member_emission_fires(self):
+        checker = StreamChecker((0,), False, self.SPACE)
+        with pytest.raises(InvariantViolation, match="outside"):
+            checker.observe((11, 0))
+
+    def test_wired_into_tetris_scan(self):
+        ubtree, _ = make_ubtree()
+        box = QueryBox((2, 1), (13, 12))
+        expected = list(TetrisScan(ubtree, box, 0))
+        with invariants.checks():
+            observed = list(TetrisScan(ubtree, box, 0))
+        assert observed == expected
+
+
+# ----------------------------------------------------------------------
+# cross-backend kernel parity
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    "numpy" not in kernels.available_backends(),
+    reason="parity spot checks need a second backend",
+)
+class TestKernelParity:
+    def test_missed_version_bump_is_caught(self):
+        """The defect class R003 exists for, caught at runtime.
+
+        Prime the NumPy backend's columnar cache with one scan, mutate a
+        page's stored point *without* bumping ``Page.version``, and
+        re-scan: the stale cache and the pure-Python reference now
+        disagree, and the parity check localizes it to the page.
+        """
+        ubtree, _ = make_ubtree()
+        box = QueryBox((0, 0), (15, 15))
+        with kernels.use_backend("numpy"):
+            list(TetrisScan(ubtree, box, 0))  # populate the page cache
+            leaf = next(p for p in leaf_pages(ubtree) if p.records)
+            z_address, (point, payload) = leaf.records[0]
+            other = tuple((c + 1) % (1 << b) for c, b in zip(point, BITS))
+            leaf.records[0] = (z_address, (other, payload))  # no bump!
+            with invariants.checks():
+                with pytest.raises(InvariantViolation, match="diverge"):
+                    list(TetrisScan(ubtree, box, 0))
+
+    def test_honest_mutation_passes(self):
+        ubtree, _ = make_ubtree()
+        box = QueryBox((0, 0), (15, 15))
+        with kernels.use_backend("numpy"):
+            list(TetrisScan(ubtree, box, 0))
+            leaf = next(p for p in leaf_pages(ubtree) if p.records)
+            z_address, (point, payload) = leaf.records[0]
+            leaf.records[0] = (z_address, (point, "renamed"))
+            leaf.version += 1  # honest mutation: cache invalidated
+            with invariants.checks():
+                list(TetrisScan(ubtree, box, 0))
+
+
+# ----------------------------------------------------------------------
+# the gate itself
+# ----------------------------------------------------------------------
+class TestGate:
+    def test_disabled_checks_stay_silent_on_corruption(self):
+        ubtree, pool = make_ubtree()
+        ubtree.tree.record_count += 1
+        pool.hits += 5
+        assert not invariants.enabled()
+        # engine paths run the corrupted structures without complaint
+        list(ubtree.range_query(QueryBox((0, 0), (15, 15))))
+        list(TetrisScan(ubtree, QueryBox((0, 0), (15, 15)), 0))
+
+    def test_checks_context_manager_restores(self):
+        assert not invariants.enabled()
+        with invariants.checks():
+            assert invariants.enabled()
+            with invariants.checks(False):
+                assert not invariants.enabled()
+            assert invariants.enabled()
+        assert not invariants.enabled()
+
+    def test_engine_mutations_validate_under_checks(self):
+        with invariants.checks():
+            ubtree, _ = make_ubtree(count=40)  # bulk_load validates
+            ubtree.insert((3, 9), "late")
+            assert ubtree.delete((3, 9), "late")
+            validate_ubtree(ubtree)
+
+    def test_require_instance_narrows_or_raises(self):
+        assert require_instance(3, int, "test") == 3
+        with pytest.raises(TypeError, match="test requires a int"):
+            require_instance("3", int, "test")
+
+    def test_violation_is_assertion_error(self):
+        assert issubclass(InvariantViolation, AssertionError)

@@ -1,0 +1,387 @@
+"""Tests for ``tools.reprolint``: each rule fires on a seeded violation.
+
+Every rule gets a minimal fixture that *must* be flagged and a fixed
+variant that must pass — so the linter's guarantees are themselves under
+test, and a refactor cannot silently neuter a rule.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from tools.reprolint import (
+    ALL_RULES,
+    Violation,
+    check_backend_parity,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rules_of(violations: "list[Violation]") -> set[str]:
+    return {violation.rule for violation in violations}
+
+
+def lint(source: str, *, path: str = "module.py", hot_path: bool = False):
+    return lint_source(textwrap.dedent(source), path, hot_path=hot_path)
+
+
+# ----------------------------------------------------------------------
+# R001: wall-clock time
+# ----------------------------------------------------------------------
+class TestR001WallClock:
+    def test_time_time_flagged(self):
+        found = lint(
+            """
+            import time
+
+            def measure():
+                return time.time()
+            """
+        )
+        assert rules_of(found) == {"R001"}
+
+    def test_perf_counter_attribute_flagged(self):
+        found = lint("import time\nstart = time.perf_counter()\n")
+        assert rules_of(found) == {"R001"}
+
+    def test_from_time_import_flagged(self):
+        found = lint("from time import perf_counter\n")
+        assert rules_of(found) == {"R001"}
+
+    def test_datetime_now_flagged(self):
+        found = lint(
+            """
+            import datetime
+
+            stamp = datetime.datetime.now()
+            """
+        )
+        assert rules_of(found) == {"R001"}
+
+    def test_date_today_flagged(self):
+        found = lint("import datetime as dt\nday = dt.date.today()\n")
+        assert rules_of(found) == {"R001"}
+
+    def test_simulated_clock_passes(self):
+        found = lint(
+            """
+            def measure(disk):
+                return disk.clock
+            """
+        )
+        assert found == []
+
+    def test_time_sleep_passes(self):
+        # sleep does not *read* the clock; only readers are banned
+        found = lint("import time\ntime.sleep(0)\n")
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R002: per-tuple loops over page records in hot paths
+# ----------------------------------------------------------------------
+class TestR002HotPathLoops:
+    LOOP = """
+    def scan(page):
+        out = []
+        for record in page.records:
+            out.append(record)
+        return out
+    """
+
+    def test_for_loop_flagged_in_hot_path(self):
+        found = lint(self.LOOP, hot_path=True)
+        assert rules_of(found) == {"R002"}
+
+    def test_same_loop_allowed_outside_hot_paths(self):
+        assert lint(self.LOOP, hot_path=False) == []
+
+    def test_hot_path_inferred_from_filename(self):
+        found = lint_source(
+            textwrap.dedent(self.LOOP), "src/repro/core/tetris.py"
+        )
+        assert rules_of(found) == {"R002"}
+
+    def test_comprehension_flagged(self):
+        found = lint(
+            "def points(page):\n    return [r[1][0] for r in page.records]\n",
+            hot_path=True,
+        )
+        assert rules_of(found) == {"R002"}
+
+    def test_enumerate_flagged(self):
+        found = lint(
+            """
+            def scan(page):
+                for index, record in enumerate(page.records):
+                    pass
+            """,
+            hot_path=True,
+        )
+        assert rules_of(found) == {"R002"}
+
+    def test_kernel_call_passes(self):
+        found = lint(
+            """
+            def scan(kernel, curve, space, page):
+                return kernel.scan_page(curve, space, page, 0)
+            """,
+            hot_path=True,
+        )
+        assert found == []
+
+    def test_indexing_selected_records_passes(self):
+        # subscripting by kernel-selected indices is the sanctioned idiom
+        found = lint(
+            """
+            def emit(kernel, space, page):
+                records = page.records
+                for index in kernel.filter_space_page(space, page):
+                    yield records[index]
+            """,
+            hot_path=True,
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R003: records mutation without version bump
+# ----------------------------------------------------------------------
+class TestR003VersionBump:
+    def test_append_without_bump_flagged(self):
+        found = lint(
+            """
+            def add(page, record):
+                page.records.append(record)
+            """
+        )
+        assert rules_of(found) == {"R003"}
+
+    def test_append_with_bump_passes(self):
+        found = lint(
+            """
+            def add(page, record):
+                page.records.append(record)
+                page.version += 1
+            """
+        )
+        assert found == []
+
+    def test_slice_assignment_without_bump_flagged(self):
+        found = lint(
+            """
+            def truncate(page, cut):
+                page.records = page.records[:cut]
+            """
+        )
+        assert rules_of(found) == {"R003"}
+
+    def test_del_without_bump_flagged(self):
+        found = lint(
+            """
+            def remove(page, index):
+                del page.records[index]
+            """
+        )
+        assert rules_of(found) == {"R003"}
+
+    def test_insort_without_bump_flagged(self):
+        found = lint(
+            """
+            from bisect import insort
+
+            def add(leaf, key, value):
+                insort(leaf.records, (key, value))
+            """
+        )
+        assert rules_of(found) == {"R003"}
+
+    def test_pairing_is_per_function(self):
+        # a bump in a *different* function does not excuse the mutation
+        found = lint(
+            """
+            def mutate(page, record):
+                page.records.append(record)
+
+            def bump(page):
+                page.version += 1
+            """
+        )
+        assert rules_of(found) == {"R003"}
+
+    def test_distinct_owners_tracked_separately(self):
+        found = lint(
+            """
+            def move(left, right, record):
+                left.records.append(record)
+                right.records.pop()
+                left.version += 1
+            """
+        )
+        assert rules_of(found) == {"R003"}
+        assert "right" in found[0].message
+
+    def test_read_only_access_passes(self):
+        found = lint(
+            """
+            def count(page):
+                return len(page.records)
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R004: backend parity (cross-file)
+# ----------------------------------------------------------------------
+class TestR004BackendParity:
+    BASE = """
+    class KernelBackend:
+        def encode_batch(self, curve, points):
+            raise NotImplementedError
+
+        def brand_new_kernel(self, data):
+            raise NotImplementedError
+
+        def _private_helper(self):
+            pass
+    """
+    PURE_COMPLETE = """
+    class PureBackend:
+        def encode_batch(self, curve, points):
+            return []
+
+        def brand_new_kernel(self, data):
+            return []
+    """
+    NUMPY_PARTIAL = """
+    class FancyBackend:
+        def encode_batch(self, curve, points):
+            return []
+    """
+
+    def write_kernels(self, tmp_path, numpy_source):
+        kernels = tmp_path / "kernels"
+        kernels.mkdir()
+        (kernels / "base.py").write_text(textwrap.dedent(self.BASE))
+        (kernels / "pure.py").write_text(textwrap.dedent(self.PURE_COMPLETE))
+        (kernels / "numpy_backend.py").write_text(textwrap.dedent(numpy_source))
+        return kernels
+
+    def test_missing_override_flagged(self, tmp_path):
+        kernels = self.write_kernels(tmp_path, self.NUMPY_PARTIAL)
+        found = check_backend_parity(kernels)
+        assert rules_of(found) == {"R004"}
+        assert "brand_new_kernel" in found[0].message
+        assert "FancyBackend" in found[0].message
+
+    def test_private_methods_not_required(self, tmp_path):
+        kernels = self.write_kernels(tmp_path, self.PURE_COMPLETE)
+        assert check_backend_parity(kernels) == []
+
+    def test_lint_paths_discovers_kernels_dir(self, tmp_path):
+        self.write_kernels(tmp_path, self.NUMPY_PARTIAL)
+        found = lint_paths([tmp_path])
+        assert "R004" in rules_of(found)
+
+
+# ----------------------------------------------------------------------
+# R005: bare asserts
+# ----------------------------------------------------------------------
+class TestR005BareAssert:
+    def test_assert_flagged(self):
+        found = lint(
+            """
+            def dispatch(table):
+                assert table.kind == "ub"
+                return table
+            """
+        )
+        assert rules_of(found) == {"R005"}
+
+    def test_explicit_raise_passes(self):
+        found = lint(
+            """
+            def dispatch(table):
+                if table.kind != "ub":
+                    raise TypeError("need a UB table")
+                return table
+            """
+        )
+        assert found == []
+
+    def test_require_instance_passes(self):
+        found = lint(
+            """
+            from repro.invariants import require_instance
+
+            def dispatch(table, UBTable):
+                return require_instance(table, UBTable, "dispatch")
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# suppression, aggregation, CLI
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_suppression_by_rule(self):
+        found = lint("assert True  # reprolint: allow(R005)\n")
+        assert found == []
+
+    def test_blanket_suppression(self):
+        found = lint("assert True  # reprolint: allow\n")
+        assert found == []
+
+    def test_suppression_of_other_rule_does_not_apply(self):
+        found = lint("assert True  # reprolint: allow(R001)\n")
+        assert rules_of(found) == {"R005"}
+
+    def test_syntax_error_reported_not_raised(self):
+        found = lint("def broken(:\n")
+        assert rules_of(found) == {"E999"}
+
+    def test_violation_format(self):
+        violation = lint("assert True\n", path="pkg/mod.py")[0]
+        assert str(violation).startswith("pkg/mod.py:1:0: R005 ")
+
+    def test_lint_paths_on_directory(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        (tmp_path / "dirty.py").write_text("assert x\n")
+        found = lint_paths([tmp_path])
+        assert [Path(v.path).name for v in found] == ["dirty.py"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("assert True\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(dirty)]) == 1
+        assert "R005" in capsys.readouterr().out
+        assert main([str(clean)]) == 0
+        assert main(["--list-rules"]) == 0
+        listed = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in listed
+
+    def test_cli_subprocess_nonzero_on_violation(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("assert True\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", str(dirty)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "R005" in result.stdout
+
+    def test_repository_tree_is_clean(self):
+        """The shipped engine passes its own linter (acceptance gate)."""
+        assert lint_paths([REPO_ROOT / "src" / "repro"]) == []

@@ -1,0 +1,1 @@
+"""Development tooling for the Tetris reproduction (not shipped with the package)."""

@@ -1,0 +1,520 @@
+"""``reprolint``: project-specific static analysis for the Tetris engine.
+
+The reproduction's correctness rests on a handful of cross-layer
+contracts that generic linters cannot see.  ``reprolint`` walks the
+Python ASTs under ``src/repro`` and mechanically enforces them:
+
+``R001`` — no wall-clock time inside the engine.
+    Every duration the engine reports must be charged to the simulated
+    clock (``storage/stats.py``); a stray ``time.time()`` or
+    ``datetime.now()`` silently mixes host wall-clock into results that
+    the paper reproduction requires to be deterministic.
+
+``R002`` — no per-tuple Python loops over page records in hot paths.
+    ``core/tetris.py`` and ``core/ubtree.py`` must route batch work over
+    ``page.records`` through the :mod:`repro.kernels` API so the NumPy
+    backend can vectorize it; a per-tuple loop reintroduces the exact
+    slowdown the kernel layer exists to remove.
+
+``R003`` — every mutation of ``Page.records`` pairs with a ``version`` bump.
+    The NumPy backend memoizes a columnar view of each page keyed on
+    ``Page.version``.  A mutation without a bump leaves that cache
+    stale: scans silently return pre-mutation tuples.
+
+``R004`` — kernel backend parity.
+    Every public method of :class:`repro.kernels.base.KernelBackend`
+    must be overridden by *both* concrete backends, so "observationally
+    identical" stays checkable method-by-method and a new primitive
+    cannot silently fall through to a partial implementation.
+
+``R005`` — no bare ``assert`` guarding data-dependent invariants.
+    ``python -O`` strips ``assert`` statements; a correctness contract
+    that disappears under optimization is not a contract.  Use explicit
+    raises or the :mod:`repro.invariants` layer.
+
+A finding can be suppressed by putting ``# reprolint: allow(R00X)`` (or
+a blanket ``# reprolint: allow``) on the offending line.
+
+Usage: ``python -m tools.reprolint src/repro`` — exits non-zero when any
+violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "ALL_RULES",
+    "HOT_PATH_FILES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: files (path suffixes, ``/``-separated) subject to the hot-path rule R002
+HOT_PATH_FILES: tuple[str, ...] = ("core/tetris.py", "core/ubtree.py")
+
+#: ``time`` module attributes that read the host's wall clock
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime.datetime`` / ``datetime.date`` constructors that do the same
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: list methods that mutate ``Page.records`` in place
+_RECORDS_MUTATORS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort", "reverse"}
+)
+
+#: free functions that mutate a list passed as an argument
+_MUTATING_FUNCTIONS = frozenset(
+    {"insort", "insort_left", "insort_right", "heappush", "heappop", "heapify"}
+)
+
+ALL_RULES: dict[str, str] = {
+    "R001": "wall-clock time in engine code (charge the simulated clock instead)",
+    "R002": "per-tuple loop over page records in a kernel-consuming hot path",
+    "R003": "Page.records mutation without a paired Page.version bump",
+    "R004": "KernelBackend method not overridden by both kernel backends",
+    "R005": "bare assert (stripped under python -O) guarding an invariant",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line:col: rule message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _suppressed(source_lines: Sequence[str], violation: Violation) -> bool:
+    if not 1 <= violation.line <= len(source_lines):
+        return False
+    text = source_lines[violation.line - 1]
+    index = text.find("# reprolint: allow")
+    if index < 0:
+        return False
+    rest = text[index + len("# reprolint: allow") :].strip()
+    return rest == "" or violation.rule in rest
+
+
+def _records_owner(node: ast.expr) -> str | None:
+    """Source text of ``X`` when ``node`` is the attribute ``X.records``."""
+    if isinstance(node, ast.Attribute) and node.attr == "records":
+        return ast.unparse(node.value)
+    return None
+
+
+class _FileChecker(ast.NodeVisitor):
+    """Per-file rules: R001, R002 (hot paths only), R003 and R005."""
+
+    def __init__(self, path: str, hot_path: bool) -> None:
+        self.path = path
+        self.hot_path = hot_path
+        self.violations: list[Violation] = []
+        # R003 bookkeeping for the innermost function (or module) scope:
+        # source text of mutated ``.records`` owners and version-bumped
+        # owners; reconciled when the scope is left.
+        self._scope_stack: list[tuple[dict[str, tuple[int, int]], set[str]]] = [
+            ({}, set())
+        ]
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                self.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                rule,
+                message,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # scope handling (R003 pairs mutation and bump within one function)
+    # ------------------------------------------------------------------
+    def _enter_scope(self) -> None:
+        self._scope_stack.append(({}, set()))
+
+    def _leave_scope(self) -> None:
+        mutated, bumped = self._scope_stack.pop()
+        for owner, (line, col) in mutated.items():
+            if owner in bumped:
+                continue
+            self.violations.append(
+                Violation(
+                    self.path,
+                    line,
+                    col,
+                    "R003",
+                    f"`{owner}.records` is mutated but `{owner}.version` is "
+                    "never bumped in this function; the columnar page cache "
+                    "keyed on `version` goes stale",
+                )
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._leave_scope()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._leave_scope()
+
+    def _note_mutation(self, owner: str, node: ast.AST) -> None:
+        mutated, _ = self._scope_stack[-1]
+        mutated.setdefault(
+            owner, (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
+        )
+
+    def _note_bump(self, owner: str) -> None:
+        _, bumped = self._scope_stack[-1]
+        bumped.add(owner)
+
+    # ------------------------------------------------------------------
+    # R001: wall-clock time sources
+    # ------------------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id == "time" and node.attr in _WALL_CLOCK_TIME_ATTRS:
+                self._emit(
+                    node,
+                    "R001",
+                    f"`time.{node.attr}` reads the host wall clock; charge "
+                    "the simulated clock (`storage/stats.py`) instead",
+                )
+            elif (
+                base.id in ("datetime", "date")
+                and node.attr in _WALL_CLOCK_DATETIME_ATTRS
+            ):
+                self._emit(
+                    node,
+                    "R001",
+                    f"`{base.id}.{node.attr}` reads the host wall clock; "
+                    "engine results must be simulation-deterministic",
+                )
+        elif (
+            isinstance(base, ast.Attribute)
+            and base.attr in ("datetime", "date")
+            and node.attr in _WALL_CLOCK_DATETIME_ATTRS
+        ):
+            self._emit(
+                node,
+                "R001",
+                f"`{ast.unparse(node)}` reads the host wall clock; engine "
+                "results must be simulation-deterministic",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                    self._emit(
+                        node,
+                        "R001",
+                        f"importing `time.{alias.name}` into engine code; "
+                        "charge the simulated clock instead",
+                    )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # R002: per-tuple loops over page records in hot paths
+    # ------------------------------------------------------------------
+    def _iter_target(self, iter_node: ast.expr) -> str | None:
+        """Owner text when an iteration runs tuple-at-a-time over records."""
+        owner = _records_owner(iter_node)
+        if owner is not None:
+            return owner
+        if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name):
+            if iter_node.func.id in ("enumerate", "reversed", "iter") and iter_node.args:
+                return _records_owner(iter_node.args[0])
+        return None
+
+    def _check_iteration(self, iter_node: ast.expr, anchor: ast.AST) -> None:
+        if not self.hot_path:
+            return
+        owner = self._iter_target(iter_node)
+        if owner is not None:
+            self._emit(
+                anchor,
+                "R002",
+                f"per-tuple Python loop over `{owner}.records` in a hot "
+                "path; route batch work through the `repro.kernels` API",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(
+        self, node: ast.AST, generators: "list[ast.comprehension]"
+    ) -> None:
+        for comp in generators:
+            self._check_iteration(comp.iter, node)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    # ------------------------------------------------------------------
+    # R003: records mutations and version bumps
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _RECORDS_MUTATORS:
+            owner = _records_owner(func.value)
+            if owner is not None:
+                self._note_mutation(owner, node)
+        elif isinstance(func, ast.Name) and func.id in _MUTATING_FUNCTIONS:
+            for arg in node.args:
+                owner = _records_owner(arg)
+                if owner is not None:
+                    self._note_mutation(owner, node)
+        self.generic_visit(node)
+
+    def _check_assign_target(self, target: ast.expr, node: ast.AST) -> None:
+        owner = _records_owner(target)
+        if owner is not None:
+            self._note_mutation(owner, node)
+            return
+        if isinstance(target, ast.Subscript):
+            owner = _records_owner(target.value)
+            if owner is not None:
+                self._note_mutation(owner, node)
+            return
+        if isinstance(target, ast.Attribute) and target.attr == "version":
+            self._note_bump(ast.unparse(target.value))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_assign_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_assign_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            owner = _records_owner(target)
+            if owner is None and isinstance(target, ast.Subscript):
+                owner = _records_owner(target.value)
+            if owner is not None:
+                self._note_mutation(owner, node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # R005: bare asserts
+    # ------------------------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._emit(
+            node,
+            "R005",
+            "bare `assert` is stripped under `python -O`; raise explicitly "
+            "or use `repro.invariants`",
+        )
+        self.generic_visit(node)
+
+    def finish(self) -> list[Violation]:
+        while self._scope_stack:
+            self._leave_scope()
+        return self.violations
+
+
+def _is_hot_path(path: Path) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(suffix) for suffix in HOT_PATH_FILES)
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, hot_path: bool | None = None
+) -> list[Violation]:
+    """Lint one file's source with the per-file rules (R001/2/3/5)."""
+    if hot_path is None:
+        hot_path = _is_hot_path(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path, error.lineno or 1, error.offset or 0, "E999", str(error.msg)
+            )
+        ]
+    checker = _FileChecker(path, hot_path)
+    checker.visit(tree)
+    lines = source.splitlines()
+    return [v for v in checker.finish() if not _suppressed(lines, v)]
+
+
+# ----------------------------------------------------------------------
+# R004: kernel backend parity (cross-file, introspection over the ASTs)
+# ----------------------------------------------------------------------
+def _class_methods(tree: ast.Module, class_name: str) -> dict[str, int]:
+    """Directly-defined method names (with line) of ``class_name``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                item.name: item.lineno
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+    return {}
+
+
+def _first_class_methods(tree: ast.Module) -> tuple[str | None, dict[str, int]]:
+    """Union of method names over every class in the module."""
+    methods: dict[str, int] = {}
+    name: str | None = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if name is None:
+                name = node.name
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.setdefault(item.name, item.lineno)
+    return name, methods
+
+
+def check_backend_parity(kernels_dir: Path) -> list[Violation]:
+    """R004 over one ``kernels/`` package directory.
+
+    Public methods declared on ``KernelBackend`` in ``base.py`` must be
+    overridden (defined directly) by the classes in ``pure.py`` and in
+    ``numpy_backend.py``.
+    """
+    base_path = kernels_dir / "base.py"
+    if not base_path.is_file():
+        return []
+    base_tree = ast.parse(base_path.read_text(encoding="utf-8"))
+    interface = {
+        name: line
+        for name, line in _class_methods(base_tree, "KernelBackend").items()
+        if not name.startswith("_")
+    }
+    if not interface:
+        return []
+    violations: list[Violation] = []
+    for backend_file in ("pure.py", "numpy_backend.py"):
+        backend_path = kernels_dir / backend_file
+        if not backend_path.is_file():
+            violations.append(
+                Violation(
+                    str(base_path),
+                    1,
+                    0,
+                    "R004",
+                    f"kernel backend module `{backend_file}` is missing; "
+                    "both backends must implement the full interface",
+                )
+            )
+            continue
+        backend_tree = ast.parse(backend_path.read_text(encoding="utf-8"))
+        class_name, implemented = _first_class_methods(backend_tree)
+        for method, line in sorted(interface.items()):
+            if method not in implemented:
+                violations.append(
+                    Violation(
+                        str(backend_path),
+                        1,
+                        0,
+                        "R004",
+                        f"backend class `{class_name}` does not override "
+                        f"`KernelBackend.{method}` (declared at base.py:"
+                        f"{line}); both backends must stay observationally "
+                        "identical method-by-method",
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def _python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
+    """Lint every Python file under ``paths``; returns all findings."""
+    violations: list[Violation] = []
+    kernels_dirs: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"no such path: {root}")
+        for path in _python_files(root):
+            source = path.read_text(encoding="utf-8")
+            violations.extend(lint_source(source, str(path)))
+            if path.name == "base.py" and path.parent.name == "kernels":
+                kernels_dirs.add(path.parent)
+    for kernels_dir in sorted(kernels_dirs):
+        violations.extend(check_backend_parity(kernels_dir))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Project-specific static analysis for the Tetris engine.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule, summary in sorted(ALL_RULES.items()):
+            print(f"{rule}: {summary}")
+        return 0
+    violations = lint_paths(options.paths)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s) found")
+        return 1
+    print("reprolint: clean")
+    return 0
