@@ -32,7 +32,27 @@ def ensure_checks_disabled() -> None:
         )
 
 
+def ensure_fault_free() -> None:
+    """Refuse to time anything while fault injection is armed.
+
+    An armed :class:`~repro.storage.faults.FaultPlan` charges retry
+    backoff and latency spikes to the simulated clock and perturbs page
+    access patterns; numbers measured that way are chaos-mode numbers
+    and must never land in a report or in ``BENCH_cpu.json``.  Mirrors
+    :func:`ensure_checks_disabled` for the REPRO_CHECKS guard.
+    """
+    from repro.storage import armed_disk_count
+
+    armed = armed_disk_count()
+    if armed:
+        raise RuntimeError(
+            f"benchmarks must run fault-free, but {armed} FaultyDisk "
+            "instance(s) are armed; disarm fault injection before timing"
+        )
+
+
 ensure_checks_disabled()
+ensure_fault_free()
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -52,6 +72,10 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 def report(name: str, text: str) -> str:
     """Persist a benchmark report and echo it (visible with ``pytest -s``)."""
+    # re-checked at write time: a benchmark could have armed a FaultyDisk
+    # (or flipped checks on) after this module was imported
+    ensure_checks_disabled()
+    ensure_fault_free()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:

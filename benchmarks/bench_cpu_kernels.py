@@ -179,6 +179,13 @@ def main(argv: "list[str] | None" = None) -> int:
             "benchmarks must run with invariant checks disabled "
             "(unset REPRO_CHECKS); checks-on timings are not comparable"
         )
+    from repro.storage import armed_disk_count
+
+    if armed_disk_count():
+        raise RuntimeError(
+            "benchmarks must run fault-free; disarm every FaultyDisk "
+            "before timing (chaos-mode numbers are not comparable)"
+        )
 
     kernel_count = 10_000 if args.quick else 100_000
     scan_tuples = 10_000 if args.quick else 100_000

@@ -34,13 +34,21 @@ from .core import (
 )
 from .storage import (
     BufferPool,
+    CorruptPageError,
     DiskParameters,
+    FaultPlan,
+    FaultyDisk,
     HeapFile,
     ICDE99_ANALYSIS,
     ICDE99_TESTBED,
     IOStats,
+    MissingPageError,
     Page,
+    QuarantinedPageError,
+    RetryPolicy,
     SimulatedDisk,
+    StorageError,
+    TransientIOError,
 )
 
 __version__ = "1.0.0"
@@ -48,20 +56,28 @@ __version__ = "1.0.0"
 __all__ = [
     "BufferPool",
     "ComparisonSpace",
+    "CorruptPageError",
     "Curve",
     "DiskParameters",
+    "FaultPlan",
+    "FaultyDisk",
     "HeapFile",
     "ICDE99_ANALYSIS",
     "ICDE99_TESTBED",
     "IOStats",
     "IntersectionSpace",
+    "MissingPageError",
     "Page",
     "PredicateSpace",
+    "QuarantinedPageError",
     "QueryBox",
     "QuerySpace",
+    "RetryPolicy",
     "SimulatedDisk",
+    "StorageError",
     "TetrisScan",
     "TetrisStats",
+    "TransientIOError",
     "UBTree",
     "ZRegion",
     "ZSpace",

@@ -1,12 +1,14 @@
 """Buffer-pool accounting invariants.
 
 The experiments' I/O numbers are only as trustworthy as the buffer
-pool's bookkeeping: every lookup must be classified as exactly one hit
-or miss, every miss must correspond to one disk fetch issued by the
-pool, dirty pages must still be resident, and the pool must never hold
-more frames than its capacity.  :class:`repro.storage.buffer.BufferPool`
-maintains the ``lookups`` / ``disk_fetches`` shadow counters this
-validator cross-checks.
+pool's bookkeeping: every lookup must be classified as exactly one hit,
+one miss or one quarantine rejection; the disk fetches issued by the
+pool must equal its misses plus the retry attempts its retry policy
+authorized; dirty pages must still be resident; the pool must never hold
+more frames than its capacity; and a quarantined page must be neither
+resident nor dirty.  :class:`repro.storage.buffer.BufferPool` maintains
+the ``lookups`` / ``disk_fetches`` / ``rejected`` / ``retry_attempts``
+shadow counters this validator cross-checks.
 """
 
 from __future__ import annotations
@@ -20,16 +22,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 
 def validate_buffer_pool(pool: "BufferPool") -> None:
-    """O(dirty-set) accounting contract of one buffer pool."""
+    """O(dirty-set + quarantine-set) accounting contract of one pool."""
     check(
-        pool.hits + pool.misses == pool.lookups,
+        pool.hits + pool.misses + pool.rejected == pool.lookups,
         f"buffer accounting broken: {pool.hits} hits + {pool.misses} misses "
-        f"!= {pool.lookups} lookups",
+        f"+ {pool.rejected} rejected != {pool.lookups} lookups",
     )
     check(
-        pool.misses == pool.disk_fetches,
-        f"buffer accounting broken: {pool.misses} misses but "
-        f"{pool.disk_fetches} disk fetches issued",
+        pool.disk_fetches == pool.misses + pool.retry_attempts,
+        f"buffer accounting broken: {pool.disk_fetches} disk fetches != "
+        f"{pool.misses} misses + {pool.retry_attempts} retry attempts",
     )
     check(
         len(pool) <= pool.capacity,
@@ -41,4 +43,26 @@ def validate_buffer_pool(pool: "BufferPool") -> None:
     check(
         not stray,
         f"dirty set references evicted pages {stray}; write-back was lost",
+    )
+    quarantined = pool.quarantined_pages
+    cached = [page_id for page_id in quarantined if page_id in resident]
+    check(
+        not cached,
+        f"quarantined pages {cached} are still cached; suspect content "
+        "could be served",
+    )
+    dirty_quarantined = [page_id for page_id in quarantined if page_id in pool._dirty]
+    check(
+        not dirty_quarantined,
+        f"quarantined pages {dirty_quarantined} are marked dirty",
+    )
+    over_budget = [
+        page_id
+        for page_id, count in pool._failures.items()
+        if count >= pool.quarantine_threshold and page_id not in quarantined
+    ]
+    check(
+        not over_budget,
+        f"pages {over_budget} exceeded the failure budget of "
+        f"{pool.quarantine_threshold} but were not quarantined",
     )

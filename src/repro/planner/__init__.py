@@ -1,17 +1,29 @@
 """Cost-based access-path selection (the paper's future-work optimizer)."""
 
-from .executor import ExecutablePlan, PhysicalDesign, plan_sorted_query
+from .executor import (
+    DegradationEvent,
+    ExecutablePlan,
+    PhysicalDesign,
+    PlanExhaustedError,
+    QueryResult,
+    execute_sorted_query,
+    plan_sorted_query,
+)
 from .optimizer import CandidatePlan, RelationStats, choose_plan, enumerate_plans
 from .statistics import AttributeHistogram, TableStatistics
 
 __all__ = [
     "AttributeHistogram",
     "CandidatePlan",
+    "DegradationEvent",
     "ExecutablePlan",
     "PhysicalDesign",
+    "PlanExhaustedError",
+    "QueryResult",
     "RelationStats",
     "choose_plan",
     "TableStatistics",
     "enumerate_plans",
+    "execute_sorted_query",
     "plan_sorted_query",
 ]

@@ -11,7 +11,7 @@ kernel with multidimensional indexes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterator
 
 from ..costmodel.model import CostParameters
@@ -25,6 +25,7 @@ from ..relational.operators import (
 )
 from ..relational.schema import Schema
 from ..relational.table import HeapTable, IOTTable, UBTable
+from ..storage.errors import StorageError
 from .optimizer import CandidatePlan, RelationStats, choose_plan
 from .statistics import TableStatistics
 
@@ -231,3 +232,177 @@ def plan_sorted_query(
         raise ValueError(f"unknown method {choice.method!r}")
 
     return ExecutablePlan(choice=choice, operator=operator)
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One plan abort-and-replan step, reported to the caller.
+
+    ``fallback_method``/``fallback_instance`` name the plan the query
+    continued with, or ``None`` when the failure exhausted the design.
+    """
+
+    method: str
+    instance: str
+    error_type: str
+    error: str
+    fallback_method: str | None = None
+    fallback_instance: str | None = None
+
+    def describe(self) -> str:
+        target = (
+            f"fell back to {self.fallback_method} on {self.fallback_instance}"
+            if self.fallback_method is not None
+            else "no fallback remained"
+        )
+        return (
+            f"{self.method} on {self.instance} aborted with "
+            f"{self.error_type} ({self.error}); {target}"
+        )
+
+
+class PlanExhaustedError(StorageError):
+    """Every physical instance of the design failed for this query.
+
+    Carries the full degradation trail so callers can report *why*
+    the relation became unreadable.
+    """
+
+    def __init__(self, message: str, degradations: tuple[DegradationEvent, ...]):
+        super().__init__(message)
+        self.degradations = degradations
+
+
+@dataclass
+class QueryResult:
+    """Materialized rows plus the (possibly degraded) plan that made them."""
+
+    rows: list[tuple]
+    plan: ExecutablePlan
+    degradations: tuple[DegradationEvent, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
+
+
+def _design_without(
+    design: PhysicalDesign, choice: CandidatePlan
+) -> PhysicalDesign | None:
+    """The design minus the instance ``choice`` ran on, or ``None``.
+
+    Removing the failed instance and re-running the optimizer *is* the
+    degradation ladder: the cost model ranks whatever survives, with
+    FTS + external sort the universal last resort because it needs no
+    index structure at all.
+    """
+    heap = design.heap
+    iots = dict(design.iots)
+    ub = design.ub
+    if choice.method == "tetris":
+        ub = None
+    elif choice.method == "fts-sort":
+        heap = None
+    elif choice.method in ("iot-sort", "iot-presorted"):
+        iots = {
+            leading: table
+            for leading, table in iots.items()
+            if table.name != choice.instance
+        }
+    else:  # pragma: no cover - enumerate_plans only emits the above
+        raise ValueError(f"unknown method {choice.method!r}")
+    if heap is None and not iots and ub is None:
+        return None
+    return PhysicalDesign(
+        attributes=design.attributes, heap=heap, iots=iots, ub=ub
+    )
+
+
+def execute_sorted_query(
+    design: PhysicalDesign,
+    restrictions: dict[str, ValueRange] | None,
+    sort_attr: str,
+    params: CostParameters,
+    *,
+    descending: bool = False,
+    require_pipelined: bool = False,
+    statistics: "TableStatistics | None" = None,
+    max_degradations: int = 8,
+) -> QueryResult:
+    """Run a sort+restriction query, degrading across instances on failure.
+
+    When the chosen operator hits a typed :class:`StorageError`
+    (quarantined page, unhealable corruption, retry exhaustion), the
+    partial output is discarded, the failed physical instance is removed
+    from the design, and the optimizer re-plans against the survivors —
+    down to FTS + external sort as the last resort.  The result carries
+    a :class:`DegradationEvent` per abort, so the caller always gets
+    either rows that are *correct for the full query* or a typed
+    :class:`PlanExhaustedError` — never silently truncated output.
+
+    ``require_pipelined`` is honoured only for the initial plan; a
+    degraded query prefers a correct blocking plan over no plan.
+    """
+    events: list[DegradationEvent] = []
+    pipelined = require_pipelined
+    current: PhysicalDesign | None = design
+    while True:
+        if current is None:
+            raise PlanExhaustedError(
+                f"no physical instance of the design can serve the query "
+                f"after {len(events)} failure(s): "
+                + "; ".join(event.describe() for event in events),
+                tuple(events),
+            )
+        if len(events) > max_degradations:
+            raise PlanExhaustedError(
+                f"gave up after {len(events)} degradations: "
+                + "; ".join(event.describe() for event in events),
+                tuple(events),
+            )
+        try:
+            plan = plan_sorted_query(
+                current,
+                restrictions,
+                sort_attr,
+                params,
+                descending=descending,
+                require_pipelined=pipelined,
+                statistics=statistics,
+            )
+        except ValueError as exc:
+            # the optimizer found no candidate on the surviving instances
+            # (e.g. only a pipelined plan was admissible and it is gone)
+            if pipelined and not events:
+                raise
+            raise PlanExhaustedError(
+                f"re-planning failed after {len(events)} degradation(s): {exc}",
+                tuple(events),
+            ) from exc
+        if events and events[-1].fallback_method is None:
+            events[-1] = replace(
+                events[-1],
+                fallback_method=plan.choice.method,
+                fallback_instance=plan.choice.instance,
+            )
+        try:
+            rows = list(plan.operator)
+        except StorageError as exc:
+            events.append(
+                DegradationEvent(
+                    method=plan.choice.method,
+                    instance=plan.choice.instance,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                )
+            )
+            current = _design_without(current, plan.choice)
+            # degraded plans may block; correctness outranks pipelining
+            pipelined = False
+            continue
+        return QueryResult(rows=rows, plan=plan, degradations=tuple(events))

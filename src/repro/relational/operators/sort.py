@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterable, Iterator
 from ... import kernels
 from ...storage.disk import SimulatedDisk
 from ...storage.heap import HeapFile
+from ...storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy, read_page_resilient
 from .base import Operator, Row
 
 
@@ -67,6 +68,7 @@ class ExternalMergeSort(Operator):
         page_capacity: int,
         merge_degree: int = 2,
         descending: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if memory_pages < 1:
             raise ValueError("work memory must be at least one page")
@@ -79,6 +81,7 @@ class ExternalMergeSort(Operator):
         self.page_capacity = page_capacity
         self.merge_degree = merge_degree
         self.descending = descending
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.stats = SortStats()
         self._live_temp_pages = 0
 
@@ -179,7 +182,13 @@ class ExternalMergeSort(Operator):
         for start in range(0, len(pages), chunk):
             batch = pages[start : start + chunk]
             loaded = [
-                self.disk.read(page.page_id, sequential=True, category="temp")
+                read_page_resilient(
+                    self.disk,
+                    page.page_id,
+                    policy=self.retry_policy,
+                    sequential=True,
+                    category="temp",
+                )[0]
                 for page in batch
             ]
             for page in loaded:

@@ -20,23 +20,54 @@ from ..core.ubtree import UBTree
 from ..core.zorder import ZSpace
 from ..storage.buffer import BufferPool
 from ..storage.disk import DiskParameters, SimulatedDisk
+from ..storage.faults import FaultPlan, FaultyDisk
 from ..storage.heap import HeapFile
+from ..storage.retry import RetryPolicy
 from .schema import Schema
 
 Row = tuple
 
 
 class Database:
-    """Shared simulated disk + buffer pool for a set of table instances."""
+    """Shared simulated disk + buffer pool for a set of table instances.
+
+    Passing a ``fault_plan`` wraps the disk in a
+    :class:`~repro.storage.faults.FaultyDisk`; injection stays disarmed
+    until :meth:`arm_faults` is called, so tables load cleanly and the
+    fault schedule replays deterministically from the moment of arming.
+    """
 
     def __init__(
         self,
         params: DiskParameters | None = None,
         buffer_pages: int = 256,
+        *,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_threshold: int = 3,
     ) -> None:
-        self.disk = SimulatedDisk(params)
-        self.buffer = BufferPool(self.disk, buffer_pages)
+        inner = SimulatedDisk(params)
+        self.disk: SimulatedDisk = (
+            FaultyDisk(inner, fault_plan) if fault_plan is not None else inner
+        )
+        self.buffer = BufferPool(
+            self.disk,
+            buffer_pages,
+            retry_policy=retry_policy,
+            quarantine_threshold=quarantine_threshold,
+        )
         self.tables: dict[str, "BaseTable"] = {}
+
+    def arm_faults(self) -> None:
+        """Start injecting faults (requires a ``fault_plan``)."""
+        if not isinstance(self.disk, FaultyDisk):
+            raise RuntimeError("database was created without a fault plan")
+        self.disk.arm()
+
+    def disarm_faults(self) -> None:
+        """Stop injecting faults, leaving any damage in place."""
+        if isinstance(self.disk, FaultyDisk):
+            self.disk.disarm()
 
     def _register(self, table: "BaseTable") -> None:
         if table.name in self.tables:

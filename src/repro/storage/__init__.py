@@ -4,23 +4,52 @@ This package replaces the paper's physical testbed (Oracle 8 on a disk
 array) with a deterministic simulation that prices I/O using the exact
 cost model of Section 4.1 — positioning time ``t_pi``, transfer time
 ``t_tau`` and a prefetch window of ``C`` pages.
+
+The resilience layer lives here too: typed storage errors
+(:mod:`~repro.storage.errors`), retry policies priced on the simulated
+clock (:mod:`~repro.storage.retry`) and deterministic fault injection
+(:mod:`~repro.storage.faults`).
 """
 
 from .buffer import BufferPool
 from .disk import ICDE99_ANALYSIS, ICDE99_TESTBED, DiskParameters, SimulatedDisk
+from .errors import (
+    CorruptPageError,
+    MissingPageError,
+    QuarantinedPageError,
+    StorageError,
+    TransientIOError,
+    ensure_page_integrity,
+)
+from .faults import FaultPlan, FaultyDisk, armed_disk_count
 from .heap import HeapFile
 from .page import Page, PageOverflowError
-from .stats import CategoryStats, IOStats
+from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy, read_page_resilient
+from .stats import CategoryStats, FaultStats, IOStats
 
 __all__ = [
     "BufferPool",
     "CategoryStats",
+    "CorruptPageError",
+    "DEFAULT_RETRY_POLICY",
     "DiskParameters",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyDisk",
     "HeapFile",
     "ICDE99_ANALYSIS",
     "ICDE99_TESTBED",
     "IOStats",
+    "MissingPageError",
+    "NO_RETRY",
     "Page",
     "PageOverflowError",
+    "QuarantinedPageError",
+    "RetryPolicy",
     "SimulatedDisk",
+    "StorageError",
+    "TransientIOError",
+    "armed_disk_count",
+    "ensure_page_integrity",
+    "read_page_resilient",
 ]

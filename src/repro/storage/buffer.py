@@ -5,11 +5,20 @@ mirroring a DBMS buffer cache.  Experiments size it to hold index levels
 plus a working set, so that base-table page waves still hit the disk —
 which is the regime the paper's cost model describes.
 
+The pool is also the engine's resilience gate: transient read errors are
+retried through a :class:`~repro.storage.retry.RetryPolicy` (backoff
+charged to the *simulated* clock), every page fetched from disk is
+verified against its stored checksum, and a page that keeps failing —
+or fails once with corruption — is *quarantined*: further lookups raise
+:class:`~repro.storage.errors.QuarantinedPageError` without touching the
+disk, and the planner degrades onto a surviving physical instance.
+
 With ``REPRO_CHECKS=1`` every mutation re-validates the pool's
 accounting contract (see :mod:`repro.invariants.accounting`): each
-lookup is exactly one hit or one miss, each miss issues exactly one disk
-fetch, the dirty set stays within the resident frames, and the frame
-count never exceeds the capacity.
+lookup is exactly one hit, one miss or one quarantine rejection; disk
+fetches equal misses plus retry attempts; the dirty set stays within the
+resident frames; the frame count never exceeds the capacity; and no
+quarantined page is resident.
 """
 
 from __future__ import annotations
@@ -18,25 +27,50 @@ from collections import OrderedDict
 
 from .. import invariants
 from .disk import SimulatedDisk
+from .errors import (
+    CorruptPageError,
+    QuarantinedPageError,
+    TransientIOError,
+    ensure_page_integrity,
+)
 from .page import Page
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 
 class BufferPool:
-    """LRU cache of disk pages with hit/miss accounting."""
+    """LRU cache of disk pages with hit/miss accounting and quarantine."""
 
-    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int = 256,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_threshold: int = 3,
+    ) -> None:
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
+        if quarantine_threshold < 1:
+            raise ValueError("quarantine threshold must be >= 1")
         self.disk = disk
         self.capacity = capacity
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self.quarantine_threshold = quarantine_threshold
         self.hits = 0
         self.misses = 0
         #: shadow counters cross-checked by the invariant layer: total
-        #: lookups served, and disk reads issued by this pool on misses
+        #: lookups served, disk reads issued by this pool (including
+        #: failed retry attempts), lookups rejected by quarantine, and
+        #: individual retry attempts
         self.lookups = 0
         self.disk_fetches = 0
+        self.rejected = 0
+        self.retry_attempts = 0
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._dirty: set[int] = set()
+        #: cumulative I/O failures per page, across lookups
+        self._failures: dict[int, int] = {}
+        self._quarantined: set[int] = set()
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._frames
@@ -52,21 +86,94 @@ class BufferPool:
         category: str = "data",
         charge: bool = True,
     ) -> Page:
-        """Return the page, reading it from disk on a miss."""
+        """Return the page, reading it from disk on a miss.
+
+        Transient errors are retried per the pool's policy; corruption
+        quarantines the page immediately; a page whose cumulative
+        failure count reaches the quarantine threshold is refused
+        outright on later lookups (:class:`QuarantinedPageError`).
+        """
         self.lookups += 1
+        if page_id in self._quarantined:
+            self.rejected += 1
+            self._validate()
+            raise QuarantinedPageError(
+                f"page {page_id} is quarantined after "
+                f"{self._failures.get(page_id, 0)} failures"
+            )
         if page_id in self._frames:
             self.hits += 1
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
         self.misses += 1
-        self.disk_fetches += 1
-        page = self.disk.read(
-            page_id, sequential=sequential, category=category, charge=charge
-        )
+        page = self._fetch(page_id, sequential=sequential, category=category, charge=charge)
         self._admit(page, category)
-        if invariants.enabled():
-            invariants.validate_buffer_pool(self)
+        self._validate()
         return page
+
+    def _fetch(
+        self, page_id: int, *, sequential: bool, category: str, charge: bool
+    ) -> Page:
+        """One miss: read with retries, verify integrity, track failures."""
+        delays = self.retry_policy.delays()
+        while True:
+            self.disk_fetches += 1
+            try:
+                page = self.disk.read(
+                    page_id, sequential=sequential, category=category, charge=charge
+                )
+            except TransientIOError:
+                self._note_failure(page_id)
+                delay = next(delays, None)
+                if delay is None or page_id in self._quarantined:
+                    self._validate()
+                    raise
+                self.retry_attempts += 1
+                faults = self.disk.stats.faults
+                faults.retries += 1
+                faults.retry_delay += delay
+                self.disk.advance_clock(delay)
+                continue
+            try:
+                ensure_page_integrity(page, context=f"buffered read of page {page_id}")
+            except CorruptPageError:
+                # the bits will not heal: no retry, straight to quarantine
+                self._quarantine(page_id, immediately=True)
+                self._validate()
+                raise
+            return page
+
+    def _note_failure(self, page_id: int) -> None:
+        count = self._failures.get(page_id, 0) + 1
+        self._failures[page_id] = count
+        if count >= self.quarantine_threshold:
+            self._quarantine(page_id)
+
+    def _quarantine(self, page_id: int, *, immediately: bool = False) -> None:
+        if immediately:
+            self._failures[page_id] = max(
+                self._failures.get(page_id, 0) + 1, self.quarantine_threshold
+            )
+        if page_id not in self._quarantined:
+            self._quarantined.add(page_id)
+            self.disk.stats.faults.quarantined_pages += 1
+        # a quarantined page must not linger in the cache (its content is
+        # suspect); drop it without write-back
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+
+    # ------------------------------------------------------------------
+    # quarantine introspection
+    # ------------------------------------------------------------------
+    @property
+    def quarantined_pages(self) -> frozenset[int]:
+        return frozenset(self._quarantined)
+
+    def is_quarantined(self, page_id: int) -> bool:
+        return page_id in self._quarantined
+
+    def failure_count(self, page_id: int) -> int:
+        return self._failures.get(page_id, 0)
 
     def mark_dirty(self, page_id: int) -> None:
         if page_id in self._frames:
@@ -74,11 +181,14 @@ class BufferPool:
 
     def put(self, page: Page, *, dirty: bool = True, category: str = "data") -> None:
         """Install a freshly created page into the pool."""
+        if page.page_id in self._quarantined:
+            raise QuarantinedPageError(
+                f"refusing to cache quarantined page {page.page_id}"
+            )
         self._admit(page, category)
         if dirty:
             self._dirty.add(page.page_id)
-        if invariants.enabled():
-            invariants.validate_buffer_pool(self)
+        self._validate()
 
     def evict(self, page_id: int, *, category: str = "data") -> None:
         """Explicitly drop one page, writing it back if dirty."""
@@ -86,8 +196,7 @@ class BufferPool:
         if page is not None and page_id in self._dirty:
             self._dirty.discard(page_id)
             self.disk.write(page, category=category)
-        if invariants.enabled():
-            invariants.validate_buffer_pool(self)
+        self._validate()
 
     def flush(self, *, category: str = "data") -> None:
         """Write back all dirty pages (end of a load phase)."""
@@ -101,7 +210,8 @@ class BufferPool:
         """Empty the pool without write-back (pages live in the sim anyway).
 
         Used between experiment phases to start measurements from a cold
-        cache, the state the paper's formulas assume.
+        cache, the state the paper's formulas assume.  Quarantine state
+        and counters survive — a bad page stays bad across phases.
         """
         self._frames.clear()
         self._dirty.clear()
@@ -110,6 +220,10 @@ class BufferPool:
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def _validate(self) -> None:
+        if invariants.enabled():
+            invariants.validate_buffer_pool(self)
 
     def _admit(self, page: Page, category: str) -> None:
         self._frames[page.page_id] = page

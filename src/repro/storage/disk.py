@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .errors import MissingPageError
 from .page import Page
 from .stats import IOStats
 
@@ -140,7 +141,7 @@ class SimulatedDisk:
         try:
             page = self._pages[page_id]
         except KeyError:
-            raise KeyError(f"no page at address {page_id}") from None
+            raise MissingPageError(f"no page at address {page_id}") from None
 
         bucket = self.stats.category(category)
         if not charge:
@@ -171,7 +172,7 @@ class SimulatedDisk:
     ) -> None:
         """Write a page back to disk, priced like a read."""
         if page.page_id not in self._pages:
-            raise KeyError(f"no page at address {page.page_id}")
+            raise MissingPageError(f"no page at address {page.page_id}")
 
         bucket = self.stats.category(category)
         bucket.pages_written += 1
@@ -189,4 +190,7 @@ class SimulatedDisk:
 
     def peek(self, page_id: int) -> Page:
         """Access a page without any accounting (test/setup use only)."""
-        return self._pages[page_id]
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise MissingPageError(f"no page at address {page_id}") from None

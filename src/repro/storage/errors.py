@@ -1,0 +1,90 @@
+"""Typed storage errors and page-integrity verification.
+
+The engine's storage layer reports failures through one explicit
+hierarchy instead of bare ``KeyError``/``RuntimeError``:
+
+``StorageError``
+    Root of every storage-layer failure.  The plan executor catches this
+    (and only this) to trigger graceful degradation onto a surviving
+    physical instance — anything else is a bug and must propagate.
+
+``MissingPageError``
+    A page address that is not allocated on the simulated disk.  Also
+    subclasses ``KeyError`` so callers that historically caught the bare
+    dict error keep working.
+
+``TransientIOError``
+    A read attempt that failed but may succeed on retry (injected by
+    :class:`~repro.storage.faults.FaultyDisk`).  The buffer pool and the
+    heap scan retry these through a
+    :class:`~repro.storage.retry.RetryPolicy` with backoff charged to
+    the *simulated* clock.
+
+``CorruptPageError``
+    A page whose content no longer matches its stored checksum.  Never
+    retried — the data is gone; the page is quarantined and the plan
+    degrades.
+
+``QuarantinedPageError``
+    An access to a page the buffer pool has given up on after repeated
+    failures.  Raised without touching the disk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .page import Page
+
+__all__ = [
+    "CorruptPageError",
+    "MissingPageError",
+    "QuarantinedPageError",
+    "StorageError",
+    "TransientIOError",
+    "ensure_page_integrity",
+]
+
+
+class StorageError(Exception):
+    """Root of all typed storage-layer failures."""
+
+
+class MissingPageError(StorageError, KeyError):
+    """No page is allocated at the requested address.
+
+    Subclasses ``KeyError`` for backward compatibility with callers that
+    treated the simulated disk as a dictionary.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs the argument; keep the plain message
+        return Exception.__str__(self)
+
+
+class TransientIOError(StorageError):
+    """A read failed in a way that may succeed when retried."""
+
+
+class CorruptPageError(StorageError):
+    """A page's content does not match its stored checksum."""
+
+
+class QuarantinedPageError(StorageError):
+    """The page exceeded its failure budget and is quarantined."""
+
+
+def ensure_page_integrity(page: "Page", *, context: str = "read") -> None:
+    """Verify ``page`` against its stored checksum, if it carries one.
+
+    Pages only carry a checksum once one has been sealed (the fault
+    layer seals before corrupting, and on every faulted write), so the
+    fault-free hot path pays exactly one ``is not None`` test here.
+    """
+    if page.stored_checksum is not None and not page.verify_checksum():
+        raise CorruptPageError(
+            f"checksum mismatch on page {page.page_id} during {context}: "
+            f"stored 0x{page.stored_checksum:08x}, "
+            f"computed 0x{page.compute_checksum():08x}"
+        )

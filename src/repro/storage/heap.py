@@ -12,6 +12,7 @@ from typing import Any, Iterable, Iterator
 
 from .disk import SimulatedDisk
 from .page import Page
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, read_page_resilient
 
 DEFAULT_EXTENT_PAGES = 64
 
@@ -24,12 +25,15 @@ class HeapFile:
         disk: SimulatedDisk,
         page_capacity: int,
         extent_pages: int = DEFAULT_EXTENT_PAGES,
+        *,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if page_capacity < 1:
             raise ValueError("page capacity must be positive")
         self.disk = disk
         self.page_capacity = page_capacity
         self.extent_pages = extent_pages
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._pages: list[Page] = []
         self._free: list[Page] = []  # allocated but unused pages of last extent
         self._count = 0
@@ -72,9 +76,22 @@ class HeapFile:
             yield from page.records
 
     def scan_pages(self, *, category: str = "data") -> Iterator[Page]:
-        """Yield pages in physical order, priced as a sequential scan."""
+        """Yield pages in physical order, priced as a sequential scan.
+
+        Transient read errors are retried through the heap's retry
+        policy and every fetched page is checksum-verified, so a scan
+        either yields true content or raises a typed
+        :class:`~repro.storage.errors.StorageError`.
+        """
         for page in self._pages:
-            yield self.disk.read(page.page_id, sequential=True, category=category)
+            fetched, _ = read_page_resilient(
+                self.disk,
+                page.page_id,
+                policy=self.retry_policy,
+                sequential=True,
+                category=category,
+            )
+            yield fetched
 
     def drop(self) -> None:
         """Free all pages (used for temporary sort runs after merging)."""

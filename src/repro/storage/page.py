@@ -10,6 +10,7 @@ page.  Structural pages (B+-tree inner nodes) store their node object in
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Iterable, Iterator
 
 
@@ -29,7 +30,15 @@ class Page:
         pages may pass ``capacity=0`` and never touch ``records``.
     """
 
-    __slots__ = ("page_id", "capacity", "records", "payload", "version", "__weakref__")
+    __slots__ = (
+        "page_id",
+        "capacity",
+        "records",
+        "payload",
+        "version",
+        "stored_checksum",
+        "__weakref__",
+    )
 
     def __init__(self, page_id: int, capacity: int) -> None:
         self.page_id = page_id
@@ -39,6 +48,12 @@ class Page:
         #: bumped on every record mutation; derived views of the page
         #: (e.g. the NumPy kernel backend's columnar cache) key on it
         self.version = 0
+        #: CRC32 of the record content as of the last seal, or ``None``
+        #: when the page has never been sealed.  Lazily maintained: the
+        #: fault layer seals a page just before damaging it, so the
+        #: fault-free path never computes a checksum and integrity
+        #: verification costs a single ``is not None`` test.
+        self.stored_checksum: int | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -70,6 +85,31 @@ class Page:
     def clear(self) -> None:
         self.records.clear()
         self.version += 1
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def compute_checksum(self) -> int:
+        """CRC32 over the current record content.
+
+        ``repr`` of the records list is a stable, content-complete
+        serialization for the plain-Python tuples the engine stores, and
+        this is a simulation — the point is detecting the fault layer's
+        damage, not surviving adversarial collisions.
+        """
+        return zlib.crc32(repr(self.records).encode("utf-8"))
+
+    def seal_checksum(self) -> int:
+        """Record the current content's checksum on the page."""
+        self.stored_checksum = self.compute_checksum()
+        return self.stored_checksum
+
+    def verify_checksum(self) -> bool:
+        """True if the content matches the sealed checksum (or no seal)."""
+        return (
+            self.stored_checksum is None
+            or self.compute_checksum() == self.stored_checksum
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Page(id={self.page_id}, {len(self.records)}/{self.capacity} records)"

@@ -1,0 +1,108 @@
+"""Retry with capped exponential backoff, priced on the simulated clock.
+
+A transient read error (see :mod:`repro.storage.faults`) is retried a
+bounded number of times; every backoff delay is charged to the simulated
+disk clock via :meth:`~repro.storage.disk.SimulatedDisk.advance_clock`,
+never to the host wall clock — reprolint rule R001 stays clean and every
+chaos run replays with bit-identical "response times".
+
+Reprolint rule R006 requires every retry loop in the engine to route
+through a :class:`RetryPolicy` (its ``delays()`` schedule) instead of
+hand-rolling attempt counting; :func:`read_page_resilient` is the shared
+loop used by the heap scan and the external sort, and
+:meth:`repro.storage.buffer.BufferPool.get` inlines the same shape to
+couple it with per-page quarantine accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from .errors import TransientIOError, ensure_page_integrity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .disk import SimulatedDisk
+    from .page import Page
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
+    "RetryPolicy",
+    "read_page_resilient",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient storage errors.
+
+    ``max_retries`` extra attempts follow a failed first attempt; the
+    ``k``-th retry waits ``min(base_delay * multiplier**k, max_delay)``
+    seconds of *simulated* time.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.002
+    multiplier: float = 2.0
+    max_delay: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+
+    def delays(self) -> Iterator[float]:
+        """The capped backoff schedule, one delay per permitted retry."""
+        delay = self.base_delay
+        for _ in range(self.max_retries):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+
+#: engine-wide default: up to two retries, 2 ms then 4 ms of backoff
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: fail fast (used by tests that want the first error to surface)
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+def read_page_resilient(
+    disk: "SimulatedDisk",
+    page_id: int,
+    *,
+    policy: RetryPolicy,
+    sequential: bool = False,
+    category: str = "data",
+    charge: bool = True,
+) -> "tuple[Page, int]":
+    """Read one page, retrying transient errors per ``policy``.
+
+    Returns ``(page, retries_used)``.  Backoff delays are charged to the
+    simulated clock and recorded in ``disk.stats.faults``; a page that
+    carries a checksum is verified before it is returned
+    (:class:`~repro.storage.errors.CorruptPageError` on mismatch —
+    corruption is never retried, the bits will not heal).
+    """
+    delays = policy.delays()
+    retries = 0
+    while True:
+        try:
+            page = disk.read(
+                page_id, sequential=sequential, category=category, charge=charge
+            )
+        except TransientIOError:
+            delay = next(delays, None)
+            if delay is None:
+                raise
+            faults = disk.stats.faults
+            faults.retries += 1
+            faults.retry_delay += delay
+            disk.advance_clock(delay)
+            retries += 1
+            continue
+        ensure_page_integrity(page, context=f"read of page {page_id}")
+        return page, retries

@@ -42,6 +42,60 @@ class CategoryStats:
 
 
 @dataclass
+class FaultStats:
+    """Counters for injected faults and the engine's resilience responses.
+
+    Populated by :class:`~repro.storage.faults.FaultyDisk` (injection
+    side) and by the retry/quarantine machinery (response side); all
+    zero on a fault-free run.  ``retry_delay`` and ``latency_delay`` are
+    simulated seconds already folded into :attr:`IOStats.time`.
+    """
+
+    transient_errors: int = 0
+    corrupt_reads: int = 0
+    torn_writes: int = 0
+    latency_spikes: int = 0
+    latency_delay: float = 0.0
+    retries: int = 0
+    retry_delay: float = 0.0
+    quarantined_pages: int = 0
+
+    def copy(self) -> "FaultStats":
+        return FaultStats(
+            transient_errors=self.transient_errors,
+            corrupt_reads=self.corrupt_reads,
+            torn_writes=self.torn_writes,
+            latency_spikes=self.latency_spikes,
+            latency_delay=self.latency_delay,
+            retries=self.retries,
+            retry_delay=self.retry_delay,
+            quarantined_pages=self.quarantined_pages,
+        )
+
+    def __sub__(self, other: "FaultStats") -> "FaultStats":
+        return FaultStats(
+            transient_errors=self.transient_errors - other.transient_errors,
+            corrupt_reads=self.corrupt_reads - other.corrupt_reads,
+            torn_writes=self.torn_writes - other.torn_writes,
+            latency_spikes=self.latency_spikes - other.latency_spikes,
+            latency_delay=self.latency_delay - other.latency_delay,
+            retries=self.retries - other.retries,
+            retry_delay=self.retry_delay - other.retry_delay,
+            quarantined_pages=self.quarantined_pages - other.quarantined_pages,
+        )
+
+    @property
+    def total_injected(self) -> int:
+        """Number of faults the plan actually fired."""
+        return (
+            self.transient_errors
+            + self.corrupt_reads
+            + self.torn_writes
+            + self.latency_spikes
+        )
+
+
+@dataclass
 class IOStats:
     """Aggregate statistics of a :class:`~repro.storage.disk.SimulatedDisk`.
 
@@ -54,6 +108,7 @@ class IOStats:
 
     time: float = 0.0
     categories: dict[str, CategoryStats] = field(default_factory=dict)
+    faults: FaultStats = field(default_factory=FaultStats)
 
     def category(self, name: str) -> CategoryStats:
         """Return (creating if needed) the statistics bucket for ``name``."""
@@ -85,6 +140,7 @@ class IOStats:
         return IOStats(
             time=self.time,
             categories={name: c.copy() for name, c in self.categories.items()},
+            faults=self.faults.copy(),
         )
 
     def __sub__(self, other: "IOStats") -> "IOStats":
@@ -97,6 +153,7 @@ class IOStats:
                 name: self.categories.get(name, empty) - other.categories.get(name, empty)
                 for name in names
             },
+            faults=self.faults - other.faults,
         )
 
     def summary(self) -> str:
@@ -104,4 +161,8 @@ class IOStats:
         parts = [f"time={self.time:.3f}s", f"read={self.pages_read}p/{self.read_seeks}seeks"]
         if self.pages_written:
             parts.append(f"write={self.pages_written}p/{self.write_seeks}seeks")
+        if self.faults.total_injected:
+            parts.append(
+                f"faults={self.faults.total_injected}/{self.faults.retries}retries"
+            )
         return " ".join(parts)

@@ -1,0 +1,125 @@
+"""Chaos-harness tests: the engine's resilience contract under seeded
+fault schedules, plus fault-free parity of the FaultyDisk wrapper.
+
+These are the CI chaos job's payload (run with ``REPRO_CHECKS=1`` on
+both kernel backends): every schedule must end in verified-correct rows
+or a typed failure — :mod:`tools.chaos` raises ``ChaosViolation``
+otherwise — and must replay exactly from its seed.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.storage import FaultPlan, FaultyDisk, SimulatedDisk
+from tools.chaos import (
+    DEFAULT_SEEDS,
+    QUERY,
+    ChaosOutcome,
+    build_world,
+    run_schedule,
+)
+
+BACKENDS = kernels.available_backends()
+
+
+def q6_scan(db, design, access_order):
+    """The harness query's two scan shapes, with page accesses recorded."""
+    original_read = SimulatedDisk.read
+
+    def recording_read(self, page_id, **kwargs):
+        access_order.append(page_id)
+        return original_read(self, page_id, **kwargs)
+
+    SimulatedDisk.read = recording_read
+    try:
+        fts = list(design.heap.scan())
+        tetris = list(
+            design.ub.tetris_scan(QUERY["restrictions"], QUERY["sort_attr"])
+        )
+    finally:
+        SimulatedDisk.read = original_read
+    return fts, [row for _, row in tetris]
+
+
+# ----------------------------------------------------------------------
+# satellite: fault-free parity of the wrapper
+# ----------------------------------------------------------------------
+class TestFaultFreeParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_plan_is_observationally_identical(self, backend):
+        """FaultyDisk(empty plan) == SimulatedDisk: bit-identical tuple
+        streams, IOStats and page-access order on Q6-style scans."""
+        with kernels.use_backend(backend):
+            bare_order: list[int] = []
+            bare_db, bare_design, data = build_world(rows=800)
+            bare_rows = q6_scan(bare_db, bare_design, bare_order)
+
+            faulty_order: list[int] = []
+            faulty_db, faulty_design, _ = build_world(FaultPlan(), rows=800)
+            assert isinstance(faulty_db.disk, FaultyDisk)
+            faulty_db.arm_faults()  # even armed, an empty plan injects nothing
+            faulty_rows = q6_scan(faulty_db, faulty_design, faulty_order)
+            faulty_db.disarm_faults()
+
+        assert faulty_rows == bare_rows  # FTS stream and Tetris stream
+        assert faulty_order == bare_order  # page-access order
+        assert faulty_db.disk.stats == bare_db.disk.stats  # full IOStats
+        assert faulty_db.disk.stats.faults.total_injected == 0
+        assert faulty_db.disk.fault_log == []
+
+    def test_parity_across_backends(self):
+        """Both kernel backends see the same streams from a faulty world."""
+        if len(BACKENDS) < 2:
+            pytest.skip("only one kernel backend available")
+        streams = {}
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                db, design, _ = build_world(FaultPlan(), rows=800)
+                order: list[int] = []
+                streams[backend] = (q6_scan(db, design, order), order)
+        first, *rest = streams.values()
+        for other in rest:
+            assert other == first
+
+
+# ----------------------------------------------------------------------
+# tentpole: seeded chaos sweep
+# ----------------------------------------------------------------------
+class TestChaosSweep:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", DEFAULT_SEEDS)
+    def test_schedule_honours_contract(self, seed, backend):
+        """run_schedule raises ChaosViolation on any silent wrong answer;
+        reaching an outcome at all *is* the contract check."""
+        outcome = run_schedule(seed, backend=backend)
+        assert isinstance(outcome, ChaosOutcome)
+        assert outcome.status in ("clean", "degraded", "failed")
+        if outcome.status == "failed":
+            assert outcome.error  # typed failure is always explained
+        if outcome.status == "degraded":
+            assert outcome.degradations
+
+    def test_pinned_seeds_cover_all_statuses(self):
+        """The CI seeds stay a meaningful sweep: all three outcomes occur."""
+        statuses = {
+            run_schedule(seed).status for seed in DEFAULT_SEEDS
+        }
+        assert statuses == {"clean", "degraded", "failed"}
+
+    def test_schedule_replays_exactly(self):
+        first = run_schedule(17)
+        second = run_schedule(17)
+        assert first == second  # includes the full fault_log
+
+    def test_outcomes_identical_across_backends(self):
+        if len(BACKENDS) < 2:
+            pytest.skip("only one kernel backend available")
+        for seed in DEFAULT_SEEDS:
+            outcomes = [
+                run_schedule(seed, backend=backend) for backend in BACKENDS
+            ]
+            reference = outcomes[0]
+            for outcome in outcomes[1:]:
+                assert outcome.status == reference.status
+                assert outcome.rows == reference.rows
+                assert outcome.fault_log == reference.fault_log

@@ -328,6 +328,127 @@ class TestR005BareAssert:
 
 
 # ----------------------------------------------------------------------
+# R006: swallowed exceptions and policy-free retry loops
+# ----------------------------------------------------------------------
+class TestR006SwallowedExceptions:
+    def test_bare_except_flagged(self):
+        found = lint(
+            """
+            def load(disk, page_id):
+                try:
+                    return disk.read(page_id)
+                except:
+                    return None
+            """
+        )
+        assert rules_of(found) == {"R006"}
+
+    def test_except_exception_pass_flagged(self):
+        found = lint(
+            """
+            def load(disk, page_id):
+                try:
+                    return disk.read(page_id)
+                except Exception:
+                    pass
+            """
+        )
+        assert rules_of(found) == {"R006"}
+
+    def test_except_base_exception_ellipsis_flagged(self):
+        found = lint(
+            """
+            def load(disk, page_id):
+                try:
+                    return disk.read(page_id)
+                except BaseException:
+                    ...
+            """
+        )
+        assert rules_of(found) == {"R006"}
+
+    def test_except_exception_with_handling_passes(self):
+        found = lint(
+            """
+            def load(disk, page_id):
+                try:
+                    return disk.read(page_id)
+                except Exception as exc:
+                    raise RuntimeError("load failed") from exc
+            """
+        )
+        assert found == []
+
+    def test_specific_exception_pass_passes(self):
+        """Swallowing a *specific* error is an explicit, auditable choice."""
+        found = lint(
+            """
+            def free_quietly(disk, page_id):
+                try:
+                    disk.free(page_id)
+                except MissingPageError:
+                    pass
+            """
+        )
+        assert found == []
+
+    def test_hand_rolled_retry_loop_flagged(self):
+        found = lint(
+            """
+            def load(disk, page_id):
+                for _ in range(3):
+                    try:
+                        return disk.read(page_id)
+                    except TransientIOError:
+                        continue
+            """
+        )
+        assert rules_of(found) == {"R006"}
+
+    def test_retry_loop_through_policy_passes(self):
+        found = lint(
+            """
+            def load(disk, page_id, policy):
+                delays = policy.delays()
+                while True:
+                    try:
+                        return disk.read(page_id)
+                    except TransientIOError:
+                        delay = next(delays, None)
+                        if delay is None:
+                            raise
+                        disk.advance_clock(delay)
+            """
+        )
+        assert found == []
+
+    def test_transient_error_outside_loop_passes(self):
+        """A one-shot catch is not a retry loop; nothing to police."""
+        found = lint(
+            """
+            def probe(disk, page_id):
+                try:
+                    return disk.read(page_id)
+                except TransientIOError:
+                    return None
+            """
+        )
+        assert found == []
+
+    def test_suppression_applies(self):
+        found = lint(
+            """
+            def load(disk, page_id):
+                try:
+                    return disk.read(page_id)
+                except Exception:  # reprolint: allow(R006)
+                    pass
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 # suppression, aggregation, CLI
 # ----------------------------------------------------------------------
 class TestDriver:

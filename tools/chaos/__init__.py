@@ -1,0 +1,296 @@
+"""``chaos``: seeded fault-schedule sweeps over the full query stack.
+
+The harness builds a multi-instance physical design (heap + two IOTs +
+UB-Tree over the same rows), runs a Q6-style sort+restriction query
+through :func:`repro.planner.execute_sorted_query` under a seeded
+:class:`~repro.storage.faults.FaultPlan`, and holds the engine to its
+resilience contract:
+
+* a run that completes must return *exactly* the correct answer —
+  the right multiset of rows, in an order the PR-2
+  :class:`~repro.invariants.StreamChecker` accepts (monotone in the
+  sort key, every row inside the query space), and bit-identical to the
+  fault-free run when no degradation happened;
+* a run that cannot complete must fail with a typed
+  :class:`~repro.storage.errors.StorageError` (usually
+  :class:`~repro.planner.PlanExhaustedError` carrying the degradation
+  trail);
+* the same seed must replay the same outcome, fault-for-fault.
+
+Anything else — a wrong row, a truncated stream, an untyped crash — is a
+:class:`ChaosViolation`: the silent-garbage class of bug this harness
+exists to catch.
+
+Usage: ``python -m tools.chaos --seeds 11 17 23`` (add ``--backend pure``
+to force a kernel backend; default sweeps whatever is available).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro import kernels
+from repro.costmodel import CostParameters
+from repro.invariants import StreamChecker
+from repro.planner import (
+    PhysicalDesign,
+    PlanExhaustedError,
+    QueryResult,
+    execute_sorted_query,
+)
+from repro.relational import Attribute, Database, IntEncoder, Schema
+from repro.storage import FaultPlan, FaultyDisk, StorageError
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosViolation",
+    "DEFAULT_SEEDS",
+    "QUERY",
+    "build_world",
+    "chaos_plan",
+    "run_schedule",
+    "run_suite",
+]
+
+#: the CI sweep's pinned seeds (chosen to cover clean, degraded and
+#: failed outcomes on both kernel backends)
+DEFAULT_SEEDS: tuple[int, ...] = (17, 23, 33)
+
+#: the harness's fixed Q6-style query: restriction on one UB dimension,
+#: sort on the other
+QUERY: dict[str, Any] = {
+    "restrictions": {"a1": (100, 900)},
+    "sort_attr": "a2",
+}
+
+
+class ChaosViolation(AssertionError):
+    """The engine broke the correct-or-typed-error contract."""
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """What one fault schedule did to one query."""
+
+    seed: int
+    backend: str
+    status: str  #: "clean" | "degraded" | "failed"
+    rows: int
+    faults_injected: int
+    retries: int
+    quarantined: int
+    degradations: tuple[str, ...] = ()
+    error: str | None = None
+    #: replayable injection log (op, kind, page_id, access)
+    fault_log: tuple[tuple[str, str, int, int], ...] = field(repr=False, default=())
+
+    def describe(self) -> str:
+        base = (
+            f"seed={self.seed:<4d} backend={self.backend:<6s} "
+            f"status={self.status:<8s} rows={self.rows:<5d} "
+            f"faults={self.faults_injected:<3d} retries={self.retries:<3d} "
+            f"quarantined={self.quarantined}"
+        )
+        if self.error:
+            base += f"  error={self.error.splitlines()[0][:80]}"
+        return base
+
+
+def chaos_plan(seed: int) -> FaultPlan:
+    """The sweep's fault mix for one seed.
+
+    Rates are deliberately harsh relative to real hardware so that a
+    three-seed CI sweep still exercises retries, quarantine and plan
+    degradation; the seed alone decides which accesses are hit.
+    """
+    return FaultPlan(
+        seed=seed,
+        transient_rate=0.03,
+        corrupt_rate=0.004,
+        torn_write_rate=0.01,
+        latency_rate=0.02,
+        latency_seconds=0.030,
+    )
+
+
+def build_world(
+    fault_plan: "FaultPlan | None" = None,
+    *,
+    rows: int = 1200,
+    data_seed: int = 0,
+    buffer_pages: int = 48,
+) -> tuple[Database, PhysicalDesign, list[tuple]]:
+    """One logical relation in four physical instances, optionally faulty.
+
+    Fault injection stays disarmed during loading, so the dataset is
+    always pristine and a schedule's damage is a pure function of the
+    query's own access pattern.
+    """
+    schema = Schema(
+        [
+            Attribute("a1", IntEncoder(0, 1023)),
+            Attribute("a2", IntEncoder(0, 1023)),
+            Attribute("v", IntEncoder(0, 10**9)),
+        ]
+    )
+    rng = random.Random(data_seed)
+    data = [(rng.randrange(1024), rng.randrange(1024), i) for i in range(rows)]
+    db = Database(
+        buffer_pages=buffer_pages, fault_plan=fault_plan, quarantine_threshold=2
+    )
+    heap = db.create_heap_table("heap", schema, 40)
+    heap.load(data)
+    iot_a1 = db.create_iot("iot_a1", schema, key=("a1", "a2"), page_capacity=40)
+    iot_a1.load(data)
+    iot_a2 = db.create_iot("iot_a2", schema, key=("a2", "a1"), page_capacity=40)
+    iot_a2.load(data)
+    ub = db.create_ub_table("ub", schema, dims=("a1", "a2"), page_capacity=40)
+    ub.load(data)
+    db.buffer.flush()
+    db.reset_measurement()
+    design = PhysicalDesign(
+        attributes=("a1", "a2"), heap=heap, iots={"a1": iot_a1, "a2": iot_a2}, ub=ub
+    )
+    return db, design, data
+
+
+def _oracle_rows(data: "list[tuple]", restrictions: dict, sort_attr: str) -> list:
+    """Ground truth computed directly from the in-memory dataset."""
+    positions = {"a1": 0, "a2": 1, "v": 2}
+    survivors = []
+    for row in data:
+        keep = True
+        for attr, (lo, hi) in restrictions.items():
+            value = row[positions[attr]]
+            if (lo is not None and value < lo) or (hi is not None and value > hi):
+                keep = False
+                break
+        if keep:
+            survivors.append(row)
+    return sorted(survivors, key=lambda row: row[positions[sort_attr]])
+
+
+def _verify_result(
+    result: QueryResult,
+    baseline_rows: "list[tuple]",
+    oracle: "list[tuple]",
+    design: PhysicalDesign,
+    seed: int,
+) -> None:
+    """Hold a completed run to the correctness contract."""
+    rows = result.rows
+    if sorted(rows) != sorted(oracle):
+        missing = len(oracle) - len(rows)
+        raise ChaosViolation(
+            f"seed {seed}: completed query returned a wrong multiset of rows "
+            f"({len(rows)} rows vs {len(oracle)} expected, delta {missing}); "
+            "this is silent garbage"
+        )
+    if not result.degraded and rows != baseline_rows:
+        raise ChaosViolation(
+            f"seed {seed}: non-degraded run is not bit-identical to the "
+            "fault-free run"
+        )
+    # order + membership via the PR-2 stream contract: encode each output
+    # row into the UB space and replay it through the StreamChecker
+    ub = design.ub
+    if ub is not None:
+        space = ub.build_query_box(QUERY["restrictions"])
+        checker = StreamChecker(
+            (ub.dims.index(QUERY["sort_attr"]),), False, space
+        )
+        for row in rows:
+            checker.observe(ub.point_of(row))
+
+
+def run_schedule(
+    seed: int,
+    *,
+    backend: str | None = None,
+    rows: int = 1200,
+    params: "CostParameters | None" = None,
+) -> ChaosOutcome:
+    """Run the harness query under one seeded schedule and verify it."""
+    backend_name = backend or kernels.get_backend().name
+    params = params or CostParameters(memory_pages=8)
+
+    with kernels.use_backend(backend_name):
+        # fault-free baseline: the exact stream a clean run produces
+        _, clean_design, data = build_world(rows=rows)
+        baseline = execute_sorted_query(
+            clean_design, QUERY["restrictions"], QUERY["sort_attr"], params
+        )
+        oracle = _oracle_rows(data, QUERY["restrictions"], QUERY["sort_attr"])
+        if sorted(baseline.rows) != sorted(oracle) or baseline.degraded:
+            raise ChaosViolation(
+                "fault-free baseline is broken; chaos results are meaningless"
+            )
+
+        db, design, _ = build_world(chaos_plan(seed), rows=rows)
+        disk = db.disk
+        if not isinstance(disk, FaultyDisk):  # pragma: no cover - guarded above
+            raise RuntimeError("chaos world lost its FaultyDisk")
+        db.arm_faults()
+        try:
+            result = execute_sorted_query(
+                design, QUERY["restrictions"], QUERY["sort_attr"], params
+            )
+        except PlanExhaustedError as exc:
+            return ChaosOutcome(
+                seed=seed,
+                backend=backend_name,
+                status="failed",
+                rows=0,
+                faults_injected=disk.stats.faults.total_injected,
+                retries=disk.stats.faults.retries,
+                quarantined=disk.stats.faults.quarantined_pages,
+                degradations=tuple(e.describe() for e in exc.degradations),
+                error=str(exc),
+                fault_log=tuple(disk.fault_log),
+            )
+        except StorageError as exc:
+            # typed, but the executor should have wrapped it — still within
+            # contract for the caller, so report it as a failure outcome
+            return ChaosOutcome(
+                seed=seed,
+                backend=backend_name,
+                status="failed",
+                rows=0,
+                faults_injected=disk.stats.faults.total_injected,
+                retries=disk.stats.faults.retries,
+                quarantined=disk.stats.faults.quarantined_pages,
+                error=f"{type(exc).__name__}: {exc}",
+                fault_log=tuple(disk.fault_log),
+            )
+        finally:
+            db.disarm_faults()
+
+        _verify_result(result, baseline.rows, oracle, design, seed)
+        return ChaosOutcome(
+            seed=seed,
+            backend=backend_name,
+            status="degraded" if result.degraded else "clean",
+            rows=len(result.rows),
+            faults_injected=disk.stats.faults.total_injected,
+            retries=disk.stats.faults.retries,
+            quarantined=disk.stats.faults.quarantined_pages,
+            degradations=tuple(e.describe() for e in result.degradations),
+            fault_log=tuple(disk.fault_log),
+        )
+
+
+def run_suite(
+    seeds: Iterable[int] = DEFAULT_SEEDS,
+    *,
+    backends: "Sequence[str] | None" = None,
+    rows: int = 1200,
+) -> list[ChaosOutcome]:
+    """Sweep ``seeds`` across ``backends`` (default: all available)."""
+    names = list(backends) if backends else kernels.available_backends()
+    outcomes = []
+    for name in names:
+        for seed in seeds:
+            outcomes.append(run_schedule(seed, backend=name, rows=rows))
+    return outcomes

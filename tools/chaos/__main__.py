@@ -1,0 +1,60 @@
+"""CLI driver: ``python -m tools.chaos [--seeds ...] [--backend ...]``.
+
+Prints one line per (backend, seed) outcome and exits non-zero when any
+schedule breaks the correct-or-typed-error contract (a
+:class:`~tools.chaos.ChaosViolation` propagates with a traceback — that
+is a bug in the engine, not in the schedule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro import kernels
+
+from . import DEFAULT_SEEDS, run_suite
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="chaos",
+        description="Seeded fault-schedule sweep over the Tetris engine.",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SEEDS),
+        help=f"fault-plan seeds to sweep (default: {list(DEFAULT_SEEDS)})",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=[*kernels.available_backends(), "all"],
+        default="all",
+        help="kernel backend to sweep (default: every available backend)",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=1200, help="relation size (default: 1200)"
+    )
+    options = parser.parse_args(argv)
+    backends = (
+        None if options.backend == "all" else [options.backend]
+    )
+    outcomes = run_suite(options.seeds, backends=backends, rows=options.rows)
+    for outcome in outcomes:
+        print(outcome.describe())
+        for event in outcome.degradations:
+            print(f"    degradation: {event}")
+    statuses = Counter(outcome.status for outcome in outcomes)
+    print(
+        f"chaos: {len(outcomes)} schedule(s) — "
+        + ", ".join(f"{count} {status}" for status, count in sorted(statuses.items()))
+        + "; zero silent wrong answers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,15 @@ Python ASTs under ``src/repro`` and mechanically enforces them:
     that disappears under optimization is not a contract.  Use explicit
     raises or the :mod:`repro.invariants` layer.
 
+``R006`` — no silent error swallowing; retries go through the policy.
+    The resilience layer's guarantee is "correct results or a typed
+    error, never silent garbage".  A bare ``except:`` or an
+    ``except Exception:`` whose body only passes hides the typed
+    :class:`~repro.storage.errors.StorageError` hierarchy, and a
+    hand-rolled loop around ``TransientIOError`` bypasses the
+    :class:`~repro.storage.retry.RetryPolicy` (whose backoff is charged
+    to the simulated clock) — both make fault handling unauditable.
+
 A finding can be suppressed by putting ``# reprolint: allow(R00X)`` (or
 a blanket ``# reprolint: allow``) on the offending line.
 
@@ -91,7 +100,13 @@ ALL_RULES: dict[str, str] = {
     "R003": "Page.records mutation without a paired Page.version bump",
     "R004": "KernelBackend method not overridden by both kernel backends",
     "R005": "bare assert (stripped under python -O) guarding an invariant",
+    "R006": "silently swallowed exception or retry loop bypassing RetryPolicy",
 }
+
+#: names whose presence in a function marks its retry loop as policy-driven
+_RETRY_POLICY_MARKERS = frozenset(
+    {"RetryPolicy", "DEFAULT_RETRY_POLICY", "NO_RETRY", "read_page_resilient"}
+)
 
 
 @dataclass(frozen=True)
@@ -139,6 +154,11 @@ class _FileChecker(ast.NodeVisitor):
         self._scope_stack: list[tuple[dict[str, tuple[int, int]], set[str]]] = [
             ({}, set())
         ]
+        # R006 bookkeeping: loop nesting depth, and whether the innermost
+        # function references the retry-policy machinery (pre-scanned on
+        # entry so handlers anywhere in the function see the flag).
+        self._loop_depth = 0
+        self._retry_marker_stack: list[bool] = [False]
 
     def _emit(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -174,14 +194,33 @@ class _FileChecker(ast.NodeVisitor):
                 )
             )
 
+    def _references_retry_policy(self, node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id in _RETRY_POLICY_MARKERS:
+                return True
+            if isinstance(child, ast.Attribute) and child.attr in (
+                "delays",
+                "retry_policy",
+            ):
+                return True
+        return False
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._enter_scope()
+        self._retry_marker_stack.append(self._references_retry_policy(node))
+        outer_depth, self._loop_depth = self._loop_depth, 0
         self.generic_visit(node)
+        self._loop_depth = outer_depth
+        self._retry_marker_stack.pop()
         self._leave_scope()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._enter_scope()
+        self._retry_marker_stack.append(self._references_retry_policy(node))
+        outer_depth, self._loop_depth = self._loop_depth, 0
         self.generic_visit(node)
+        self._loop_depth = outer_depth
+        self._retry_marker_stack.pop()
         self._leave_scope()
 
     def _note_mutation(self, owner: str, node: ast.AST) -> None:
@@ -269,7 +308,14 @@ class _FileChecker(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter, node)
+        self._loop_depth += 1
         self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
 
     def _visit_comprehension(
         self, node: ast.AST, generators: "list[ast.comprehension]"
@@ -335,6 +381,70 @@ class _FileChecker(ast.NodeVisitor):
                 owner = _records_owner(target.value)
             if owner is not None:
                 self._note_mutation(owner, node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # R006: swallowed exceptions and policy-free retry loops
+    # ------------------------------------------------------------------
+    def _handler_names(self, handler_type: ast.expr | None) -> list[str]:
+        """Exception class names a handler catches (last attribute part)."""
+        if handler_type is None:
+            return []
+        exprs = (
+            list(handler_type.elts)
+            if isinstance(handler_type, ast.Tuple)
+            else [handler_type]
+        )
+        names: list[str] = []
+        for expr in exprs:
+            if isinstance(expr, ast.Name):
+                names.append(expr.id)
+            elif isinstance(expr, ast.Attribute):
+                names.append(expr.attr)
+        return names
+
+    def _swallows(self, body: list[ast.stmt]) -> bool:
+        """True when a handler body does nothing but pass/``...``."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # ``...`` or a string placeholder
+            return False
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                node,
+                "R006",
+                "bare `except:` hides the typed StorageError hierarchy; "
+                "catch a specific exception class",
+            )
+        else:
+            names = self._handler_names(node.type)
+            if (
+                any(name in ("Exception", "BaseException") for name in names)
+                and self._swallows(node.body)
+            ):
+                self._emit(
+                    node,
+                    "R006",
+                    "`except " + "/".join(names) + ": pass` silently swallows "
+                    "errors; handle or re-raise a typed exception",
+                )
+            if (
+                "TransientIOError" in names
+                and self._loop_depth > 0
+                and not self._retry_marker_stack[-1]
+            ):
+                self._emit(
+                    node,
+                    "R006",
+                    "hand-rolled retry loop around `TransientIOError`; route "
+                    "retries through `repro.storage.retry.RetryPolicy` so "
+                    "backoff is bounded and charged to the simulated clock",
+                )
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
