@@ -34,32 +34,47 @@ from .core import (
 )
 from .storage import (
     BufferPool,
+    CategoryStats,
     CorruptPageError,
+    DEFAULT_RETRY_POLICY,
     DiskParameters,
     FaultPlan,
+    FaultStats,
     FaultyDisk,
     HeapFile,
     ICDE99_ANALYSIS,
     ICDE99_TESTBED,
     IOStats,
     MissingPageError,
+    NO_RETRY,
     Page,
     QuarantinedPageError,
+    RecoveryReport,
+    ReplicatedDisk,
     RetryPolicy,
+    SimulatedCrashError,
     SimulatedDisk,
     StorageError,
     TransientIOError,
+    WriteAheadLog,
+    active_wal,
+    armed_disk_count,
+    ensure_page_integrity,
+    read_page_resilient,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BufferPool",
+    "CategoryStats",
     "ComparisonSpace",
     "CorruptPageError",
     "Curve",
+    "DEFAULT_RETRY_POLICY",
     "DiskParameters",
     "FaultPlan",
+    "FaultStats",
     "FaultyDisk",
     "HeapFile",
     "ICDE99_ANALYSIS",
@@ -67,20 +82,29 @@ __all__ = [
     "IOStats",
     "IntersectionSpace",
     "MissingPageError",
+    "NO_RETRY",
     "Page",
     "PredicateSpace",
     "QuarantinedPageError",
     "QueryBox",
     "QuerySpace",
+    "RecoveryReport",
+    "ReplicatedDisk",
     "RetryPolicy",
+    "SimulatedCrashError",
     "SimulatedDisk",
     "StorageError",
     "TetrisScan",
     "TetrisStats",
     "TransientIOError",
     "UBTree",
+    "WriteAheadLog",
     "ZRegion",
     "ZSpace",
+    "active_wal",
+    "armed_disk_count",
+    "ensure_page_integrity",
+    "read_page_resilient",
     "tetris_sorted",
     "__version__",
 ]

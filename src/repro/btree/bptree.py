@@ -33,6 +33,7 @@ from typing import Any, Iterator
 from .. import invariants
 from ..storage.buffer import BufferPool
 from ..storage.page import Page
+from ..storage.wal import WriteAheadLog, active_wal
 
 
 class _InnerNode:
@@ -91,12 +92,26 @@ class BPlusTree:
     def _new_leaf(self) -> Page:
         page = self.disk.allocate(self.leaf_capacity)
         page.payload = {"leaf": True, "next": None}
+        wal = active_wal(self.disk)
+        if wal is not None:
+            self._journal_alloc(wal, page)
         return page
 
     def _new_inner(self, keys: list[Any], children: list[int]) -> Page:
         page = self.disk.allocate(0)
         page.payload = _InnerNode(keys, children)
+        wal = active_wal(self.disk)
+        if wal is not None:
+            self._journal_alloc(wal, page)
         return page
+
+    def _journal_alloc(self, wal: WriteAheadLog, page: Page) -> None:
+        """Journal a fresh allocation; a crash mid-append must not leak it."""
+        try:
+            wal.log_alloc(page)
+        except BaseException:
+            self.disk.free(page.page_id)
+            raise
 
     def _fetch(self, page_id: int, *, charge: bool) -> Page:
         return self.buffer.get(
@@ -143,27 +158,89 @@ class BPlusTree:
     # mutation
     # ------------------------------------------------------------------
     def insert(self, key: Any, value: Any) -> None:
-        """Insert one record (duplicates allowed)."""
+        """Insert one record (duplicates allowed).
+
+        With a write-ahead log armed on the disk stack, the insert runs
+        as one WAL batch: before-images of every page it may mutate,
+        redo images before the data writes, and tree metadata restored
+        if the batch aborts — a crash mid-insert never strands a
+        half-linked split.
+        """
+        wal = active_wal(self.disk)
+        if wal is None:
+            leaf_id, low, high, path = self._locate(key, want_path=True)
+            leaf = self.disk.peek(leaf_id)  # load phase: not a priced access
+            insort(leaf.records, (key, value), key=lambda r: r[0])
+            leaf.version += 1
+            self.record_count += 1
+            if len(leaf.records) > self.leaf_capacity:
+                self._split_leaf(leaf, path)
+                # a split moves the leaf's upper records into a new sibling,
+                # so only the lower separator bound still applies here
+                high = None
+            if invariants.enabled():
+                invariants.validate_leaf(self, leaf, low, high)
+            return
+        meta = self._meta_snapshot()
+        try:
+            with wal.batch("bptree.insert"):
+                self._insert_journaled(wal, key, value)
+        except BaseException:
+            self._meta_restore(meta)
+            raise
+
+    def _insert_journaled(self, wal: WriteAheadLog, key: Any, value: Any) -> None:
+        """One insert under WAL protection (caller owns the batch)."""
         leaf_id, low, high, path = self._locate(key, want_path=True)
-        leaf = self.disk.peek(leaf_id)  # load phase: not a priced access
+        leaf = self.disk.peek(leaf_id)
+        wal.touch(leaf)
+        for page, _ in path:
+            wal.touch(page)  # separator propagation may mutate any of these
         insort(leaf.records, (key, value), key=lambda r: r[0])
         leaf.version += 1
         self.record_count += 1
+        right: Page | None = None
         if len(leaf.records) > self.leaf_capacity:
-            self._split_leaf(leaf, path)
-            # a split moves the leaf's upper records into a new sibling,
-            # so only the lower separator bound still applies here
+            right = self._split_leaf(leaf, path)
             high = None
         if invariants.enabled():
             invariants.validate_leaf(self, leaf, low, high)
+        # write-ahead: redo image first, then the (tearable) data write
+        wal.log_image(leaf)
+        self.disk.write(leaf, category=self.category)
+        if right is not None:
+            wal.log_image(right)
+            self.disk.write(right, category=self.category)
 
-    def _split_leaf(self, leaf: Page, path: list[tuple[Page, int]]) -> None:
+    def _meta_snapshot(self) -> tuple[int, int, int, int, int, int]:
+        return (
+            self.root_id,
+            self.first_leaf_id,
+            self.height,
+            self.leaf_count,
+            self.record_count,
+            self.overflow_pages,
+        )
+
+    def _meta_restore(self, meta: tuple[int, int, int, int, int, int]) -> None:
+        (
+            self.root_id,
+            self.first_leaf_id,
+            self.height,
+            self.leaf_count,
+            self.record_count,
+            self.overflow_pages,
+        ) = meta
+
+    def _split_leaf(self, leaf: Page, path: list[tuple[Page, int]]) -> Page | None:
+        """Split ``leaf``; returns the new right sibling (``None`` when the
+        page overflowed instead because all its records share one key)."""
         split = self._split_index([r[0] for r in leaf.records])
         if split is None:
             # all records share one key: overflow rather than break the
             # separator invariant (split keys must be key boundaries)
             self.overflow_pages += 1
-            return
+            return None
         right = self._new_leaf()
         right.records = leaf.records[split:]
         right.version += 1
@@ -174,6 +251,7 @@ class BPlusTree:
         self.leaf_count += 1
         separator = leaf.records[-1][0]
         self._insert_separator(path, separator, right.page_id)
+        return right
 
     @staticmethod
     def _split_index(keys: list[Any]) -> int | None:
@@ -217,6 +295,15 @@ class BPlusTree:
         count of a UB-Tree built on top.  Requires an empty tree; equal
         keys are never split across leaves (overflowing one if needed).
         Load I/O is not priced, like insert-based loading.
+
+        With a write-ahead log armed, the whole load is one WAL batch:
+        every allocation is journaled, every leaf's redo image precedes
+        its (tearable) sequential write, and the old root's free is
+        deferred to commit — so a crash rolls back to the empty tree and
+        a torn write replays to the committed image on recovery.  Inline
+        structural validation is skipped on this path: torn leaves are a
+        legal on-disk state until :meth:`~repro.storage.wal.WriteAheadLog
+        .recover` has run.
         """
         if self.record_count:
             raise RuntimeError("bulk_load requires an empty tree")
@@ -227,7 +314,27 @@ class BPlusTree:
                 raise ValueError("bulk_load input must be sorted by key")
         if not pairs:
             return
+        wal = active_wal(self.disk)
+        if wal is None:
+            self._bulk_build(pairs, fill, None)
+            if invariants.enabled():
+                invariants.validate_bptree(self)
+            return
+        meta = self._meta_snapshot()
+        try:
+            with wal.batch("bptree.bulk_load"):
+                self._bulk_build(pairs, fill, wal)
+        except BaseException:
+            self._meta_restore(meta)
+            raise
 
+    def _bulk_build(
+        self,
+        pairs: "list[tuple[Any, Any]]",
+        fill: float,
+        wal: WriteAheadLog | None,
+    ) -> None:
+        """The bottom-up build itself (validated inputs, non-empty)."""
         old_root = self.root_id
         target = max(2, int(self.leaf_capacity * fill))
         leaves: list[Page] = []
@@ -276,9 +383,15 @@ class BPlusTree:
             level = next_level
             self.height += 1
         self.root_id = level[0][1]
-        self.disk.free(old_root)
-        if invariants.enabled():
-            invariants.validate_bptree(self)
+        if wal is None:
+            self.disk.free(old_root)
+            return
+        # write-ahead: each leaf's redo image precedes its data write, so
+        # a torn write is replayable; the old root is freed only at commit
+        for leaf in leaves:
+            wal.log_image(leaf)
+            self.disk.write(leaf, sequential=True, category=self.category)
+        wal.log_free(old_root)
 
     def delete(self, key: Any, value: Any = None) -> bool:
         """Remove the first record matching ``key`` (and ``value`` if given).

@@ -40,6 +40,9 @@ Validators
   (:mod:`repro.invariants.streams`).
 * :func:`spot_check_scan_page` — re-runs a page kernel on the *other*
   backend and compares results (:mod:`repro.invariants.parity`).
+* :func:`validate_wal` / :func:`validate_replicated_disk` — write-ahead
+  log structure (dense LSNs, serial batches, mirror/device agreement)
+  and replica-store consistency (:mod:`repro.invariants.durability`).
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, TypeVar
 
 from .accounting import validate_buffer_pool
+from .durability import validate_replicated_disk, validate_wal
 from .errors import InvariantViolation, check
 from .parity import spot_check_scan_page
 from .streams import StreamChecker
@@ -66,7 +70,9 @@ __all__ = [
     "validate_bptree",
     "validate_buffer_pool",
     "validate_leaf",
+    "validate_replicated_disk",
     "validate_ubtree",
+    "validate_wal",
 ]
 
 _TRUTHY = frozenset({"1", "true", "on", "yes"})

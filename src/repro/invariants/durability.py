@@ -1,0 +1,110 @@
+"""Durability-layer invariants: WAL structure and replica consistency.
+
+The write-ahead log and the replica store are only useful if their own
+bookkeeping is beyond suspicion — recovery replays whatever the log says,
+and repair restores whatever the replica says.  These validators run at
+every batch boundary / repair (under ``REPRO_CHECKS=1``) and pin down:
+
+* the log is a well-formed interleaving: LSNs are dense and increasing,
+  every record belongs to a ``begin``-opened transaction, at most one
+  transaction is ever open (batches are serial), closed transactions
+  are closed exactly once, and page-image records only appear between
+  their transaction's ``begin`` and its close;
+* the in-memory mirror and the durable log-device pages agree record for
+  record (the mirror is what recovery reads; the device is what priced
+  the forces);
+* every replica slot holds exactly ``copies`` copies, and no replica is
+  kept for a page the disk no longer knows (a leaked slot would let a
+  freed address "repair" a future reallocation with stale content).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errors import check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..storage.replica import ReplicatedDisk
+    from ..storage.wal import WriteAheadLog
+
+_OPENERS = frozenset({"begin"})
+_CLOSERS = frozenset({"commit", "abort"})
+_MEMBERS = frozenset({"alloc", "undo", "image", "free"})
+
+
+def validate_wal(wal: "WriteAheadLog") -> None:
+    """O(log-records) structural contract of one write-ahead log."""
+    records = wal.records
+    for position, record in enumerate(records):
+        check(
+            record.lsn == position,
+            f"WAL LSNs are not dense: record #{position} carries "
+            f"lsn={record.lsn}",
+        )
+    open_txn: int | None = None
+    closed: set[int] = set()
+    for record in records:
+        if record.kind in _OPENERS:
+            check(
+                open_txn is None,
+                f"WAL batch {record.txn} begins while batch {open_txn} "
+                "is still open; batches must be serial",
+            )
+            check(
+                record.txn not in closed,
+                f"WAL transaction id {record.txn} was reused after closing",
+            )
+            open_txn = record.txn
+        elif record.kind in _CLOSERS:
+            check(
+                open_txn == record.txn,
+                f"WAL {record.kind} for transaction {record.txn} but "
+                f"open transaction is {open_txn}",
+            )
+            closed.add(record.txn)
+            open_txn = None
+        elif record.kind in _MEMBERS:
+            check(
+                open_txn == record.txn,
+                f"WAL {record.kind} record (lsn {record.lsn}) belongs to "
+                f"transaction {record.txn} but open transaction is {open_txn}",
+            )
+            check(
+                record.page_id is not None,
+                f"WAL {record.kind} record (lsn {record.lsn}) names no page",
+            )
+        else:
+            check(False, f"unknown WAL record kind {record.kind!r}")
+    # the durable pages must mirror the in-memory log exactly
+    durable = [record for page in wal._log_pages for record in page.records]
+    check(
+        len(durable) == len(records),
+        f"WAL mirror/device divergence: {len(records)} records in memory, "
+        f"{len(durable)} on the log device",
+    )
+    for in_memory, on_device in zip(records, durable):
+        check(
+            in_memory is on_device,
+            f"WAL mirror/device divergence at lsn {in_memory.lsn}",
+        )
+
+
+def validate_replicated_disk(disk: "ReplicatedDisk") -> None:
+    """O(replica-slots) consistency contract of one replicated disk."""
+    check(
+        disk.copies >= 1,
+        f"ReplicatedDisk claims {disk.copies} copies; at least one required",
+    )
+    for page_id, slots in disk._replicas.items():
+        check(
+            len(slots) == disk.copies,
+            f"replica slot for page {page_id} holds {len(slots)} copies, "
+            f"expected {disk.copies}",
+        )
+        check(
+            disk.inner.page_exists(page_id),
+            f"replica slot leaked for freed page {page_id}; a future "
+            "reallocation of that address could be 'repaired' with stale "
+            "content",
+        )

@@ -25,6 +25,7 @@ from ..relational.operators import (
 )
 from ..relational.schema import Schema
 from ..relational.table import HeapTable, IOTTable, UBTable
+from ..storage.buffer import BufferPool
 from ..storage.errors import StorageError
 from .optimizer import CandidatePlan, RelationStats, choose_plan
 from .statistics import TableStatistics
@@ -70,6 +71,12 @@ class PhysicalDesign:
         yield from self.iots.values()
         if self.ub is not None:
             yield self.ub
+
+    def shared_buffer(self) -> "BufferPool":
+        """The buffer pool all instances run on (they share one database)."""
+        for table in self._instances():
+            return table.db.buffer
+        raise AssertionError("unreachable: design has at least one instance")
 
     def relation_stats(self) -> RelationStats:
         """Model inputs derived from the actual instances."""
@@ -245,6 +252,9 @@ class DegradationEvent:
 
     ``fallback_method``/``fallback_instance`` name the plan the query
     continued with, or ``None`` when the failure exhausted the design.
+    ``repaired_pages`` lists pages healed from replicas in response to
+    this failure — when non-empty, the failed instance stayed in the
+    design and the retry ran on the *same* (now repaired) instance.
     """
 
     method: str
@@ -253,8 +263,16 @@ class DegradationEvent:
     error: str
     fallback_method: str | None = None
     fallback_instance: str | None = None
+    repaired_pages: tuple[int, ...] = ()
 
     def describe(self) -> str:
+        if self.repaired_pages:
+            healed = ", ".join(str(page) for page in self.repaired_pages)
+            return (
+                f"{self.method} on {self.instance} aborted with "
+                f"{self.error_type} ({self.error}); repaired page(s) "
+                f"{healed} from replicas and re-planned on the full design"
+            )
         target = (
             f"fell back to {self.fallback_method} on {self.fallback_instance}"
             if self.fallback_method is not None
@@ -393,15 +411,21 @@ def execute_sorted_query(
         try:
             rows = list(plan.operator)
         except StorageError as exc:
+            # before dropping the instance, try replica-driven repair of
+            # every quarantined page: a healed instance stays eligible
+            # and the optimizer re-ranks the *full* surviving design
+            repaired = current.shared_buffer().repair_quarantined()
             events.append(
                 DegradationEvent(
                     method=plan.choice.method,
                     instance=plan.choice.instance,
                     error_type=type(exc).__name__,
                     error=str(exc),
+                    repaired_pages=tuple(repaired),
                 )
             )
-            current = _design_without(current, plan.choice)
+            if not repaired:
+                current = _design_without(current, plan.choice)
             # degraded plans may block; correctness outranks pipelining
             pipelined = False
             continue

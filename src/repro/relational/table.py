@@ -22,7 +22,9 @@ from ..storage.buffer import BufferPool
 from ..storage.disk import DiskParameters, SimulatedDisk
 from ..storage.faults import FaultPlan, FaultyDisk
 from ..storage.heap import HeapFile
+from ..storage.replica import ReplicatedDisk
 from ..storage.retry import RetryPolicy
+from ..storage.wal import RecoveryReport, WriteAheadLog
 from .schema import Schema
 
 Row = tuple
@@ -35,6 +37,15 @@ class Database:
     :class:`~repro.storage.faults.FaultyDisk`; injection stays disarmed
     until :meth:`arm_faults` is called, so tables load cleanly and the
     fault schedule replays deterministically from the moment of arming.
+
+    ``replicas=k`` inserts a :class:`~repro.storage.replica
+    .ReplicatedDisk` *inside* the fault layer, so every acknowledged
+    write is mirrored onto ``k`` checksummed copies before the fault
+    layer can tear the primary — the substrate for checksum-triggered
+    repair and quarantine lifting.  ``wal=True`` arms a
+    :class:`~repro.storage.wal.WriteAheadLog` on the whole stack, making
+    every ``bulk_load`` (and WAL-aware insert) an atomic, replayable
+    batch; :meth:`recover` is the redo-on-open entry point.
     """
 
     def __init__(
@@ -45,11 +56,16 @@ class Database:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         quarantine_threshold: int = 3,
+        wal: bool = False,
+        replicas: int = 0,
     ) -> None:
-        inner = SimulatedDisk(params)
-        self.disk: SimulatedDisk = (
-            FaultyDisk(inner, fault_plan) if fault_plan is not None else inner
-        )
+        disk: SimulatedDisk = SimulatedDisk(params)
+        if replicas:
+            disk = ReplicatedDisk(disk, replicas)
+        if fault_plan is not None:
+            disk = FaultyDisk(disk, fault_plan)
+        self.disk: SimulatedDisk = disk
+        self.wal: WriteAheadLog | None = WriteAheadLog(self.disk) if wal else None
         self.buffer = BufferPool(
             self.disk,
             buffer_pages,
@@ -68,6 +84,36 @@ class Database:
         """Stop injecting faults, leaving any damage in place."""
         if isinstance(self.disk, FaultyDisk):
             self.disk.disarm()
+
+    def recover(self) -> RecoveryReport:
+        """Run WAL redo-on-open recovery and drop the (suspect) cache."""
+        if self.wal is None:
+            raise RuntimeError("database was created without a write-ahead log")
+        report = self.wal.recover()
+        self.buffer.drop_all()
+        return report
+
+    @property
+    def replicated_disk(self) -> ReplicatedDisk | None:
+        """The replica layer of the disk stack, if one was configured."""
+        disk: SimulatedDisk | None = self.disk
+        while disk is not None:
+            if isinstance(disk, ReplicatedDisk):
+                return disk
+            disk = getattr(disk, "inner", None)
+        return None
+
+    def capture_replicas(self) -> int:
+        """Mirror every record-bearing page into the replica store.
+
+        Needed once after loads that bypass the write path's mirroring
+        (e.g. insert-driven loading, which defers its page writes to the
+        buffer pool's flush).  Returns the number of pages captured.
+        """
+        replicated = self.replicated_disk
+        if replicated is None:
+            raise RuntimeError("database was created without replicas")
+        return replicated.capture_all()
 
     def _register(self, table: "BaseTable") -> None:
         if table.name in self.tables:
@@ -164,6 +210,19 @@ class HeapTable(BaseTable):
         for index in self.secondary_indexes.values():
             slot = len(self.db.disk.peek(page_id).records) - 1
             index.insert(row, (page_id, slot))
+
+    def bulk_load(self, rows: Iterable[Row]) -> None:
+        """Initial load, WAL-protected when the database has a log armed.
+
+        Must precede secondary index creation: the indexes are built by
+        scanning the heap, and journaling their page-at-a-time builds is
+        out of the WAL's batch scope here.
+        """
+        if self.secondary_indexes:
+            raise RuntimeError(
+                "bulk_load must run before secondary indexes are created"
+            )
+        self.heap.bulk_load(rows)
 
     def scan(self) -> Iterator[Row]:
         """Full table scan: sequential reads, prefetch-friendly."""

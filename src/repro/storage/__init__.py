@@ -8,7 +8,10 @@ cost model of Section 4.1 — positioning time ``t_pi``, transfer time
 The resilience layer lives here too: typed storage errors
 (:mod:`~repro.storage.errors`), retry policies priced on the simulated
 clock (:mod:`~repro.storage.retry`) and deterministic fault injection
-(:mod:`~repro.storage.faults`).
+(:mod:`~repro.storage.faults`).  The durability layer completes it:
+a simulated-clock write-ahead log with redo recovery
+(:mod:`~repro.storage.wal`) and k-way page replication with
+checksum-triggered repair (:mod:`~repro.storage.replica`).
 """
 
 from .buffer import BufferPool
@@ -17,6 +20,7 @@ from .errors import (
     CorruptPageError,
     MissingPageError,
     QuarantinedPageError,
+    SimulatedCrashError,
     StorageError,
     TransientIOError,
     ensure_page_integrity,
@@ -24,8 +28,10 @@ from .errors import (
 from .faults import FaultPlan, FaultyDisk, armed_disk_count
 from .heap import HeapFile
 from .page import Page, PageOverflowError
+from .replica import ReplicaCopy, ReplicatedDisk
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy, read_page_resilient
 from .stats import CategoryStats, FaultStats, IOStats
+from .wal import RecoveryReport, WALRecord, WriteAheadLog, active_wal
 
 __all__ = [
     "BufferPool",
@@ -45,10 +51,17 @@ __all__ = [
     "Page",
     "PageOverflowError",
     "QuarantinedPageError",
+    "RecoveryReport",
+    "ReplicaCopy",
+    "ReplicatedDisk",
     "RetryPolicy",
+    "SimulatedCrashError",
     "SimulatedDisk",
     "StorageError",
     "TransientIOError",
+    "WALRecord",
+    "WriteAheadLog",
+    "active_wal",
     "armed_disk_count",
     "ensure_page_integrity",
     "read_page_resilient",

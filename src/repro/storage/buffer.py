@@ -95,12 +95,17 @@ class BufferPool:
         """
         self.lookups += 1
         if page_id in self._quarantined:
-            self.rejected += 1
-            self._validate()
-            raise QuarantinedPageError(
-                f"page {page_id} is quarantined after "
-                f"{self._failures.get(page_id, 0)} failures"
-            )
+            # a disk stack with replicas may be able to heal the page;
+            # if so, lift the quarantine and serve the lookup normally
+            if self.disk.repair_page(page_id):
+                self.lift_quarantine(page_id)
+            else:
+                self.rejected += 1
+                self._validate()
+                raise QuarantinedPageError(
+                    f"page {page_id} is quarantined after "
+                    f"{self._failures.get(page_id, 0)} failures"
+                )
         if page_id in self._frames:
             self.hits += 1
             self._frames.move_to_end(page_id)
@@ -137,6 +142,10 @@ class BufferPool:
             try:
                 ensure_page_integrity(page, context=f"buffered read of page {page_id}")
             except CorruptPageError:
+                if self.disk.repair_page(page_id):
+                    # the primary was healed in place and re-sealed; the
+                    # fetched object is the healed page
+                    return page
                 # the bits will not heal: no retry, straight to quarantine
                 self._quarantine(page_id, immediately=True)
                 self._validate()
@@ -174,6 +183,38 @@ class BufferPool:
 
     def failure_count(self, page_id: int) -> int:
         return self._failures.get(page_id, 0)
+
+    def lift_quarantine(self, page_id: int) -> bool:
+        """Re-admit a quarantined page after its primary has been repaired.
+
+        Clears the failure history too — the accounting invariant
+        requires every over-threshold page to be quarantined, so a
+        lifted page must start from a clean slate.  Returns ``False``
+        when the page was not quarantined.
+        """
+        if page_id not in self._quarantined:
+            return False
+        self._quarantined.discard(page_id)
+        self._failures.pop(page_id, None)
+        self.disk.stats.faults.quarantine_lifted += 1
+        return True
+
+    def repair_quarantined(self) -> list[int]:
+        """Try to repair every quarantined page from the disk's replicas.
+
+        Returns the (sorted) page ids whose repair succeeded and whose
+        quarantine was lifted; pages with no surviving replica stay
+        quarantined.  Called by the plan executor before dropping a
+        degraded physical instance.
+        """
+        repaired: list[int] = []
+        for page_id in sorted(self._quarantined):
+            if self.disk.repair_page(page_id):
+                repaired.append(page_id)
+        for page_id in repaired:
+            self.lift_quarantine(page_id)
+        self._validate()
+        return repaired
 
     def mark_dirty(self, page_id: int) -> None:
         if page_id in self._frames:

@@ -18,10 +18,14 @@ every access is routed through :meth:`read` / :meth:`write` so that access
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
 
 from .errors import MissingPageError
 from .page import Page
 from .stats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .wal import WriteAheadLog
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,10 @@ class SimulatedDisk:
     def __init__(self, params: DiskParameters | None = None) -> None:
         self.params = params or ICDE99_ANALYSIS
         self.stats = IOStats()
+        #: the write-ahead log journaling this disk's mutations, if one
+        #: has been armed (:class:`~repro.storage.wal.WriteAheadLog`
+        #: registers itself here; wrapper disks proxy the attribute)
+        self.wal: "WriteAheadLog | None" = None
         self._pages: dict[int, Page] = {}
         self._next_address = 0
         # Sequential-read state: physical position of the head and how many
@@ -102,6 +110,20 @@ class SimulatedDisk:
 
     def page_exists(self, page_id: int) -> bool:
         return page_id in self._pages
+
+    def iter_pages(self) -> Iterator[Page]:
+        """All allocated pages in allocation order (unaccounted; admin use)."""
+        return iter(list(self._pages.values()))
+
+    def repair_page(self, page_id: int) -> bool:
+        """Restore a damaged page from redundancy, if any exists.
+
+        The base disk has no redundancy and always reports failure;
+        :class:`~repro.storage.replica.ReplicatedDisk` overrides this
+        with replica-driven repair.  Callers (buffer pool, resilient
+        reads) treat ``False`` as "the damage stands".
+        """
+        return False
 
     # ------------------------------------------------------------------
     # clock

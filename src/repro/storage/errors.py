@@ -28,6 +28,12 @@ hierarchy instead of bare ``KeyError``/``RuntimeError``:
 ``QuarantinedPageError``
     An access to a page the buffer pool has given up on after repeated
     failures.  Raised without touching the disk.
+
+``SimulatedCrashError``
+    The write-ahead log's deterministic crash hook fired mid-batch
+    (:meth:`~repro.storage.wal.WriteAheadLog.crash_after_appends`).
+    Used by durability tests to prove that an interrupted load rolls
+    back to the pre-batch state from the log alone.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ __all__ = [
     "CorruptPageError",
     "MissingPageError",
     "QuarantinedPageError",
+    "SimulatedCrashError",
     "StorageError",
     "TransientIOError",
     "ensure_page_integrity",
@@ -73,6 +80,10 @@ class CorruptPageError(StorageError):
 
 class QuarantinedPageError(StorageError):
     """The page exceeded its failure budget and is quarantined."""
+
+
+class SimulatedCrashError(StorageError):
+    """The WAL's deterministic crash hook fired (durability testing only)."""
 
 
 def ensure_page_integrity(page: "Page", *, context: str = "read") -> None:

@@ -246,6 +246,15 @@ class FaultyDisk(SimulatedDisk):
     # and correct because params/stats are the inner disk's objects)
     # ------------------------------------------------------------------
     @property
+    def wal(self):  # type: ignore[override]
+        """WAL registration proxies to the wrapped disk (shared stack)."""
+        return self.inner.wal
+
+    @wal.setter
+    def wal(self, value) -> None:
+        self.inner.wal = value
+
+    @property
     def allocated_pages(self) -> int:
         return self.inner.allocated_pages
 
@@ -264,6 +273,13 @@ class FaultyDisk(SimulatedDisk):
     def peek(self, page_id: int) -> Page:
         """Unaccounted access — never faulted (test/setup use only)."""
         return self.inner.peek(page_id)
+
+    def iter_pages(self) -> Iterator[Page]:
+        return self.inner.iter_pages()
+
+    def repair_page(self, page_id: int) -> bool:
+        """Repair delegates past the fault layer (repairs are not faulted)."""
+        return self.inner.repair_page(page_id)
 
     # ------------------------------------------------------------------
     # faulted I/O

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
-from .errors import TransientIOError, ensure_page_integrity
+from .errors import CorruptPageError, TransientIOError, ensure_page_integrity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from .disk import SimulatedDisk
@@ -85,7 +85,9 @@ def read_page_resilient(
     simulated clock and recorded in ``disk.stats.faults``; a page that
     carries a checksum is verified before it is returned
     (:class:`~repro.storage.errors.CorruptPageError` on mismatch —
-    corruption is never retried, the bits will not heal).
+    corruption is never retried, the bits will not heal, but a disk
+    stack with replicas gets one chance to repair the primary in place
+    before the error propagates).
     """
     delays = policy.delays()
     retries = 0
@@ -104,5 +106,12 @@ def read_page_resilient(
             disk.advance_clock(delay)
             retries += 1
             continue
-        ensure_page_integrity(page, context=f"read of page {page_id}")
+        try:
+            ensure_page_integrity(page, context=f"read of page {page_id}")
+        except CorruptPageError:
+            if not disk.repair_page(page_id):
+                raise
+            # the primary was healed from a replica and re-sealed; the
+            # already-fetched page object is the healed one (pages are
+            # shared in-memory objects on the simulated disk)
         return page, retries

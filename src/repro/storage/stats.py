@@ -9,7 +9,7 @@ experiments can report both counted I/O and simulated elapsed time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 
 @dataclass
@@ -46,9 +46,22 @@ class FaultStats:
     """Counters for injected faults and the engine's resilience responses.
 
     Populated by :class:`~repro.storage.faults.FaultyDisk` (injection
-    side) and by the retry/quarantine machinery (response side); all
-    zero on a fault-free run.  ``retry_delay`` and ``latency_delay`` are
+    side) and by the retry/quarantine/WAL/replica machinery (response
+    side); all zero on a fault-free run.  The ``*_delay`` fields are
     simulated seconds already folded into :attr:`IOStats.time`.
+
+    Durability counters:
+
+    * ``wal_appends`` / ``wal_delay`` — write-ahead-log records forced to
+      the log device and the simulated time the engine waited for them;
+    * ``wal_rollbacks`` — aborted WAL batches (explicit or crash-driven);
+    * ``wal_redo_pages`` — pages healed by redo during recovery;
+    * ``replica_writes`` / ``replica_delay`` — replica copies written by
+      the :class:`~repro.storage.replica.ReplicatedDisk` mirror;
+    * ``repair_reads`` / ``repaired_pages`` / ``repair_delay`` — replica
+      inspections and successful primary-page repairs;
+    * ``quarantine_lifted`` — buffer-pool quarantines removed after a
+      successful repair.
     """
 
     transient_errors: int = 0
@@ -59,29 +72,26 @@ class FaultStats:
     retries: int = 0
     retry_delay: float = 0.0
     quarantined_pages: int = 0
+    wal_appends: int = 0
+    wal_delay: float = 0.0
+    wal_rollbacks: int = 0
+    wal_redo_pages: int = 0
+    replica_writes: int = 0
+    replica_delay: float = 0.0
+    repair_reads: int = 0
+    repaired_pages: int = 0
+    repair_delay: float = 0.0
+    quarantine_lifted: int = 0
 
     def copy(self) -> "FaultStats":
-        return FaultStats(
-            transient_errors=self.transient_errors,
-            corrupt_reads=self.corrupt_reads,
-            torn_writes=self.torn_writes,
-            latency_spikes=self.latency_spikes,
-            latency_delay=self.latency_delay,
-            retries=self.retries,
-            retry_delay=self.retry_delay,
-            quarantined_pages=self.quarantined_pages,
-        )
+        return replace(self)
 
     def __sub__(self, other: "FaultStats") -> "FaultStats":
         return FaultStats(
-            transient_errors=self.transient_errors - other.transient_errors,
-            corrupt_reads=self.corrupt_reads - other.corrupt_reads,
-            torn_writes=self.torn_writes - other.torn_writes,
-            latency_spikes=self.latency_spikes - other.latency_spikes,
-            latency_delay=self.latency_delay - other.latency_delay,
-            retries=self.retries - other.retries,
-            retry_delay=self.retry_delay - other.retry_delay,
-            quarantined_pages=self.quarantined_pages - other.quarantined_pages,
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
         )
 
     @property

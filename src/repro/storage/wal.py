@@ -1,0 +1,503 @@
+"""A simulated-clock write-ahead log with redo-on-open recovery.
+
+PR 3 made the *read* path fail-safe; this module does the same for the
+write path.  A :class:`WriteAheadLog` journals page mutations of one
+:class:`~repro.storage.disk.SimulatedDisk` onto a separate log device
+(its own ``SimulatedDisk``, so log forces are priced with the same
+Section 4.1 cost model and mirrored onto the data disk's clock — the
+engine *waits* for the log).  Batched mutations then follow the
+classical write-ahead protocol:
+
+* ``begin`` opens a batch (one load, one insert);
+* ``log_alloc`` journals every page allocation so rollback can free it;
+* ``touch`` journals a page's *before*-image (undo) the first time a
+  batch mutates a pre-existing page;
+* ``log_image`` journals a page's *after*-image (redo) before the data
+  write that makes it durable — write-ahead ordering, so a torn data
+  write can always be replayed from the log;
+* ``log_free`` defers a free to commit time (rollback must be able to
+  resurrect the page);
+* ``commit`` / ``abort`` close the batch.
+
+:meth:`recover` is redo-on-open: it rolls an interrupted batch back
+from the logged undo records and allocations, then replays the last
+committed after-image of every page whose on-disk content no longer
+matches — healing torn writes (and any other record-level rot) to the
+exact committed state.  Running it twice is a no-op.
+
+The log is *simulated-durable*: records survive everything the fault
+layer can do to the data disk, and the deterministic crash hook
+(:meth:`crash_after_appends`) proves that rollback needs nothing beyond
+the log.  ``REPRO_CHECKS=1`` re-validates the log's structural contract
+(:func:`repro.invariants.validate_wal`) after every batch boundary.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .. import invariants
+from .disk import SimulatedDisk
+from .errors import SimulatedCrashError
+from .page import Page
+
+__all__ = [
+    "RecoveryReport",
+    "WALRecord",
+    "WriteAheadLog",
+    "active_wal",
+]
+
+#: record kinds, in the order a batch emits them
+BEGIN = "begin"
+ALLOC = "alloc"
+UNDO = "undo"
+IMAGE = "image"
+FREE = "free"
+COMMIT = "commit"
+ABORT = "abort"
+
+
+def active_wal(disk: SimulatedDisk) -> "WriteAheadLog | None":
+    """The write-ahead log armed on ``disk``'s stack, or ``None``.
+
+    Wrapper disks (:class:`~repro.storage.faults.FaultyDisk`,
+    :class:`~repro.storage.replica.ReplicatedDisk`) proxy the ``wal``
+    attribute to the base disk, so any layer of the stack answers.
+    """
+    return getattr(disk, "wal", None)
+
+
+def _snapshot_payload(payload: Any) -> tuple:
+    """A restorable copy of a page's structural payload.
+
+    Knows the engine's two payload shapes — the leaf ``dict`` and the
+    inner-node object with ``keys``/``children`` lists — and falls back
+    to carrying anything else by reference.
+    """
+    if payload is None:
+        return ("none",)
+    if isinstance(payload, dict):
+        return ("dict", dict(payload))
+    if hasattr(payload, "keys") and hasattr(payload, "children"):
+        return ("node", list(payload.keys), list(payload.children))
+    return ("opaque", payload)
+
+
+def _restore_payload(page: Page, snap: tuple) -> None:
+    """Put a :func:`_snapshot_payload` copy back onto ``page`` in place.
+
+    Container identity is preserved where possible: other pages hold
+    references to the same leaf dict / inner-node object.
+    """
+    kind = snap[0]
+    if kind == "none":
+        page.payload = None
+    elif kind == "dict":
+        if isinstance(page.payload, dict):
+            page.payload.clear()
+            page.payload.update(snap[1])
+        else:
+            page.payload = dict(snap[1])
+    elif kind == "node":
+        node = page.payload
+        if node is not None and hasattr(node, "keys"):
+            node.keys = list(snap[1])
+            node.children = list(snap[2])
+    else:
+        page.payload = snap[1]
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One journal entry.  ``records``/``payload``/``checksum`` are only
+    populated for page-image kinds (``undo`` carries the before-image
+    and the pre-batch checksum, ``image`` the after-image)."""
+
+    lsn: int
+    txn: int
+    kind: str
+    page_id: int | None = None
+    records: tuple | None = None
+    payload: tuple | None = None
+    checksum: int | None = None
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`WriteAheadLog.recover` did."""
+
+    examined_pages: int
+    healed_pages: int
+    rolled_back_batches: int
+    freed_pages: int
+    log_records: int
+    log_pages: int
+
+    def describe(self) -> str:
+        return (
+            f"recovery: {self.healed_pages}/{self.examined_pages} pages healed "
+            f"by redo, {self.rolled_back_batches} batch(es) rolled back, "
+            f"{self.freed_pages} page(s) freed, log={self.log_records} records "
+            f"on {self.log_pages} pages"
+        )
+
+
+class _Batch:
+    """In-flight batch state (the durable truth is in the log records)."""
+
+    __slots__ = ("txn_id", "label", "touched", "allocated", "frees")
+
+    def __init__(self, txn_id: int, label: str) -> None:
+        self.txn_id = txn_id
+        self.label = label
+        #: page_id -> (records, payload snapshot, stored_checksum) before-image
+        self.touched: dict[int, tuple[tuple, tuple, int | None]] = {}
+        self.allocated: list[int] = []
+        self.frees: list[int] = []
+
+
+class WriteAheadLog:
+    """Journal of page mutations for one simulated disk.
+
+    Constructing the log *arms* it: it registers itself as ``disk.wal``,
+    and WAL-aware engine code (:func:`active_wal`) starts journaling its
+    mutations.  ``records_per_page`` sizes the log device's pages — log
+    records are small, so many fit one page and sequential forces are
+    cheap (mostly ``t_tau``).
+    """
+
+    def __init__(self, disk: SimulatedDisk, *, records_per_page: int = 64) -> None:
+        if records_per_page < 1:
+            raise ValueError("records_per_page must be >= 1")
+        if active_wal(disk) is not None:
+            raise RuntimeError("disk already has an armed write-ahead log")
+        self.disk = disk
+        self.records_per_page = records_per_page
+        #: the log's own device: same cost model, separate address space
+        self.device = SimulatedDisk(disk.params)
+        #: in-memory mirror of the durable log, in LSN order
+        self.records: list[WALRecord] = []
+        self._log_pages: list[Page] = []
+        self._next_lsn = 0
+        self._next_txn = 0
+        self._active: _Batch | None = None
+        self._crash_countdown: int | None = None
+        disk.wal = self
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_batch(self) -> bool:
+        return self._active is not None
+
+    @property
+    def log_page_count(self) -> int:
+        return len(self._log_pages)
+
+    def detach(self) -> None:
+        """Unregister from the disk; engine code stops journaling."""
+        if getattr(self.disk, "wal", None) is self:
+            self.disk.wal = None
+
+    # ------------------------------------------------------------------
+    # the deterministic crash hook
+    # ------------------------------------------------------------------
+    def crash_after_appends(self, appends: int) -> None:
+        """Raise :class:`SimulatedCrashError` on the ``appends``-th next
+        append attempt (that record is *lost*), then disarm — so the
+        in-process rollback can still write its ``abort`` record, exactly
+        like a recovery pass over the reopened log would."""
+        if appends < 1:
+            raise ValueError("crash countdown must be >= 1")
+        self._crash_countdown = appends
+
+    # ------------------------------------------------------------------
+    # the append path (every record is forced to the log device)
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        kind: str,
+        txn: int,
+        *,
+        page_id: int | None = None,
+        records: tuple | None = None,
+        payload: tuple | None = None,
+        checksum: int | None = None,
+        label: str | None = None,
+    ) -> WALRecord:
+        if self._crash_countdown is not None:
+            self._crash_countdown -= 1
+            if self._crash_countdown <= 0:
+                self._crash_countdown = None
+                raise SimulatedCrashError(
+                    f"simulated crash: WAL append #{self._next_lsn} "
+                    f"({kind} for txn {txn}) never reached the log"
+                )
+        record = WALRecord(
+            lsn=self._next_lsn,
+            txn=txn,
+            kind=kind,
+            page_id=page_id,
+            records=records,
+            payload=payload,
+            checksum=checksum,
+            label=label,
+        )
+        self._next_lsn += 1
+        if not self._log_pages or self._log_pages[-1].is_full:
+            self._log_pages.append(self.device.allocate(self.records_per_page))
+        tail = self._log_pages[-1]
+        tail.add(record)
+        # force the log page; the engine waits for it, so the device time
+        # is mirrored onto the data disk's clock
+        before = self.device.stats.time
+        self.device.write(tail, sequential=True, category="wal")
+        delta = self.device.stats.time - before
+        self.disk.advance_clock(delta)
+        faults = self.disk.stats.faults
+        faults.wal_appends += 1
+        faults.wal_delay += delta
+        # the mirror is the log itself, not page content: no version field
+        self.records.append(record)  # reprolint: allow(R003)
+        return record
+
+    # ------------------------------------------------------------------
+    # batch lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, label: str = "batch") -> int:
+        """Open a batch; returns its transaction id."""
+        if self._active is not None:
+            raise RuntimeError(
+                f"a WAL batch is already active ({self._active.label!r})"
+            )
+        txn_id = self._next_txn
+        self._append(BEGIN, txn_id, label=label)
+        self._next_txn = txn_id + 1
+        self._active = _Batch(txn_id, label)
+        return txn_id
+
+    def commit(self) -> None:
+        """Close the batch successfully and apply its deferred frees."""
+        batch = self._require_batch()
+        self._append(COMMIT, batch.txn_id)
+        self._active = None
+        for page_id in batch.frees:
+            self.disk.free(page_id)
+        self._validate()
+
+    def abort(self) -> None:
+        """Roll the batch back: restore before-images, free allocations."""
+        batch = self._require_batch()
+        self._active = None
+        allocated = set(batch.allocated)
+        for page_id, (records, payload, checksum) in batch.touched.items():
+            if page_id in allocated or not self.disk.page_exists(page_id):
+                continue
+            page = self.disk.peek(page_id)
+            page.records = list(records)
+            page.version += 1
+            _restore_payload(page, payload)
+            page.stored_checksum = checksum
+        for page_id in batch.allocated:
+            self.disk.free(page_id)
+        self._append(ABORT, batch.txn_id)
+        self.disk.stats.faults.wal_rollbacks += 1
+        self._validate()
+
+    @contextmanager
+    def batch(self, label: str = "batch") -> Iterator[int]:
+        """``with wal.batch("load"):`` — begin/commit with abort on error.
+
+        Re-entrant: a nested ``batch`` joins the enclosing one (the
+        outermost context owns commit/abort), so a bulk load that calls
+        journaled inserts forms a single atomic batch.
+        """
+        if self._active is not None:
+            yield self._active.txn_id
+            return
+        txn_id = self.begin(label)
+        try:
+            yield txn_id
+        except BaseException:
+            self.abort()
+            raise
+        else:
+            self.commit()
+
+    def _require_batch(self) -> _Batch:
+        if self._active is None:
+            raise RuntimeError("no active WAL batch")
+        return self._active
+
+    # ------------------------------------------------------------------
+    # journaling primitives (engine code calls these inside a batch)
+    # ------------------------------------------------------------------
+    def log_alloc(self, page: Page) -> None:
+        """Journal a page allocation so rollback can free it.
+
+        Outside a batch this is a no-op: unbatched allocations (e.g. an
+        empty tree's root, created at table definition time) are not
+        covered by the log.
+        """
+        batch = self._active
+        if batch is None:
+            return
+        batch.allocated.append(page.page_id)
+        self._append(ALLOC, batch.txn_id, page_id=page.page_id)
+
+    def touch(self, page: Page) -> None:
+        """Journal ``page``'s before-image on its first mutation this batch.
+
+        No-op outside a batch, for pages already touched, and for pages
+        this batch allocated (rollback frees those instead).
+        """
+        batch = self._active
+        if batch is None:
+            return
+        if page.page_id in batch.touched or page.page_id in batch.allocated:
+            return
+        before = (
+            tuple(page.records),
+            _snapshot_payload(page.payload),
+            page.stored_checksum,
+        )
+        batch.touched[page.page_id] = before
+        self._append(
+            UNDO,
+            batch.txn_id,
+            page_id=page.page_id,
+            records=before[0],
+            payload=before[1],
+            checksum=before[2],
+        )
+
+    def log_image(self, page: Page) -> None:
+        """Journal ``page``'s after-image (redo record).
+
+        Must be appended *before* the data-disk write it covers — that
+        ordering is the write-ahead protocol, and it is what lets a torn
+        data write replay from the log.
+        """
+        batch = self._require_batch()
+        self._append(
+            IMAGE,
+            batch.txn_id,
+            page_id=page.page_id,
+            records=tuple(page.records),
+            payload=_snapshot_payload(page.payload),
+        )
+
+    def log_free(self, page_id: int) -> None:
+        """Defer a page free to commit time (rollback keeps the page)."""
+        batch = self._require_batch()
+        batch.frees.append(page_id)
+        self._append(FREE, batch.txn_id, page_id=page_id)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Redo-on-open: roll back open batches, replay committed images.
+
+        Safe to call any number of times; a second pass finds every page
+        matching its committed image and heals nothing.
+        """
+        rolled_back = 0
+        freed = 0
+        if self._active is not None:
+            # an open in-process batch is an interrupted one
+            freed += len(self._active.allocated)
+            self.abort()
+            rolled_back += 1
+        # one sequential scan of the log device, mirrored onto the clock
+        before = self.device.stats.time
+        for log_page in self._log_pages:
+            self.device.read(log_page.page_id, sequential=True, category="wal")
+        self.disk.advance_clock(self.device.stats.time - before)
+
+        committed = {r.txn for r in self.records if r.kind == COMMIT}
+        closed = committed | {r.txn for r in self.records if r.kind == ABORT}
+        open_txns = [
+            r.txn for r in self.records if r.kind == BEGIN and r.txn not in closed
+        ]
+        # roll back batches the in-process abort never saw (a log replayed
+        # "from disk": the crash hook can lose the begin's batch object)
+        for txn in open_txns:
+            rolled_back += 1
+            undo = [r for r in self.records if r.txn == txn and r.kind == UNDO]
+            allocated = {
+                r.page_id for r in self.records if r.txn == txn and r.kind == ALLOC
+            }
+            for record in reversed(undo):
+                page_id = record.page_id
+                if (
+                    page_id is None
+                    or page_id in allocated
+                    or not self.disk.page_exists(page_id)
+                ):
+                    continue
+                page = self.disk.peek(page_id)
+                page.records = list(record.records or ())
+                page.version += 1
+                if record.payload is not None:
+                    _restore_payload(page, record.payload)
+                page.stored_checksum = record.checksum
+            for page_id in sorted(allocated):
+                if page_id is not None and self.disk.page_exists(page_id):
+                    self.disk.free(page_id)
+                    freed += 1
+            self._append(ABORT, txn)
+            self.disk.stats.faults.wal_rollbacks += 1
+
+        # last committed after-image per page, in LSN order
+        last_image: dict[int, WALRecord] = {}
+        for record in self.records:
+            if record.kind == IMAGE and record.txn in committed:
+                if record.page_id is not None:
+                    last_image[record.page_id] = record
+        examined = 0
+        healed = 0
+        for page_id in sorted(last_image):
+            if not self.disk.page_exists(page_id):
+                continue  # committed-freed later, or dropped by the engine
+            examined += 1
+            # redo reads the page to compare it against the logged image
+            self.disk.read(page_id, sequential=True, category="wal")
+            record = last_image[page_id]
+            page = self.disk.peek(page_id)
+            intact = (
+                list(page.records) == list(record.records or ())
+                and page.verify_checksum()
+            )
+            if intact:
+                continue
+            page.records = list(record.records or ())
+            page.version += 1
+            if record.payload is not None:
+                _restore_payload(page, record.payload)
+            page.seal_checksum()
+            self.disk.write(page, category="wal")
+            healed += 1
+            self.disk.stats.faults.wal_redo_pages += 1
+        self._validate()
+        return RecoveryReport(
+            examined_pages=examined,
+            healed_pages=healed,
+            rolled_back_batches=rolled_back,
+            freed_pages=freed,
+            log_records=len(self.records),
+            log_pages=len(self._log_pages),
+        )
+
+    def _validate(self) -> None:
+        if invariants.enabled():
+            invariants.validate_wal(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"in batch {self._active.label!r}" if self._active else "idle"
+        return f"<WriteAheadLog {len(self.records)} records, {state}>"

@@ -383,9 +383,9 @@ class TestR006SwallowedExceptions:
         """Swallowing a *specific* error is an explicit, auditable choice."""
         found = lint(
             """
-            def free_quietly(disk, page_id):
+            def free_quietly(store, page_id):
                 try:
-                    disk.free(page_id)
+                    store.free(page_id)
                 except MissingPageError:
                     pass
             """
@@ -443,6 +443,110 @@ class TestR006SwallowedExceptions:
                     return disk.read(page_id)
                 except Exception:  # reprolint: allow(R006)
                     pass
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R007: disk mutation bypassing the WAL
+# ----------------------------------------------------------------------
+class TestR007WalBypass:
+    def test_bare_disk_write_flagged(self):
+        found = lint(
+            """
+            def persist(self, page):
+                self.disk.write(page, category=self.category)
+            """
+        )
+        assert rules_of(found) == {"R007"}
+
+    def test_bare_disk_free_flagged(self):
+        found = lint(
+            """
+            def drop(self, page_id):
+                self.disk.free(page_id)
+            """
+        )
+        assert rules_of(found) == {"R007"}
+
+    def test_allocation_flagged(self):
+        found = lint(
+            """
+            def grow(self):
+                return self.disk.allocate_extent(64, 80)
+            """
+        )
+        assert rules_of(found) == {"R007"}
+
+    def test_wal_participating_function_passes(self):
+        found = lint(
+            """
+            def persist(self, wal, page):
+                wal.log_image(page)
+                self.disk.write(page, category=self.category)
+            """
+        )
+        assert found == []
+
+    def test_active_wal_guard_passes(self):
+        found = lint(
+            """
+            def allocate(self):
+                page = self.disk.allocate(80)
+                wal = active_wal(self.disk)
+                if wal is not None:
+                    wal.log_alloc(page)
+                return page
+            """
+        )
+        assert found == []
+
+    def test_temp_category_exempt(self):
+        """Sort-run spills are scratch I/O, not durable state."""
+        found = lint(
+            """
+            def spill(self, page):
+                self.disk.write(page, sequential=True, category="temp")
+            """
+        )
+        assert found == []
+
+    def test_wal_category_exempt(self):
+        found = lint(
+            """
+            def force(self, page):
+                self.disk.write(page, sequential=True, category="wal")
+            """
+        )
+        assert found == []
+
+    def test_storage_layer_exempt(self):
+        """The storage package implements the machinery; R007 is for its
+        consumers."""
+        found = lint(
+            """
+            def persist(self, page):
+                self.disk.write(page, category="data")
+            """,
+            path="src/repro/storage/buffer.py",
+        )
+        assert found == []
+
+    def test_non_disk_owner_passes(self):
+        found = lint(
+            """
+            def persist(self, page):
+                self.store.write(page)
+            """
+        )
+        assert found == []
+
+    def test_suppression_applies(self):
+        found = lint(
+            """
+            def persist(self, page):
+                self.disk.write(page)  # reprolint: allow(R007)
             """
         )
         assert found == []

@@ -1,0 +1,175 @@
+"""RetryPolicy edge cases: zero-attempt policies, backoff cap
+saturation, and exact simulated-clock charges when retry loops stack
+across layers (resilient reads and the buffer pool's inlined loop).
+
+Every delay in a backoff schedule is charged to the *simulated* clock
+(reprolint R001 bans the wall clock), so the numbers here are exact
+equalities, not tolerances.
+"""
+
+import pytest
+
+from repro.storage import (
+    BufferPool,
+    NO_RETRY,
+    RetryPolicy,
+    SimulatedDisk,
+    TransientIOError,
+    read_page_resilient,
+)
+
+
+class FlakyDisk(SimulatedDisk):
+    """Raises a set number of transient errors per page, then delegates.
+
+    Failures raise before any pricing, so the exact clock charge of a
+    retried read is ``sum(backoff delays) + cost(successful read)``.
+    """
+
+    def __init__(self, failures):
+        super().__init__()
+        self._remaining = dict(failures)
+
+    def read(self, page_id, **kwargs):
+        remaining = self._remaining.get(page_id, 0)
+        if remaining:
+            self._remaining[page_id] = remaining - 1
+            raise TransientIOError(f"flaky read of page {page_id}")
+        return super().read(page_id, **kwargs)
+
+
+def make_flaky(failures, pages=3, capacity=4):
+    disk = FlakyDisk(failures)
+    for index in range(pages):
+        page = disk.allocate(capacity)
+        page.add((index,))
+    return disk
+
+
+# ----------------------------------------------------------------------
+# schedule shape
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def test_zero_attempt_policy_has_an_empty_schedule(self):
+        assert list(RetryPolicy(max_retries=0).delays()) == []
+        assert list(NO_RETRY.delays()) == []
+
+    def test_backoff_cap_saturates(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=0.01, multiplier=3.0, max_delay=0.02
+        )
+        assert list(policy.delays()) == [0.01, 0.02, 0.02, 0.02, 0.02]
+
+    def test_cap_below_base_clamps_every_delay(self):
+        policy = RetryPolicy(
+            max_retries=3, base_delay=0.04, multiplier=2.0, max_delay=0.01
+        )
+        assert list(policy.delays()) == [0.01, 0.01, 0.01]
+
+    def test_multiplier_one_is_a_flat_schedule(self):
+        policy = RetryPolicy(
+            max_retries=4, base_delay=0.003, multiplier=1.0, max_delay=1.0
+        )
+        assert list(policy.delays()) == [0.003] * 4
+
+    def test_zero_delay_schedule_is_legal(self):
+        policy = RetryPolicy(max_retries=2, base_delay=0.0, max_delay=0.0)
+        assert list(policy.delays()) == [0.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.001)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=-0.001)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+# ----------------------------------------------------------------------
+# zero-attempt behaviour on the read paths
+# ----------------------------------------------------------------------
+class TestZeroAttempt:
+    def test_resilient_read_fails_fast_and_charges_nothing(self):
+        disk = make_flaky({0: 1})
+        with pytest.raises(TransientIOError):
+            read_page_resilient(disk, 0, policy=NO_RETRY)
+        assert disk.clock == 0.0
+        assert disk.stats.faults.retries == 0
+        assert disk.stats.faults.retry_delay == 0.0
+
+    def test_buffer_pool_fails_fast_too(self):
+        disk = make_flaky({0: 1})
+        pool = BufferPool(disk, 4, retry_policy=NO_RETRY, quarantine_threshold=10)
+        with pytest.raises(TransientIOError):
+            pool.get(0)
+        assert disk.clock == 0.0
+        assert pool.retry_attempts == 0
+        assert pool.failure_count(0) == 1  # the failure is still recorded
+
+
+# ----------------------------------------------------------------------
+# exact simulated-clock charges
+# ----------------------------------------------------------------------
+class TestExactCharges:
+    POLICY = RetryPolicy(
+        max_retries=3, base_delay=0.002, multiplier=2.0, max_delay=0.005
+    )  # schedule: 2 ms, 4 ms, 5 ms (capped)
+
+    def test_single_read_charges_delays_plus_one_read(self):
+        disk = make_flaky({1: 2})
+        page, retries = read_page_resilient(disk, 1, policy=self.POLICY)
+        assert page.records == [(1,)]
+        assert retries == 2
+        expected_backoff = 0.002 + 0.004
+        assert disk.stats.faults.retries == 2
+        assert disk.stats.faults.retry_delay == expected_backoff
+        assert disk.clock == expected_backoff + disk.params.random_cost(1)
+
+    def test_exhausted_schedule_charges_every_delay(self):
+        disk = make_flaky({1: 10})
+        with pytest.raises(TransientIOError):
+            read_page_resilient(disk, 1, policy=self.POLICY)
+        expected_backoff = 0.002 + 0.004 + 0.005  # full capped schedule
+        assert disk.stats.faults.retries == 3
+        assert disk.stats.faults.retry_delay == expected_backoff
+        assert disk.clock == expected_backoff  # no read ever succeeded
+
+    def test_nested_retry_loops_accumulate_exactly(self):
+        """Resilient reads and the buffer pool's inlined loop stack: the
+        clock carries the exact sum of both layers' backoff schedules
+        plus the two successful reads."""
+        disk = make_flaky({0: 2, 2: 3})
+        # layer 1: a bare resilient read of page 0 (two failures)
+        read_page_resilient(disk, 0, policy=self.POLICY)
+        # layer 2: a buffer-pool lookup of page 2 (three failures)
+        pool = BufferPool(disk, 4, retry_policy=self.POLICY, quarantine_threshold=10)
+        pool.get(2)
+        faults = disk.stats.faults
+        assert faults.retries == 5
+        # bit-exact: accumulate in the same order the engine charged it
+        expected_backoff = 0.0
+        expected_clock = 0.0
+        for delay in (0.002, 0.004):
+            expected_backoff += delay
+            expected_clock += delay
+        expected_clock += disk.params.random_cost(1)
+        for delay in (0.002, 0.004, 0.005):
+            expected_backoff += delay
+            expected_clock += delay
+        expected_clock += disk.params.random_cost(1)
+        assert faults.retry_delay == expected_backoff
+        assert disk.clock == expected_clock
+        assert pool.retry_attempts == 3
+        assert pool.disk_fetches == 4  # three failed attempts + the success
+
+    def test_retry_charges_replay_identically(self):
+        """Same failures, same policy -> bit-identical clock."""
+        clocks = []
+        for _ in range(2):
+            disk = make_flaky({0: 1, 1: 2})
+            read_page_resilient(disk, 0, policy=self.POLICY)
+            read_page_resilient(disk, 1, policy=self.POLICY)
+            clocks.append(disk.clock)
+        assert clocks[0] == clocks[1]

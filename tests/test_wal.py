@@ -1,0 +1,404 @@
+"""Write-ahead log tests: batch semantics, rollback, the deterministic
+crash hook, redo-on-open recovery and simulated-clock pricing.
+
+The WAL's contract (docs/ROBUSTNESS.md): every journaled batch either
+commits — after which a torn data write replays bit-identically from the
+log — or rolls back to the exact pre-batch state, including page
+content, checksums and allocations.  Recovery is idempotent.
+"""
+
+import pytest
+
+from repro import invariants
+from repro.invariants import InvariantViolation
+from repro.relational import Attribute, Database, IntEncoder, Schema
+from repro.storage import (
+    FaultPlan,
+    FaultyDisk,
+    SimulatedCrashError,
+    SimulatedDisk,
+    WriteAheadLog,
+    active_wal,
+)
+from repro.storage.heap import HeapFile
+from repro.storage.wal import ABORT, ALLOC, BEGIN, COMMIT, FREE, IMAGE, UNDO
+
+
+def make_wal(params=None):
+    disk = SimulatedDisk(params)
+    return disk, WriteAheadLog(disk)
+
+
+def tear(page):
+    """Damage a page exactly like a torn write: the checksum was sealed
+    over the intended content, but only a prefix reached the platter."""
+    page.seal_checksum()
+    del page.records[len(page.records) // 2 :]
+    page.version += 1
+
+
+# ----------------------------------------------------------------------
+# arming and validation
+# ----------------------------------------------------------------------
+class TestArming:
+    def test_constructor_registers_on_disk(self):
+        disk, wal = make_wal()
+        assert active_wal(disk) is wal
+
+    def test_double_arm_rejected(self):
+        disk, _ = make_wal()
+        with pytest.raises(RuntimeError):
+            WriteAheadLog(disk)
+
+    def test_detach_unregisters(self):
+        disk, wal = make_wal()
+        wal.detach()
+        assert active_wal(disk) is None
+
+    def test_records_per_page_validated(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(SimulatedDisk(), records_per_page=0)
+
+    def test_active_wal_sees_through_wrapper_stacks(self):
+        base = SimulatedDisk()
+        stack = FaultyDisk(base, FaultPlan())
+        wal = WriteAheadLog(stack)
+        assert active_wal(stack) is wal
+        assert active_wal(base) is wal  # registered on the base via proxy
+
+
+# ----------------------------------------------------------------------
+# batch lifecycle
+# ----------------------------------------------------------------------
+class TestBatchLifecycle:
+    def test_commit_record_sequence(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        with wal.batch("load"):
+            wal.log_alloc(page)
+            page.extend([(1,), (2,)])
+            wal.log_image(page)
+            disk.write(page)
+        kinds = [record.kind for record in wal.records]
+        assert kinds == [BEGIN, ALLOC, IMAGE, COMMIT]
+        assert wal.records[0].label == "load"
+
+    def test_lsns_are_dense_and_ordered(self):
+        disk, wal = make_wal()
+        with wal.batch():
+            wal.log_alloc(disk.allocate(8))
+        assert [record.lsn for record in wal.records] == [0, 1, 2]
+
+    def test_abort_restores_touched_page_bit_exact(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        page.extend([(1,), (2,), (3,)])
+        page.seal_checksum()
+        before = (list(page.records), page.stored_checksum)
+        wal.begin("edit")
+        wal.touch(page)
+        page.add((4,))
+        page.stored_checksum = None
+        wal.abort()
+        assert (list(page.records), page.stored_checksum) == before
+        assert wal.records[-1].kind == ABORT
+        assert disk.stats.faults.wal_rollbacks == 1
+
+    def test_abort_frees_batch_allocations(self):
+        disk, wal = make_wal()
+        wal.begin()
+        page = disk.allocate(8)
+        wal.log_alloc(page)
+        page.add((1,))
+        wal.abort()
+        assert not disk.page_exists(page.page_id)
+
+    def test_deferred_free_applies_at_commit_only(self):
+        disk, wal = make_wal()
+        doomed = disk.allocate(8)
+        wal.begin()
+        wal.log_free(doomed.page_id)
+        assert disk.page_exists(doomed.page_id)  # still deferred
+        wal.commit()
+        assert not disk.page_exists(doomed.page_id)
+        assert FREE in [record.kind for record in wal.records]
+
+    def test_rollback_keeps_deferred_frees(self):
+        disk, wal = make_wal()
+        survivor = disk.allocate(8)
+        wal.begin()
+        wal.log_free(survivor.page_id)
+        wal.abort()
+        assert disk.page_exists(survivor.page_id)
+
+    def test_nested_batch_joins_the_outer_one(self):
+        disk, wal = make_wal()
+        with wal.batch("outer") as outer_txn:
+            with wal.batch("inner") as inner_txn:
+                assert inner_txn == outer_txn
+                assert wal.in_batch
+        kinds = [record.kind for record in wal.records]
+        assert kinds == [BEGIN, COMMIT]  # one batch, not two
+
+    def test_touch_is_first_touch_only_and_skips_batch_allocations(self):
+        disk, wal = make_wal()
+        old = disk.allocate(8)
+        wal.begin()
+        fresh = disk.allocate(8)
+        wal.log_alloc(fresh)
+        wal.touch(old)
+        wal.touch(old)  # second touch: no-op
+        wal.touch(fresh)  # batch-allocated: no-op
+        wal.commit()
+        undo = [record for record in wal.records if record.kind == UNDO]
+        assert [record.page_id for record in undo] == [old.page_id]
+
+    def test_primitives_outside_batch(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        wal.log_alloc(page)  # no-op
+        wal.touch(page)  # no-op
+        assert wal.records == []
+        with pytest.raises(RuntimeError):
+            wal.log_image(page)
+        with pytest.raises(RuntimeError):
+            wal.log_free(page.page_id)
+        with pytest.raises(RuntimeError):
+            wal.commit()
+        with pytest.raises(RuntimeError):
+            wal.abort()
+
+    def test_serial_batches_only(self):
+        _, wal = make_wal()
+        wal.begin()
+        with pytest.raises(RuntimeError):
+            wal.begin()
+
+
+# ----------------------------------------------------------------------
+# pricing: every append is forced to the log device on simulated time
+# ----------------------------------------------------------------------
+class TestPricing:
+    def test_appends_charge_the_shared_clock(self):
+        disk, wal = make_wal()
+        start = disk.clock
+        with wal.batch():
+            wal.log_alloc(disk.allocate(8))
+        faults = disk.stats.faults
+        assert faults.wal_appends == 3  # begin + alloc + commit
+        assert faults.wal_delay > 0.0
+        assert disk.clock == pytest.approx(start + faults.wal_delay)
+        # the log device saw the same amount of simulated time
+        assert wal.device.stats.time == pytest.approx(faults.wal_delay)
+
+    def test_log_pages_fill_up(self):
+        disk, wal = make_wal()
+        wal_small = None
+        disk2 = SimulatedDisk()
+        wal_small = WriteAheadLog(disk2, records_per_page=2)
+        with wal_small.batch():
+            for _ in range(3):
+                wal_small.log_alloc(disk2.allocate(4))
+        # 5 records at 2 per page -> 3 log pages
+        assert wal_small.log_page_count == 3
+        assert wal.log_page_count == 0
+
+
+# ----------------------------------------------------------------------
+# the deterministic crash hook
+# ----------------------------------------------------------------------
+class TestCrashHook:
+    def test_countdown_validated(self):
+        _, wal = make_wal()
+        with pytest.raises(ValueError):
+            wal.crash_after_appends(0)
+
+    def test_crash_fires_once_then_disarms(self):
+        disk, wal = make_wal()
+        wal.crash_after_appends(2)
+        with pytest.raises(SimulatedCrashError):
+            with wal.batch():
+                wal.log_alloc(disk.allocate(8))  # append #2: lost
+        # the crashed append never reached the log, but the rollback's
+        # abort record (post-disarm) did
+        kinds = [record.kind for record in wal.records]
+        assert kinds == [BEGIN, ABORT]
+
+    def test_crashed_batch_rolls_back_page_content(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        page.extend([(1,), (2,)])
+        before = list(page.records)
+        wal.crash_after_appends(3)
+        with pytest.raises(SimulatedCrashError):
+            with wal.batch():
+                wal.touch(page)
+                page.add((3,))
+                wal.log_image(page)  # append #3: the crash
+        assert list(page.records) == before
+
+
+# ----------------------------------------------------------------------
+# redo-on-open recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_torn_write_replays_to_committed_image(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        with wal.batch("load"):
+            wal.log_alloc(page)
+            page.extend([(i,) for i in range(6)])
+            wal.log_image(page)
+            disk.write(page)
+        committed = list(page.records)
+        tear(page)
+        assert list(page.records) != committed
+        report = wal.recover()
+        assert report.healed_pages == 1
+        assert list(page.records) == committed
+        assert page.verify_checksum()
+        assert disk.stats.faults.wal_redo_pages == 1
+
+    def test_recovery_is_idempotent(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        with wal.batch():
+            wal.log_alloc(page)
+            page.add((1,))
+            wal.log_image(page)
+            disk.write(page)
+        tear(page)
+        wal.recover()
+        second = wal.recover()
+        assert second.healed_pages == 0
+        assert second.rolled_back_batches == 0
+        assert list(page.records) == [(1,)]
+
+    def test_uncommitted_images_are_not_replayed(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        page.extend([(1,)])
+        wal.begin()
+        wal.touch(page)
+        page.add((2,))
+        wal.log_image(page)
+        report = wal.recover()  # aborts the open batch, replays nothing
+        assert report.rolled_back_batches == 1
+        assert report.healed_pages == 0
+        assert list(page.records) == [(1,)]
+        assert not wal.in_batch
+
+    def test_last_committed_image_wins(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        for value in ((1,), (2,)):
+            with wal.batch():
+                wal.touch(page)
+                page.records = [value]
+                page.version += 1
+                wal.log_image(page)
+                disk.write(page)
+        tear(page)
+        wal.recover()
+        assert list(page.records) == [(2,)]
+
+    def test_recovery_charges_a_log_scan(self):
+        disk, wal = make_wal()
+        with wal.batch():
+            wal.log_alloc(disk.allocate(8))
+        before = disk.clock
+        wal.recover()
+        assert disk.clock > before
+
+    def test_recovery_skips_pages_freed_after_commit(self):
+        disk, wal = make_wal()
+        page = disk.allocate(8)
+        with wal.batch():
+            wal.log_alloc(page)
+            page.add((1,))
+            wal.log_image(page)
+            disk.write(page)
+        disk.free(page.page_id)
+        report = wal.recover()
+        assert report.examined_pages == 0
+        assert not disk.page_exists(page.page_id)
+
+
+# ----------------------------------------------------------------------
+# WAL-protected engine paths
+# ----------------------------------------------------------------------
+class TestEnginePaths:
+    def test_heap_bulk_load_replays_after_torn_writes(self):
+        disk, wal = make_wal()
+        heap = HeapFile(disk, page_capacity=4, extent_pages=4)
+        heap.bulk_load([(i,) for i in range(10)])
+        loaded = [disk.peek(page_id) for page_id in heap.page_ids]
+        committed = [list(page.records) for page in loaded]
+        for page in loaded:
+            tear(page)
+        wal.recover()
+        assert [list(page.records) for page in loaded] == committed
+        assert list(heap.scan()) == [(i,) for i in range(10)]
+
+    def test_heap_bulk_load_crash_rolls_back_cleanly(self):
+        disk, wal = make_wal()
+        heap = HeapFile(disk, page_capacity=4, extent_pages=4)
+        heap.bulk_load([(i,) for i in range(4)])
+        pre_pages = disk.allocated_pages
+        pre_rows = list(heap.scan())
+        wal.crash_after_appends(4)
+        with pytest.raises(SimulatedCrashError):
+            heap.bulk_load([(i,) for i in range(100, 140)])
+        assert disk.allocated_pages == pre_pages  # no leaked extents
+        assert list(heap.scan()) == pre_rows
+        wal.recover()
+        assert list(heap.scan()) == pre_rows
+
+    def test_database_recover_requires_wal(self):
+        db = Database()
+        with pytest.raises(RuntimeError):
+            db.recover()
+
+    def test_database_bulk_load_torn_then_recovered(self):
+        schema = Schema(
+            [Attribute("k", IntEncoder(0, 1023)), Attribute("v", IntEncoder(0, 1023))]
+        )
+        db = Database(wal=True)
+        table = db.create_heap_table("t", schema, 8)
+        rows = [(i, i * 2) for i in range(30)]
+        table.bulk_load(rows)
+        for page in db.disk.iter_pages():
+            if page.records:
+                tear(page)
+        report = db.recover()
+        assert report.healed_pages > 0
+        assert list(table.scan()) == rows
+
+
+# ----------------------------------------------------------------------
+# the WAL contract under REPRO_CHECKS
+# ----------------------------------------------------------------------
+class TestWalInvariants:
+    @pytest.fixture(autouse=True)
+    def checks_on(self):
+        previous = invariants.set_enabled(True)
+        yield
+        invariants.set_enabled(previous)
+
+    def test_healthy_log_validates(self):
+        disk, wal = make_wal()
+        with wal.batch():
+            page = disk.allocate(8)
+            wal.log_alloc(page)
+            page.add((1,))
+            wal.log_image(page)
+            disk.write(page)
+        invariants.validate_wal(wal)
+
+    def test_mirror_divergence_is_caught(self):
+        disk, wal = make_wal()
+        with wal.batch():
+            wal.log_alloc(disk.allocate(8))
+        wal.records.pop()  # mirror no longer matches the durable log
+        with pytest.raises(InvariantViolation):
+            invariants.validate_wal(wal)

@@ -21,8 +21,22 @@ Anything else — a wrong row, a truncated stream, an untyped crash — is a
 :class:`ChaosViolation`: the silent-garbage class of bug this harness
 exists to catch.
 
-Usage: ``python -m tools.chaos --seeds 11 17 23`` (add ``--backend pure``
-to force a kernel backend; default sweeps whatever is available).
+Two extensions ride on the same machinery:
+
+* ``--replicas k`` rebuilds the faulty world on a k-way
+  :class:`~repro.storage.replica.ReplicatedDisk`, so checksum failures
+  repair in place instead of degrading the plan (seed 17's pinned
+  "degraded" outcome turns "clean");
+* ``--write`` switches to the write sweep
+  (:func:`run_write_schedule`): torn-write faults during WAL-journaled
+  ``bulk_load``/``insert`` batches, verified bit-identical to a
+  fault-free load after redo recovery, plus a simulated-crash leg that
+  must roll back cleanly.
+
+Usage: ``python -m tools.chaos --seeds 11 17 23`` (add ``--backend
+python`` to force a kernel backend; default sweeps whatever is
+available).  ``--replay SEED`` re-runs one schedule and prints its full
+fault log and degradation/repair trail as JSON.
 """
 
 from __future__ import annotations
@@ -41,22 +55,37 @@ from repro.planner import (
     execute_sorted_query,
 )
 from repro.relational import Attribute, Database, IntEncoder, Schema
-from repro.storage import FaultPlan, FaultyDisk, StorageError
+from repro.storage import (
+    FaultPlan,
+    FaultyDisk,
+    SimulatedCrashError,
+    StorageError,
+)
 
 __all__ = [
     "ChaosOutcome",
     "ChaosViolation",
     "DEFAULT_SEEDS",
+    "DEFAULT_WRITE_SEEDS",
     "QUERY",
     "build_world",
+    "build_write_world",
     "chaos_plan",
     "run_schedule",
     "run_suite",
+    "run_write_schedule",
+    "run_write_suite",
+    "write_plan",
 ]
 
 #: the CI sweep's pinned seeds (chosen to cover clean, degraded and
 #: failed outcomes on both kernel backends)
 DEFAULT_SEEDS: tuple[int, ...] = (17, 23, 33)
+
+#: the write sweep's pinned seeds (chosen so every schedule tears at
+#: least one page mid-``bulk_load`` on both kernel backends, forcing the
+#: WAL's redo path to do real work)
+DEFAULT_WRITE_SEEDS: tuple[int, ...] = (7, 19, 41)
 
 #: the harness's fixed Q6-style query: restriction on one UB dimension,
 #: sort on the other
@@ -72,27 +101,37 @@ class ChaosViolation(AssertionError):
 
 @dataclass(frozen=True)
 class ChaosOutcome:
-    """What one fault schedule did to one query."""
+    """What one fault schedule did to one query (or one write workload)."""
 
     seed: int
     backend: str
-    status: str  #: "clean" | "degraded" | "failed"
+    status: str  #: "clean" | "degraded" | "failed" | "recovered"
     rows: int
     faults_injected: int
     retries: int
     quarantined: int
     degradations: tuple[str, ...] = ()
     error: str | None = None
+    #: pages repaired from replicas during the run
+    repaired: int = 0
+    #: quarantine entries lifted after a successful repair
+    lifted: int = 0
+    #: pages healed by WAL redo during recovery (write schedules)
+    healed: int = 0
     #: replayable injection log (op, kind, page_id, access)
     fault_log: tuple[tuple[str, str, int, int], ...] = field(repr=False, default=())
 
     def describe(self) -> str:
         base = (
             f"seed={self.seed:<4d} backend={self.backend:<6s} "
-            f"status={self.status:<8s} rows={self.rows:<5d} "
+            f"status={self.status:<9s} rows={self.rows:<5d} "
             f"faults={self.faults_injected:<3d} retries={self.retries:<3d} "
             f"quarantined={self.quarantined}"
         )
+        if self.repaired or self.lifted:
+            base += f"  repaired={self.repaired} lifted={self.lifted}"
+        if self.healed:
+            base += f"  healed={self.healed}"
         if self.error:
             base += f"  error={self.error.splitlines()[0][:80]}"
         return base
@@ -115,30 +154,45 @@ def chaos_plan(seed: int) -> FaultPlan:
     )
 
 
-def build_world(
-    fault_plan: "FaultPlan | None" = None,
-    *,
-    rows: int = 1200,
-    data_seed: int = 0,
-    buffer_pages: int = 48,
-) -> tuple[Database, PhysicalDesign, list[tuple]]:
-    """One logical relation in four physical instances, optionally faulty.
-
-    Fault injection stays disarmed during loading, so the dataset is
-    always pristine and a schedule's damage is a pure function of the
-    query's own access pattern.
-    """
-    schema = Schema(
+def _chaos_schema() -> Schema:
+    return Schema(
         [
             Attribute("a1", IntEncoder(0, 1023)),
             Attribute("a2", IntEncoder(0, 1023)),
             Attribute("v", IntEncoder(0, 10**9)),
         ]
     )
+
+
+def _chaos_data(rows: int, data_seed: int) -> list[tuple]:
     rng = random.Random(data_seed)
-    data = [(rng.randrange(1024), rng.randrange(1024), i) for i in range(rows)]
+    return [(rng.randrange(1024), rng.randrange(1024), i) for i in range(rows)]
+
+
+def build_world(
+    fault_plan: "FaultPlan | None" = None,
+    *,
+    rows: int = 1200,
+    data_seed: int = 0,
+    buffer_pages: int = 48,
+    replicas: int = 0,
+) -> tuple[Database, PhysicalDesign, list[tuple]]:
+    """One logical relation in four physical instances, optionally faulty.
+
+    Fault injection stays disarmed during loading, so the dataset is
+    always pristine and a schedule's damage is a pure function of the
+    query's own access pattern.  ``replicas=k`` slides a
+    :class:`~repro.storage.replica.ReplicatedDisk` under the fault
+    layer and captures every loaded page, so checksum failures during
+    the query can be repaired in place instead of quarantined.
+    """
+    schema = _chaos_schema()
+    data = _chaos_data(rows, data_seed)
     db = Database(
-        buffer_pages=buffer_pages, fault_plan=fault_plan, quarantine_threshold=2
+        buffer_pages=buffer_pages,
+        fault_plan=fault_plan,
+        quarantine_threshold=2,
+        replicas=replicas,
     )
     heap = db.create_heap_table("heap", schema, 40)
     heap.load(data)
@@ -149,6 +203,8 @@ def build_world(
     ub = db.create_ub_table("ub", schema, dims=("a1", "a2"), page_capacity=40)
     ub.load(data)
     db.buffer.flush()
+    if replicas:
+        db.capture_replicas()
     db.reset_measurement()
     design = PhysicalDesign(
         attributes=("a1", "a2"), heap=heap, iots={"a1": iot_a1, "a2": iot_a2}, ub=ub
@@ -211,6 +267,7 @@ def run_schedule(
     backend: str | None = None,
     rows: int = 1200,
     params: "CostParameters | None" = None,
+    replicas: int = 0,
 ) -> ChaosOutcome:
     """Run the harness query under one seeded schedule and verify it."""
     backend_name = backend or kernels.get_backend().name
@@ -228,7 +285,7 @@ def run_schedule(
                 "fault-free baseline is broken; chaos results are meaningless"
             )
 
-        db, design, _ = build_world(chaos_plan(seed), rows=rows)
+        db, design, _ = build_world(chaos_plan(seed), rows=rows, replicas=replicas)
         disk = db.disk
         if not isinstance(disk, FaultyDisk):  # pragma: no cover - guarded above
             raise RuntimeError("chaos world lost its FaultyDisk")
@@ -248,6 +305,8 @@ def run_schedule(
                 quarantined=disk.stats.faults.quarantined_pages,
                 degradations=tuple(e.describe() for e in exc.degradations),
                 error=str(exc),
+                repaired=disk.stats.faults.repaired_pages,
+                lifted=disk.stats.faults.quarantine_lifted,
                 fault_log=tuple(disk.fault_log),
             )
         except StorageError as exc:
@@ -262,6 +321,8 @@ def run_schedule(
                 retries=disk.stats.faults.retries,
                 quarantined=disk.stats.faults.quarantined_pages,
                 error=f"{type(exc).__name__}: {exc}",
+                repaired=disk.stats.faults.repaired_pages,
+                lifted=disk.stats.faults.quarantine_lifted,
                 fault_log=tuple(disk.fault_log),
             )
         finally:
@@ -277,6 +338,8 @@ def run_schedule(
             retries=disk.stats.faults.retries,
             quarantined=disk.stats.faults.quarantined_pages,
             degradations=tuple(e.describe() for e in result.degradations),
+            repaired=disk.stats.faults.repaired_pages,
+            lifted=disk.stats.faults.quarantine_lifted,
             fault_log=tuple(disk.fault_log),
         )
 
@@ -286,11 +349,229 @@ def run_suite(
     *,
     backends: "Sequence[str] | None" = None,
     rows: int = 1200,
+    replicas: int = 0,
 ) -> list[ChaosOutcome]:
     """Sweep ``seeds`` across ``backends`` (default: all available)."""
     names = list(backends) if backends else kernels.available_backends()
     outcomes = []
     for name in names:
         for seed in seeds:
-            outcomes.append(run_schedule(seed, backend=name, rows=rows))
+            outcomes.append(
+                run_schedule(seed, backend=name, rows=rows, replicas=replicas)
+            )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# write-heavy sweep: torn writes during WAL-journaled bulk loads
+# ----------------------------------------------------------------------
+def write_plan(seed: int) -> FaultPlan:
+    """The write sweep's fault mix: torn writes only, at a harsh rate.
+
+    Reads stay pristine so every divergence the sweep finds is the WAL's
+    responsibility — a page the redo pass failed to heal, not collateral
+    read damage.
+    """
+    return FaultPlan(seed=seed, torn_write_rate=0.25)
+
+
+def build_write_world(
+    fault_plan: "FaultPlan | None" = None,
+    *,
+    buffer_pages: int = 48,
+) -> tuple[Database, PhysicalDesign]:
+    """An *empty* WAL-armed world: the write sweep loads it under fire.
+
+    Unlike :func:`build_world`, nothing is pre-loaded — the whole point
+    is that ``bulk_load`` itself runs with torn-write faults armed and
+    must end bit-identical to a fault-free load after recovery.
+    """
+    schema = _chaos_schema()
+    db = Database(
+        buffer_pages=buffer_pages,
+        fault_plan=fault_plan,
+        quarantine_threshold=2,
+        wal=True,
+    )
+    heap = db.create_heap_table("heap", schema, 40)
+    iot_a1 = db.create_iot("iot_a1", schema, key=("a1", "a2"), page_capacity=40)
+    iot_a2 = db.create_iot("iot_a2", schema, key=("a2", "a1"), page_capacity=40)
+    ub = db.create_ub_table("ub", schema, dims=("a1", "a2"), page_capacity=40)
+    design = PhysicalDesign(
+        attributes=("a1", "a2"), heap=heap, iots={"a1": iot_a1, "a2": iot_a2}, ub=ub
+    )
+    return db, design
+
+
+def _load_write_world(design: PhysicalDesign, data: "list[tuple]") -> None:
+    """The write workload: all four instances bulk-loaded (WAL batches)."""
+    design.heap.bulk_load(data)
+    design.iots["a1"].bulk_load(data)
+    design.iots["a2"].bulk_load(data)
+    if design.ub is not None:
+        design.ub.bulk_load(data)
+
+
+def _fingerprint(db: Database) -> tuple:
+    """Canonical content of every allocated data page.
+
+    Two worlds with equal fingerprints hold bit-identical record sets,
+    structural payloads and physical placement — the currency in which
+    the write sweep's "replayed to committed state" claim is settled.
+    """
+    entries = []
+    for page in sorted(db.disk.iter_pages(), key=lambda p: p.page_id):
+        payload = page.payload
+        if payload is None:
+            psig: Any = None
+        elif isinstance(payload, dict):
+            psig = tuple(sorted((key, repr(value)) for key, value in payload.items()))
+        elif hasattr(payload, "keys") and hasattr(payload, "children"):
+            psig = ("node", tuple(payload.keys), tuple(payload.children))
+        else:  # pragma: no cover - no third payload shape exists today
+            psig = repr(payload)
+        entries.append((page.page_id, repr(page.records), psig))
+    return tuple(entries)
+
+
+def run_write_schedule(
+    seed: int,
+    *,
+    backend: str | None = None,
+    rows: int = 600,
+    params: "CostParameters | None" = None,
+) -> ChaosOutcome:
+    """Bulk-load a world under seeded torn writes and verify recovery.
+
+    Three legs, all on the same seed:
+
+    1. *redo*: load all four instances with faults armed, run
+       :meth:`~repro.relational.Database.recover`, and require the disk
+       to be bit-identical to a fault-free world loaded the same way —
+       then require recovery to be idempotent and the harness query to
+       return exactly the oracle rows.
+    2. *insert*: journaled single-row UB-Tree inserts under the same
+       faults, recovered and fingerprint-checked the same way.
+    3. *crash*: a fresh world whose WAL kills the process mid-load
+       (:class:`~repro.storage.errors.SimulatedCrashError`); the batch
+       rollback must leave the disk bit-identical to its pre-load state,
+       and recovery on the rolled-back log must change nothing.
+    """
+    backend_name = backend or kernels.get_backend().name
+    params = params or CostParameters(memory_pages=8)
+
+    with kernels.use_backend(backend_name):
+        data = _chaos_data(rows, data_seed=0)
+        extras = _chaos_data(24, data_seed=1)
+
+        # fault-free oracle, loaded through the same WAL-journaled paths
+        oracle_db, oracle_design = build_write_world()
+        _load_write_world(oracle_design, data)
+        oracle_fp = _fingerprint(oracle_db)
+        oracle_rows = _oracle_rows(data, QUERY["restrictions"], QUERY["sort_attr"])
+
+        # leg 1: torn writes during every bulk_load, then redo recovery
+        db, design = build_write_world(write_plan(seed))
+        disk = db.disk
+        if not isinstance(disk, FaultyDisk):  # pragma: no cover - guarded above
+            raise RuntimeError("write-chaos world lost its FaultyDisk")
+        db.arm_faults()
+        try:
+            _load_write_world(design, data)
+        finally:
+            db.disarm_faults()
+        db.recover()
+        if _fingerprint(db) != oracle_fp:
+            raise ChaosViolation(
+                f"seed {seed}: recovered disk is not bit-identical to a "
+                "fault-free load; WAL redo missed a torn page"
+            )
+        again = db.recover()
+        if again.healed_pages or _fingerprint(db) != oracle_fp:
+            raise ChaosViolation(f"seed {seed}: recovery is not idempotent")
+        # the oracle world runs the same query so that its temp-sort
+        # allocations keep both worlds' page allocators in lock-step —
+        # leg 2's split pages must land at the same physical addresses
+        execute_sorted_query(
+            oracle_design, QUERY["restrictions"], QUERY["sort_attr"], params
+        )
+        result = execute_sorted_query(
+            design, QUERY["restrictions"], QUERY["sort_attr"], params
+        )
+        if result.rows != oracle_rows or result.degraded:
+            raise ChaosViolation(
+                f"seed {seed}: post-recovery query diverged from the oracle"
+            )
+
+        # leg 2: journaled inserts under the same torn-write schedule.
+        # Recovery runs after every insert: the WAL's contract is
+        # crash-consistency at *batch* granularity, and a torn page must
+        # be healed before the next batch builds on top of it (pages are
+        # shared objects, so a torn write damages the live page too).
+        for row in extras:
+            db.arm_faults()
+            try:
+                design.ub.insert(row)  # type: ignore[union-attr]
+            finally:
+                db.disarm_faults()
+            db.recover()
+        for row in extras:
+            oracle_design.ub.insert(row)  # type: ignore[union-attr]
+        if _fingerprint(db) != _fingerprint(oracle_db):
+            raise ChaosViolation(
+                f"seed {seed}: recovered inserts diverged from fault-free "
+                "inserts; journaled insert left a half-applied split"
+            )
+
+        # leg 3: simulated crash mid-load must roll back to pristine
+        crash_db, crash_design = build_write_world()
+        pre_fp = _fingerprint(crash_db)
+        assert crash_db.wal is not None
+        crash_db.wal.crash_after_appends(3 + seed % 11)
+        try:
+            crash_design.heap.bulk_load(data)
+        except SimulatedCrashError:
+            pass
+        else:
+            raise ChaosViolation(
+                f"seed {seed}: crash hook never fired during bulk_load"
+            )
+        if _fingerprint(crash_db) != pre_fp:
+            raise ChaosViolation(
+                f"seed {seed}: crashed bulk_load left a half-built heap"
+            )
+        crash_db.recover()
+        if _fingerprint(crash_db) != pre_fp:
+            raise ChaosViolation(
+                f"seed {seed}: recovery disturbed a cleanly rolled-back world"
+            )
+
+        faults = disk.stats.faults
+        return ChaosOutcome(
+            seed=seed,
+            backend=backend_name,
+            status="recovered" if faults.torn_writes else "clean",
+            rows=len(result.rows),
+            faults_injected=faults.total_injected,
+            retries=faults.retries,
+            quarantined=faults.quarantined_pages,
+            repaired=faults.repaired_pages,
+            lifted=faults.quarantine_lifted,
+            healed=faults.wal_redo_pages,
+            fault_log=tuple(disk.fault_log),
+        )
+
+
+def run_write_suite(
+    seeds: Iterable[int] = DEFAULT_WRITE_SEEDS,
+    *,
+    backends: "Sequence[str] | None" = None,
+    rows: int = 600,
+) -> list[ChaosOutcome]:
+    """Sweep the write schedules across ``backends`` (default: all)."""
+    names = list(backends) if backends else kernels.available_backends()
+    outcomes = []
+    for name in names:
+        for seed in seeds:
+            outcomes.append(run_write_schedule(seed, backend=name, rows=rows))
     return outcomes

@@ -4,17 +4,45 @@ Prints one line per (backend, seed) outcome and exits non-zero when any
 schedule breaks the correct-or-typed-error contract (a
 :class:`~tools.chaos.ChaosViolation` propagates with a traceback — that
 is a bug in the engine, not in the schedule).
+
+``--write`` runs the write sweep (torn writes during WAL-journaled bulk
+loads) instead of the read sweep; ``--replicas k`` gives the read
+sweep's world k-way page replicas so checksum failures repair in place;
+``--replay SEED`` re-runs a single schedule and prints the replayable
+fault log and degradation/repair trail as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
+from dataclasses import asdict
 
 from repro import kernels
 
-from . import DEFAULT_SEEDS, run_suite
+from . import (
+    DEFAULT_SEEDS,
+    DEFAULT_WRITE_SEEDS,
+    ChaosOutcome,
+    run_schedule,
+    run_suite,
+    run_write_schedule,
+    run_write_suite,
+)
+
+
+def _replay_json(outcome: ChaosOutcome, mode: str) -> str:
+    """One schedule's outcome as pretty JSON, fault log expanded."""
+    payload = asdict(outcome)
+    payload["mode"] = mode
+    payload["degradations"] = list(outcome.degradations)
+    payload["fault_log"] = [
+        {"op": op, "kind": kind, "page_id": page_id, "access": access}
+        for op, kind, page_id, access in outcome.fault_log
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -26,8 +54,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "--seeds",
         type=int,
         nargs="+",
-        default=list(DEFAULT_SEEDS),
-        help=f"fault-plan seeds to sweep (default: {list(DEFAULT_SEEDS)})",
+        default=None,
+        help=(
+            f"fault-plan seeds to sweep (default: {list(DEFAULT_SEEDS)}, "
+            f"or {list(DEFAULT_WRITE_SEEDS)} with --write)"
+        ),
     )
     parser.add_argument(
         "--backend",
@@ -36,13 +67,53 @@ def main(argv: "list[str] | None" = None) -> int:
         help="kernel backend to sweep (default: every available backend)",
     )
     parser.add_argument(
-        "--rows", type=int, default=1200, help="relation size (default: 1200)"
+        "--rows", type=int, default=None, help="relation size (default: 1200, or 600 with --write)"
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="run the write sweep: torn writes during WAL-journaled bulk loads",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="K",
+        help="k-way page replicas under the fault layer (read sweep only)",
+    )
+    parser.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="re-run one schedule and print its fault/repair trail as JSON",
     )
     options = parser.parse_args(argv)
-    backends = (
-        None if options.backend == "all" else [options.backend]
+    seeds = options.seeds or (
+        list(DEFAULT_WRITE_SEEDS) if options.write else list(DEFAULT_SEEDS)
     )
-    outcomes = run_suite(options.seeds, backends=backends, rows=options.rows)
+    rows = options.rows or (600 if options.write else 1200)
+    backends = None if options.backend == "all" else [options.backend]
+
+    if options.replay is not None:
+        backend = (
+            kernels.get_backend().name if options.backend == "all" else options.backend
+        )
+        if options.write:
+            outcome = run_write_schedule(options.replay, backend=backend, rows=rows)
+        else:
+            outcome = run_schedule(
+                options.replay, backend=backend, rows=rows, replicas=options.replicas
+            )
+        print(_replay_json(outcome, "write" if options.write else "read"))
+        return 0
+
+    if options.write:
+        outcomes = run_write_suite(seeds, backends=backends, rows=rows)
+    else:
+        outcomes = run_suite(
+            seeds, backends=backends, rows=rows, replicas=options.replicas
+        )
     for outcome in outcomes:
         print(outcome.describe())
         for event in outcome.degradations:

@@ -41,6 +41,15 @@ Python ASTs under ``src/repro`` and mechanically enforces them:
     :class:`~repro.storage.retry.RetryPolicy` (whose backoff is charged
     to the simulated clock) — both make fault handling unauditable.
 
+``R007`` — engine code must not mutate the disk behind an armed WAL.
+    Durability rests on the write-ahead protocol: every data-page
+    write/free/allocation in engine code (outside ``storage/`` itself)
+    must sit in a function that participates in the WAL machinery
+    (``active_wal`` guard, ``log_image``/``log_alloc``/``log_free``
+    journaling), so crash recovery can replay or roll it back.  Scratch
+    I/O is exempt: calls charged to ``category="temp"`` (sort runs) or
+    ``category="wal"`` (the log device itself) are not durable state.
+
 A finding can be suppressed by putting ``# reprolint: allow(R00X)`` (or
 a blanket ``# reprolint: allow``) on the offending line.
 
@@ -101,12 +110,23 @@ ALL_RULES: dict[str, str] = {
     "R004": "KernelBackend method not overridden by both kernel backends",
     "R005": "bare assert (stripped under python -O) guarding an invariant",
     "R006": "silently swallowed exception or retry loop bypassing RetryPolicy",
+    "R007": "direct SimulatedDisk mutation in engine code bypassing an armed WAL",
 }
 
 #: names whose presence in a function marks its retry loop as policy-driven
 _RETRY_POLICY_MARKERS = frozenset(
     {"RetryPolicy", "DEFAULT_RETRY_POLICY", "NO_RETRY", "read_page_resilient"}
 )
+
+#: disk methods that mutate durable state (R007)
+_DISK_MUTATORS = frozenset({"write", "free", "allocate", "allocate_extent"})
+
+#: names whose presence in a function marks it as WAL-participating (R007)
+_WAL_NAME_MARKERS = frozenset({"active_wal", "WriteAheadLog"})
+_WAL_ATTR_MARKERS = frozenset({"wal", "log_image", "log_alloc", "log_free", "touch"})
+
+#: I/O categories whose writes are scratch, not durable state (R007)
+_SCRATCH_CATEGORIES = frozenset({"temp", "wal"})
 
 
 @dataclass(frozen=True)
@@ -142,11 +162,15 @@ def _records_owner(node: ast.expr) -> str | None:
 
 
 class _FileChecker(ast.NodeVisitor):
-    """Per-file rules: R001, R002 (hot paths only), R003 and R005."""
+    """Per-file rules: R001, R002 (hot paths only), R003, R005-R007."""
 
     def __init__(self, path: str, hot_path: bool) -> None:
         self.path = path
         self.hot_path = hot_path
+        #: R007 applies to engine code *outside* the storage layer: the
+        #: storage package is where the WAL/replica machinery itself
+        #: lives and must touch the disk directly
+        self.wal_scope = "storage/" not in Path(path).as_posix()
         self.violations: list[Violation] = []
         # R003 bookkeeping for the innermost function (or module) scope:
         # source text of mutated ``.records`` owners and version-bumped
@@ -159,6 +183,9 @@ class _FileChecker(ast.NodeVisitor):
         # entry so handlers anywhere in the function see the flag).
         self._loop_depth = 0
         self._retry_marker_stack: list[bool] = [False]
+        # R007 bookkeeping: whether the innermost function participates
+        # in the WAL machinery (same pre-scan pattern as R006)
+        self._wal_marker_stack: list[bool] = [False]
 
     def _emit(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -205,22 +232,34 @@ class _FileChecker(ast.NodeVisitor):
                 return True
         return False
 
+    def _references_wal(self, node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id in _WAL_NAME_MARKERS:
+                return True
+            if isinstance(child, ast.Attribute) and child.attr in _WAL_ATTR_MARKERS:
+                return True
+        return False
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._enter_scope()
         self._retry_marker_stack.append(self._references_retry_policy(node))
+        self._wal_marker_stack.append(self._references_wal(node))
         outer_depth, self._loop_depth = self._loop_depth, 0
         self.generic_visit(node)
         self._loop_depth = outer_depth
         self._retry_marker_stack.pop()
+        self._wal_marker_stack.pop()
         self._leave_scope()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._enter_scope()
         self._retry_marker_stack.append(self._references_retry_policy(node))
+        self._wal_marker_stack.append(self._references_wal(node))
         outer_depth, self._loop_depth = self._loop_depth, 0
         self.generic_visit(node)
         self._loop_depth = outer_depth
         self._retry_marker_stack.pop()
+        self._wal_marker_stack.pop()
         self._leave_scope()
 
     def _note_mutation(self, owner: str, node: ast.AST) -> None:
@@ -350,7 +389,36 @@ class _FileChecker(ast.NodeVisitor):
                 owner = _records_owner(arg)
                 if owner is not None:
                     self._note_mutation(owner, node)
+        self._check_disk_mutation(node)
         self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # R007: disk mutations outside the WAL machinery
+    # ------------------------------------------------------------------
+    def _check_disk_mutation(self, node: ast.Call) -> None:
+        if not self.wal_scope or self._wal_marker_stack[-1]:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _DISK_MUTATORS):
+            return
+        owner = ast.unparse(func.value)
+        if "disk" not in owner:
+            return
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "category"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value in _SCRATCH_CATEGORIES
+            ):
+                return  # scratch I/O: sort runs and the log device itself
+        self._emit(
+            node,
+            "R007",
+            f"`{owner}.{func.attr}` mutates durable disk state in a function "
+            "with no WAL participation; journal through the armed "
+            "WriteAheadLog (`active_wal`/`log_image`/`log_alloc`/`log_free`) "
+            "so recovery can replay or roll it back",
+        )
 
     def _check_assign_target(self, target: ast.expr, node: ast.AST) -> None:
         owner = _records_owner(target)
