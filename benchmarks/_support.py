@@ -51,8 +51,30 @@ def ensure_fault_free() -> None:
         )
 
 
+def ensure_prefetch_free() -> None:
+    """Refuse to time CPU work while an I/O scheduler is armed.
+
+    A live :class:`~repro.storage.scheduler.IOScheduler` changes page
+    access order (async submissions, claim-time verification) and adds
+    bookkeeping to every read; CPU-kernel timings taken with one armed
+    would mix prefetch machinery into numbers that are supposed to
+    isolate kernel work.  Scheduler timings belong in
+    ``BENCH_parallel.json``, produced by ``bench_parallel.py``.
+    """
+    from repro.storage import armed_scheduler_count
+
+    armed = armed_scheduler_count()
+    if armed:
+        raise RuntimeError(
+            f"CPU benchmarks must run without prefetching, but {armed} "
+            "IOScheduler instance(s) are armed; disarm the scheduler "
+            "before timing (use bench_parallel.py for scheduler numbers)"
+        )
+
+
 ensure_checks_disabled()
 ensure_fault_free()
+ensure_prefetch_free()
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -72,10 +94,11 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 def report(name: str, text: str) -> str:
     """Persist a benchmark report and echo it (visible with ``pytest -s``)."""
-    # re-checked at write time: a benchmark could have armed a FaultyDisk
-    # (or flipped checks on) after this module was imported
+    # re-checked at write time: a benchmark could have armed a FaultyDisk,
+    # an IOScheduler (or flipped checks on) after this module was imported
     ensure_checks_disabled()
     ensure_fault_free()
+    ensure_prefetch_free()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:

@@ -179,12 +179,18 @@ def main(argv: "list[str] | None" = None) -> int:
             "benchmarks must run with invariant checks disabled "
             "(unset REPRO_CHECKS); checks-on timings are not comparable"
         )
-    from repro.storage import armed_disk_count
+    from repro.storage import armed_disk_count, armed_scheduler_count
 
     if armed_disk_count():
         raise RuntimeError(
             "benchmarks must run fault-free; disarm every FaultyDisk "
             "before timing (chaos-mode numbers are not comparable)"
+        )
+    if armed_scheduler_count():
+        raise RuntimeError(
+            "CPU benchmarks must run without prefetching; disarm every "
+            "IOScheduler before timing (scheduler numbers belong in "
+            "BENCH_parallel.json via bench_parallel.py)"
         )
 
     kernel_count = 10_000 if args.quick else 100_000

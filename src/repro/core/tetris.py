@@ -45,9 +45,11 @@ from typing import Any, Iterator, Sequence
 # module import (not ``from ..kernels import get_backend``): kernels and
 # core import each other, so the attribute must resolve at call time
 from .. import invariants, kernels
+from ..storage.prefetch import LookaheadCursor, SweepPrefetcher
 from .curves import Curve, FlippedCurve
 from .intervals import IntervalSet
 from .query_space import QueryBox, QuerySpace, box_is_empty
+from .region import ZRegion
 from .ubtree import UBTree
 
 SortedTuple = tuple[tuple[int, ...], Any]
@@ -165,6 +167,10 @@ class TetrisScan:
             box = ubtree.space.universe_box()
         self._box = box
         self._page_reads: list[int] = []  # page access order, for tests
+        #: lazily created lookahead cursor over the scheduled regions —
+        #: shared between iteration and :meth:`upcoming_regions`, so a
+        #: projection never disturbs the retrieval order
+        self._cursor: "LookaheadCursor[_ScheduledRegion] | None" = None
         # sweep-strategy memos: next event beyond a covered interval, and
         # the box decomposition of an interval's complement (see
         # _skip_interval for the monotonicity argument)
@@ -178,20 +184,46 @@ class TetrisScan:
         """Page ids in retrieval order (used by equivalence tests)."""
         return self._page_reads
 
+    def _ensure_cursor(self) -> "LookaheadCursor[_ScheduledRegion]":
+        if self._cursor is None:
+            source = (
+                self._eager_regions()
+                if self.strategy == "eager"
+                else self._sweep_regions()
+            )
+            self._cursor = LookaheadCursor(source)
+        return self._cursor
+
+    def upcoming_regions(self, count: int) -> list[ZRegion]:
+        """The projected next ``count`` Z-regions in retrieval order.
+
+        Index-only (no data-page I/O): the schedule is computed from
+        separator keys and BIGMIN alone, which is what makes sweep-ahead
+        prefetching possible.  Valid before and during iteration; the
+        projection shrinks as the sweep consumes regions and is empty
+        once the scan is exhausted.
+        """
+        if box_is_empty(self._box):
+            return []
+        return [
+            ZRegion(first, last, page_id)
+            for first, last, page_id, _ in self._ensure_cursor().peek(count)
+        ]
+
     def __iter__(self) -> Iterator[SortedTuple]:
         if box_is_empty(self._box):
             disk = self.ubtree.tree.buffer.disk
             self.stats.start_clock = disk.clock
             self.stats.end_clock = disk.clock
             return iter(())
-        if self.strategy == "eager":
-            return self._run(self._eager_regions())
-        return self._run(self._sweep_regions())
+        return self._run(self._ensure_cursor())
 
     # ------------------------------------------------------------------
     # shared driver: read regions in Tetris order, cache, flush slices
     # ------------------------------------------------------------------
-    def _run(self, regions: Iterator[_ScheduledRegion]) -> Iterator[SortedTuple]:
+    def _run(
+        self, regions: "LookaheadCursor[_ScheduledRegion]"
+    ) -> Iterator[SortedTuple]:
         disk = self.ubtree.tree.buffer.disk
         buffer = self.ubtree.tree.buffer
         curve = self.tetris_curve
@@ -217,80 +249,98 @@ class TetrisScan:
             if invariants.enabled()
             else None
         )
+        # sweep-ahead prefetching: with a scheduler armed on the pool,
+        # keep a bounded window of async reads in flight for the regions
+        # the cursor projects next, so transfers overlap across device
+        # queues instead of serializing behind the sweep
+        prefetcher = SweepPrefetcher.for_pool(buffer, category=self.ubtree.category)
 
-        for first, last, page_id, barrier in regions:
-            page = buffer.get(page_id, category=self.ubtree.category)
-            stats.regions_read += 1
-            self._page_reads.append(page_id)
+        try:
+            for first, last, page_id, barrier in regions:
+                if prefetcher is not None:
+                    prefetcher.top_up(
+                        entry[2] for entry in regions.peek(prefetcher.depth)
+                    )
+                page = buffer.get(page_id, category=self.ubtree.category)
+                if prefetcher is not None:
+                    prefetcher.mark_consumed(page_id)
+                stats.regions_read += 1
+                self._page_reads.append(page_id)
 
-            # the whole page in one kernel call: filter the points
-            # against the query space, key the survivors on the Tetris
-            # curve, and sort the batch — arrival order breaks key ties
-            # exactly like the per-tuple heap pushes used to
-            base = len(arrivals)
-            count, selected, entries = kernel.scan_page(curve, space, page, base)
-            if stream_checker is not None:
-                invariants.spot_check_scan_page(
-                    kernel, curve, space, page, base, (count, selected, entries)
+                # the whole page in one kernel call: filter the points
+                # against the query space, key the survivors on the Tetris
+                # curve, and sort the batch — arrival order breaks key ties
+                # exactly like the per-tuple heap pushes used to
+                base = len(arrivals)
+                count, selected, entries = kernel.scan_page(curve, space, page, base)
+                if stream_checker is not None:
+                    invariants.spot_check_scan_page(
+                        kernel, curve, space, page, base, (count, selected, entries)
+                    )
+                if count:
+                    records = page.records
+                    arrivals.extend(records[index][1] for index in selected)
+                    pending.append(entries)
+                    pending_count += count
+                if len(cache) + pending_count > stats.max_cache_tuples:
+                    stats.max_cache_tuples = len(cache) + pending_count
+
+                # everything below the next event point can never be beaten by
+                # a tuple from an unread region: the slice is complete.  The
+                # sorted-run heads witness whether anything flushes at all.
+                if barrier is None:
+                    flushes = bool(cache) or pending_count > 0
+                else:
+                    flushes = (bool(cache) and cache[0][0] < barrier) or any(
+                        batch[0][0] < barrier for batch in pending
+                    )
+                if not flushes:
+                    continue
+                if pending:
+                    for batch in pending:
+                        cache.extend(batch)
+                    # timsort merges the pre-sorted runs at C speed; (key,
+                    # order) pairs are unique, so their order is total and
+                    # equals the key-then-arrival order of a per-tuple heap
+                    cache.sort()
+                    pending.clear()
+                    pending_count = 0
+                cut = (
+                    len(cache)
+                    if barrier is None
+                    else bisect_left(cache, barrier, key=_entry_key)
                 )
-            if count:
-                records = page.records
-                arrivals.extend(records[index][1] for index in selected)
-                pending.append(entries)
-                pending_count += count
-            if len(cache) + pending_count > stats.max_cache_tuples:
-                stats.max_cache_tuples = len(cache) + pending_count
+                slice_out = cache[:cut]
+                del cache[:cut]
+                for _, position in slice_out:
+                    if stats.first_output_clock is None:
+                        stats.first_output_clock = disk.clock
+                    stats.tuples_output += 1
+                    stats.end_clock = disk.clock
+                    if stream_checker is not None:
+                        stream_checker.observe(arrivals[position][0])
+                    yield arrivals[position]
+                stats.slices += 1
 
-            # everything below the next event point can never be beaten by
-            # a tuple from an unread region: the slice is complete.  The
-            # sorted-run heads witness whether anything flushes at all.
-            if barrier is None:
-                flushes = bool(cache) or pending_count > 0
-            else:
-                flushes = (bool(cache) and cache[0][0] < barrier) or any(
-                    batch[0][0] < barrier for batch in pending
-                )
-            if not flushes:
-                continue
+            # no regions at all, or a conservative final barrier
+            for batch in pending:
+                cache.extend(batch)
             if pending:
-                for batch in pending:
-                    cache.extend(batch)
-                # timsort merges the pre-sorted runs at C speed; (key,
-                # order) pairs are unique, so their order is total and
-                # equals the key-then-arrival order of a per-tuple heap
                 cache.sort()
-                pending.clear()
-                pending_count = 0
-            cut = (
-                len(cache)
-                if barrier is None
-                else bisect_left(cache, barrier, key=_entry_key)
-            )
-            slice_out = cache[:cut]
-            del cache[:cut]
-            for _, position in slice_out:
+            for _, position in cache:
                 if stats.first_output_clock is None:
                     stats.first_output_clock = disk.clock
                 stats.tuples_output += 1
-                stats.end_clock = disk.clock
                 if stream_checker is not None:
                     stream_checker.observe(arrivals[position][0])
                 yield arrivals[position]
-            stats.slices += 1
-
-        # no regions at all, or a conservative final barrier
-        for batch in pending:
-            cache.extend(batch)
-        if pending:
-            cache.sort()
-        for _, position in cache:
-            if stats.first_output_clock is None:
-                stats.first_output_clock = disk.clock
-            stats.tuples_output += 1
-            if stream_checker is not None:
-                stream_checker.observe(arrivals[position][0])
-            yield arrivals[position]
-        stats.end_clock = disk.clock
+            stats.end_clock = disk.clock
+        finally:
+            # leftover submissions (early termination, or a conservative
+            # projection) are cancelled and accounted as wasted; the
+            # pool's previous eviction policy comes back either way
+            if prefetcher is not None:
+                prefetcher.close()
 
     # ------------------------------------------------------------------
     # eager strategy: static keys, min-heap

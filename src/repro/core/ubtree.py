@@ -20,6 +20,7 @@ from .. import invariants, kernels
 from ..btree.bptree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.page import Page
+from ..storage.prefetch import LookaheadCursor, SweepPrefetcher
 from ..storage.wal import active_wal
 from .query_space import QueryBox, QuerySpace, box_is_empty
 from .region import ZRegion
@@ -192,6 +193,20 @@ class UBTree:
                 yield region
             z_address = curve.next_in_box(region.last + 1, lo, hi)
 
+    def upcoming_regions(self, space: QuerySpace, count: int) -> list[ZRegion]:
+        """The first ``count`` Z-regions a range query over ``space`` reads.
+
+        Index-only projection (unpriced descents, no data pages) — the
+        same next-region list the range query's own sweep-ahead
+        prefetcher consumes.
+        """
+        projected: list[ZRegion] = []
+        for region in self.regions_overlapping(space):
+            projected.append(region)
+            if len(projected) >= count:
+                break
+        return projected
+
     # ------------------------------------------------------------------
     # the range query (Section 5.3 / standard UB-Tree algorithm)
     # ------------------------------------------------------------------
@@ -204,16 +219,30 @@ class UBTree:
         tuples against the exact predicate.  Filtering runs through the
         batch kernel layer (one ``filter_space_page`` call per page), so
         the vectorized backend evaluates the predicate over the whole
-        page at once instead of tuple at a time.
+        page at once instead of tuple at a time.  With an I/O scheduler
+        armed on the buffer pool, the projected next regions are
+        prefetched ahead of the cursor so their transfers overlap.
         """
         buffer = self.tree.buffer
         kernel = kernels.get_backend()
-        for region in self.regions_overlapping(space):
-            page = buffer.get(region.page_id, category=self.category)
-            records = page.records
-            for index in kernel.filter_space_page(space, page):
-                point, payload = records[index][1]
-                yield point, payload
+        regions = LookaheadCursor(self.regions_overlapping(space))
+        prefetcher = SweepPrefetcher.for_pool(buffer, category=self.category)
+        try:
+            for region in regions:
+                if prefetcher is not None:
+                    prefetcher.top_up(
+                        ahead.page_id for ahead in regions.peek(prefetcher.depth)
+                    )
+                page = buffer.get(region.page_id, category=self.category)
+                if prefetcher is not None:
+                    prefetcher.mark_consumed(region.page_id)
+                records = page.records
+                for index in kernel.filter_space_page(space, page):
+                    point, payload = records[index][1]
+                    yield point, payload
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
 
     def range_count(self, space: QuerySpace) -> int:
         """Number of qualifying tuples (convenience for tests)."""

@@ -4,10 +4,14 @@ The experiments' I/O numbers are only as trustworthy as the buffer
 pool's bookkeeping: every lookup must be classified as exactly one hit,
 one miss or one quarantine rejection; the disk fetches issued by the
 pool must equal its misses plus the retry attempts its retry policy
-authorized; dirty pages must still be resident; the pool must never hold
+authorized plus the async prefetches it issued (so prefetching cannot
+silently double-count I/O); every issued prefetch must be claimed,
+cancelled or still pending; pending prefetched pages must be resident
+and clean; dirty pages must still be resident; the pool must never hold
 more frames than its capacity; and a quarantined page must be neither
 resident nor dirty.  :class:`repro.storage.buffer.BufferPool` maintains
 the ``lookups`` / ``disk_fetches`` / ``rejected`` / ``retry_attempts``
+/ ``prefetch_issued`` / ``prefetch_claimed`` / ``prefetch_cancelled``
 shadow counters this validator cross-checks.
 """
 
@@ -29,9 +33,19 @@ def validate_buffer_pool(pool: "BufferPool") -> None:
         f"+ {pool.rejected} rejected != {pool.lookups} lookups",
     )
     check(
-        pool.disk_fetches == pool.misses + pool.retry_attempts,
+        pool.disk_fetches
+        == pool.misses + pool.retry_attempts + pool.prefetch_issued,
         f"buffer accounting broken: {pool.disk_fetches} disk fetches != "
-        f"{pool.misses} misses + {pool.retry_attempts} retry attempts",
+        f"{pool.misses} misses + {pool.retry_attempts} retry attempts "
+        f"+ {pool.prefetch_issued} prefetches issued",
+    )
+    pending = pool.prefetch_pending
+    check(
+        pool.prefetch_issued
+        == pool.prefetch_claimed + pool.prefetch_cancelled + len(pending),
+        f"prefetch ledger broken: {pool.prefetch_issued} issued != "
+        f"{pool.prefetch_claimed} claimed + {pool.prefetch_cancelled} "
+        f"cancelled + {len(pending)} pending",
     )
     check(
         len(pool) <= pool.capacity,
@@ -43,6 +57,18 @@ def validate_buffer_pool(pool: "BufferPool") -> None:
     check(
         not stray,
         f"dirty set references evicted pages {stray}; write-back was lost",
+    )
+    lost_pending = [page_id for page_id in pending if page_id not in resident]
+    check(
+        not lost_pending,
+        f"pending prefetched pages {lost_pending} are not resident; their "
+        "claims would re-fetch and double-count",
+    )
+    dirty_pending = [page_id for page_id in pending if page_id in pool._dirty]
+    check(
+        not dirty_pending,
+        f"pending prefetched pages {dirty_pending} are marked dirty; an "
+        "unclaimed async read must never carry modifications",
     )
     quarantined = pool.quarantined_pages
     cached = [page_id for page_id in quarantined if page_id in resident]

@@ -10,6 +10,12 @@ from .executor import (
     plan_sorted_query,
 )
 from .optimizer import CandidatePlan, RelationStats, choose_plan, enumerate_plans
+from .parallel import (
+    ParallelScanResult,
+    SweepSlab,
+    parallel_tetris_scan,
+    plan_slabs,
+)
 from .statistics import AttributeHistogram, TableStatistics
 
 __all__ = [
@@ -17,13 +23,17 @@ __all__ = [
     "CandidatePlan",
     "DegradationEvent",
     "ExecutablePlan",
+    "ParallelScanResult",
     "PhysicalDesign",
     "PlanExhaustedError",
     "QueryResult",
     "RelationStats",
+    "SweepSlab",
     "choose_plan",
     "TableStatistics",
     "enumerate_plans",
     "execute_sorted_query",
+    "parallel_tetris_scan",
+    "plan_slabs",
     "plan_sorted_query",
 ]

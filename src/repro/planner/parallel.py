@@ -1,0 +1,215 @@
+"""Slab-parallel Tetris execution: partition the sweep, keep the order.
+
+The Tetris curve places the sort attribute's bits most significantly
+(:meth:`repro.core.zorder.ZSpace.tetris`), so Tetris addresses are
+ordered first by the sort value: any partition of the sort dimension
+into disjoint, contiguous value intervals — *sweep slabs* — partitions
+the output stream into contiguous chunks.  Running one independent
+Tetris sweep per slab and concatenating the per-slab streams in slab
+order therefore reproduces the serial stream **bit for bit**:
+
+* every tuple lands in exactly one slab (the intervals cover the query
+  box's sort range and are disjoint);
+* across slabs, every Tetris key in slab ``i`` is smaller than every key
+  in slab ``i+1`` (the sort value majorizes the key);
+* within a slab, the restricted sweep visits the slab's regions in the
+  same relative order as the global sweep (region keys are static), and
+  duplicates of one point live on one Z-region page, so even the
+  arrival-order tiebreak is preserved.
+
+Workers are plain ``fork``-started processes: each child inherits the
+in-memory simulated database copy-on-write and runs an ordinary
+:class:`~repro.core.tetris.TetrisScan` over its slab, with all engine
+contracts (stream checking under ``REPRO_CHECKS``, fault injection,
+quarantine, WAL state) intact because it is literally the same code on
+the same data.  Where ``fork`` is unavailable the slabs run inline, so
+results never depend on the platform.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from ..core.query_space import QueryBox, QuerySpace, box_is_empty
+from ..core.tetris import SortedTuple, TetrisScan
+from ..relational.table import UBTable
+
+__all__ = [
+    "ParallelScanResult",
+    "SweepSlab",
+    "parallel_tetris_scan",
+    "plan_slabs",
+]
+
+
+@dataclass(frozen=True)
+class SweepSlab:
+    """One contiguous sort-value interval of a partitioned sweep."""
+
+    index: int
+    lo: int  #: inclusive encoded lower bound on the sort attribute
+    hi: int  #: inclusive encoded upper bound on the sort attribute
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass
+class ParallelScanResult:
+    """The concatenated, order-exact stream of a slab-parallel sweep."""
+
+    slabs: list[SweepSlab]
+    per_slab_counts: list[int]
+    rows: list[SortedTuple]
+    workers: int  #: worker processes actually used (1 = ran inline)
+
+    def __iter__(self) -> Iterator[SortedTuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def plan_slabs(
+    space: QuerySpace, sort_dim: int, coord_max: Sequence[int], slabs: int
+) -> list[SweepSlab]:
+    """Split the query's sort-dimension range into ``slabs`` intervals.
+
+    The intervals are disjoint, contiguous and cover the bounding box's
+    sort range exactly; fewer than ``slabs`` come back when the range is
+    narrower than the requested slab count.  An empty query yields no
+    slabs.
+    """
+    if slabs < 1:
+        raise ValueError("slab count must be >= 1")
+    box = space.bounding_box()
+    if box is None:
+        lo, hi = 0, coord_max[sort_dim]
+    else:
+        if box_is_empty(box):
+            return []
+        lo, hi = box[0][sort_dim], box[1][sort_dim]
+    span = hi - lo + 1
+    count = min(slabs, span)
+    width = -(-span // count)
+    planned: list[SweepSlab] = []
+    start = lo
+    for index in range(count):
+        end = min(start + width - 1, hi)
+        planned.append(SweepSlab(index, start, end))
+        if end >= hi:
+            break
+        start = end + 1
+    return planned
+
+
+def _slab_space(
+    space: QuerySpace, slab: SweepSlab, sort_dim: int, coord_max: Sequence[int]
+) -> QuerySpace:
+    """The query space restricted to one slab's sort-value interval."""
+    if isinstance(space, QueryBox):
+        return space.restricted(sort_dim, slab.lo, slab.hi)
+    return space.intersect(
+        QueryBox.with_range(coord_max, sort_dim, slab.lo, slab.hi)
+    )
+
+
+#: fork-inherited context of the in-flight parallel scan; children read
+#: it copy-on-write, the parent clears it once the pool is done
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _run_slab(index: int) -> list[SortedTuple]:
+    """Execute one slab's Tetris sweep (in a worker or inline)."""
+    table: UBTable = _WORKER_STATE["table"]
+    spaces: list[QuerySpace] = _WORKER_STATE["spaces"]
+    scan = TetrisScan(
+        table.ubtree,
+        spaces[index],
+        _WORKER_STATE["sort_dims"],
+        descending=_WORKER_STATE["descending"],
+        strategy=_WORKER_STATE["strategy"],
+    )
+    return list(scan)
+
+
+def parallel_tetris_scan(
+    table: UBTable,
+    space: "QuerySpace | dict[str, tuple[Any, Any]] | None",
+    sort_attr: "str | Sequence[str]",
+    *,
+    workers: int = 2,
+    slabs: int | None = None,
+    descending: bool = False,
+    strategy: str = "eager",
+) -> ParallelScanResult:
+    """Run a Tetris sweep as ``slabs`` independent slab sweeps.
+
+    Parameters mirror :meth:`~repro.relational.table.UBTable.tetris_scan`
+    plus the parallel knobs: ``workers`` processes execute ``slabs``
+    sweep slabs (default: one per worker) and the per-slab streams are
+    concatenated in slab order — ascending slabs for an ascending sort,
+    descending slabs (each internally descending) otherwise.  The result
+    is bit-identical to the serial scan's stream.
+
+    Workers need the ``fork`` start method (copy-on-write inheritance of
+    the in-memory simulated database); elsewhere, or with ``workers <=
+    1``, the slabs run inline in slab order.
+    """
+    if workers < 1:
+        raise ValueError("worker count must be >= 1")
+    if space is None or isinstance(space, dict):
+        space = table.build_query_box(space)
+    sort_names = (sort_attr,) if isinstance(sort_attr, str) else tuple(sort_attr)
+    if not sort_names:
+        raise ValueError("at least one sort attribute required")
+    sort_dims = tuple(table.dims.index(attr) for attr in sort_names)
+    primary = sort_dims[0]
+    coord_max = table.space.coord_max
+
+    planned = plan_slabs(space, primary, coord_max, slabs or workers)
+    if descending:
+        planned = [
+            SweepSlab(position, slab.lo, slab.hi)
+            for position, slab in enumerate(reversed(planned))
+        ]
+    if not planned:
+        return ParallelScanResult([], [], [], workers=1)
+    spaces = [_slab_space(space, slab, primary, coord_max) for slab in planned]
+
+    use_pool = (
+        workers > 1
+        and len(planned) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    _WORKER_STATE.update(
+        table=table,
+        spaces=spaces,
+        sort_dims=sort_dims,
+        descending=descending,
+        strategy=strategy,
+    )
+    try:
+        if use_pool:
+            pool_size = min(workers, len(planned))
+            context = multiprocessing.get_context("fork")
+            with context.Pool(pool_size) as pool:
+                per_slab = pool.map(_run_slab, range(len(planned)))
+        else:
+            pool_size = 1
+            per_slab = [_run_slab(index) for index in range(len(planned))]
+    finally:
+        _WORKER_STATE.clear()
+
+    rows: list[SortedTuple] = []
+    for chunk in per_slab:
+        rows.extend(chunk)
+    return ParallelScanResult(
+        slabs=planned,
+        per_slab_counts=[len(chunk) for chunk in per_slab],
+        rows=rows,
+        workers=pool_size,
+    )

@@ -24,6 +24,7 @@ from ..storage.faults import FaultPlan, FaultyDisk
 from ..storage.heap import HeapFile
 from ..storage.replica import ReplicatedDisk
 from ..storage.retry import RetryPolicy
+from ..storage.scheduler import IOScheduler
 from ..storage.wal import RecoveryReport, WriteAheadLog
 from .schema import Schema
 
@@ -46,6 +47,13 @@ class Database:
     :class:`~repro.storage.wal.WriteAheadLog` on the whole stack, making
     every ``bulk_load`` (and WAL-aware insert) an atomic, replayable
     batch; :meth:`recover` is the redo-on-open entry point.
+
+    ``devices=d`` stripes pages across ``d`` independent device queues
+    via an :class:`~repro.storage.scheduler.IOScheduler` sitting on top
+    of the whole wrapper stack; ``prefetch_depth=k`` additionally lets
+    scans keep up to ``k`` async reads in flight ahead of their cursor
+    (sweep-ahead prefetching).  Both default off, leaving the cost model
+    bit-identical to the single-disk engine.
     """
 
     def __init__(
@@ -58,6 +66,8 @@ class Database:
         quarantine_threshold: int = 3,
         wal: bool = False,
         replicas: int = 0,
+        devices: int = 1,
+        prefetch_depth: int = 0,
     ) -> None:
         disk: SimulatedDisk = SimulatedDisk(params)
         if replicas:
@@ -65,12 +75,18 @@ class Database:
         if fault_plan is not None:
             disk = FaultyDisk(disk, fault_plan)
         self.disk: SimulatedDisk = disk
+        self.scheduler: IOScheduler | None = (
+            IOScheduler(self.disk, devices, prefetch_depth=prefetch_depth)
+            if devices > 1 or prefetch_depth > 0
+            else None
+        )
         self.wal: WriteAheadLog | None = WriteAheadLog(self.disk) if wal else None
         self.buffer = BufferPool(
             self.disk,
             buffer_pages,
             retry_policy=retry_policy,
             quarantine_threshold=quarantine_threshold,
+            scheduler=self.scheduler,
         )
         self.tables: dict[str, "BaseTable"] = {}
 
@@ -195,7 +211,7 @@ class HeapTable(BaseTable):
         self, db: Database, name: str, schema: Schema, page_capacity: int
     ) -> None:
         super().__init__(db, name, schema, page_capacity)
-        self.heap = HeapFile(db.disk, page_capacity)
+        self.heap = HeapFile(db.disk, page_capacity, scheduler=db.scheduler)
         self.secondary_indexes: dict[str, SecondaryIndex] = {}
 
     def __len__(self) -> int:

@@ -28,9 +28,11 @@ from .errors import (
 from .faults import FaultPlan, FaultyDisk, armed_disk_count
 from .heap import HeapFile
 from .page import Page, PageOverflowError
+from .prefetch import LookaheadCursor, SweepEvictionPolicy, SweepPrefetcher
 from .replica import ReplicaCopy, ReplicatedDisk
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy, read_page_resilient
-from .stats import CategoryStats, FaultStats, IOStats
+from .scheduler import IOScheduler, armed_scheduler_count
+from .stats import CategoryStats, FaultStats, IOStats, PrefetchStats
 from .wal import RecoveryReport, WALRecord, WriteAheadLog, active_wal
 
 __all__ = [
@@ -45,11 +47,14 @@ __all__ = [
     "HeapFile",
     "ICDE99_ANALYSIS",
     "ICDE99_TESTBED",
+    "IOScheduler",
     "IOStats",
+    "LookaheadCursor",
     "MissingPageError",
     "NO_RETRY",
     "Page",
     "PageOverflowError",
+    "PrefetchStats",
     "QuarantinedPageError",
     "RecoveryReport",
     "ReplicaCopy",
@@ -58,11 +63,14 @@ __all__ = [
     "SimulatedCrashError",
     "SimulatedDisk",
     "StorageError",
+    "SweepEvictionPolicy",
+    "SweepPrefetcher",
     "TransientIOError",
     "WALRecord",
     "WriteAheadLog",
     "active_wal",
     "armed_disk_count",
+    "armed_scheduler_count",
     "ensure_page_integrity",
     "read_page_resilient",
 ]

@@ -16,14 +16,22 @@ disk, and the planner degrades onto a surviving physical instance.
 With ``REPRO_CHECKS=1`` every mutation re-validates the pool's
 accounting contract (see :mod:`repro.invariants.accounting`): each
 lookup is exactly one hit, one miss or one quarantine rejection; disk
-fetches equal misses plus retry attempts; the dirty set stays within the
-resident frames; the frame count never exceeds the capacity; and no
-quarantined page is resident.
+fetches equal misses plus retry attempts plus issued prefetches; the
+dirty set stays within the resident frames; the frame count never
+exceeds the capacity; and no quarantined page is resident.
+
+When an :class:`~repro.storage.scheduler.IOScheduler` is attached, the
+pool is also the prefetch gate: :meth:`prefetch` admits a page whose
+async read is still in flight, and the first demand lookup *claims* it —
+waiting out the remaining transfer time, then running exactly the same
+integrity/repair/quarantine ladder a demand fetch runs, so a corrupt
+prefetched page degrades identically to a corrupt demand-fetched one.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING, Protocol
 
 from .. import invariants
 from .disk import SimulatedDisk
@@ -36,6 +44,17 @@ from .errors import (
 from .page import Page
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .scheduler import IOScheduler
+
+
+class EvictionPolicy(Protocol):
+    """Pluggable victim selection consulted before the LRU fallback."""
+
+    def choose_victim(self, pool: "BufferPool") -> int | None:
+        """Page id to evict, or ``None`` to defer to LRU order."""
+        ...  # pragma: no cover - protocol
+
 
 class BufferPool:
     """LRU cache of disk pages with hit/miss accounting and quarantine."""
@@ -47,6 +66,7 @@ class BufferPool:
         *,
         retry_policy: RetryPolicy | None = None,
         quarantine_threshold: int = 3,
+        scheduler: "IOScheduler | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
@@ -56,18 +76,30 @@ class BufferPool:
         self.capacity = capacity
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.quarantine_threshold = quarantine_threshold
+        self.scheduler = scheduler
+        #: victim-selection hook; ``None`` means plain LRU.  The sweep
+        #: prefetcher installs an evict-behind-the-plane policy here for
+        #: the duration of a scan.
+        self.eviction_policy: EvictionPolicy | None = None
         self.hits = 0
         self.misses = 0
         #: shadow counters cross-checked by the invariant layer: total
         #: lookups served, disk reads issued by this pool (including
-        #: failed retry attempts), lookups rejected by quarantine, and
-        #: individual retry attempts
+        #: failed retry attempts and async prefetches), lookups rejected
+        #: by quarantine, individual retry attempts, and the prefetch
+        #: lifecycle (issued = claimed + cancelled + still pending)
         self.lookups = 0
         self.disk_fetches = 0
         self.rejected = 0
         self.retry_attempts = 0
+        self.prefetch_issued = 0
+        self.prefetch_claimed = 0
+        self.prefetch_cancelled = 0
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._dirty: set[int] = set()
+        #: resident frames whose async read has not been claimed yet —
+        #: the pages *ahead* of the sweep plane
+        self._prefetched: set[int] = set()
         #: cumulative I/O failures per page, across lookups
         self._failures: dict[int, int] = {}
         self._quarantined: set[int] = set()
@@ -107,6 +139,8 @@ class BufferPool:
                     f"{self._failures.get(page_id, 0)} failures"
                 )
         if page_id in self._frames:
+            if page_id in self._prefetched:
+                return self._claim_prefetched(page_id)
             self.hits += 1
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
@@ -116,6 +150,116 @@ class BufferPool:
         self._validate()
         return page
 
+    # ------------------------------------------------------------------
+    # the prefetch gate
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        page_id: int,
+        *,
+        sequential: bool = False,
+        category: str = "data",
+        charge: bool = True,
+    ) -> bool:
+        """Issue an async read for a page the sweep will demand soon.
+
+        Returns ``True`` when the page is now resident-and-pending.  A
+        no-op (``False``) without a scheduler, for resident or
+        quarantined pages, and on a transient fault of the async attempt
+        — the later demand read then runs the normal retry path.
+        """
+        scheduler = self.scheduler
+        if (
+            scheduler is None
+            or scheduler.prefetch_depth <= 0
+            or page_id in self._frames
+            or page_id in self._quarantined
+        ):
+            return False
+        self.disk_fetches += 1
+        self.prefetch_issued += 1
+        page = scheduler.submit(
+            page_id, sequential=sequential, category=category, charge=charge
+        )
+        if page is None:
+            # the async attempt hit a transient fault; account the issue
+            # as immediately cancelled so the lifecycle ledger stays
+            # balanced (issued = claimed + cancelled + pending)
+            self.prefetch_cancelled += 1
+            self._validate()
+            return False
+        self._prefetched.add(page_id)
+        self._admit(page, category)
+        self._validate()
+        return True
+
+    def _claim_prefetched(self, page_id: int) -> Page:
+        """First demand lookup of a pending prefetched page.
+
+        Waits out the remaining transfer time, then applies the same
+        integrity/repair/quarantine ladder as a demand fetch.  A lookup
+        that ends in quarantine is counted as ``rejected`` (the disk
+        fetch was already accounted when the prefetch was issued).
+        """
+        self._prefetched.discard(page_id)
+        self.prefetch_claimed += 1
+        scheduler = self.scheduler
+        if scheduler is None:  # pragma: no cover - guarded by prefetch()
+            raise RuntimeError("pending prefetched page without a scheduler")
+        page = scheduler.claim(page_id)
+        self._frames.move_to_end(page_id)
+        try:
+            ensure_page_integrity(page, context=f"prefetched read of page {page_id}")
+        except CorruptPageError:
+            if self.disk.repair_page(page_id):
+                self.hits += 1
+                self._validate()
+                return page
+            self._quarantine(page_id, immediately=True)
+            self.rejected += 1
+            self._validate()
+            raise
+        self.hits += 1
+        self._validate()
+        return page
+
+    def cancel_prefetch(self, page_id: int) -> bool:
+        """Drop a pending prefetched page (mispredicted sweep)."""
+        if page_id not in self._prefetched:
+            return False
+        self._cancel_pending(page_id)
+        self._frames.pop(page_id, None)
+        self._validate()
+        return True
+
+    def _cancel_pending(self, page_id: int) -> None:
+        """Retire a pending prefetch's bookkeeping (frame handled by caller)."""
+        self._prefetched.discard(page_id)
+        self.prefetch_cancelled += 1
+        if self.scheduler is not None:
+            self.scheduler.cancel(page_id)
+
+    @property
+    def prefetch_pending(self) -> frozenset[int]:
+        """Resident pages whose async read has not been claimed yet."""
+        return frozenset(self._prefetched)
+
+    def iter_frames_lru(self) -> "list[int]":
+        """Resident page ids from least- to most-recently used."""
+        return list(self._frames)
+
+    def _read_source(
+        self, page_id: int, *, sequential: bool, category: str, charge: bool
+    ) -> Page:
+        """One demand read — through the scheduler's queues when armed."""
+        if self.scheduler is not None:
+            return self.scheduler.read(
+                page_id, sequential=sequential, category=category, charge=charge
+            )
+        return self.disk.read(
+            page_id, sequential=sequential, category=category, charge=charge
+        )
+
     def _fetch(
         self, page_id: int, *, sequential: bool, category: str, charge: bool
     ) -> Page:
@@ -124,7 +268,7 @@ class BufferPool:
         while True:
             self.disk_fetches += 1
             try:
-                page = self.disk.read(
+                page = self._read_source(
                     page_id, sequential=sequential, category=category, charge=charge
                 )
             except TransientIOError:
@@ -167,7 +311,10 @@ class BufferPool:
             self._quarantined.add(page_id)
             self.disk.stats.faults.quarantined_pages += 1
         # a quarantined page must not linger in the cache (its content is
-        # suspect); drop it without write-back
+        # suspect); drop it without write-back, retiring any still-pending
+        # async read of it along the way
+        if page_id in self._prefetched:
+            self._cancel_pending(page_id)
         self._frames.pop(page_id, None)
         self._dirty.discard(page_id)
 
@@ -226,6 +373,9 @@ class BufferPool:
             raise QuarantinedPageError(
                 f"refusing to cache quarantined page {page.page_id}"
             )
+        if page.page_id in self._prefetched:
+            # a fresh install supersedes a pending async read of the page
+            self._cancel_pending(page.page_id)
         self._admit(page, category)
         if dirty:
             self._dirty.add(page.page_id)
@@ -233,6 +383,8 @@ class BufferPool:
 
     def evict(self, page_id: int, *, category: str = "data") -> None:
         """Explicitly drop one page, writing it back if dirty."""
+        if page_id in self._prefetched:
+            self._cancel_pending(page_id)
         page = self._frames.pop(page_id, None)
         if page is not None and page_id in self._dirty:
             self._dirty.discard(page_id)
@@ -253,7 +405,11 @@ class BufferPool:
         Used between experiment phases to start measurements from a cold
         cache, the state the paper's formulas assume.  Quarantine state
         and counters survive — a bad page stays bad across phases.
+        Pending prefetches are cancelled (and counted wasted): nobody
+        will ever claim them once the frames are gone.
         """
+        for page_id in list(self._prefetched):
+            self._cancel_pending(page_id)
         self._frames.clear()
         self._dirty.clear()
 
@@ -270,7 +426,20 @@ class BufferPool:
         self._frames[page.page_id] = page
         self._frames.move_to_end(page.page_id)
         while len(self._frames) > self.capacity:
-            victim_id, victim = self._frames.popitem(last=False)
+            victim_id = self._choose_victim()
+            victim = self._frames.pop(victim_id)
+            if victim_id in self._prefetched:
+                # evicting an unclaimed prefetch throws the transfer away
+                self._cancel_pending(victim_id)
             if victim_id in self._dirty:
                 self._dirty.discard(victim_id)
                 self.disk.write(victim, category=category)
+
+    def _choose_victim(self) -> int:
+        """The frame to evict: policy first, LRU order as the fallback."""
+        policy = self.eviction_policy
+        if policy is not None:
+            victim = policy.choose_victim(self)
+            if victim is not None and victim in self._frames:
+                return victim
+        return next(iter(self._frames))

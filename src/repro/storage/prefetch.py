@@ -1,0 +1,189 @@
+"""Sweep-ahead prefetching: turn predicted page accesses into overlap.
+
+The Tetris sweep (and the UB-Tree range query, and a heap scan) knows
+which pages it will touch next *before* it needs them — the region
+schedule is computed from index levels alone.  :class:`SweepPrefetcher`
+consumes that projection (``TetrisScan.upcoming_regions``-style
+lookahead, generically exposed through :class:`LookaheadCursor`) and
+keeps a bounded number of async reads in flight through the buffer
+pool's prefetch gate, so transfers overlap across the scheduler's device
+queues instead of serializing behind the sweep.
+
+It also installs :class:`SweepEvictionPolicy` on the pool for the
+duration of the scan: plain LRU is actively wrong under prefetching —
+an unclaimed prefetched page is, by construction, the *least* recently
+touched frame once a few demand hits pass it by, so LRU evicts exactly
+the pages the sweep is about to need ("ahead of the plane") while dozens
+of already-consumed frames ("behind the plane") sit idle.  The sweep
+policy prefers any consumed frame and only falls back to LRU when every
+frame is still pending.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from .buffer import BufferPool
+
+__all__ = [
+    "LookaheadCursor",
+    "SweepEvictionPolicy",
+    "SweepPrefetcher",
+]
+
+ItemT = TypeVar("ItemT")
+
+
+class LookaheadCursor(Generic[ItemT]):
+    """An iterator with bounded :meth:`peek` lookahead.
+
+    Wraps any iterator and buffers items pulled ahead of consumption, so
+    a scan can ask "what are the next ``k`` items?" without disturbing
+    its own iteration order.  Safe for the region generators because
+    they perform no priced data-page I/O — pulling the schedule forward
+    only moves (unpriced) index descents earlier.
+    """
+
+    def __init__(self, source: Iterator[ItemT]) -> None:
+        self._source = source
+        self._buffer: deque[ItemT] = deque()
+        self._exhausted = False
+
+    def __iter__(self) -> Iterator[ItemT]:
+        return self
+
+    def __next__(self) -> ItemT:
+        if self._buffer:
+            return self._buffer.popleft()
+        if self._exhausted:
+            raise StopIteration
+        try:
+            return next(self._source)
+        except StopIteration:
+            self._exhausted = True
+            raise
+
+    def peek(self, count: int) -> list[ItemT]:
+        """The next ``count`` items (fewer near the end), not consumed."""
+        while len(self._buffer) < count and not self._exhausted:
+            try:
+                self._buffer.append(next(self._source))
+            except StopIteration:
+                self._exhausted = True
+        return list(self._buffer)[:count] if count > 0 else []
+
+
+class SweepEvictionPolicy:
+    """Evict-behind-the-plane: spare the pages the sweep still needs.
+
+    A frame is *ahead of the plane* exactly when it is a pending
+    (unclaimed) prefetched page; everything else — index pages, consumed
+    region pages — is behind the plane and fair game.  Victims are taken
+    in LRU order among the behind-the-plane frames, so without any
+    pending prefetches the policy degenerates to plain LRU.
+    """
+
+    def choose_victim(self, pool: BufferPool) -> int | None:
+        pending = pool.prefetch_pending
+        if not pending:
+            return None  # plain LRU
+        for page_id in pool.iter_frames_lru():
+            if page_id not in pending:
+                return page_id
+        return None  # every frame is ahead of the plane; LRU must decide
+
+
+class SweepPrefetcher:
+    """Keeps a bounded window of async reads in flight for one sweep.
+
+    Create via :meth:`for_pool` (returns ``None`` when the pool has no
+    scheduler or prefetching is disabled), feed it the projected next
+    page ids with :meth:`top_up`, report consumption with
+    :meth:`mark_consumed`, and always :meth:`close` it — leftover
+    submissions are cancelled (accounted as wasted) and the pool's
+    previous eviction policy is restored.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        *,
+        depth: int | None = None,
+        category: str = "data",
+        sequential: bool = False,
+    ) -> None:
+        scheduler = pool.scheduler
+        if scheduler is None or scheduler.prefetch_depth <= 0:
+            raise ValueError("pool has no scheduler with prefetching enabled")
+        self.pool = pool
+        # never let the prefetch window swallow the whole pool: the sweep
+        # needs frames behind the plane for index pages and open slices
+        limit = max(1, pool.capacity // 2)
+        self.depth = min(depth or scheduler.prefetch_depth, limit)
+        self.category = category
+        self.sequential = sequential
+        self._outstanding: set[int] = set()
+        self._closed = False
+        self._previous_policy = pool.eviction_policy
+        if pool.eviction_policy is None:
+            pool.eviction_policy = SweepEvictionPolicy()
+
+    @classmethod
+    def for_pool(
+        cls,
+        pool: BufferPool,
+        *,
+        depth: int | None = None,
+        category: str = "data",
+        sequential: bool = False,
+    ) -> "SweepPrefetcher | None":
+        """A prefetcher when the pool can prefetch, else ``None``."""
+        scheduler = pool.scheduler
+        if scheduler is None or scheduler.prefetch_depth <= 0:
+            return None
+        return cls(pool, depth=depth, category=category, sequential=sequential)
+
+    @property
+    def outstanding(self) -> frozenset[int]:
+        return frozenset(self._outstanding)
+
+    def top_up(self, upcoming: Iterable[int]) -> int:
+        """Submit async reads for projected pages until the window is full.
+
+        ``upcoming`` is the sweep's projection in retrieval order; pages
+        already resident, in flight, or refused (quarantine, transient
+        fault) are skipped.  Returns the number of reads issued.
+        """
+        if self._closed:
+            return 0
+        issued = 0
+        pool = self.pool
+        for page_id in upcoming:
+            if len(self._outstanding) >= self.depth:
+                break
+            if page_id in self._outstanding:
+                continue
+            if pool.prefetch(
+                page_id,
+                sequential=self.sequential,
+                category=self.category,
+            ):
+                self._outstanding.add(page_id)
+                issued += 1
+        return issued
+
+    def mark_consumed(self, page_id: int) -> None:
+        """The sweep plane passed this page; its window slot frees up."""
+        self._outstanding.discard(page_id)
+
+    def close(self) -> None:
+        """Cancel leftover submissions and restore the eviction policy."""
+        if self._closed:
+            return
+        self._closed = True
+        for page_id in list(self._outstanding):
+            self.pool.cancel_prefetch(page_id)
+        self._outstanding.clear()
+        if isinstance(self.pool.eviction_policy, SweepEvictionPolicy):
+            self.pool.eviction_policy = self._previous_policy

@@ -24,6 +24,7 @@ from .errors import CorruptPageError, TransientIOError, ensure_page_integrity
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from .disk import SimulatedDisk
     from .page import Page
+    from .scheduler import IOScheduler
 
 __all__ = [
     "DEFAULT_RETRY_POLICY",
@@ -71,7 +72,7 @@ NO_RETRY = RetryPolicy(max_retries=0)
 
 
 def read_page_resilient(
-    disk: "SimulatedDisk",
+    disk: "SimulatedDisk | IOScheduler",
     page_id: int,
     *,
     policy: RetryPolicy,
@@ -80,6 +81,11 @@ def read_page_resilient(
     charge: bool = True,
 ) -> "tuple[Page, int]":
     """Read one page, retrying transient errors per ``policy``.
+
+    ``disk`` may be the disk stack itself or an
+    :class:`~repro.storage.scheduler.IOScheduler` fronting it, in which
+    case the demand read flows through the scheduler's device queues
+    (claiming an in-flight prefetch of the page if one exists).
 
     Returns ``(page, retries_used)``.  Backoff delays are charged to the
     simulated clock and recorded in ``disk.stats.faults``; a page that

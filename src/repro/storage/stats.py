@@ -106,6 +106,43 @@ class FaultStats:
 
 
 @dataclass
+class PrefetchStats:
+    """Counters of the sweep-ahead prefetch / multi-queue scheduler layer.
+
+    Populated by :class:`~repro.storage.scheduler.IOScheduler` (queue
+    occupancy and async-read lifecycle) and consumed by the buffer pool's
+    accounting invariant; all zero when no scheduler is armed.
+
+    * ``prefetch_issued`` — async reads submitted ahead of demand;
+    * ``prefetch_hits`` — demand lookups served by an in-flight or
+      completed prefetch (the overlap actually paid off);
+    * ``prefetch_wasted`` — prefetched pages cancelled or evicted before
+      any demand arrived (mispredicted sweep, or a failed async attempt);
+    * ``queue_busy_time`` — simulated seconds of device-queue occupancy,
+      summed over all queues (service time, regardless of overlap);
+    * ``queue_wait_time`` — simulated seconds demand reads stalled
+      waiting for an in-flight transfer to complete.
+    """
+
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
+    queue_busy_time: float = 0.0
+    queue_wait_time: float = 0.0
+
+    def copy(self) -> "PrefetchStats":
+        return replace(self)
+
+    def __sub__(self, other: "PrefetchStats") -> "PrefetchStats":
+        return PrefetchStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+@dataclass
 class IOStats:
     """Aggregate statistics of a :class:`~repro.storage.disk.SimulatedDisk`.
 
@@ -119,6 +156,7 @@ class IOStats:
     time: float = 0.0
     categories: dict[str, CategoryStats] = field(default_factory=dict)
     faults: FaultStats = field(default_factory=FaultStats)
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
 
     def category(self, name: str) -> CategoryStats:
         """Return (creating if needed) the statistics bucket for ``name``."""
@@ -151,6 +189,7 @@ class IOStats:
             time=self.time,
             categories={name: c.copy() for name, c in self.categories.items()},
             faults=self.faults.copy(),
+            prefetch=self.prefetch.copy(),
         )
 
     def __sub__(self, other: "IOStats") -> "IOStats":
@@ -164,6 +203,7 @@ class IOStats:
                 for name in names
             },
             faults=self.faults - other.faults,
+            prefetch=self.prefetch - other.prefetch,
         )
 
     def summary(self) -> str:
@@ -174,5 +214,10 @@ class IOStats:
         if self.faults.total_injected:
             parts.append(
                 f"faults={self.faults.total_injected}/{self.faults.retries}retries"
+            )
+        if self.prefetch.prefetch_issued:
+            parts.append(
+                f"prefetch={self.prefetch.prefetch_hits}hit/"
+                f"{self.prefetch.prefetch_wasted}wasted"
             )
         return " ".join(parts)

@@ -334,9 +334,9 @@ class TestR006SwallowedExceptions:
     def test_bare_except_flagged(self):
         found = lint(
             """
-            def load(disk, page_id):
+            def load(store, page_id):
                 try:
-                    return disk.read(page_id)
+                    return store.read(page_id)
                 except:
                     return None
             """
@@ -346,9 +346,9 @@ class TestR006SwallowedExceptions:
     def test_except_exception_pass_flagged(self):
         found = lint(
             """
-            def load(disk, page_id):
+            def load(store, page_id):
                 try:
-                    return disk.read(page_id)
+                    return store.read(page_id)
                 except Exception:
                     pass
             """
@@ -358,9 +358,9 @@ class TestR006SwallowedExceptions:
     def test_except_base_exception_ellipsis_flagged(self):
         found = lint(
             """
-            def load(disk, page_id):
+            def load(store, page_id):
                 try:
-                    return disk.read(page_id)
+                    return store.read(page_id)
                 except BaseException:
                     ...
             """
@@ -370,9 +370,9 @@ class TestR006SwallowedExceptions:
     def test_except_exception_with_handling_passes(self):
         found = lint(
             """
-            def load(disk, page_id):
+            def load(store, page_id):
                 try:
-                    return disk.read(page_id)
+                    return store.read(page_id)
                 except Exception as exc:
                     raise RuntimeError("load failed") from exc
             """
@@ -395,10 +395,10 @@ class TestR006SwallowedExceptions:
     def test_hand_rolled_retry_loop_flagged(self):
         found = lint(
             """
-            def load(disk, page_id):
+            def load(store, page_id):
                 for _ in range(3):
                     try:
-                        return disk.read(page_id)
+                        return store.read(page_id)
                     except TransientIOError:
                         continue
             """
@@ -408,16 +408,16 @@ class TestR006SwallowedExceptions:
     def test_retry_loop_through_policy_passes(self):
         found = lint(
             """
-            def load(disk, page_id, policy):
+            def load(store, page_id, policy):
                 delays = policy.delays()
                 while True:
                     try:
-                        return disk.read(page_id)
+                        return store.read(page_id)
                     except TransientIOError:
                         delay = next(delays, None)
                         if delay is None:
                             raise
-                        disk.advance_clock(delay)
+                        store.advance_clock(delay)
             """
         )
         assert found == []
@@ -426,9 +426,9 @@ class TestR006SwallowedExceptions:
         """A one-shot catch is not a retry loop; nothing to police."""
         found = lint(
             """
-            def probe(disk, page_id):
+            def probe(store, page_id):
                 try:
-                    return disk.read(page_id)
+                    return store.read(page_id)
                 except TransientIOError:
                     return None
             """
@@ -438,9 +438,9 @@ class TestR006SwallowedExceptions:
     def test_suppression_applies(self):
         found = lint(
             """
-            def load(disk, page_id):
+            def load(store, page_id):
                 try:
-                    return disk.read(page_id)
+                    return store.read(page_id)
                 except Exception:  # reprolint: allow(R006)
                     pass
             """
@@ -547,6 +547,96 @@ class TestR007WalBypass:
             """
             def persist(self, page):
                 self.disk.write(page)  # reprolint: allow(R007)
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R008: disk reads bypassing the BufferPool/IOScheduler gate
+# ----------------------------------------------------------------------
+class TestR008UngatedDiskReads:
+    def test_bare_disk_read_flagged(self):
+        found = lint(
+            """
+            def fetch(self, page_id):
+                return self.disk.read(page_id, category="data")
+            """
+        )
+        assert rules_of(found) == {"R008"}
+
+    def test_stacked_disk_owner_flagged(self):
+        found = lint(
+            """
+            def fetch(self, page_id):
+                return self.db.disk.read(page_id, sequential=True)
+            """
+        )
+        assert rules_of(found) == {"R008"}
+
+    def test_replica_category_exempt(self):
+        """Repair traffic is infrastructure, not engine data access."""
+        found = lint(
+            """
+            def heal(self, page_id):
+                return self.disk.read(page_id, category="replica")
+            """
+        )
+        assert found == []
+
+    def test_wal_category_exempt(self):
+        found = lint(
+            """
+            def replay(self, page_id):
+                return self.disk.read(page_id, sequential=True, category="wal")
+            """
+        )
+        assert found == []
+
+    def test_storage_layer_exempt(self):
+        """The pool and scheduler themselves must touch the disk."""
+        found = lint(
+            """
+            def _fetch(self, page_id):
+                return self.disk.read(page_id, category="data")
+            """,
+            path="src/repro/storage/buffer.py",
+        )
+        assert found == []
+
+    def test_pool_read_passes(self):
+        found = lint(
+            """
+            def fetch(self, page_id):
+                return self.buffer.get(page_id, category="data")
+            """
+        )
+        assert found == []
+
+    def test_non_disk_owner_passes(self):
+        found = lint(
+            """
+            def fetch(self, page_id):
+                return self.store.read(page_id)
+            """
+        )
+        assert found == []
+
+    def test_peek_passes(self):
+        """`peek` is unpriced in-memory inspection, not a disk read."""
+        found = lint(
+            """
+            def inspect(self, page_id):
+                return self.disk.peek(page_id)
+            """
+        )
+        assert found == []
+
+    def test_suppression_applies(self):
+        found = lint(
+            """
+            def fetch(self, page_id):
+                return self.disk.read(page_id)  # reprolint: allow(R008)
             """
         )
         assert found == []

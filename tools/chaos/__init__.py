@@ -21,7 +21,7 @@ Anything else — a wrong row, a truncated stream, an untyped crash — is a
 :class:`ChaosViolation`: the silent-garbage class of bug this harness
 exists to catch.
 
-Two extensions ride on the same machinery:
+Three extensions ride on the same machinery:
 
 * ``--replicas k`` rebuilds the faulty world on a k-way
   :class:`~repro.storage.replica.ReplicatedDisk`, so checksum failures
@@ -31,7 +31,15 @@ Two extensions ride on the same machinery:
   (:func:`run_write_schedule`): torn-write faults during WAL-journaled
   ``bulk_load``/``insert`` batches, verified bit-identical to a
   fault-free load after redo recovery, plus a simulated-crash leg that
-  must roll back cleanly.
+  must roll back cleanly;
+* ``--prefetch`` switches to the prefetch identity sweep
+  (:func:`run_prefetch_schedule`): the same scripted corrupt fault is
+  replayed once against a demand-only world and once against a world
+  with the multi-queue scheduler and sweep-ahead prefetcher armed, and
+  the two runs must degrade *identically* — same status, same
+  structural degradation trail, bit-identical rows, same fault log.
+  A corrupt page must hurt exactly as much whether the engine read it
+  on demand or speculatively ahead of the sweep plane.
 
 Usage: ``python -m tools.chaos --seeds 11 17 23`` (add ``--backend
 python`` to force a kernel backend; default sweeps whatever is
@@ -61,16 +69,20 @@ from repro.storage import (
     SimulatedCrashError,
     StorageError,
 )
+from repro.storage.faults import CORRUPT
 
 __all__ = [
     "ChaosOutcome",
     "ChaosViolation",
+    "DEFAULT_PREFETCH_SEEDS",
     "DEFAULT_SEEDS",
     "DEFAULT_WRITE_SEEDS",
     "QUERY",
     "build_world",
     "build_write_world",
     "chaos_plan",
+    "run_prefetch_schedule",
+    "run_prefetch_suite",
     "run_schedule",
     "run_suite",
     "run_write_schedule",
@@ -86,6 +98,10 @@ DEFAULT_SEEDS: tuple[int, ...] = (17, 23, 33)
 #: least one page mid-``bulk_load`` on both kernel backends, forcing the
 #: WAL's redo path to do real work)
 DEFAULT_WRITE_SEEDS: tuple[int, ...] = (7, 19, 41)
+
+#: the prefetch identity sweep's pinned seeds (each picks a different
+#: victim page inside the sweep-ahead window)
+DEFAULT_PREFETCH_SEEDS: tuple[int, ...] = (3, 12, 29)
 
 #: the harness's fixed Q6-style query: restriction on one UB dimension,
 #: sort on the other
@@ -176,6 +192,8 @@ def build_world(
     data_seed: int = 0,
     buffer_pages: int = 48,
     replicas: int = 0,
+    devices: int = 1,
+    prefetch_depth: int = 0,
 ) -> tuple[Database, PhysicalDesign, list[tuple]]:
     """One logical relation in four physical instances, optionally faulty.
 
@@ -185,6 +203,9 @@ def build_world(
     :class:`~repro.storage.replica.ReplicatedDisk` under the fault
     layer and captures every loaded page, so checksum failures during
     the query can be repaired in place instead of quarantined.
+    ``devices``/``prefetch_depth`` arm the multi-queue
+    :class:`~repro.storage.scheduler.IOScheduler` and sweep-ahead
+    prefetcher (used by the ``--prefetch`` identity sweep).
     """
     schema = _chaos_schema()
     data = _chaos_data(rows, data_seed)
@@ -193,6 +214,8 @@ def build_world(
         fault_plan=fault_plan,
         quarantine_threshold=2,
         replicas=replicas,
+        devices=devices,
+        prefetch_depth=prefetch_depth,
     )
     heap = db.create_heap_table("heap", schema, 40)
     heap.load(data)
@@ -360,6 +383,208 @@ def run_suite(
                 run_schedule(seed, backend=name, rows=rows, replicas=replicas)
             )
     return outcomes
+
+
+# ----------------------------------------------------------------------
+# prefetch identity sweep: corrupt prefetched == corrupt demand-fetched
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ScriptedRun:
+    """One scripted-fault run plus the structure the identity check needs."""
+
+    outcome: ChaosOutcome
+    rows: "list[tuple] | None"  #: completed output, or None on failure
+    #: (method, instance, error_type, fallback_method, fallback_instance)
+    #: per degradation — error *messages* legitimately differ between the
+    #: demand and prefetch paths ("read of page N" vs "prefetched read of
+    #: page N"), so identity is judged on the structural trail
+    trail: tuple[tuple[str, str, str, "str | None", "str | None"], ...]
+    prefetch_issued: int
+
+
+def _run_scripted(
+    plan: FaultPlan,
+    seed: int,
+    backend_name: str,
+    rows: int,
+    params: CostParameters,
+    baseline_rows: "list[tuple]",
+    oracle: "list[tuple]",
+    *,
+    devices: int,
+    prefetch_depth: int,
+) -> _ScriptedRun:
+    """One faulty-world run of the harness query under a scripted plan."""
+    db, design, _ = build_world(
+        plan, rows=rows, devices=devices, prefetch_depth=prefetch_depth
+    )
+    disk = db.disk
+    if not isinstance(disk, FaultyDisk):  # pragma: no cover - guarded above
+        raise RuntimeError("chaos world lost its FaultyDisk")
+    db.arm_faults()
+    try:
+        result = execute_sorted_query(
+            design, QUERY["restrictions"], QUERY["sort_attr"], params
+        )
+    except PlanExhaustedError as exc:
+        outcome = ChaosOutcome(
+            seed=seed,
+            backend=backend_name,
+            status="failed",
+            rows=0,
+            faults_injected=disk.stats.faults.total_injected,
+            retries=disk.stats.faults.retries,
+            quarantined=disk.stats.faults.quarantined_pages,
+            degradations=tuple(e.describe() for e in exc.degradations),
+            error=str(exc),
+            fault_log=tuple(disk.fault_log),
+        )
+        trail = tuple(
+            (e.method, e.instance, e.error_type, e.fallback_method, e.fallback_instance)
+            for e in exc.degradations
+        )
+        return _ScriptedRun(
+            outcome, None, trail, disk.stats.prefetch.prefetch_issued
+        )
+    finally:
+        db.disarm_faults()
+
+    _verify_result(result, baseline_rows, oracle, design, seed)
+    outcome = ChaosOutcome(
+        seed=seed,
+        backend=backend_name,
+        status="degraded" if result.degraded else "clean",
+        rows=len(result.rows),
+        faults_injected=disk.stats.faults.total_injected,
+        retries=disk.stats.faults.retries,
+        quarantined=disk.stats.faults.quarantined_pages,
+        degradations=tuple(e.describe() for e in result.degradations),
+        fault_log=tuple(disk.fault_log),
+    )
+    trail = tuple(
+        (e.method, e.instance, e.error_type, e.fallback_method, e.fallback_instance)
+        for e in result.degradations
+    )
+    return _ScriptedRun(
+        outcome, result.rows, trail, disk.stats.prefetch.prefetch_issued
+    )
+
+
+def run_prefetch_schedule(
+    seed: int,
+    *,
+    backend: str | None = None,
+    rows: int = 1200,
+    params: "CostParameters | None" = None,
+) -> tuple[ChaosOutcome, ChaosOutcome]:
+    """Prove a corrupt prefetched page degrades like a demand-fetched one.
+
+    The seed picks a victim heap page inside the sweep-ahead window (so
+    the prefetch world reads it speculatively, not on demand) and
+    scripts a single corrupt fault on its first armed read.  The same
+    scripted plan then runs twice: once on a demand-only world and once
+    with four device queues and depth-8 prefetching armed.  Because
+    scripted faults key on per-page access counts — not on global rate
+    draws that reordered or cancelled async reads could perturb — the
+    fault fires at the exact same logical access in both worlds, and
+    everything observable must match: status, the structural degradation
+    trail, the fault log, and (bit for bit) the output rows.
+
+    Returns the ``(demand, prefetch)`` outcome pair after all identity
+    checks pass; any divergence raises :class:`ChaosViolation`.
+    """
+    backend_name = backend or kernels.get_backend().name
+    params = params or CostParameters(memory_pages=8)
+
+    with kernels.use_backend(backend_name):
+        _, clean_design, data = build_world(rows=rows)
+        baseline = execute_sorted_query(
+            clean_design, QUERY["restrictions"], QUERY["sort_attr"], params
+        )
+        oracle = _oracle_rows(data, QUERY["restrictions"], QUERY["sort_attr"])
+        if sorted(baseline.rows) != sorted(oracle) or baseline.degraded:
+            raise ChaosViolation(
+                "fault-free baseline is broken; chaos results are meaningless"
+            )
+        if clean_design.heap is None:  # pragma: no cover - build_world makes one
+            raise RuntimeError("prefetch sweep needs the heap instance")
+        page_ids = clean_design.heap.heap.page_ids
+        if len(page_ids) < 2:
+            raise ChaosViolation(
+                "prefetch sweep needs a multi-page heap to pick a victim "
+                "inside the sweep-ahead window"
+            )
+        # a page the scan reaches only after its first prefetch top-up:
+        # positions 1..8 are submitted asynchronously while page 0 is
+        # still being consumed, so the fault provably hits a *prefetched*
+        # read in the scheduler world
+        victim = page_ids[1 + seed % min(8, len(page_ids) - 1)]
+        plan = FaultPlan(seed=seed, scripted_reads=((victim, 0, CORRUPT),))
+
+        demand = _run_scripted(
+            plan, seed, backend_name, rows, params, baseline.rows, oracle,
+            devices=1, prefetch_depth=0,
+        )
+        prefetch = _run_scripted(
+            plan, seed, backend_name, rows, params, baseline.rows, oracle,
+            devices=4, prefetch_depth=8,
+        )
+
+    if demand.prefetch_issued != 0:
+        raise ChaosViolation(
+            f"seed {seed}: demand world issued prefetches; the comparison "
+            "is not demand-vs-prefetch"
+        )
+    if prefetch.prefetch_issued == 0:
+        raise ChaosViolation(
+            f"seed {seed}: prefetch world never prefetched; the identity "
+            "check is vacuous"
+        )
+    if demand.outcome.faults_injected < 1 or prefetch.outcome.faults_injected < 1:
+        raise ChaosViolation(
+            f"seed {seed}: scripted corrupt fault on page {victim} never "
+            "fired; the victim page was not read"
+        )
+    if demand.outcome.fault_log != prefetch.outcome.fault_log:
+        raise ChaosViolation(
+            f"seed {seed}: fault logs diverged between demand and prefetch "
+            f"worlds ({demand.outcome.fault_log} vs "
+            f"{prefetch.outcome.fault_log}); scripted faults must replay "
+            "access-for-access"
+        )
+    if demand.outcome.status != prefetch.outcome.status:
+        raise ChaosViolation(
+            f"seed {seed}: demand world ended {demand.outcome.status!r} but "
+            f"prefetch world ended {prefetch.outcome.status!r}"
+        )
+    if demand.trail != prefetch.trail:
+        raise ChaosViolation(
+            f"seed {seed}: degradation trails diverged "
+            f"({demand.trail} vs {prefetch.trail})"
+        )
+    if demand.rows != prefetch.rows:
+        raise ChaosViolation(
+            f"seed {seed}: output rows are not bit-identical between the "
+            "demand and prefetch worlds"
+        )
+    return demand.outcome, prefetch.outcome
+
+
+def run_prefetch_suite(
+    seeds: Iterable[int] = DEFAULT_PREFETCH_SEEDS,
+    *,
+    backends: "Sequence[str] | None" = None,
+    rows: int = 1200,
+) -> list[tuple[ChaosOutcome, ChaosOutcome]]:
+    """Sweep the prefetch identity schedules across ``backends``."""
+    names = list(backends) if backends else kernels.available_backends()
+    pairs = []
+    for name in names:
+        for seed in seeds:
+            pairs.append(run_prefetch_schedule(seed, backend=name, rows=rows))
+    return pairs
 
 
 # ----------------------------------------------------------------------

@@ -6,10 +6,12 @@ schedule breaks the correct-or-typed-error contract (a
 is a bug in the engine, not in the schedule).
 
 ``--write`` runs the write sweep (torn writes during WAL-journaled bulk
-loads) instead of the read sweep; ``--replicas k`` gives the read
-sweep's world k-way page replicas so checksum failures repair in place;
-``--replay SEED`` re-runs a single schedule and prints the replayable
-fault log and degradation/repair trail as JSON.
+loads) instead of the read sweep; ``--prefetch`` runs the prefetch
+identity sweep (a scripted corrupt page must degrade identically
+whether it was demand-fetched or prefetched); ``--replicas k`` gives
+the read sweep's world k-way page replicas so checksum failures repair
+in place; ``--replay SEED`` re-runs a single schedule and prints the
+replayable fault log and degradation/repair trail as JSON.
 """
 
 from __future__ import annotations
@@ -23,9 +25,12 @@ from dataclasses import asdict
 from repro import kernels
 
 from . import (
+    DEFAULT_PREFETCH_SEEDS,
     DEFAULT_SEEDS,
     DEFAULT_WRITE_SEEDS,
     ChaosOutcome,
+    run_prefetch_schedule,
+    run_prefetch_suite,
     run_schedule,
     run_suite,
     run_write_schedule,
@@ -75,6 +80,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="run the write sweep: torn writes during WAL-journaled bulk loads",
     )
     parser.add_argument(
+        "--prefetch",
+        action="store_true",
+        help=(
+            "run the prefetch identity sweep: a scripted corrupt page must "
+            "degrade identically whether demand-fetched or prefetched"
+        ),
+    )
+    parser.add_argument(
         "--replicas",
         type=int,
         default=0,
@@ -89,10 +102,16 @@ def main(argv: "list[str] | None" = None) -> int:
         help="re-run one schedule and print its fault/repair trail as JSON",
     )
     options = parser.parse_args(argv)
-    seeds = options.seeds or (
-        list(DEFAULT_WRITE_SEEDS) if options.write else list(DEFAULT_SEEDS)
-    )
-    rows = options.rows or (600 if options.write else 1200)
+    if options.write and options.prefetch:
+        parser.error("--write and --prefetch are mutually exclusive sweeps")
+    if options.write:
+        default_seeds, default_rows = list(DEFAULT_WRITE_SEEDS), 600
+    elif options.prefetch:
+        default_seeds, default_rows = list(DEFAULT_PREFETCH_SEEDS), 1200
+    else:
+        default_seeds, default_rows = list(DEFAULT_SEEDS), 1200
+    seeds = options.seeds or default_seeds
+    rows = options.rows or default_rows
     backends = None if options.backend == "all" else [options.backend]
 
     if options.replay is not None:
@@ -101,11 +120,33 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         if options.write:
             outcome = run_write_schedule(options.replay, backend=backend, rows=rows)
+        elif options.prefetch:
+            demand, armed = run_prefetch_schedule(
+                options.replay, backend=backend, rows=rows
+            )
+            print(_replay_json(demand, "prefetch-demand"))
+            print(_replay_json(armed, "prefetch-armed"))
+            return 0
         else:
             outcome = run_schedule(
                 options.replay, backend=backend, rows=rows, replicas=options.replicas
             )
         print(_replay_json(outcome, "write" if options.write else "read"))
+        return 0
+
+    if options.prefetch:
+        pairs = run_prefetch_suite(seeds, backends=backends, rows=rows)
+        for demand, armed in pairs:
+            print(f"demand   {demand.describe()}")
+            print(f"prefetch {armed.describe()}")
+        statuses = Counter(armed.status for _, armed in pairs)
+        print(
+            f"chaos: {len(pairs)} prefetch identity schedule(s) — "
+            + ", ".join(
+                f"{count} {status}" for status, count in sorted(statuses.items())
+            )
+            + "; demand and prefetch worlds degraded identically"
+        )
         return 0
 
     if options.write:

@@ -50,6 +50,17 @@ Python ASTs under ``src/repro`` and mechanically enforces them:
     I/O is exempt: calls charged to ``category="temp"`` (sort runs) or
     ``category="wal"`` (the log device itself) are not durable state.
 
+``R008`` — engine code must read data pages through the pool/scheduler.
+    The buffer pool (and, when armed, the I/O scheduler behind it) is
+    the single gate where reads are retried, checksum-verified,
+    quarantined and — under prefetching — claimed from device queues.
+    A direct ``disk.read(...)`` in engine code (outside ``storage/``
+    itself) bypasses retry accounting, the prefetch ledger *and* the
+    queue model, so its cost silently escapes the multi-device overlap
+    the scheduler prices.  Maintenance reads are exempt: calls charged
+    to ``category="replica"`` (repair traffic) or ``category="wal"``
+    (log replay) are infrastructure, not engine data access.
+
 A finding can be suppressed by putting ``# reprolint: allow(R00X)`` (or
 a blanket ``# reprolint: allow``) on the offending line.
 
@@ -111,6 +122,7 @@ ALL_RULES: dict[str, str] = {
     "R005": "bare assert (stripped under python -O) guarding an invariant",
     "R006": "silently swallowed exception or retry loop bypassing RetryPolicy",
     "R007": "direct SimulatedDisk mutation in engine code bypassing an armed WAL",
+    "R008": "direct disk read in engine code bypassing the BufferPool/IOScheduler gate",
 }
 
 #: names whose presence in a function marks its retry loop as policy-driven
@@ -127,6 +139,9 @@ _WAL_ATTR_MARKERS = frozenset({"wal", "log_image", "log_alloc", "log_free", "tou
 
 #: I/O categories whose writes are scratch, not durable state (R007)
 _SCRATCH_CATEGORIES = frozenset({"temp", "wal"})
+
+#: I/O categories whose reads are maintenance, not engine data access (R008)
+_MAINTENANCE_READ_CATEGORIES = frozenset({"replica", "wal"})
 
 
 @dataclass(frozen=True)
@@ -390,6 +405,7 @@ class _FileChecker(ast.NodeVisitor):
                 if owner is not None:
                     self._note_mutation(owner, node)
         self._check_disk_mutation(node)
+        self._check_disk_read(node)
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
@@ -418,6 +434,33 @@ class _FileChecker(ast.NodeVisitor):
             "with no WAL participation; journal through the armed "
             "WriteAheadLog (`active_wal`/`log_image`/`log_alloc`/`log_free`) "
             "so recovery can replay or roll it back",
+        )
+
+    # ------------------------------------------------------------------
+    # R008: disk reads outside the BufferPool/IOScheduler gate
+    # ------------------------------------------------------------------
+    def _check_disk_read(self, node: ast.Call) -> None:
+        if not self.wal_scope:  # the gate itself lives in storage/
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "read"):
+            return
+        owner = ast.unparse(func.value)
+        if "disk" not in owner:
+            return
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "category"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value in _MAINTENANCE_READ_CATEGORIES
+            ):
+                return  # replica repair / WAL replay infrastructure
+        self._emit(
+            node,
+            "R008",
+            f"`{owner}.read` bypasses the BufferPool/IOScheduler gate; engine "
+            "data reads must flow through the pool (retry, checksum, "
+            "quarantine, prefetch ledger) or the scheduler's device queues",
         )
 
     def _check_assign_target(self, target: ast.expr, node: ast.AST) -> None:
