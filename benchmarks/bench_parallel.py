@@ -15,15 +15,31 @@ Two measurements back the PR's performance claims, written to
   serially and through
   :func:`~repro.planner.parallel.parallel_tetris_scan` with 2 and 4
   workers on a ~100k-tuple LINEITEM instance, under both kernel
-  backends.  Streams must be bit-identical to the serial scan and
-  across backends; the measured speedup is recorded honestly together
-  with ``cpu_count`` — on a single-core host the fork pool cannot beat
-  the serial scan and the numbers will say so.
+  backends.  The serial baseline is reported twice — *cold* (first
+  touch: buffer-pool misses, column builds) and *warm* (best of the
+  repeats) — and every speedup is computed against the **warm** number,
+  the honest one.  Each worker entry records the executor that ran
+  (``threads``/``fork``/``inline``), any
+  :class:`~repro.planner.parallel.ExecutorFallbackEvent`, the pickled
+  bytes the transport shipped per slab (zero for the zero-copy
+  executors), and ``underprovisioned: true`` whenever the host has
+  fewer cores than workers — on such a host the numbers cannot show a
+  speedup and say so instead of hiding it.
 
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py           # full
     PYTHONPATH=src python benchmarks/bench_parallel.py --quick   # CI smoke
+
+CI gate mode (used by the ``speedup`` workflow leg)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \\
+        --assert-speedup 1.5 --workers 4
+
+which exits non-zero when the measured 4-worker speedup on the NumPy
+backend falls below the threshold — or skips with an annotation (exit
+0) when the host has fewer than 4 cores, so laptop checkouts and
+throttled runners do not fail spuriously.
 """
 
 from __future__ import annotations
@@ -124,51 +140,116 @@ def bench_scheduler_scaling(data: Any) -> dict[str, Any]:
 # wall clock: serial vs slab-parallel execution
 # ----------------------------------------------------------------------
 def bench_parallel_speedup(
-    data: Any, backend: str, repeats: int
+    data: Any,
+    backend: str,
+    repeats: int,
+    worker_counts: "tuple[int, ...]" = (2, 4),
 ) -> tuple[dict[str, Any], list]:
     restrictions = _restrictions()
+    cpu_count = os.cpu_count() or 1
     with kernels.use_backend(backend):
         db, table = _build_world(data)
-        serial_best = float("inf")
-        serial_stream: list = []
+        # cold baseline: the first touch pays buffer-pool misses and
+        # per-page column builds that every later run amortizes
+        db.reset_measurement()
+        start = time.perf_counter()
+        serial_stream = list(table.tetris_scan(restrictions, SORT_ATTR))
+        serial_cold = time.perf_counter() - start
+        # warm baseline: best of the repeats — the number the parallel
+        # runs (which also enjoy warm caches) must honestly beat
+        serial_warm = serial_cold
         for _ in range(repeats):
             db.reset_measurement()
             start = time.perf_counter()
             serial_stream = list(table.tetris_scan(restrictions, SORT_ATTR))
-            serial_best = min(serial_best, time.perf_counter() - start)
+            serial_warm = min(serial_warm, time.perf_counter() - start)
         entry: dict[str, Any] = {
-            "serial_seconds": round(serial_best, 4),
+            "serial_cold_seconds": round(serial_cold, 4),
+            "serial_warm_seconds": round(serial_warm, 4),
             "tuples_output": len(serial_stream),
             "workers": {},
         }
-        for workers in (2, 4):
+        print(
+            f"[{backend}] serial cold {serial_cold:.3f}s, "
+            f"warm {serial_warm:.3f}s"
+        )
+        for workers in worker_counts:
             best = float("inf")
-            pool_workers = 0
+            result = None
             for _ in range(repeats):
                 db.reset_measurement()
                 start = time.perf_counter()
                 result = parallel_tetris_scan(
-                    table, restrictions, SORT_ATTR, workers=workers
+                    table,
+                    restrictions,
+                    SORT_ATTR,
+                    workers=workers,
+                    measure_serialization=True,
                 )
                 best = min(best, time.perf_counter() - start)
-                pool_workers = result.workers
                 if result.rows != serial_stream:
                     raise AssertionError(
                         f"{backend}/workers={workers}: parallel stream is "
                         "not bit-identical to the serial scan"
                     )
+            assert result is not None
+            serialized = list(result.serialized_bytes_per_slab or [])
             entry["workers"][str(workers)] = {
                 "seconds": round(best, 4),
-                "speedup": round(serial_best / best, 3) if best > 0 else None,
-                "pool_workers": pool_workers,
+                "speedup": round(serial_warm / best, 3) if best > 0 else None,
+                "pool_workers": result.workers,
+                "executor": result.executor,
+                "fallbacks": [event.describe() for event in result.fallbacks],
+                "serialized_bytes_per_slab": serialized,
+                "serialized_bytes_total": sum(serialized),
                 "bit_identical": True,  # asserted above
+                "underprovisioned": cpu_count < workers,
             }
             print(
-                f"[{backend}] workers={workers} {best:.3f}s "
-                f"(serial {serial_best:.3f}s, "
-                f"speedup {serial_best / best:.2f}x)"
+                f"[{backend}] workers={workers} {best:.3f}s via "
+                f"{result.executor} (warm serial {serial_warm:.3f}s, "
+                f"speedup {serial_warm / best:.2f}x, "
+                f"{sum(serialized)} bytes serialized"
+                f"{', UNDERPROVISIONED' if cpu_count < workers else ''})"
             )
     return entry, serial_stream
+
+
+# ----------------------------------------------------------------------
+# CI gate: --assert-speedup
+# ----------------------------------------------------------------------
+def assert_speedup(threshold: float, workers: int, quick: bool) -> int:
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < workers:
+        # GitHub annotation, visible on the job summary; exiting 0 keeps
+        # underprovisioned hosts (laptops, throttled runners) green
+        print(
+            f"::notice::speedup gate skipped: host has {cpu_count} "
+            f"core(s), fewer than the {workers} workers under test "
+            "(underprovisioned)"
+        )
+        return 0
+    backends = kernels.available_backends()
+    backend = "numpy" if "numpy" in backends else backends[0]
+    scale_factor = 0.5 if quick else 1.7
+    data = generate(TPCDConfig(scale_factor=scale_factor))
+    print(
+        f"[gate] {len(data.lineitems):,} LINEITEM tuples, backend "
+        f"{backend}, {workers} workers, threshold {threshold}x ..."
+    )
+    entry, _ = bench_parallel_speedup(
+        data, backend, repeats=3, worker_counts=(workers,)
+    )
+    measured = entry["workers"][str(workers)]["speedup"]
+    if measured is None or measured < threshold:
+        print(
+            f"ERROR: {workers}-worker speedup {measured}x is below the "
+            f"required {threshold}x on a {cpu_count}-core host",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[gate] OK: {measured}x >= {threshold}x")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -182,6 +263,20 @@ def main(argv: "list[str] | None" = None) -> int:
         "--output",
         default=os.path.join(REPO_ROOT, "BENCH_parallel.json"),
         help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="gate mode: fail unless the --workers speedup reaches X "
+        "(skips with an annotation on hosts with fewer cores)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for --assert-speedup (default: 4)",
     )
     args = parser.parse_args(argv)
 
@@ -198,6 +293,9 @@ def main(argv: "list[str] | None" = None) -> int:
             "before timing (chaos-mode numbers are not comparable)"
         )
 
+    if args.assert_speedup is not None:
+        return assert_speedup(args.assert_speedup, args.workers, args.quick)
+
     # ~100k LINEITEM tuples at SF 1.7 (1/100-scale generator); the
     # scheduler-scaling leg rebuilds the world once per device count, so
     # it runs at a smaller scale to keep the sweep affordable
@@ -212,6 +310,7 @@ def main(argv: "list[str] | None" = None) -> int:
         else generate(TPCDConfig(scale_factor=scaling_sf))
     )
     backends = kernels.available_backends()
+    cpu_count = os.cpu_count() or 1
     report: dict[str, Any] = {
         "workload": {
             "query": "Q3-style: 50% SHIPDATE restriction, ORDERKEY order",
@@ -226,7 +325,10 @@ def main(argv: "list[str] | None" = None) -> int:
             "python": platform.python_version(),
             "numpy": None,
             "backends": list(backends),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu_count,
+            # the headline claim needs 4 true cores; anything less and
+            # every 4-worker number below is a ceiling, not a result
+            "underprovisioned": cpu_count < 4,
         },
     }
     if "numpy" in backends:

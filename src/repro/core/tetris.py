@@ -39,7 +39,6 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_left
 from dataclasses import dataclass
-from operator import itemgetter
 from typing import Any, Iterator, Sequence
 
 # module import (not ``from ..kernels import get_backend``): kernels and
@@ -94,12 +93,11 @@ class TetrisStats:
 #: so the batch kernels can unwrap it without importing this module
 _FlippedCurve = FlippedCurve
 
-#: a cached tuple awaiting its slice flush: ``[tetris_key, arrival_order]``
-#: — the point and payload live in the scan's arrival registry, so cache
-#: maintenance only ever moves and compares small int pairs
+#: historical alias — the Tetris cache now lives in the backend-native
+#: :class:`repro.kernels.SortRunBuffer`; a pure-backend entry is still a
+#: ``[tetris_key, arrival_order]`` pair (the point and payload live in
+#: the scan's arrival registry)
 _CacheEntry = list  # [int, int]
-
-_entry_key = itemgetter(0)
 
 
 class TetrisScan:
@@ -231,15 +229,13 @@ class TetrisScan:
         stats = self.stats
         kernel = kernels.get_backend()
         stats.start_clock = disk.clock
-        # the Tetris cache, split in two to keep maintenance off the
-        # per-page path: ``cache`` is one (key, order)-sorted run,
-        # ``pending`` holds the per-page sorted batches that arrived
-        # since the last flush.  They are consolidated only when a slice
-        # actually completes — one C-speed timsort over pre-sorted runs —
-        # so pages that merely widen the open slice cost O(page) work.
-        cache: list[_CacheEntry] = []
-        pending: list[list[_CacheEntry]] = []
-        pending_count = 0
+        # the Tetris cache as DPG-style run formation: each page
+        # contributes one already-sorted run in the backend's native
+        # representation, and the buffer consolidates them with
+        # hierarchical merges only when a slice actually completes —
+        # pages that merely widen the open slice cost O(page) work, and
+        # the NumPy buffer never round-trips entries through Python.
+        run_buffer = kernel.make_run_buffer()
         #: (point, payload) of every qualifying tuple, by arrival order
         arrivals: list[SortedTuple] = []
         # with REPRO_CHECKS=1: validate the emitted stream (membership +
@@ -272,47 +268,31 @@ class TetrisScan:
                 # curve, and sort the batch — arrival order breaks key ties
                 # exactly like the per-tuple heap pushes used to
                 base = len(arrivals)
-                count, selected, entries = kernel.scan_page(curve, space, page, base)
+                count, selected, run = kernel.scan_page_run(curve, space, page, base)
                 if stream_checker is not None:
+                    reference = kernel.scan_page(curve, space, page, base)
+                    invariants.check(
+                        reference[0] == count and list(reference[1]) == list(selected),
+                        f"scan_page_run disagrees with scan_page on page "
+                        f"{page_id}: {count}/{selected!r} vs "
+                        f"{reference[0]}/{reference[1]!r}",
+                    )
                     invariants.spot_check_scan_page(
-                        kernel, curve, space, page, base, (count, selected, entries)
+                        kernel, curve, space, page, base, reference
                     )
                 if count:
                     records = page.records
                     arrivals.extend(records[index][1] for index in selected)
-                    pending.append(entries)
-                    pending_count += count
-                if len(cache) + pending_count > stats.max_cache_tuples:
-                    stats.max_cache_tuples = len(cache) + pending_count
+                    run_buffer.push(run)
+                if len(run_buffer) > stats.max_cache_tuples:
+                    stats.max_cache_tuples = len(run_buffer)
 
                 # everything below the next event point can never be beaten by
                 # a tuple from an unread region: the slice is complete.  The
                 # sorted-run heads witness whether anything flushes at all.
-                if barrier is None:
-                    flushes = bool(cache) or pending_count > 0
-                else:
-                    flushes = (bool(cache) and cache[0][0] < barrier) or any(
-                        batch[0][0] < barrier for batch in pending
-                    )
-                if not flushes:
+                if not run_buffer.has_key_below(barrier):
                     continue
-                if pending:
-                    for batch in pending:
-                        cache.extend(batch)
-                    # timsort merges the pre-sorted runs at C speed; (key,
-                    # order) pairs are unique, so their order is total and
-                    # equals the key-then-arrival order of a per-tuple heap
-                    cache.sort()
-                    pending.clear()
-                    pending_count = 0
-                cut = (
-                    len(cache)
-                    if barrier is None
-                    else bisect_left(cache, barrier, key=_entry_key)
-                )
-                slice_out = cache[:cut]
-                del cache[:cut]
-                for _, position in slice_out:
+                for position in run_buffer.cut(barrier):
                     if stats.first_output_clock is None:
                         stats.first_output_clock = disk.clock
                     stats.tuples_output += 1
@@ -323,11 +303,7 @@ class TetrisScan:
                 stats.slices += 1
 
             # no regions at all, or a conservative final barrier
-            for batch in pending:
-                cache.extend(batch)
-            if pending:
-                cache.sort()
-            for _, position in cache:
+            for position in run_buffer.cut(None):
                 if stats.first_output_clock is None:
                     stats.first_output_clock = disk.clock
                 stats.tuples_output += 1

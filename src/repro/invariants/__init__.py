@@ -35,6 +35,9 @@ Validators
   universe, stored-address consistency, record-count bijection.
 * :func:`validate_buffer_pool` — hit/miss/lookup accounting, dirty-set
   ⊆ frames, frame count ≤ capacity (:mod:`repro.invariants.accounting`).
+* :func:`validate_shm_store` — shared-memory segment ledger: created =
+  live + retired, retired = unlinked, closed ⇒ nothing live
+  (:mod:`repro.invariants.accounting`).
 * :class:`StreamChecker` — Tetris output monotonicity in the sort
   dimension(s) and query-space membership
   (:mod:`repro.invariants.streams`).
@@ -51,7 +54,7 @@ import os
 from contextlib import contextmanager
 from typing import Any, Iterator, TypeVar
 
-from .accounting import validate_buffer_pool
+from .accounting import validate_buffer_pool, validate_shm_store
 from .durability import validate_replicated_disk, validate_wal
 from .errors import InvariantViolation, check
 from .parity import spot_check_scan_page
@@ -71,6 +74,7 @@ __all__ = [
     "validate_buffer_pool",
     "validate_leaf",
     "validate_replicated_disk",
+    "validate_shm_store",
     "validate_ubtree",
     "validate_wal",
 ]

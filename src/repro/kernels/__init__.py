@@ -14,7 +14,18 @@ bulk loading, the external-sort baseline) are written against:
   fused compound kernels: one call filters + keys + sorts a whole page
   (``scan_page`` straight from the storage page, letting backends keep a
   memoized columnar view), one call keys every candidate Z-region of a
-  scan.
+  scan,
+* :func:`scan_page_run` / :func:`make_run_buffer` — DPG-style run
+  formation: per-page sorted runs in the backend's native representation
+  feed a :class:`SortRunBuffer` that consolidates them hierarchically,
+* :func:`scan_block` — the whole-slab fused kernel the parallel thread
+  executor dispatches (one task per slab, not per scan step),
+* :func:`merge_sorted_keys` — stable pairwise merge permutation over two
+  sorted runs (the external sort's run consolidation step).
+
+The columnar page cache of the NumPy backend can additionally live in
+POSIX shared memory (:mod:`repro.kernels.shm`), letting forked workers
+attach zero-copy read-only views instead of receiving pickled pages.
 
 Two interchangeable backends implement them:
 
@@ -42,12 +53,13 @@ import os
 from contextlib import contextmanager
 from typing import Any, Iterator, Sequence
 
-from .base import KernelBackend
+from .base import KernelBackend, SortRunBuffer
 from .pure import PurePythonBackend
 
 __all__ = [
     "KernelBackend",
     "PurePythonBackend",
+    "SortRunBuffer",
     "available_backends",
     "backend",
     "get_backend",
@@ -61,6 +73,10 @@ __all__ = [
     "argsort_keys",
     "page_entries",
     "scan_page",
+    "scan_page_run",
+    "make_run_buffer",
+    "scan_block",
+    "merge_sorted_keys",
     "region_min_keys",
 ]
 
@@ -168,6 +184,24 @@ def page_entries(curve, space, points: Sequence[Sequence[int]], base: int = 0):
 
 def scan_page(curve, space, page, base: int = 0):
     return _active.scan_page(curve, space, page, base)
+
+
+def scan_page_run(curve, space, page, base: int = 0):
+    return _active.scan_page_run(curve, space, page, base)
+
+
+def make_run_buffer() -> SortRunBuffer:
+    return _active.make_run_buffer()
+
+
+def scan_block(curve, space, pages: Sequence[Any]):
+    return _active.scan_block(curve, space, pages)
+
+
+def merge_sorted_keys(
+    keys_a: Sequence[Any], keys_b: Sequence[Any], *, reverse: bool = False
+) -> list[int]:
+    return _active.merge_sorted_keys(keys_a, keys_b, reverse=reverse)
 
 
 def region_min_keys(

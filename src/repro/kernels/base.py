@@ -30,6 +30,51 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     AnyCurve = Curve | FlippedCurve
 
 
+class SortRunBuffer:
+    """DPG-style accumulator of per-page sorted ``(key, order)`` runs.
+
+    The Tetris cache of Section 4.4, restated as cache-efficient run
+    formation (Cooperman et al.'s DPG): each page contributes one
+    already-sorted run (:meth:`KernelBackend.scan_page_run`), runs are
+    kept separate while a slice is open, and a flush consolidates them
+    with hierarchical pairwise merges — every merge step streams two
+    sorted runs, so the working set per step is two runs, not the whole
+    cache.  Backends keep runs in their native representation (Python
+    lists of ``[key, order]`` pairs, or ``uint64`` array pairs), which
+    is where the vectorized backend's win comes from: the cache never
+    round-trips through per-entry Python objects.
+
+    Entries are unique ``(key, order)`` pairs — ``order`` is the global
+    arrival counter — so the induced order is total and identical to the
+    key-then-arrival order of a per-tuple heap.
+    """
+
+    def push(self, run: Any) -> None:
+        """Add one page's sorted run (the backend-native ``run`` of
+        :meth:`KernelBackend.scan_page_run`)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Buffered tuple count (the Tetris cache size)."""
+        raise NotImplementedError
+
+    def has_key_below(self, barrier: "int | None") -> bool:
+        """Whether any buffered key is ``< barrier``.
+
+        ``None`` means "no more unread regions": everything buffered is
+        flushable, so the answer is ``len(self) > 0``.  Answered from
+        the run heads alone — no consolidation happens here.
+        """
+        raise NotImplementedError
+
+    def cut(self, barrier: "int | None") -> "list[int]":
+        """Remove and return the arrival orders of all entries with
+        ``key < barrier`` (all entries when ``barrier`` is ``None``), in
+        ``(key, order)`` order.  Consolidates the pending runs first.
+        """
+        raise NotImplementedError
+
+
 class KernelBackend:
     """Batch compute primitives over points, addresses and keys."""
 
@@ -134,6 +179,62 @@ class KernelBackend:
         per-page state (e.g. a columnar array view) keyed on the page's
         ``version`` counter, which the storage layer bumps on every
         record mutation.
+        """
+        raise NotImplementedError
+
+    def scan_page_run(
+        self, curve: "AnyCurve", space: "QuerySpace", page: Any, base: int = 0
+    ) -> tuple[int, Sequence[int], Any]:
+        """:meth:`scan_page` returning the entries as a backend-native run.
+
+        ``(count, selected, run)`` where ``run`` feeds
+        :meth:`make_run_buffer`'s buffer from the *same* backend and is
+        otherwise opaque: the pure backend returns the ``[key, order]``
+        entry list, the NumPy backend a pair of ``uint64`` arrays that
+        never materialize per-entry Python objects.  ``count`` and
+        ``selected`` match :meth:`scan_page` exactly.
+        """
+        raise NotImplementedError
+
+    def make_run_buffer(self) -> SortRunBuffer:
+        """A fresh :class:`SortRunBuffer` in this backend's native
+        run representation (see :meth:`scan_page_run`)."""
+        raise NotImplementedError
+
+    def scan_block(
+        self, curve: "AnyCurve", space: "QuerySpace", pages: Sequence[Any]
+    ) -> tuple[list[Sequence[int]], Sequence[int]]:
+        """Filter, key and sort a whole block of pages in one call.
+
+        ``pages`` is a sequence of storage pages in *arrival* (region
+        retrieval) order.  Returns ``(selected_per_page, emit_order)``:
+        ``selected_per_page[p]`` holds page ``p``'s qualifying record
+        indices in ascending order (exactly :meth:`scan_page`'s
+        ``selected``), and ``emit_order`` is the sort permutation over
+        the concatenation of all qualifying tuples in arrival order —
+        indexing the concatenated arrivals with it reproduces, bit for
+        bit, the stream a page-at-a-time Tetris sweep over the same
+        region order emits (keys ascend; arrival order breaks ties).
+        One task per slab, not per scan step: this is the whole-slab
+        kernel the thread executor dispatches.
+        """
+        raise NotImplementedError
+
+    def merge_sorted_keys(
+        self,
+        keys_a: Sequence[Any],
+        keys_b: Sequence[Any],
+        *,
+        reverse: bool = False,
+    ) -> list[int]:
+        """Stable merge permutation over two already-sorted key runs.
+
+        Both inputs are sorted per ``reverse``; the result indexes their
+        concatenation (``keys_a`` first) such that gathering through it
+        is sorted, with ``keys_a`` winning ties — i.e. exactly the
+        permutation a stable sort of the concatenation would produce.
+        This is the pairwise step of DPG's hierarchical run merging; the
+        external sort uses it to consolidate cache-sized initial runs.
         """
         raise NotImplementedError
 

@@ -18,6 +18,7 @@ pickled pages) see exactly what the pure backend produces.
 from __future__ import annotations
 
 import weakref
+from bisect import bisect_right
 from typing import Any, Sequence
 
 import numpy as np
@@ -29,10 +30,14 @@ from ..core.query_space import (
     QueryBox,
     QuerySpace,
 )
-from .pure import PurePythonBackend
+from . import shm
+from .base import SortRunBuffer
+from .pure import PurePythonBackend, PureSortRunBuffer
 
 _U64 = np.uint64
 _BYTE = _U64(0xFF)
+
+_EMPTY_RUN = (np.empty(0, dtype=_U64), np.empty(0, dtype=_U64))
 
 _NP_COMPARATORS = {
     "<": np.less,
@@ -60,6 +65,161 @@ class _PagePoints:
 
     def __getitem__(self, index):
         return self._records[index][1][0]
+
+
+class _BlockPoints:
+    """Lazy point view over a whole block of pages (global record index).
+
+    Only the per-point fallback for opaque predicates indexes it; the
+    vectorized space tests never materialize points.
+    """
+
+    __slots__ = ("_pages", "_offsets")
+
+    def __init__(self, pages: Sequence[Any], offsets: "list[int]") -> None:
+        self._pages = pages
+        self._offsets = offsets  # cumulative record counts, len(pages) + 1
+
+    def __len__(self) -> int:
+        return self._offsets[-1]
+
+    def __getitem__(self, index):
+        position = bisect_right(self._offsets, index) - 1
+        record = self._pages[position].records[index - self._offsets[position]]
+        return record[1][0]
+
+
+def _merge_runs(
+    a: "tuple[np.ndarray, np.ndarray]", b: "tuple[np.ndarray, np.ndarray]"
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Stable merge of two sorted ``(keys, orders)`` runs, ``a`` first.
+
+    ``searchsorted`` computes each element's target slot directly:
+    ``a[i]`` lands at ``i + |{b < a[i]}|`` and ``b[j]`` at
+    ``j + |{a <= b[j]}|`` — on key ties every ``a`` element precedes
+    every ``b`` element, which (with ``a`` the older run, holding the
+    smaller arrival orders) is exactly ``(key, order)`` order.  Two
+    scatters instead of a comparison loop: the DPG pairwise merge at
+    memory speed.
+    """
+    keys_a, orders_a = a
+    keys_b, orders_b = b
+    pos_a = np.arange(len(keys_a), dtype=np.intp) + np.searchsorted(
+        keys_b, keys_a, side="left"
+    )
+    pos_b = np.arange(len(keys_b), dtype=np.intp) + np.searchsorted(
+        keys_a, keys_b, side="right"
+    )
+    keys = np.empty(len(keys_a) + len(keys_b), dtype=_U64)
+    orders = np.empty_like(keys)
+    keys[pos_a] = keys_a
+    keys[pos_b] = keys_b
+    orders[pos_a] = orders_a
+    orders[pos_b] = orders_b
+    return keys, orders
+
+
+class NumPySortRunBuffer(SortRunBuffer):
+    """Array-native Tetris cache: ``uint64`` runs, hierarchical merges.
+
+    Runs stay contiguous ``(keys, orders)`` array pairs from push to
+    cut — no per-entry Python objects — and a flush consolidates them
+    by pairwise :func:`_merge_runs` reduction.  Runs are pushed in
+    arrival order, so pairwise-adjacent merging keeps older runs on the
+    tie-winning side and the result equals the pure buffer's total
+    ``(key, order)`` sort bit for bit.
+
+    Keys that do not fit ``uint64`` (curves wider than 64 bits fall back
+    to pure list runs) degrade the whole buffer to
+    :class:`~repro.kernels.pure.PureSortRunBuffer` semantics wholesale.
+    """
+
+    def __init__(self) -> None:
+        self._runs: "list[tuple[np.ndarray, np.ndarray]]" = []
+        self._count = 0
+        self._fallback: PureSortRunBuffer | None = None
+
+    @staticmethod
+    def _as_entries(run: Any) -> "list[list[int]]":
+        if isinstance(run, tuple):
+            keys, orders = run
+            return [
+                [key, order]
+                for key, order in zip(keys.tolist(), orders.tolist())
+            ]
+        return run
+
+    def _degrade(self) -> PureSortRunBuffer:
+        fallback = PureSortRunBuffer()
+        for run in self._runs:
+            fallback.push(self._as_entries(run))
+        self._runs.clear()
+        self._count = 0
+        self._fallback = fallback
+        return fallback
+
+    def push(self, run: Any) -> None:
+        if self._fallback is not None:
+            self._fallback.push(self._as_entries(run))
+            return
+        if not isinstance(run, tuple):
+            # a pure-format run: this curve is not vectorizable, degrade
+            self._degrade().push(run)
+            return
+        keys, orders = run
+        if len(keys):
+            self._runs.append((keys, orders))
+            self._count += len(keys)
+
+    def __len__(self) -> int:
+        if self._fallback is not None:
+            return len(self._fallback)
+        return self._count
+
+    def has_key_below(self, barrier: "int | None") -> bool:
+        if self._fallback is not None:
+            return self._fallback.has_key_below(barrier)
+        if not self._runs:
+            return False
+        if barrier is None:
+            return True
+        limit = _U64(barrier)
+        return any(keys[0] < limit for keys, _ in self._runs)
+
+    def cut(self, barrier: "int | None") -> "list[int]":
+        if self._fallback is not None:
+            return self._fallback.cut(barrier)
+        if not self._runs:
+            return []
+        if len(self._runs) > 1:
+            self._consolidate()
+        keys, orders = self._runs[0]
+        split = (
+            len(keys)
+            if barrier is None
+            else int(np.searchsorted(keys, _U64(barrier), side="left"))
+        )
+        if split == 0:
+            return []
+        emitted = orders[:split].tolist()
+        if split == len(keys):
+            self._runs.clear()
+        else:
+            self._runs[0] = (keys[split:], orders[split:])
+        self._count -= split
+        return emitted
+
+    def _consolidate(self) -> None:
+        runs = self._runs
+        while len(runs) > 1:
+            merged = [
+                _merge_runs(runs[index], runs[index + 1])
+                for index in range(0, len(runs) - 1, 2)
+            ]
+            if len(runs) % 2:
+                merged.append(runs[-1])
+            runs = merged
+        self._runs = runs
 
 
 class _CurveTables:
@@ -301,29 +461,62 @@ class NumPyBackend(PurePythonBackend):
             tables, flip, space, columns, points, base
         )
 
-    def _entries_from_columns(self, tables, flip, space, columns, points, base):
-        """Shared tail of :meth:`page_entries` / :meth:`scan_page`."""
+    def _select_and_key(self, tables, flip, space, columns, points):
+        """Filter + key + stable sort; ``(selected, keys, perm)`` arrays.
+
+        ``selected`` holds the qualifying row indices ascending, ``keys``
+        their (reflected) curve addresses in arrival order, and ``perm``
+        the stable sort permutation over ``keys``.  ``None`` when nothing
+        qualifies.
+        """
         mask = np.ones(len(columns), dtype=bool)
         self._mask_space(space, columns, points, mask)
         selected = np.nonzero(mask)[0]
         if not selected.size:
-            return 0, [], []
+            return None
         chosen = columns[selected]  # fancy index copies: in-place flip is safe
         for dim in flip:
             chosen[:, dim] = tables.coord_max[dim] - chosen[:, dim]
         keys = self._encode_columns(tables, chosen)
         perm = np.argsort(keys, kind="stable")
+        return selected, keys, perm
+
+    def _entries_from_columns(self, tables, flip, space, columns, points, base):
+        """Shared tail of :meth:`page_entries` / :meth:`scan_page`."""
+        keyed = self._select_and_key(tables, flip, space, columns, points)
+        if keyed is None:
+            return 0, [], []
+        selected, keys, perm = keyed
         entries = np.stack(
             (keys[perm], perm.astype(_U64) + _U64(base)), axis=1
         ).tolist()
         return int(selected.size), selected.tolist(), entries
 
     def _page_columns(self, page) -> "np.ndarray | None":
-        """The page's points as a cached (records, dims) uint64 matrix."""
+        """The page's points as a cached (records, dims) uint64 matrix.
+
+        When a :class:`~repro.kernels.shm.SharedColumnStore` is active,
+        the matrix lives in a shared-memory segment: the coordinator
+        publishes it on build and other processes attach a zero-copy
+        read-only view instead of rebuilding (or pickling) it.  The
+        page's ``version`` counter stamps both the private cache and the
+        segment, so a mutated page can never serve stale columns.
+        """
         cached = self._columns.get(page)
         version = page.version
         if cached is not None and cached[0] == version:
             return cached[1]
+        store = shm.active_store()
+        if store is not None:
+            page_id = getattr(page, "page_id", None)
+            if page_id is not None:
+                shared = store.get(page_id, version)
+                if shared is not None:
+                    try:
+                        self._columns[page] = (version, shared)
+                    except TypeError:  # pragma: no cover - stand-in pages
+                        pass
+                    return shared
         records = page.records
         try:
             # Z-region records are (z_address, (point, payload)); every
@@ -341,11 +534,24 @@ class NumPyBackend(PurePythonBackend):
             columns = flat.reshape(len(records), -1) if len(records) else None
         except (OverflowError, ValueError, TypeError):
             columns = None
+        if columns is not None and store is not None:
+            page_id = getattr(page, "page_id", None)
+            if page_id is not None:
+                # publish into shared memory; non-owners get their
+                # private array back unchanged
+                columns = store.put(page_id, version, columns)
         try:
             self._columns[page] = (version, columns)
         except TypeError:  # pragma: no cover - non-weakref page stand-ins
             pass
         return columns
+
+    def prime_page_columns(self, page) -> None:
+        """Build (and, with an active shared store, publish) the page's
+        columnar view ahead of use — the coordinator's staging step
+        before handing a slab to workers."""
+        if page.records:
+            self._page_columns(page)
 
     def scan_page(self, curve, space, page, base=0):
         """Fused page kernel over the memoized columnar view."""
@@ -363,6 +569,108 @@ class NumPyBackend(PurePythonBackend):
         return self._entries_from_columns(
             tables, flip, space, columns, points, base
         )
+
+    def scan_page_run(self, curve, space, page, base=0):
+        """:meth:`scan_page` whose entries stay ``uint64`` array pairs."""
+        records = page.records
+        if not records:
+            return 0, [], _EMPTY_RUN
+        base_curve, flip = self._unwrap(curve)
+        tables = self._tables_for(base_curve)
+        if tables is None:
+            return super().scan_page_run(curve, space, page, base)
+        columns = self._page_columns(page)
+        if columns is None or columns.shape[1] != base_curve.dims:
+            return super().scan_page_run(curve, space, page, base)
+        points = _PagePoints(records)
+        keyed = self._select_and_key(tables, flip, space, columns, points)
+        if keyed is None:
+            return 0, [], _EMPTY_RUN
+        selected, keys, perm = keyed
+        run = (keys[perm], perm.astype(_U64) + _U64(base))
+        return int(selected.size), selected.tolist(), run
+
+    def make_run_buffer(self):
+        return NumPySortRunBuffer()
+
+    def scan_block(self, curve, space, pages):
+        """Whole-slab fused kernel: one concatenate + filter + key +
+        stable argsort over every page of the block.
+
+        The big-array calls here (compare, gather, table lookups,
+        argsort) release the GIL, which is what lets the thread executor
+        scale; per-page kernels never get arrays large enough for the
+        release to beat the dispatch overhead.
+        """
+        base_curve, flip = self._unwrap(curve)
+        tables = self._tables_for(base_curve)
+        if tables is None:
+            return super().scan_block(curve, space, pages)
+        page_columns: "list[np.ndarray]" = []
+        offsets = [0]
+        for page in pages:
+            records = page.records
+            if not records:
+                offsets.append(offsets[-1])
+                continue
+            columns = self._page_columns(page)
+            if columns is None or columns.shape[1] != base_curve.dims:
+                return super().scan_block(curve, space, pages)
+            page_columns.append(columns)
+            offsets.append(offsets[-1] + len(columns))
+        if not page_columns:
+            return [[] for _ in pages], []
+        block = (
+            page_columns[0]
+            if len(page_columns) == 1
+            else np.concatenate(page_columns, axis=0)
+        )
+        points = _BlockPoints(pages, offsets)
+        keyed = self._select_and_key(tables, flip, space, block, points)
+        if keyed is None:
+            return [[] for _ in pages], []
+        selected, keys, perm = keyed
+        # split the ascending global selection back into per-page slices
+        bounds = np.searchsorted(selected, np.asarray(offsets, dtype=np.intp))
+        selected_per_page = [
+            (selected[bounds[i] : bounds[i + 1]] - offsets[i]).tolist()
+            for i in range(len(pages))
+        ]
+        return selected_per_page, perm.tolist()
+
+    def merge_sorted_keys(self, keys_a, keys_b, *, reverse=False):
+        if not len(keys_a) or not len(keys_b):
+            return list(range(len(keys_a) + len(keys_b)))
+        try:
+            array_a = np.asarray(keys_a)
+            array_b = np.asarray(keys_b)
+        except (OverflowError, ValueError, TypeError):
+            return super().merge_sorted_keys(keys_a, keys_b, reverse=reverse)
+        if (
+            array_a.ndim != 1
+            or array_b.ndim != 1
+            or not np.issubdtype(array_a.dtype, np.integer)
+            or array_a.dtype != array_b.dtype
+        ):
+            return super().merge_sorted_keys(keys_a, keys_b, reverse=reverse)
+        if reverse:
+            # same ~k trick as argsort_keys: ascending on ~keys is
+            # descending on keys with identical tie behaviour
+            array_a = ~array_a
+            array_b = ~array_b
+        length_a = len(array_a)
+        pos_a = np.arange(length_a, dtype=np.intp) + np.searchsorted(
+            array_b, array_a, side="left"
+        )
+        pos_b = np.arange(len(array_b), dtype=np.intp) + np.searchsorted(
+            array_a, array_b, side="right"
+        )
+        permutation = np.empty(length_a + len(array_b), dtype=np.intp)
+        permutation[pos_a] = np.arange(length_a, dtype=np.intp)
+        permutation[pos_b] = np.arange(
+            length_a, length_a + len(array_b), dtype=np.intp
+        )
+        return permutation.tolist()
 
     def region_min_keys(self, z_curve, sort_curve, intervals, lo, hi):
         """Batched region keying: decode, clamp and encode all aligned

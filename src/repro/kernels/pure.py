@@ -9,6 +9,8 @@ standard library as its only hard dependency).
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from operator import itemgetter
 from typing import Any, Sequence
 
 from ..core.query_space import (
@@ -17,7 +19,61 @@ from ..core.query_space import (
     QueryBox,
     QuerySpace,
 )
-from .base import KernelBackend
+from .base import KernelBackend, SortRunBuffer
+
+_entry_key = itemgetter(0)
+
+
+class PureSortRunBuffer(SortRunBuffer):
+    """Reference run buffer: list runs, timsort consolidation.
+
+    ``_cache`` is one consolidated ``(key, order)``-sorted run and
+    ``_pending`` the per-page sorted runs that arrived since the last
+    flush.  Consolidation extends and re-sorts — timsort detects the
+    pre-sorted runs and performs exactly the galloping hierarchical
+    merge DPG prescribes, at C speed.  This is the semantics the NumPy
+    buffer must reproduce bit for bit.
+    """
+
+    def __init__(self) -> None:
+        self._cache: list[list[int]] = []
+        self._pending: list[list[list[int]]] = []
+        self._pending_count = 0
+
+    def push(self, run: Any) -> None:
+        if run:
+            self._pending.append(run)
+            self._pending_count += len(run)
+
+    def __len__(self) -> int:
+        return len(self._cache) + self._pending_count
+
+    def has_key_below(self, barrier: "int | None") -> bool:
+        if barrier is None:
+            return len(self) > 0
+        # sorted-run heads witness whether anything flushes at all
+        if self._cache and self._cache[0][0] < barrier:
+            return True
+        return any(batch[0][0] < barrier for batch in self._pending)
+
+    def cut(self, barrier: "int | None") -> "list[int]":
+        if self._pending:
+            for batch in self._pending:
+                self._cache.extend(batch)
+            # (key, order) pairs are unique, so their order is total and
+            # equals the key-then-arrival order of a per-tuple heap
+            self._cache.sort()
+            self._pending.clear()
+            self._pending_count = 0
+        cache = self._cache
+        cut = (
+            len(cache)
+            if barrier is None
+            else bisect_left(cache, barrier, key=_entry_key)
+        )
+        orders = [order for _, order in cache[:cut]]
+        del cache[:cut]
+        return orders
 
 
 class PurePythonBackend(KernelBackend):
@@ -88,6 +144,38 @@ class PurePythonBackend(KernelBackend):
     def scan_page(self, curve, space, page, base=0):
         points = [record[1][0] for record in page.records]
         return self.page_entries(curve, space, points, base)
+
+    def scan_page_run(self, curve, space, page, base=0):
+        # the pure-native run *is* the entry list
+        return self.scan_page(curve, space, page, base)
+
+    def make_run_buffer(self):
+        return PureSortRunBuffer()
+
+    def scan_block(self, curve, space, pages):
+        selected_per_page: list[Sequence[int]] = []
+        entries: list[list[int]] = []
+        base = 0
+        for page in pages:
+            count, selected, page_entries = self.scan_page(curve, space, page, base)
+            selected_per_page.append(selected)
+            entries.extend(page_entries)
+            base += count
+        # per-page entries carry globally unique (key, arrival) pairs;
+        # one total sort is the whole-slab slice order
+        entries.sort()
+        return selected_per_page, [order for _, order in entries]
+
+    def merge_sorted_keys(self, keys_a, keys_b, *, reverse=False):
+        length_a = len(keys_a)
+        concatenated = list(keys_a) + list(keys_b)
+        # timsort over two pre-sorted runs is one galloping merge; its
+        # stability gives keys_a the tie win, like a stable full sort
+        return sorted(
+            range(length_a + len(keys_b)),
+            key=concatenated.__getitem__,
+            reverse=reverse,
+        )
 
     def region_min_keys(self, z_curve, sort_curve, intervals, lo, hi):
         # per-interval corner collection is shared; encoding is batched

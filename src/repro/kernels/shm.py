@@ -1,0 +1,425 @@
+"""Shared-memory columnar page store: zero-copy slab handoff.
+
+The NumPy backend memoizes each Z-region page as a ``(records, dims)``
+``uint64`` coordinate matrix keyed on ``Page.version``.  This module
+moves those matrices into ``multiprocessing.shared_memory`` segments so
+slab-parallel workers *attach* read-only views instead of receiving
+pickled pages:
+
+* the **scan coordinator** (the process that owns the
+  :class:`~repro.storage.buffer.BufferPool`) is the only creator — it
+  ``put()``\\ s a page's columns once, stamped with the page's mutation
+  ``version``;
+* **workers** (fork children, executor threads) call :meth:`get` /
+  :meth:`attach` and receive a read-only NumPy view over the shared
+  mapping — no serialization, no copy;
+* the coordinator **unlinks**: a segment is unlinked the moment it is
+  replaced (version bump), discarded (buffer-pool eviction) or the store
+  closes.  POSIX keeps an unlinked mapping valid while it is mapped, so
+  live reader views never dangle; the retired ``SharedMemory`` handles
+  are parked in a graveyard and closed (best-effort — a still-exported
+  buffer keeps its mapping alive) when the store closes.
+
+Version-stamped invalidation: :meth:`get` with a newer version misses
+(the caller rebuilds and re-``put()``\\ s), and :meth:`attach` raises the
+typed :class:`StaleSegmentError` — a worker can observe fresh columns or
+a typed error, never stale ones.
+
+Crash safety: every created segment is tracked by a ``weakref.finalize``
+finalizer (which also runs at interpreter exit), so an abandoned store
+still unlinks its segments; the finalizer and :meth:`put` are both
+guarded by the creator PID, so fork children can neither create nor
+unlink segments they do not own.  Python's ``resource_tracker`` remains
+the backstop of last resort for hard crashes.
+
+The store registry is per scan target: :func:`shared_columns` builds one
+store for the table being swept, optionally bound to that table's buffer
+pool so evictions retire the matching segments (shm residency then never
+exceeds pool residency).  ``REPRO_CHECKS=1`` cross-checks the
+created/live/retired/unlinked ledger on every mutation
+(:func:`repro.invariants.validate_shm_store`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Iterator
+
+try:  # NumPy is optional for the package; this module needs it at use time
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..storage.buffer import BufferPool
+
+__all__ = [
+    "MissingSegmentError",
+    "ShmStats",
+    "SharedColumnStore",
+    "StaleSegmentError",
+    "activate",
+    "active_store",
+    "deactivate",
+    "shared_columns",
+]
+
+
+class StaleSegmentError(RuntimeError):
+    """A worker demanded a page version the shared segment no longer holds."""
+
+
+class MissingSegmentError(RuntimeError):
+    """A worker demanded a page that was never staged into the store."""
+
+
+@dataclass
+class ShmStats:
+    """Lifecycle ledger of one store (validated under ``REPRO_CHECKS=1``)."""
+
+    created: int = 0  #: segments allocated by the owning process
+    attached: int = 0  #: read-only views handed out by get()/attach()
+    stale_misses: int = 0  #: get() misses caused by a version mismatch
+    retired: int = 0  #: segments removed from the registry (replace/evict/close)
+    unlinked: int = 0  #: segments whose shared name was removed
+    rejected_puts: int = 0  #: put() refusals (non-owner, closed, alloc failure)
+
+
+class _Segment:
+    """One page's columns in shared memory, stamped with its version."""
+
+    __slots__ = ("memory", "version", "shape", "dtype")
+
+    def __init__(
+        self,
+        memory: shared_memory.SharedMemory,
+        version: int,
+        shape: tuple[int, ...],
+        dtype: str,
+    ) -> None:
+        self.memory = memory
+        self.version = version
+        self.shape = shape
+        self.dtype = dtype
+
+
+def _close_quietly(memory: shared_memory.SharedMemory) -> None:
+    """Release a mapping unless a live view still exports its buffer."""
+    try:
+        memory.close()
+    except BufferError:
+        # a reader's NumPy view is still alive; the mapping stays valid
+        # until that view is collected (the name is already unlinked)
+        return
+
+
+def _unlink_quietly(memory: shared_memory.SharedMemory) -> None:
+    try:
+        memory.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        return
+
+
+def _finalize_store(
+    owner_pid: int,
+    segments: dict[int, _Segment],
+    graveyard: list[shared_memory.SharedMemory],
+) -> None:
+    """Last-resort cleanup for an abandoned store (GC or interpreter exit).
+
+    Runs in fork children too (they inherit the finalizer), so the PID
+    guard is what keeps a worker's exit from unlinking the parent's
+    segments.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for segment in list(segments.values()):
+        _unlink_quietly(segment.memory)
+        _close_quietly(segment.memory)
+    segments.clear()
+    for memory in graveyard:
+        _close_quietly(memory)
+    graveyard.clear()
+
+
+class SharedColumnStore:
+    """Registry of shared-memory column segments for one scan target.
+
+    ``label`` names the table (or scan) the store serves — informational
+    only, but it keeps multi-table diagnostics readable.  All methods are
+    thread-safe; creation and unlinking are additionally restricted to
+    the process that constructed the store.
+    """
+
+    def __init__(self, *, label: str = "") -> None:
+        if np is None:
+            raise RuntimeError(
+                "the shared-memory column store requires NumPy; "
+                "the pure backend hands slabs off copy-on-write instead"
+            )
+        self.label = label
+        self.stats = ShmStats()
+        self._segments: dict[int, _Segment] = {}
+        self._graveyard: list[shared_memory.SharedMemory] = []
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self._pool: "BufferPool | None" = None
+        self._finalizer = weakref.finalize(
+            self, _finalize_store, self._owner_pid, self._segments, self._graveyard
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def owner_pid(self) -> int:
+        return self._owner_pid
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._segments)
+
+    def segment_pages(self) -> tuple[int, ...]:
+        """Page ids currently staged (diagnostics and tests)."""
+        with self._lock:
+            return tuple(sorted(self._segments))
+
+    # ------------------------------------------------------------------
+    # the lifecycle: put (create) / get / attach / discard / close
+    # ------------------------------------------------------------------
+    def put(self, page_id: int, version: int, columns: "np.ndarray") -> "np.ndarray":
+        """Publish a page's columns; returns the shared read-only view.
+
+        Only the owning process creates segments; callers in workers (or
+        after close, or when the segment allocation fails) get the input
+        array back unchanged and keep working on private memory — the
+        store degrades, it never blocks a scan.
+        """
+        with self._lock:
+            if self._closed or os.getpid() != self._owner_pid:
+                self.stats.rejected_puts += 1
+                return columns
+            previous = self._segments.pop(page_id, None)
+            if previous is not None:
+                self._retire(previous)
+            try:
+                memory = shared_memory.SharedMemory(
+                    create=True, size=max(int(columns.nbytes), 1)
+                )
+            except (OSError, ValueError):
+                self.stats.rejected_puts += 1
+                self._validate()
+                return columns
+            view: "np.ndarray" = np.ndarray(
+                columns.shape, dtype=columns.dtype, buffer=memory.buf
+            )
+            view[...] = columns
+            view.flags.writeable = False
+            self._segments[page_id] = _Segment(
+                memory, version, tuple(columns.shape), columns.dtype.str
+            )
+            self.stats.created += 1
+            self._validate()
+            return view
+
+    def get(self, page_id: int, version: int) -> "np.ndarray | None":
+        """Read-only view of the page's columns, or ``None`` to rebuild.
+
+        ``None`` means the page was never staged *or* the segment holds
+        an older version (stamped invalidation): the caller rebuilds
+        from the page records and may re-:meth:`put`.
+        """
+        with self._lock:
+            segment = self._segments.get(page_id)
+            if segment is None:
+                return None
+            if segment.version != version:
+                self.stats.stale_misses += 1
+                return None
+            self.stats.attached += 1
+            return self._view(segment)
+
+    def attach(self, page_id: int, version: int) -> "np.ndarray":
+        """Strict worker-side variant of :meth:`get`: typed errors.
+
+        Raises :class:`MissingSegmentError` when the page was never
+        staged and :class:`StaleSegmentError` when the staged version
+        differs — a worker can never silently read stale columns.
+        """
+        with self._lock:
+            segment = self._segments.get(page_id)
+            if segment is None:
+                raise MissingSegmentError(
+                    f"page {page_id} has no staged column segment"
+                    f"{f' (store {self.label})' if self.label else ''}"
+                )
+            if segment.version != version:
+                raise StaleSegmentError(
+                    f"page {page_id}: staged columns are version "
+                    f"{segment.version}, worker expects {version}; the page "
+                    "was mutated after staging"
+                )
+            self.stats.attached += 1
+            return self._view(segment)
+
+    def discard(self, page_id: int) -> bool:
+        """Retire one page's segment (buffer-pool eviction observer)."""
+        with self._lock:
+            segment = self._segments.pop(page_id, None)
+            if segment is None:
+                return False
+            self._retire(segment)
+            self._validate()
+            return True
+
+    def close(self) -> None:
+        """Unlink every live segment and release retired mappings.
+
+        Idempotent.  Safe to call from a worker (no-op on the shared
+        registry: only the owner unlinks).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if os.getpid() == self._owner_pid:
+                for segment in list(self._segments.values()):
+                    self._retire(segment)
+                self._segments.clear()
+                for memory in self._graveyard:
+                    _close_quietly(memory)
+                self._graveyard.clear()
+            self._validate()
+        self._finalizer.detach()
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.remove_eviction_observer(self.discard)
+
+    # ------------------------------------------------------------------
+    # buffer-pool binding: shm residency follows pool residency
+    # ------------------------------------------------------------------
+    def bind_pool(self, pool: "BufferPool") -> None:
+        """Retire segments in lockstep with the pool's evictions."""
+        if self._pool is not None:
+            raise RuntimeError("store is already bound to a buffer pool")
+        self._pool = pool
+        pool.add_eviction_observer(self.discard)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _view(self, segment: _Segment) -> "np.ndarray":
+        view: "np.ndarray" = np.ndarray(
+            segment.shape, dtype=segment.dtype, buffer=segment.memory.buf
+        )
+        view.flags.writeable = False
+        return view
+
+    def _retire(self, segment: _Segment) -> None:
+        """Unlink now; park the handle until close (views may be live)."""
+        _unlink_quietly(segment.memory)
+        self._graveyard.append(segment.memory)
+        self.stats.retired += 1
+        self.stats.unlinked += 1
+
+    def _validate(self) -> None:
+        from .. import invariants
+
+        if invariants.enabled():
+            invariants.validate_shm_store(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self._segments)} segments"
+        label = f" {self.label!r}" if self.label else ""
+        return f"<SharedColumnStore{label} {state}>"
+
+
+# ----------------------------------------------------------------------
+# the active store: what NumPyBackend._page_columns consults
+# ----------------------------------------------------------------------
+_active_store: SharedColumnStore | None = None
+
+
+def active_store() -> SharedColumnStore | None:
+    """The store the NumPy backend currently publishes columns through."""
+    return _active_store
+
+
+def activate(store: SharedColumnStore) -> SharedColumnStore:
+    """Make ``store`` the active one (fork children inherit it)."""
+    global _active_store
+    if _active_store is not None:
+        raise RuntimeError("a shared column store is already active")
+    _active_store = store
+    return store
+
+
+def deactivate() -> None:
+    global _active_store
+    _active_store = None
+
+
+@contextmanager
+def shared_columns(
+    store: SharedColumnStore | None = None,
+    *,
+    label: str = "",
+    pool: "BufferPool | None" = None,
+) -> Iterator[SharedColumnStore]:
+    """Activate a store for the duration of a scan; always close on exit.
+
+    The close-on-exit guarantee is what the segment-leak contract rests
+    on: a scan that raises mid-slab still unlinks every segment it
+    created (asserted by the test suite).
+    """
+    if store is None:
+        store = SharedColumnStore(label=label)
+    if pool is not None:
+        store.bind_pool(pool)
+    activate(store)
+    try:
+        yield store
+    finally:
+        deactivate()
+        store.close()
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared segment with this system name still exists.
+
+    Test helper for the leak contract: after a store closes, every name
+    it created must be gone.
+    """
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+def _segment_names(store: SharedColumnStore) -> "list[str]":
+    """System names of the store's live segments (test helper)."""
+    with store._lock:
+        return [segment.memory.name for segment in store._segments.values()]
+
+
+def resolve_columns(store: SharedColumnStore | None, page: Any) -> "np.ndarray | None":
+    """Fetch a page's staged columns through the stamped-version gate.
+
+    Convenience used by the NumPy backend: ``None`` (no store, never
+    staged, or stale) means "rebuild from the records".
+    """
+    if store is None:
+        return None
+    return store.get(page.page_id, page.version)

@@ -11,10 +11,14 @@ from .executor import (
 )
 from .optimizer import CandidatePlan, RelationStats, choose_plan, enumerate_plans
 from .parallel import (
+    ExecutorFallbackEvent,
     ParallelScanResult,
     SweepSlab,
     parallel_tetris_scan,
     plan_slabs,
+    register_fallback_observer,
+    select_executor,
+    unregister_fallback_observer,
 )
 from .statistics import AttributeHistogram, TableStatistics
 
@@ -23,6 +27,7 @@ __all__ = [
     "CandidatePlan",
     "DegradationEvent",
     "ExecutablePlan",
+    "ExecutorFallbackEvent",
     "ParallelScanResult",
     "PhysicalDesign",
     "PlanExhaustedError",
@@ -36,4 +41,7 @@ __all__ = [
     "parallel_tetris_scan",
     "plan_slabs",
     "plan_sorted_query",
+    "register_fallback_observer",
+    "select_executor",
+    "unregister_fallback_observer",
 ]

@@ -17,31 +17,82 @@ order therefore reproduces the serial stream **bit for bit**:
   duplicates of one point live on one Z-region page, so even the
   arrival-order tiebreak is preserved.
 
-Workers are plain ``fork``-started processes: each child inherits the
-in-memory simulated database copy-on-write and runs an ordinary
-:class:`~repro.core.tetris.TetrisScan` over its slab, with all engine
-contracts (stream checking under ``REPRO_CHECKS``, fault injection,
-quarantine, WAL state) intact because it is literally the same code on
-the same data.  Where ``fork`` is unavailable the slabs run inline, so
-results never depend on the platform.
+Executors
+---------
+Three ways to run the slabs, selected by :func:`select_executor` (policy
+``auto``, overridable via the ``REPRO_PARALLEL_EXECUTOR`` environment
+variable or the ``executor=`` argument):
+
+``threads``
+    One ``ThreadPoolExecutor`` task per slab, *whole-slab batched*: the
+    coordinator stages a slab's pages under a lock (the buffer pool is
+    not thread-safe), then the worker runs one
+    :func:`repro.kernels.scan_block` call over the entire slab.  The
+    NumPy backend's big-array kernels release the GIL, so slabs overlap
+    on real cores with zero serialization and zero data copies.  The
+    default for the ``numpy`` backend.
+
+``fork``
+    One ``fork``-started process per slab batch; children inherit the
+    in-memory simulated database copy-on-write and run an ordinary
+    :class:`~repro.core.tetris.TetrisScan`, with all engine contracts
+    (stream checking, fault injection, quarantine, WAL state) intact.
+    Pages are **never pickled**: they arrive by COW inheritance, and
+    with the NumPy backend the coordinator pre-stages the columnar page
+    cache in ``multiprocessing.shared_memory``
+    (:mod:`repro.kernels.shm`), so children attach read-only views
+    instead of rebuilding arrays.  The default for the ``python``
+    backend.
+
+``inline``
+    The slabs run sequentially in the caller (still whole-slab batched).
+    Selected for ``workers <= 1`` and as the fallback when ``fork`` is
+    requested but unavailable — in which case a structured
+    :class:`ExecutorFallbackEvent` is recorded on the result and pushed
+    to :func:`register_fallback_observer` subscribers, mirroring the
+    plan-degradation events of :mod:`repro.planner.executor`.
+
+Whichever executor runs, the concatenated stream is bit-identical; only
+wall-clock time and observability differ.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
+from .. import invariants, kernels
 from ..core.query_space import QueryBox, QuerySpace, box_is_empty
 from ..core.tetris import SortedTuple, TetrisScan
+from ..kernels import shm
 from ..relational.table import UBTable
 
 __all__ = [
+    "EXECUTOR_ENV_VAR",
+    "ExecutorFallbackEvent",
     "ParallelScanResult",
     "SweepSlab",
     "parallel_tetris_scan",
     "plan_slabs",
+    "register_fallback_observer",
+    "select_executor",
+    "unregister_fallback_observer",
 ]
+
+#: environment override for the executor policy ("auto", "threads",
+#: "fork", "inline"); an explicit ``executor=`` argument wins over it
+EXECUTOR_ENV_VAR = "REPRO_PARALLEL_EXECUTOR"
+
+_EXECUTORS = ("auto", "threads", "fork", "inline")
+
+#: "all of them" for region projections (LookaheadCursor.peek is lazy
+#: and stops at exhaustion, so an over-ask costs nothing)
+_ALL_REGIONS = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -57,6 +108,105 @@ class SweepSlab:
         return self.hi - self.lo + 1
 
 
+@dataclass(frozen=True)
+class ExecutorFallbackEvent:
+    """One executor-selection downgrade, reported to the caller.
+
+    Mirrors :class:`repro.planner.executor.DegradationEvent`: a
+    structured record that a requested execution mode was not honoured,
+    observable on the :class:`ParallelScanResult` and through
+    :func:`register_fallback_observer` — never a silent downgrade.
+    """
+
+    requested: str  #: executor asked for ("fork", "auto", ...)
+    selected: str  #: executor actually used
+    reason: str  #: why the requested one was not honoured
+    backend: str  #: kernel backend name at selection time
+    workers: int  #: workers requested
+
+    def describe(self) -> str:
+        return (
+            f"parallel scan requested the {self.requested!r} executor but "
+            f"ran {self.selected!r} ({self.reason}; backend "
+            f"{self.backend!r}, {self.workers} workers)"
+        )
+
+
+_fallback_observers: list[Callable[[ExecutorFallbackEvent], Any]] = []
+
+
+def register_fallback_observer(
+    observer: Callable[[ExecutorFallbackEvent], Any],
+) -> None:
+    """Subscribe to executor fallback events (serving-layer telemetry)."""
+    _fallback_observers.append(observer)
+
+
+def unregister_fallback_observer(
+    observer: Callable[[ExecutorFallbackEvent], Any],
+) -> None:
+    """Drop a subscription added by :func:`register_fallback_observer`."""
+    try:
+        _fallback_observers.remove(observer)
+    except ValueError:
+        pass
+
+
+def _emit_fallback(event: ExecutorFallbackEvent) -> None:
+    for observer in list(_fallback_observers):
+        observer(event)
+
+
+def select_executor(
+    requested: str, backend_name: str, workers: int
+) -> "tuple[str, ExecutorFallbackEvent | None]":
+    """Resolve the executor policy to a concrete executor.
+
+    ``auto`` picks ``threads`` for the NumPy backend (vectorized kernels
+    release the GIL) and ``fork`` for the pure backend (true parallelism
+    needs processes there).  A request that cannot be honoured —
+    ``fork`` on a platform without the fork start method — degrades to
+    ``inline`` and returns the :class:`ExecutorFallbackEvent` describing
+    the downgrade; ``workers <= 1`` selects ``inline`` silently (that is
+    the policy, not a fallback).
+    """
+    if requested not in _EXECUTORS:
+        raise ValueError(
+            f"unknown executor {requested!r}; expected one of "
+            f"{', '.join(_EXECUTORS)}"
+        )
+    if workers <= 1 or requested == "inline":
+        return "inline", None
+    if requested == "threads":
+        return "threads", None
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    if requested == "fork":
+        if fork_available:
+            return "fork", None
+        return "inline", ExecutorFallbackEvent(
+            requested="fork",
+            selected="inline",
+            reason="the fork start method is unavailable on this platform",
+            backend=backend_name,
+            workers=workers,
+        )
+    # auto
+    if backend_name == "numpy":
+        return "threads", None
+    if fork_available:
+        return "fork", None
+    return "inline", ExecutorFallbackEvent(
+        requested="auto",
+        selected="inline",
+        reason=(
+            "the pure backend parallelizes via fork, and the fork start "
+            "method is unavailable on this platform"
+        ),
+        backend=backend_name,
+        workers=workers,
+    )
+
+
 @dataclass
 class ParallelScanResult:
     """The concatenated, order-exact stream of a slab-parallel sweep."""
@@ -64,7 +214,12 @@ class ParallelScanResult:
     slabs: list[SweepSlab]
     per_slab_counts: list[int]
     rows: list[SortedTuple]
-    workers: int  #: worker processes actually used (1 = ran inline)
+    workers: int  #: workers actually used (1 = ran inline)
+    executor: str = "inline"  #: executor that ran ("threads"/"fork"/"inline")
+    fallbacks: tuple[ExecutorFallbackEvent, ...] = ()
+    #: pickled bytes shipped per slab on the process transport; zero for
+    #: the zero-copy executors, ``None`` when not measured
+    serialized_bytes_per_slab: "list[int] | None" = None
 
     def __iter__(self) -> Iterator[SortedTuple]:
         return iter(self.rows)
@@ -117,6 +272,99 @@ def _slab_space(
     )
 
 
+# ----------------------------------------------------------------------
+# whole-slab batched execution (threads / inline)
+# ----------------------------------------------------------------------
+def _stage_slab(
+    table: UBTable,
+    space: QuerySpace,
+    sort_dims: "tuple[int, ...]",
+    descending: bool,
+    strategy: str,
+) -> "tuple[TetrisScan, list[Any]]":
+    """Fetch one slab's pages in retrieval order (coordinator-only).
+
+    Must run under the staging lock: the buffer pool, the region
+    cursor and the backend's column memoization are not thread-safe.
+    The returned pages are plain references — eviction cannot
+    invalidate them — so the compute phase needs no locking at all.
+    """
+    scan = TetrisScan(
+        table.ubtree,
+        space,
+        sort_dims,
+        descending=descending,
+        strategy=strategy,
+    )
+    regions = scan.upcoming_regions(_ALL_REGIONS)
+    buffer = table.ubtree.tree.buffer
+    category = table.ubtree.category
+    pages = [buffer.get(region.page_id, category=category) for region in regions]
+    backend = kernels.get_backend()
+    # the NumPy backend's column conversion is GIL-bound anyway, so
+    # priming it here costs no parallelism and keeps the compute phase
+    # free of cache writes
+    prime = getattr(backend, "prime_page_columns", None)
+    if prime is not None:
+        for page in pages:
+            prime(page)
+    return scan, pages
+
+
+def _scan_block_rows(scan: TetrisScan, pages: "list[Any]") -> list[SortedTuple]:
+    """One slab's stream from one whole-slab kernel call.
+
+    ``scan_block`` returns the sort permutation over the concatenated
+    qualifying arrivals; gathering the arrival-ordered ``(point,
+    payload)`` pairs through it reproduces the page-at-a-time sweep's
+    stream bit for bit (keys ascend, arrival order breaks ties — the
+    same total order the serial run buffer emits).
+    """
+    kernel = kernels.get_backend()
+    selected_per_page, emit_order = kernel.scan_block(
+        scan.tetris_curve, scan.space, pages
+    )
+    arrivals: list[SortedTuple] = []
+    for page, selected in zip(pages, selected_per_page):
+        records = page.records
+        arrivals.extend(records[index][1] for index in selected)
+    rows = [arrivals[index] for index in emit_order]
+    if invariants.enabled():
+        checker = invariants.StreamChecker(
+            scan.sort_dims, scan.descending, scan.space
+        )
+        for point, _payload in rows:
+            checker.observe(point)
+    return rows
+
+
+def _run_batched(
+    table: UBTable,
+    spaces: "list[QuerySpace]",
+    sort_dims: "tuple[int, ...]",
+    descending: bool,
+    strategy: str,
+    pool_size: int,
+) -> "list[list[SortedTuple]]":
+    """Threaded (or inline, ``pool_size == 1``) whole-slab execution."""
+    staging_lock = threading.Lock()
+
+    def run_one(index: int) -> list[SortedTuple]:
+        with staging_lock:
+            scan, pages = _stage_slab(
+                table, spaces[index], sort_dims, descending, strategy
+            )
+        return _scan_block_rows(scan, pages)
+
+    if pool_size <= 1:
+        return [run_one(index) for index in range(len(spaces))]
+    with ThreadPoolExecutor(max_workers=pool_size) as executor:
+        return list(executor.map(run_one, range(len(spaces))))
+
+
+# ----------------------------------------------------------------------
+# fork execution: COW inheritance + shared-memory columns
+# ----------------------------------------------------------------------
 #: fork-inherited context of the in-flight parallel scan; children read
 #: it copy-on-write, the parent clears it once the pool is done
 _WORKER_STATE: dict[str, Any] = {}
@@ -136,6 +384,75 @@ def _run_slab(index: int) -> list[SortedTuple]:
     return list(scan)
 
 
+def _stage_shared_columns(
+    table: UBTable,
+    spaces: "list[QuerySpace]",
+    sort_dims: "tuple[int, ...]",
+    descending: bool,
+    strategy: str,
+) -> None:
+    """Pre-publish every slab page's columns into the active shm store.
+
+    Fork children then attach read-only views through
+    ``SharedColumnStore.get`` instead of each rebuilding the arrays from
+    the COW'd Python records — the conversion runs once, in the parent.
+    """
+    for space in spaces:
+        _stage_slab(table, space, sort_dims, descending, strategy)
+
+
+def _run_forked(
+    table: UBTable,
+    spaces: "list[QuerySpace]",
+    sort_dims: "tuple[int, ...]",
+    descending: bool,
+    strategy: str,
+    pool_size: int,
+    measure_serialization: bool,
+) -> "tuple[list[list[SortedTuple]], list[int] | None]":
+    """Fork-pool execution; pages travel COW + shm, never pickled."""
+    _WORKER_STATE.update(
+        table=table,
+        spaces=spaces,
+        sort_dims=sort_dims,
+        descending=descending,
+        strategy=strategy,
+    )
+    backend = kernels.get_backend()
+    stage_shm = (
+        backend.name == "numpy"
+        and shm.np is not None
+        and shm.active_store() is None
+    )
+    try:
+        if stage_shm:
+            with shm.shared_columns(label=getattr(table, "name", "")):
+                _stage_shared_columns(
+                    table, spaces, sort_dims, descending, strategy
+                )
+                per_slab = _fork_map(pool_size, len(spaces))
+        else:
+            per_slab = _fork_map(pool_size, len(spaces))
+    finally:
+        _WORKER_STATE.clear()
+    serialized: "list[int] | None" = None
+    if measure_serialization:
+        # what the process transport actually ships per slab: the result
+        # rows (pages are inherited COW and columns attach via shm, so
+        # no page bytes appear here)
+        serialized = [len(pickle.dumps(chunk)) for chunk in per_slab]
+    return per_slab, serialized
+
+
+def _fork_map(pool_size: int, slab_count: int) -> "list[list[SortedTuple]]":
+    context = multiprocessing.get_context("fork")
+    with context.Pool(pool_size) as pool:
+        return pool.map(_run_slab, range(slab_count))
+
+
+# ----------------------------------------------------------------------
+# the entry point
+# ----------------------------------------------------------------------
 def parallel_tetris_scan(
     table: UBTable,
     space: "QuerySpace | dict[str, tuple[Any, Any]] | None",
@@ -145,19 +462,25 @@ def parallel_tetris_scan(
     slabs: int | None = None,
     descending: bool = False,
     strategy: str = "eager",
+    executor: str | None = None,
+    measure_serialization: bool = False,
 ) -> ParallelScanResult:
     """Run a Tetris sweep as ``slabs`` independent slab sweeps.
 
     Parameters mirror :meth:`~repro.relational.table.UBTable.tetris_scan`
-    plus the parallel knobs: ``workers`` processes execute ``slabs``
-    sweep slabs (default: one per worker) and the per-slab streams are
+    plus the parallel knobs: ``workers`` workers execute ``slabs`` sweep
+    slabs (default: one per worker) and the per-slab streams are
     concatenated in slab order — ascending slabs for an ascending sort,
     descending slabs (each internally descending) otherwise.  The result
-    is bit-identical to the serial scan's stream.
+    is bit-identical to the serial scan's stream on every executor.
 
-    Workers need the ``fork`` start method (copy-on-write inheritance of
-    the in-memory simulated database); elsewhere, or with ``workers <=
-    1``, the slabs run inline in slab order.
+    ``executor`` picks the execution mode (``"auto"``, ``"threads"``,
+    ``"fork"``, ``"inline"``); ``None`` reads ``REPRO_PARALLEL_EXECUTOR``
+    and defaults to ``auto`` — see :func:`select_executor`.  Downgrades
+    are recorded as :class:`ExecutorFallbackEvent`\\ s on the result.
+    ``measure_serialization`` additionally reports the pickled bytes the
+    process transport ships per slab (always zero for the zero-copy
+    thread/inline executors).
     """
     if workers < 1:
         raise ValueError("worker count must be >= 1")
@@ -170,6 +493,14 @@ def parallel_tetris_scan(
     primary = sort_dims[0]
     coord_max = table.space.coord_max
 
+    requested = executor or os.environ.get(EXECUTOR_ENV_VAR) or "auto"
+    backend_name = kernels.get_backend().name
+    selected, fallback = select_executor(requested, backend_name, workers)
+    fallbacks: "tuple[ExecutorFallbackEvent, ...]" = ()
+    if fallback is not None:
+        fallbacks = (fallback,)
+        _emit_fallback(fallback)
+
     planned = plan_slabs(space, primary, coord_max, slabs or workers)
     if descending:
         planned = [
@@ -177,32 +508,32 @@ def parallel_tetris_scan(
             for position, slab in enumerate(reversed(planned))
         ]
     if not planned:
-        return ParallelScanResult([], [], [], workers=1)
+        return ParallelScanResult(
+            [], [], [], workers=1, executor="inline", fallbacks=fallbacks
+        )
     spaces = [_slab_space(space, slab, primary, coord_max) for slab in planned]
+    if selected != "inline" and len(planned) == 1:
+        selected = "inline"  # one slab cannot overlap with anything
 
-    use_pool = (
-        workers > 1
-        and len(planned) > 1
-        and "fork" in multiprocessing.get_all_start_methods()
-    )
-    _WORKER_STATE.update(
-        table=table,
-        spaces=spaces,
-        sort_dims=sort_dims,
-        descending=descending,
-        strategy=strategy,
-    )
-    try:
-        if use_pool:
-            pool_size = min(workers, len(planned))
-            context = multiprocessing.get_context("fork")
-            with context.Pool(pool_size) as pool:
-                per_slab = pool.map(_run_slab, range(len(planned)))
-        else:
-            pool_size = 1
-            per_slab = [_run_slab(index) for index in range(len(planned))]
-    finally:
-        _WORKER_STATE.clear()
+    serialized: "list[int] | None" = None
+    if selected == "fork":
+        pool_size = min(workers, len(planned))
+        per_slab, serialized = _run_forked(
+            table,
+            spaces,
+            sort_dims,
+            descending,
+            strategy,
+            pool_size,
+            measure_serialization,
+        )
+    else:
+        pool_size = min(workers, len(planned)) if selected == "threads" else 1
+        per_slab = _run_batched(
+            table, spaces, sort_dims, descending, strategy, pool_size
+        )
+        if measure_serialization:
+            serialized = [0] * len(per_slab)  # zero-copy transports
 
     rows: list[SortedTuple] = []
     for chunk in per_slab:
@@ -212,4 +543,7 @@ def parallel_tetris_scan(
         per_slab_counts=[len(chunk) for chunk in per_slab],
         rows=rows,
         workers=pool_size,
+        executor=selected,
+        fallbacks=fallbacks,
+        serialized_bytes_per_slab=serialized,
     )

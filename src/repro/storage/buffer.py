@@ -31,7 +31,7 @@ prefetched page degrades identically to a corrupt demand-fetched one.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from .. import invariants
 from .disk import SimulatedDisk
@@ -95,6 +95,11 @@ class BufferPool:
         self.prefetch_issued = 0
         self.prefetch_claimed = 0
         self.prefetch_cancelled = 0
+        #: callbacks fired with the page id whenever a frame leaves the
+        #: pool (eviction, quarantine, drop, cancelled prefetch) —
+        #: derived caches keyed on residency (e.g. the shared-memory
+        #: column store) retire their state in lockstep
+        self._eviction_observers: list[Callable[[int], Any]] = []
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._dirty: set[int] = set()
         #: resident frames whose async read has not been claimed yet —
@@ -103,6 +108,21 @@ class BufferPool:
         #: cumulative I/O failures per page, across lookups
         self._failures: dict[int, int] = {}
         self._quarantined: set[int] = set()
+
+    def add_eviction_observer(self, observer: Callable[[int], Any]) -> None:
+        """Call ``observer(page_id)`` whenever a frame leaves the pool."""
+        self._eviction_observers.append(observer)
+
+    def remove_eviction_observer(self, observer: Callable[[int], Any]) -> None:
+        """Detach a previously added observer (no-op when absent)."""
+        try:
+            self._eviction_observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify_evicted(self, page_id: int) -> None:
+        for observer in self._eviction_observers:
+            observer(page_id)
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._frames
@@ -228,7 +248,8 @@ class BufferPool:
         if page_id not in self._prefetched:
             return False
         self._cancel_pending(page_id)
-        self._frames.pop(page_id, None)
+        if self._frames.pop(page_id, None) is not None:
+            self._notify_evicted(page_id)
         self._validate()
         return True
 
@@ -315,7 +336,8 @@ class BufferPool:
         # async read of it along the way
         if page_id in self._prefetched:
             self._cancel_pending(page_id)
-        self._frames.pop(page_id, None)
+        if self._frames.pop(page_id, None) is not None:
+            self._notify_evicted(page_id)
         self._dirty.discard(page_id)
 
     # ------------------------------------------------------------------
@@ -386,9 +408,11 @@ class BufferPool:
         if page_id in self._prefetched:
             self._cancel_pending(page_id)
         page = self._frames.pop(page_id, None)
-        if page is not None and page_id in self._dirty:
-            self._dirty.discard(page_id)
-            self.disk.write(page, category=category)
+        if page is not None:
+            if page_id in self._dirty:
+                self._dirty.discard(page_id)
+                self.disk.write(page, category=category)
+            self._notify_evicted(page_id)
         self._validate()
 
     def flush(self, *, category: str = "data") -> None:
@@ -410,8 +434,11 @@ class BufferPool:
         """
         for page_id in list(self._prefetched):
             self._cancel_pending(page_id)
+        dropped = list(self._frames)
         self._frames.clear()
         self._dirty.clear()
+        for page_id in dropped:
+            self._notify_evicted(page_id)
 
     @property
     def hit_ratio(self) -> float:
@@ -434,6 +461,7 @@ class BufferPool:
             if victim_id in self._dirty:
                 self._dirty.discard(victim_id)
                 self.disk.write(victim, category=category)
+            self._notify_evicted(victim_id)
 
     def _choose_victim(self) -> int:
         """The frame to evict: policy first, LRU order as the fallback."""

@@ -329,3 +329,183 @@ class TestDescendingComposite:
             ((p[2], p[1]) for p, _ in down), reverse=True
         ) == [(p[2], p[1]) for p, _ in down]
         assert len(down) == len(ascending)
+
+
+# ----------------------------------------------------------------------
+# whole-slab kernels: run formation, block scans, run merging
+# ----------------------------------------------------------------------
+def make_record_page(curve, points, page_id=0):
+    """A synthetic Z-region page: records are (z_address, (point, payload))."""
+    from repro.storage.page import Page
+
+    page = Page(page_id, max(len(points), 1))
+    entries = sorted(
+        (curve.encode(point), (point, index))
+        for index, point in enumerate(points)
+    )
+    page.extend(entries)
+    return page
+
+
+@needs_numpy
+@given(curve_cases())
+@settings(max_examples=40, deadline=None)
+def test_scan_page_run_and_buffer_parity(case):
+    curve, bits, seed, count = case
+    points = random_points(bits, seed, count)
+    lo, hi = random_box(bits, seed)
+    box = QueryBox(lo, hi)
+    base = seed % 977
+    page = make_record_page(curve, points)
+    with kernels.use_backend("python"):
+        reference = kernels.scan_page(curve, box, page, base)
+    streams = {}
+    for backend in ("python", "numpy"):
+        with kernels.use_backend(backend):
+            qualifying, selected, run = kernels.scan_page_run(
+                curve, box, page, base
+            )
+            assert qualifying == reference[0]
+            assert list(selected) == list(reference[1])
+            buffer = kernels.make_run_buffer()
+            if qualifying:
+                buffer.push(run)
+            assert len(buffer) == qualifying
+            streams[backend] = buffer.cut(None)
+            assert len(buffer) == 0
+            assert not buffer.has_key_below(None)
+    assert streams["numpy"] == streams["python"]
+    # cut(None) drains in (key, order) order: scan_page's entry order
+    assert streams["python"] == [entry[1] for entry in reference[2]]
+
+
+@needs_numpy
+@given(curve_cases())
+@settings(max_examples=30, deadline=None)
+def test_run_buffer_interleaved_barrier_cuts_parity(case):
+    curve, bits, seed, count = case
+    points = random_points(bits, seed, count)
+    lo, hi = random_box(bits, seed)
+    box = QueryBox(lo, hi)
+    rng = random.Random(seed ^ 0xBA55)
+    top = 1 << curve.total_bits
+    pages = [
+        make_record_page(curve, points[start : start + 7], page_id=start)
+        for start in range(0, len(points), 7)
+    ]
+    barriers = [rng.randrange(top) for _ in pages]
+    streams = {}
+    for backend in ("python", "numpy"):
+        with kernels.use_backend(backend):
+            buffer = kernels.make_run_buffer()
+            stream, base = [], 0
+            for page, barrier in zip(pages, barriers):
+                qualifying, _, run = kernels.scan_page_run(
+                    curve, box, page, base
+                )
+                base += len(page.records)
+                if qualifying:
+                    buffer.push(run)
+                if buffer.has_key_below(barrier):
+                    stream.extend(buffer.cut(barrier))
+                    assert not buffer.has_key_below(barrier)
+            stream.extend(buffer.cut(None))
+            streams[backend] = stream
+    assert streams["numpy"] == streams["python"]
+    # every qualifying arrival is emitted exactly once
+    with kernels.use_backend("python"):
+        expected = sum(
+            kernels.scan_page(curve, box, page, 0)[0] for page in pages
+        )
+    assert len(streams["python"]) == expected
+    assert len(set(streams["python"])) == expected
+
+
+@needs_numpy
+@given(curve_cases())
+@settings(max_examples=30, deadline=None)
+def test_scan_block_parity(case):
+    curve, bits, seed, count = case
+    points = random_points(bits, seed, count)
+    lo, hi = random_box(bits, seed)
+    box = QueryBox(lo, hi)
+    pages = [
+        make_record_page(curve, points[start : start + 7], page_id=start)
+        for start in range(0, len(points), 7)
+    ]
+    results = {}
+    for backend in ("python", "numpy"):
+        with kernels.use_backend(backend):
+            selected_per_page, emit_order = kernels.scan_block(curve, box, pages)
+            results[backend] = (
+                [list(sel) for sel in selected_per_page],
+                list(emit_order),
+            )
+    assert results["numpy"] == results["python"]
+    selected_per_page, emit_order = results["python"]
+    # reference: concatenate qualifying entries in arrival order, then
+    # stable-sort by key — the per-tuple sweep's emission order
+    arrivals = []
+    for page, selected in zip(pages, selected_per_page):
+        with kernels.use_backend("python"):
+            reference = kernels.scan_page(curve, box, page, 0)
+        assert selected == list(reference[1])
+        arrivals.extend(page.records[index][0] for index in selected)
+    expected = sorted(range(len(arrivals)), key=arrivals.__getitem__)
+    assert emit_order == expected
+
+
+@needs_numpy
+def test_merge_sorted_keys_parity():
+    rng = random.Random(4711)
+    for trial in range(30):
+        reverse = bool(trial % 2)
+        size_a, size_b = rng.randrange(0, 25), rng.randrange(0, 25)
+        keys_a = sorted(
+            (rng.randrange(50) for _ in range(size_a)), reverse=reverse
+        )
+        keys_b = sorted(
+            (rng.randrange(50) for _ in range(size_b)), reverse=reverse
+        )
+        with kernels.use_backend("python"):
+            py_merge = kernels.merge_sorted_keys(keys_a, keys_b, reverse=reverse)
+        with kernels.use_backend("numpy"):
+            np_merge = kernels.merge_sorted_keys(keys_a, keys_b, reverse=reverse)
+        assert np_merge == py_merge
+        combined = keys_a + keys_b
+        # exactly the permutation a stable sort of the concatenation
+        # would produce: sorted keys, ties won by keys_a / earlier index
+        expected = sorted(
+            range(len(combined)), key=combined.__getitem__, reverse=reverse
+        )
+        assert py_merge == expected
+
+
+@needs_numpy
+def test_merge_sorted_keys_non_integer_keys_fall_back():
+    keys_a = [("a", 1), ("c", 0)]
+    keys_b = [("b", 2), ("c", 1)]
+    with kernels.use_backend("python"):
+        py_merge = kernels.merge_sorted_keys(keys_a, keys_b)
+    with kernels.use_backend("numpy"):
+        np_merge = kernels.merge_sorted_keys(keys_a, keys_b)
+    assert np_merge == py_merge == [0, 2, 1, 3]
+
+
+@needs_numpy
+def test_run_buffer_accepts_foreign_runs():
+    """A NumPy buffer degrades gracefully when fed a pure-Python run."""
+    curve = Curve.z_curve((4, 4))
+    box = QueryBox((0, 0), (15, 15))
+    points = [(i % 16, (i * 7) % 16) for i in range(40)]
+    page = make_record_page(curve, points)
+    with kernels.use_backend("python"):
+        _, _, pure_run = kernels.scan_page_run(curve, box, page, 0)
+        expected = kernels.make_run_buffer()
+        expected.push(pure_run)
+        expected_stream = expected.cut(None)
+    with kernels.use_backend("numpy"):
+        buffer = kernels.make_run_buffer()
+    buffer.push(pure_run)
+    assert len(buffer) == len(points)
+    assert buffer.cut(None) == expected_stream

@@ -6,18 +6,25 @@ The CI parallel matrix sets ``REPRO_PARALLEL_WORKERS`` (2 and 4); the
 identity tests honour it so both pool widths are exercised.
 """
 
+import multiprocessing
 import os
 import random
 
 import pytest
 
+from repro import kernels
 from repro.core.query_space import QueryBox
 from repro.planner import (
+    ExecutorFallbackEvent,
     ParallelScanResult,
     SweepSlab,
     parallel_tetris_scan,
     plan_slabs,
+    register_fallback_observer,
+    select_executor,
+    unregister_fallback_observer,
 )
+from repro.planner import parallel as parallel_module
 from repro.relational import Attribute, Database, IntEncoder, Schema
 
 #: pool width under test — the CI matrix sweeps 2 and 4
@@ -192,3 +199,202 @@ class TestResultSurface:
         table = make_table(rows=50)
         with pytest.raises(ValueError):
             parallel_tetris_scan(table, None, (), workers=2)
+
+
+# ----------------------------------------------------------------------
+# executor selection policy
+# ----------------------------------------------------------------------
+class TestSelectExecutor:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            select_executor("gpu", "numpy", 4)
+
+    def test_single_worker_is_inline_without_event(self):
+        assert select_executor("auto", "numpy", 1) == ("inline", None)
+        assert select_executor("fork", "python", 1) == ("inline", None)
+
+    def test_explicit_inline(self):
+        assert select_executor("inline", "numpy", 4) == ("inline", None)
+
+    def test_threads_always_honoured(self):
+        assert select_executor("threads", "python", 4) == ("threads", None)
+
+    def test_auto_picks_threads_for_numpy(self):
+        assert select_executor("auto", "numpy", 4) == ("threads", None)
+
+    def test_auto_picks_fork_for_pure_python(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        assert select_executor("auto", "python", 4) == ("fork", None)
+
+    def test_fork_unavailable_degrades_with_event(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_module.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        selected, event = select_executor("fork", "python", 4)
+        assert selected == "inline"
+        assert event is not None
+        assert event.requested == "fork"
+        assert event.selected == "inline"
+        assert "fork" in event.describe()
+
+    def test_auto_without_fork_degrades_with_event(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_module.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        selected, event = select_executor("auto", "python", 4)
+        assert selected == "inline"
+        assert event is not None and event.requested == "auto"
+
+
+# ----------------------------------------------------------------------
+# the parity contract: every executor yields the serial stream
+# ----------------------------------------------------------------------
+EXECUTORS = ("inline", "threads", "fork")
+BACKENDS = tuple(kernels.available_backends())
+
+
+class TestExecutorParity:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return make_table()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_stream_bit_identical_to_serial(self, table, backend, executor):
+        if executor == "fork" and "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        with kernels.use_backend(backend):
+            serial = list(table.tetris_scan({"a1": (100, 900)}, "a2"))
+            result = parallel_tetris_scan(
+                table,
+                {"a1": (100, 900)},
+                "a2",
+                workers=WORKERS,
+                executor=executor,
+            )
+        assert result.rows == serial
+        assert result.executor == executor
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_descending_sweep_parity_on_threads(self, table, backend):
+        with kernels.use_backend(backend):
+            serial = list(
+                table.tetris_scan(
+                    {"a1": (100, 900)}, "a2", descending=True, strategy="sweep"
+                )
+            )
+            result = parallel_tetris_scan(
+                table,
+                {"a1": (100, 900)},
+                "a2",
+                workers=WORKERS,
+                descending=True,
+                strategy="sweep",
+                executor="threads",
+            )
+        assert result.rows == serial
+
+    def test_env_var_selects_executor(self, table, monkeypatch):
+        monkeypatch.setenv(parallel_module.EXECUTOR_ENV_VAR, "threads")
+        result = parallel_tetris_scan(
+            table, {"a1": (100, 900)}, "a2", workers=WORKERS
+        )
+        assert result.executor == "threads"
+
+    def test_single_slab_downgrades_to_inline(self, table):
+        result = parallel_tetris_scan(
+            table, {"a1": (100, 900)}, "a2", workers=4, slabs=1, executor="threads"
+        )
+        assert result.executor == "inline"
+        assert len(result.slabs) == 1
+
+
+# ----------------------------------------------------------------------
+# serialization accounting: zero-copy means zero bytes
+# ----------------------------------------------------------------------
+class TestSerializationAccounting:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return make_table()
+
+    def test_not_measured_by_default(self, table):
+        result = parallel_tetris_scan(
+            table, {"a1": (100, 900)}, "a2", workers=WORKERS
+        )
+        assert result.serialized_bytes_per_slab is None
+
+    @pytest.mark.parametrize("executor", ("inline", "threads"))
+    def test_zero_copy_executors_ship_zero_bytes(self, table, executor):
+        result = parallel_tetris_scan(
+            table,
+            {"a1": (100, 900)},
+            "a2",
+            workers=WORKERS,
+            executor=executor,
+            measure_serialization=True,
+        )
+        assert result.serialized_bytes_per_slab == [0] * len(result.slabs)
+
+    def test_fork_ships_only_result_rows(self, table):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        serial = list(table.tetris_scan({"a1": (100, 900)}, "a2"))
+        result = parallel_tetris_scan(
+            table,
+            {"a1": (100, 900)},
+            "a2",
+            workers=WORKERS,
+            executor="fork",
+            measure_serialization=True,
+        )
+        assert result.rows == serial
+        assert result.executor == "fork"
+        assert len(result.serialized_bytes_per_slab) == len(result.slabs)
+        # pages are inherited copy-on-write (and staged in shm on the
+        # NumPy backend) — the transport ships result rows only
+        assert all(size >= 0 for size in result.serialized_bytes_per_slab)
+
+
+# ----------------------------------------------------------------------
+# fallback events: downgrades are structured, never silent
+# ----------------------------------------------------------------------
+class TestFallbackEvents:
+    def test_fallback_surfaces_on_result_and_observer(self, monkeypatch):
+        table = make_table(rows=200)
+        monkeypatch.setattr(
+            parallel_module.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        seen = []
+        register_fallback_observer(seen.append)
+        try:
+            result = parallel_tetris_scan(
+                table, {"a1": (100, 900)}, "a2", workers=WORKERS, executor="fork"
+            )
+        finally:
+            unregister_fallback_observer(seen.append)
+        assert result.executor == "inline"
+        assert len(result.fallbacks) == 1
+        event = result.fallbacks[0]
+        assert isinstance(event, ExecutorFallbackEvent)
+        assert (event.requested, event.selected) == ("fork", "inline")
+        assert seen == [event]
+        # the downgraded run still honours the stream contract
+        assert result.rows == list(table.tetris_scan({"a1": (100, 900)}, "a2"))
+
+    def test_unregister_unknown_observer_is_noop(self):
+        unregister_fallback_observer(lambda event: None)
+
+    def test_result_surface_defaults(self):
+        result = ParallelScanResult(
+            slabs=[], per_slab_counts=[], rows=[], workers=1
+        )
+        assert result.executor == "inline"
+        assert result.fallbacks == ()
+        assert result.serialized_bytes_per_slab is None

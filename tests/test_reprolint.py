@@ -645,6 +645,58 @@ class TestR008UngatedDiskReads:
 # ----------------------------------------------------------------------
 # suppression, aggregation, CLI
 # ----------------------------------------------------------------------
+# R009: process/serialization machinery outside the sanctioned executors
+# ----------------------------------------------------------------------
+class TestR009IPCConfinement:
+    def test_multiprocessing_import_flagged(self):
+        found = lint("import multiprocessing\n", path="src/repro/core/tetris.py")
+        assert rules_of(found) == {"R009"}
+
+    def test_pickle_import_flagged(self):
+        found = lint("import pickle\n", path="src/repro/storage/wal.py")
+        assert rules_of(found) == {"R009"}
+
+    def test_submodule_from_import_flagged(self):
+        found = lint(
+            "from concurrent.futures import ThreadPoolExecutor\n",
+            path="src/repro/relational/table.py",
+        )
+        assert rules_of(found) == {"R009"}
+
+    def test_shared_memory_from_import_flagged(self):
+        found = lint(
+            "from multiprocessing import shared_memory\n",
+            path="src/repro/kernels/numpy_backend.py",
+        )
+        assert rules_of(found) == {"R009"}
+
+    def test_parallel_executor_module_is_sanctioned(self):
+        found = lint(
+            "import multiprocessing\nimport pickle\n",
+            path="src/repro/planner/parallel.py",
+        )
+        assert found == []
+
+    def test_shm_module_is_sanctioned(self):
+        found = lint(
+            "from multiprocessing import shared_memory\n",
+            path="src/repro/kernels/shm.py",
+        )
+        assert found == []
+
+    def test_unrelated_import_passes(self):
+        found = lint("import threading\nimport queue\n", path="src/repro/x.py")
+        assert found == []
+
+    def test_suppression_applies(self):
+        found = lint(
+            "import pickle  # reprolint: allow(R009)\n",
+            path="src/repro/core/tetris.py",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 class TestDriver:
     def test_suppression_by_rule(self):
         found = lint("assert True  # reprolint: allow(R005)\n")

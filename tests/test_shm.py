@@ -1,0 +1,243 @@
+"""Tests for the shared-memory column store (``repro.kernels.shm``).
+
+The contracts under test are the ones slab parallelism leans on:
+
+* workers see a read-only, zero-copy view of exactly the columns the
+  coordinator staged (version-stamped — stale reads are impossible);
+* every segment a store creates is unlinked by the time it closes, even
+  when the scan raises mid-slab (the leak contract);
+* a page mutation (version bump) retires the old segment immediately;
+* shm residency follows buffer-pool residency when a pool is bound.
+"""
+
+import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="the shared-memory store is NumPy-only", exc_type=ImportError
+)
+
+from repro import invariants
+from repro.kernels import shm
+from repro.kernels.shm import (
+    MissingSegmentError,
+    SharedColumnStore,
+    StaleSegmentError,
+    shared_columns,
+)
+
+
+@pytest.fixture
+def store():
+    built = SharedColumnStore(label="test")
+    yield built
+    built.close()
+
+
+def columns_of(rows: int, dims: int = 2, seed: int = 7) -> "np.ndarray":
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**40, size=(rows, dims), dtype=np.uint64)
+
+
+# ----------------------------------------------------------------------
+# put / get / attach semantics
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_put_returns_equal_read_only_view(self, store):
+        columns = columns_of(64)
+        view = store.put(page_id=3, version=0, columns=columns)
+        assert np.array_equal(view, columns)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0] = 1
+
+    def test_get_round_trips_without_copy_semantics(self, store):
+        columns = columns_of(64)
+        store.put(3, 0, columns)
+        view = store.get(3, 0)
+        assert view is not None
+        assert np.array_equal(view, columns)
+        assert not view.flags.writeable
+        assert store.stats.attached == 1
+
+    def test_get_unknown_page_is_a_miss(self, store):
+        assert store.get(99, 0) is None
+
+    def test_get_with_newer_version_is_a_stale_miss(self, store):
+        store.put(3, 0, columns_of(16))
+        assert store.get(3, 1) is None
+        assert store.stats.stale_misses == 1
+
+    def test_attach_is_strict_missing(self, store):
+        with pytest.raises(MissingSegmentError):
+            store.attach(99, 0)
+
+    def test_attach_is_strict_stale(self, store):
+        store.put(3, 0, columns_of(16))
+        with pytest.raises(StaleSegmentError):
+            store.attach(3, 1)
+
+    def test_attach_hit(self, store):
+        columns = columns_of(16)
+        store.put(3, 5, columns)
+        assert np.array_equal(store.attach(3, 5), columns)
+
+    def test_put_after_close_is_rejected_not_fatal(self, store):
+        store.close()
+        columns = columns_of(8)
+        returned = store.put(1, 0, columns)
+        assert returned is columns  # private memory, scan keeps working
+        assert store.stats.rejected_puts == 1
+
+
+# ----------------------------------------------------------------------
+# version-stamped invalidation
+# ----------------------------------------------------------------------
+class TestVersionBump:
+    def test_reput_with_new_version_retires_the_old_segment(self, store):
+        store.put(3, 0, columns_of(16, seed=1))
+        (old_name,) = shm._segment_names(store)
+        fresh = columns_of(16, seed=2)
+        store.put(3, 1, fresh)
+        assert not shm.segment_exists(old_name)  # unlinked at retire time
+        assert store.stats.retired == 1
+        view = store.get(3, 1)
+        assert view is not None and np.array_equal(view, fresh)
+        assert store.live_segments == 1
+
+    def test_old_view_stays_valid_after_replacement(self, store):
+        # POSIX keeps an unlinked mapping alive while it is mapped: a
+        # reader that attached before the bump finishes its slab safely.
+        first = columns_of(16, seed=1)
+        store.put(3, 0, first)
+        old_view = store.get(3, 0)
+        store.put(3, 1, columns_of(16, seed=2))
+        assert old_view is not None
+        assert np.array_equal(old_view, first)
+
+    def test_discard_unlinks(self, store):
+        store.put(3, 0, columns_of(16))
+        (name,) = shm._segment_names(store)
+        assert store.discard(3) is True
+        assert not shm.segment_exists(name)
+        assert store.get(3, 0) is None
+        assert store.discard(3) is False  # idempotent
+
+
+# ----------------------------------------------------------------------
+# the leak contract
+# ----------------------------------------------------------------------
+class TestLeakContract:
+    def test_close_unlinks_every_segment(self):
+        store = SharedColumnStore()
+        for page_id in range(5):
+            store.put(page_id, 0, columns_of(8, seed=page_id))
+        names = shm._segment_names(store)
+        assert len(names) == 5
+        store.close()
+        assert all(not shm.segment_exists(name) for name in names)
+        assert store.live_segments == 0
+        assert store.closed
+
+    def test_close_is_idempotent(self, store):
+        store.put(0, 0, columns_of(8))
+        store.close()
+        store.close()
+        assert store.stats.retired == 1
+
+    def test_shared_columns_unlinks_on_mid_slab_error(self):
+        names: list[str] = []
+        with pytest.raises(RuntimeError, match="mid-slab"):
+            with shared_columns(label="crash") as store:
+                for page_id in range(3):
+                    store.put(page_id, 0, columns_of(8, seed=page_id))
+                names = shm._segment_names(store)
+                raise RuntimeError("scan failed mid-slab")
+        assert len(names) == 3
+        assert all(not shm.segment_exists(name) for name in names)
+        assert shm.active_store() is None
+
+    def test_shared_columns_activates_and_deactivates(self):
+        assert shm.active_store() is None
+        with shared_columns(label="scan") as store:
+            assert shm.active_store() is store
+        assert shm.active_store() is None
+        assert store.closed
+
+    def test_double_activation_rejected(self, store):
+        shm.activate(store)
+        try:
+            with pytest.raises(RuntimeError):
+                shm.activate(SharedColumnStore())
+        finally:
+            shm.deactivate()
+
+    def test_ledger_validates_under_checks(self, store):
+        previous = invariants.set_enabled(True)
+        try:
+            store.put(0, 0, columns_of(8))
+            store.put(0, 1, columns_of(8))  # retire + recreate
+            store.discard(0)
+            store.close()
+        finally:
+            invariants.set_enabled(previous)
+        assert store.stats.created == 2
+        assert store.stats.retired == 2
+        assert store.stats.unlinked == 2
+
+
+# ----------------------------------------------------------------------
+# buffer-pool binding: shm residency follows pool residency
+# ----------------------------------------------------------------------
+class TestPoolBinding:
+    def test_eviction_retires_the_matching_segment(self):
+        from repro.storage import BufferPool, SimulatedDisk
+
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=4)
+        store = SharedColumnStore(label="bound")
+        store.bind_pool(pool)
+        try:
+            page = disk.allocate(4)
+            page.add((0, 0))
+            disk.write(page)
+            pool.get(page.page_id)
+            store.put(page.page_id, 0, columns_of(4))
+            (name,) = shm._segment_names(store)
+            pool.evict(page.page_id)
+            assert not shm.segment_exists(name)
+            assert store.get(page.page_id, 0) is None
+        finally:
+            store.close()
+        # close() detaches the observer: later evictions must not call
+        # into a closed store
+        pool.get(page.page_id)
+        pool.evict(page.page_id)
+
+    def test_double_bind_rejected(self, store):
+        from repro.storage import BufferPool, SimulatedDisk
+
+        pool = BufferPool(SimulatedDisk(), capacity=4)
+        store.bind_pool(pool)
+        with pytest.raises(RuntimeError):
+            store.bind_pool(pool)
+
+    def test_drop_all_retires_everything(self):
+        from repro.storage import BufferPool, SimulatedDisk
+
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=8)
+        store = SharedColumnStore()
+        store.bind_pool(pool)
+        try:
+            for seed in range(3):
+                page = disk.allocate(4)
+                page.add((0, 0))
+                disk.write(page)
+                pool.get(page.page_id)
+                store.put(page.page_id, 0, columns_of(4, seed=seed))
+            names = shm._segment_names(store)
+            pool.drop_all()
+            assert all(not shm.segment_exists(name) for name in names)
+            assert store.live_segments == 0
+        finally:
+            store.close()

@@ -61,6 +61,16 @@ Python ASTs under ``src/repro`` and mechanically enforces them:
     to ``category="replica"`` (repair traffic) or ``category="wal"``
     (log replay) are infrastructure, not engine data access.
 
+``R009`` — process/serialization machinery only in the sanctioned modules.
+    The zero-copy contract of slab-parallel execution ("pages are never
+    pickled") holds because exactly two modules are allowed to touch the
+    process and serialization toolbox: ``planner/parallel.py`` (the
+    executor) and ``kernels/shm.py`` (the shared-memory column store).
+    An ``import multiprocessing`` / ``pickle`` / ``concurrent`` anywhere
+    else in engine code would open a side channel that ships pages by
+    value and silently reintroduces the serialization cost the executor
+    layer exists to remove.
+
 A finding can be suppressed by putting ``# reprolint: allow(R00X)`` (or
 a blanket ``# reprolint: allow``) on the offending line.
 
@@ -123,7 +133,20 @@ ALL_RULES: dict[str, str] = {
     "R006": "silently swallowed exception or retry loop bypassing RetryPolicy",
     "R007": "direct SimulatedDisk mutation in engine code bypassing an armed WAL",
     "R008": "direct disk read in engine code bypassing the BufferPool/IOScheduler gate",
+    "R009": "multiprocessing/pickle outside the sanctioned parallel executor modules",
 }
+
+#: modules allowed to use the process/serialization toolbox (R009):
+#: the parallel executor and the shared-memory column store
+R009_SANCTIONED_MODULES: tuple[str, ...] = (
+    "planner/parallel.py",
+    "kernels/shm.py",
+)
+
+#: import roots that ship data by value or spawn processes (R009)
+_IPC_MODULE_ROOTS = frozenset(
+    {"multiprocessing", "pickle", "_pickle", "concurrent"}
+)
 
 #: names whose presence in a function marks its retry loop as policy-driven
 _RETRY_POLICY_MARKERS = frozenset(
@@ -177,15 +200,21 @@ def _records_owner(node: ast.expr) -> str | None:
 
 
 class _FileChecker(ast.NodeVisitor):
-    """Per-file rules: R001, R002 (hot paths only), R003, R005-R007."""
+    """Per-file rules: R001, R002 (hot paths only), R003, R005-R009."""
 
     def __init__(self, path: str, hot_path: bool) -> None:
         self.path = path
         self.hot_path = hot_path
+        posix = Path(path).as_posix()
         #: R007 applies to engine code *outside* the storage layer: the
         #: storage package is where the WAL/replica machinery itself
         #: lives and must touch the disk directly
-        self.wal_scope = "storage/" not in Path(path).as_posix()
+        self.wal_scope = "storage/" not in posix
+        #: R009 applies everywhere except the sanctioned executor/shm
+        #: modules (the only places allowed to fork or serialize)
+        self.ipc_scope = not any(
+            posix.endswith(suffix) for suffix in R009_SANCTIONED_MODULES
+        )
         self.violations: list[Violation] = []
         # R003 bookkeeping for the innermost function (or module) scope:
         # source text of mutated ``.records`` owners and version-bumped
@@ -333,7 +362,33 @@ class _FileChecker(ast.NodeVisitor):
                         f"importing `time.{alias.name}` into engine code; "
                         "charge the simulated clock instead",
                     )
+        if node.module is not None and node.level == 0:
+            self._check_ipc_import(node, node.module)
         self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # R009: process/serialization machinery outside the executor modules
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_ipc_import(node, alias.name)
+        self.generic_visit(node)
+
+    def _check_ipc_import(self, node: ast.AST, module: str) -> None:
+        if not self.ipc_scope:
+            return
+        root = module.split(".", 1)[0]
+        if root not in _IPC_MODULE_ROOTS:
+            return
+        sanctioned = " / ".join(f"`{name}`" for name in R009_SANCTIONED_MODULES)
+        self._emit(
+            node,
+            "R009",
+            f"`{module}` spawns processes or ships data by value; parallel "
+            "scan paths hand pages off zero-copy (COW fork + shared-memory "
+            f"columns), so only the sanctioned modules ({sanctioned}) may "
+            "import it",
+        )
 
     # ------------------------------------------------------------------
     # R002: per-tuple loops over page records in hot paths
