@@ -54,22 +54,50 @@ import os
 from contextlib import contextmanager
 from typing import Any, Iterator, TypeVar
 
+from . import sanitizer as sanitizer
 from .accounting import validate_buffer_pool, validate_shm_store
 from .durability import validate_replicated_disk, validate_wal
 from .errors import InvariantViolation, check
 from .parity import spot_check_scan_page
+from .sanitizer import (
+    GLOBAL_LOCK_ORDER,
+    LockOrderViolation,
+    RaceViolation,
+    TrackedLock,
+    actor,
+    declare_lock_order,
+    declared_lock_order,
+    fork_safe,
+    guarded_by,
+    note_access,
+    reset_sanitizer,
+    tracked_lock,
+)
 from .streams import StreamChecker
 from .structural import validate_bptree, validate_leaf, validate_ubtree
 
 __all__ = [
+    "GLOBAL_LOCK_ORDER",
     "InvariantViolation",
+    "LockOrderViolation",
+    "RaceViolation",
     "StreamChecker",
+    "TrackedLock",
+    "actor",
     "check",
     "checks",
+    "declare_lock_order",
+    "declared_lock_order",
     "enabled",
+    "fork_safe",
+    "guarded_by",
+    "note_access",
     "require_instance",
+    "reset_sanitizer",
+    "sanitizer",
     "set_enabled",
     "spot_check_scan_page",
+    "tracked_lock",
     "validate_bptree",
     "validate_buffer_pool",
     "validate_leaf",
@@ -105,6 +133,11 @@ def checks(flag: bool = True) -> Iterator[None]:
         yield
     finally:
         set_enabled(previous)
+
+
+# The sanitizer consults the same gate as every other validator; it is
+# installed after ``enabled`` exists to avoid a circular import.
+sanitizer._set_gate(enabled)
 
 
 _T = TypeVar("_T")

@@ -51,10 +51,16 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Sequence, TYPE_CHECKING
 
 from .base import KernelBackend, SortRunBuffer
 from .pure import PurePythonBackend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.curves import Curve, FlippedCurve
+    from ..core.query_space import QuerySpace
+
+    AnyCurve = Curve | FlippedCurve
 
 __all__ = [
     "KernelBackend",
@@ -152,11 +158,13 @@ def use_backend(name: str | None) -> Iterator[KernelBackend]:
 # ----------------------------------------------------------------------
 # module-level conveniences delegating to the active backend
 # ----------------------------------------------------------------------
-def encode_batch(curve, points: Sequence[Sequence[int]]) -> list[int]:
+def encode_batch(curve: "AnyCurve", points: Sequence[Sequence[int]]) -> list[int]:
     return _active.encode_batch(curve, points)
 
 
-def decode_batch(curve, addresses: Sequence[int]) -> list[tuple[int, ...]]:
+def decode_batch(
+    curve: "AnyCurve", addresses: Sequence[int]
+) -> list[tuple[int, ...]]:
     return _active.decode_batch(curve, addresses)
 
 
@@ -166,11 +174,13 @@ def filter_box_batch(
     return _active.filter_box_batch(lo, hi, points)
 
 
-def filter_space_batch(space, points: Sequence[Sequence[int]]) -> list[int]:
+def filter_space_batch(
+    space: "QuerySpace", points: Sequence[Sequence[int]]
+) -> list[int]:
     return _active.filter_space_batch(space, points)
 
 
-def filter_space_page(space, page) -> list[int]:
+def filter_space_page(space: "QuerySpace", page: Any) -> list[int]:
     return _active.filter_space_page(space, page)
 
 
@@ -178,15 +188,24 @@ def argsort_keys(keys: Sequence[Any], *, reverse: bool = False) -> list[int]:
     return _active.argsort_keys(keys, reverse=reverse)
 
 
-def page_entries(curve, space, points: Sequence[Sequence[int]], base: int = 0):
+def page_entries(
+    curve: "AnyCurve",
+    space: "QuerySpace",
+    points: Sequence[Sequence[int]],
+    base: int = 0,
+) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
     return _active.page_entries(curve, space, points, base)
 
 
-def scan_page(curve, space, page, base: int = 0):
+def scan_page(
+    curve: "AnyCurve", space: "QuerySpace", page: Any, base: int = 0
+) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
     return _active.scan_page(curve, space, page, base)
 
 
-def scan_page_run(curve, space, page, base: int = 0):
+def scan_page_run(
+    curve: "AnyCurve", space: "QuerySpace", page: Any, base: int = 0
+) -> tuple[int, Sequence[int], Any]:
     return _active.scan_page_run(curve, space, page, base)
 
 
@@ -194,7 +213,9 @@ def make_run_buffer() -> SortRunBuffer:
     return _active.make_run_buffer()
 
 
-def scan_block(curve, space, pages: Sequence[Any]):
+def scan_block(
+    curve: "AnyCurve", space: "QuerySpace", pages: Sequence[Any]
+) -> tuple[list[Sequence[int]], Sequence[int]]:
     return _active.scan_block(curve, space, pages)
 
 
@@ -205,8 +226,8 @@ def merge_sorted_keys(
 
 
 def region_min_keys(
-    z_curve,
-    sort_curve,
+    z_curve: "Curve",
+    sort_curve: "AnyCurve",
     intervals: Sequence[tuple[int, int]],
     lo: Sequence[int],
     hi: Sequence[int],

@@ -57,13 +57,13 @@ class _PagePoints:
 
     __slots__ = ("_records",)
 
-    def __init__(self, records) -> None:
+    def __init__(self, records: Sequence[Any]) -> None:
         self._records = records
 
     def __len__(self) -> int:
         return len(self._records)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> Any:
         return self._records[index][1][0]
 
 
@@ -83,7 +83,7 @@ class _BlockPoints:
     def __len__(self) -> int:
         return self._offsets[-1]
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> Any:
         position = bisect_right(self._offsets, index) - 1
         record = self._pages[position].records[index - self._offsets[position]]
         return record[1][0]
@@ -316,7 +316,9 @@ class NumPyBackend(PurePythonBackend):
             coords |= tables.decode[chunk][(packed >> _U64(8 * chunk)) & _BYTE]
         return coords
 
-    def encode_batch(self, curve, points):
+    def encode_batch(
+        self, curve: "Curve | FlippedCurve", points: Sequence[Sequence[int]]
+    ) -> list[int]:
         if not len(points):
             return []
         base, flip = self._unwrap(curve)
@@ -330,7 +332,9 @@ class NumPyBackend(PurePythonBackend):
                 columns[:, dim] = tables.coord_max[dim] - columns[:, dim]
         return self._encode_columns(tables, columns).tolist()
 
-    def decode_batch(self, curve, addresses):
+    def decode_batch(
+        self, curve: "Curve | FlippedCurve", addresses: Sequence[int]
+    ) -> list[tuple[int, ...]]:
         if not len(addresses):
             return []
         base, flip = self._unwrap(curve)
@@ -346,7 +350,12 @@ class NumPyBackend(PurePythonBackend):
     # ------------------------------------------------------------------
     # filtering
     # ------------------------------------------------------------------
-    def filter_box_batch(self, lo, hi, points):
+    def filter_box_batch(
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        points: Sequence[Sequence[int]],
+    ) -> list[int]:
         if not len(points):
             return []
         try:
@@ -358,7 +367,9 @@ class NumPyBackend(PurePythonBackend):
         mask = ((columns >= lo_arr) & (columns <= hi_arr)).all(axis=1)
         return np.nonzero(mask)[0].tolist()
 
-    def filter_space_batch(self, space: QuerySpace, points):
+    def filter_space_batch(
+        self, space: QuerySpace, points: Sequence[Sequence[int]]
+    ) -> list[int]:
         if not len(points):
             return []
         try:
@@ -373,7 +384,7 @@ class NumPyBackend(PurePythonBackend):
         self,
         space: QuerySpace,
         columns: "np.ndarray",
-        points,
+        points: Any,
         mask: "np.ndarray",
     ) -> None:
         """AND ``space`` membership into ``mask`` (vectorized per part)."""
@@ -398,13 +409,13 @@ class NumPyBackend(PurePythonBackend):
             self._mask_pointwise(space, points, mask)
 
     @staticmethod
-    def _mask_pointwise(space: QuerySpace, points, mask: "np.ndarray") -> None:
+    def _mask_pointwise(space: QuerySpace, points: Any, mask: "np.ndarray") -> None:
         contains = space.contains_point
         for index in np.nonzero(mask)[0]:
             if not contains(points[index]):
                 mask[index] = False
 
-    def filter_space_page(self, space: QuerySpace, page):
+    def filter_space_page(self, space: QuerySpace, page: Any) -> list[int]:
         """Page-level space filter over the memoized columnar view."""
         records = page.records
         if not records:
@@ -420,7 +431,9 @@ class NumPyBackend(PurePythonBackend):
     # ------------------------------------------------------------------
     # sorting
     # ------------------------------------------------------------------
-    def argsort_keys(self, keys: Sequence[Any], *, reverse: bool = False):
+    def argsort_keys(
+        self, keys: Sequence[Any], *, reverse: bool = False
+    ) -> list[int]:
         if not len(keys):
             return []
         try:
@@ -445,7 +458,13 @@ class NumPyBackend(PurePythonBackend):
     # ------------------------------------------------------------------
     # fused compound kernels
     # ------------------------------------------------------------------
-    def page_entries(self, curve, space, points, base=0):
+    def page_entries(
+        self,
+        curve: "Curve | FlippedCurve",
+        space: QuerySpace,
+        points: Sequence[Sequence[int]],
+        base: int = 0,
+    ) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
         """Filter + key + sort one page with a single array conversion."""
         if not len(points):
             return 0, [], []
@@ -461,7 +480,14 @@ class NumPyBackend(PurePythonBackend):
             tables, flip, space, columns, points, base
         )
 
-    def _select_and_key(self, tables, flip, space, columns, points):
+    def _select_and_key(
+        self,
+        tables: _CurveTables,
+        flip: frozenset[int],
+        space: QuerySpace,
+        columns: "np.ndarray",
+        points: Any,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
         """Filter + key + stable sort; ``(selected, keys, perm)`` arrays.
 
         ``selected`` holds the qualifying row indices ascending, ``keys``
@@ -481,7 +507,15 @@ class NumPyBackend(PurePythonBackend):
         perm = np.argsort(keys, kind="stable")
         return selected, keys, perm
 
-    def _entries_from_columns(self, tables, flip, space, columns, points, base):
+    def _entries_from_columns(
+        self,
+        tables: _CurveTables,
+        flip: frozenset[int],
+        space: QuerySpace,
+        columns: "np.ndarray",
+        points: Any,
+        base: int,
+    ) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
         """Shared tail of :meth:`page_entries` / :meth:`scan_page`."""
         keyed = self._select_and_key(tables, flip, space, columns, points)
         if keyed is None:
@@ -492,7 +526,7 @@ class NumPyBackend(PurePythonBackend):
         ).tolist()
         return int(selected.size), selected.tolist(), entries
 
-    def _page_columns(self, page) -> "np.ndarray | None":
+    def _page_columns(self, page: Any) -> "np.ndarray | None":
         """The page's points as a cached (records, dims) uint64 matrix.
 
         When a :class:`~repro.kernels.shm.SharedColumnStore` is active,
@@ -546,14 +580,20 @@ class NumPyBackend(PurePythonBackend):
             pass
         return columns
 
-    def prime_page_columns(self, page) -> None:
+    def prime_page_columns(self, page: Any) -> None:
         """Build (and, with an active shared store, publish) the page's
         columnar view ahead of use — the coordinator's staging step
         before handing a slab to workers."""
         if page.records:
             self._page_columns(page)
 
-    def scan_page(self, curve, space, page, base=0):
+    def scan_page(
+        self,
+        curve: "Curve | FlippedCurve",
+        space: QuerySpace,
+        page: Any,
+        base: int = 0,
+    ) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
         """Fused page kernel over the memoized columnar view."""
         records = page.records
         if not records:
@@ -570,7 +610,13 @@ class NumPyBackend(PurePythonBackend):
             tables, flip, space, columns, points, base
         )
 
-    def scan_page_run(self, curve, space, page, base=0):
+    def scan_page_run(
+        self,
+        curve: "Curve | FlippedCurve",
+        space: QuerySpace,
+        page: Any,
+        base: int = 0,
+    ) -> tuple[int, Sequence[int], Any]:
         """:meth:`scan_page` whose entries stay ``uint64`` array pairs."""
         records = page.records
         if not records:
@@ -590,10 +636,15 @@ class NumPyBackend(PurePythonBackend):
         run = (keys[perm], perm.astype(_U64) + _U64(base))
         return int(selected.size), selected.tolist(), run
 
-    def make_run_buffer(self):
+    def make_run_buffer(self) -> SortRunBuffer:
         return NumPySortRunBuffer()
 
-    def scan_block(self, curve, space, pages):
+    def scan_block(
+        self,
+        curve: "Curve | FlippedCurve",
+        space: QuerySpace,
+        pages: Sequence[Any],
+    ) -> tuple[list[Sequence[int]], Sequence[int]]:
         """Whole-slab fused kernel: one concatenate + filter + key +
         stable argsort over every page of the block.
 
@@ -638,7 +689,13 @@ class NumPyBackend(PurePythonBackend):
         ]
         return selected_per_page, perm.tolist()
 
-    def merge_sorted_keys(self, keys_a, keys_b, *, reverse=False):
+    def merge_sorted_keys(
+        self,
+        keys_a: Sequence[Any],
+        keys_b: Sequence[Any],
+        *,
+        reverse: bool = False,
+    ) -> list[int]:
         if not len(keys_a) or not len(keys_b):
             return list(range(len(keys_a) + len(keys_b)))
         try:
@@ -672,7 +729,14 @@ class NumPyBackend(PurePythonBackend):
         )
         return permutation.tolist()
 
-    def region_min_keys(self, z_curve, sort_curve, intervals, lo, hi):
+    def region_min_keys(
+        self,
+        z_curve: Curve,
+        sort_curve: "Curve | FlippedCurve",
+        intervals: Sequence[tuple[int, int]],
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> "list[int | None]":
         """Batched region keying: decode, clamp and encode all aligned
         blocks of all intervals in one vectorized pass."""
         if not intervals:

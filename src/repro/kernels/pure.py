@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from operator import itemgetter
-from typing import Any, Sequence
+from typing import Any, Sequence, TYPE_CHECKING
 
 from ..core.query_space import (
     ComparisonSpace,
@@ -20,6 +20,11 @@ from ..core.query_space import (
     QuerySpace,
 )
 from .base import KernelBackend, SortRunBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.curves import Curve, FlippedCurve
+
+    AnyCurve = Curve | FlippedCurve
 
 _entry_key = itemgetter(0)
 
@@ -81,22 +86,33 @@ class PurePythonBackend(KernelBackend):
 
     name = "python"
 
-    def encode_batch(self, curve, points):
+    def encode_batch(
+        self, curve: "AnyCurve", points: Sequence[Sequence[int]]
+    ) -> list[int]:
         encode = curve.encode_unchecked
         return [encode(point) for point in points]
 
-    def decode_batch(self, curve, addresses):
+    def decode_batch(
+        self, curve: "AnyCurve", addresses: Sequence[int]
+    ) -> list[tuple[int, ...]]:
         decode = curve.decode
         return [decode(address) for address in addresses]
 
-    def filter_box_batch(self, lo, hi, points):
+    def filter_box_batch(
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        points: Sequence[Sequence[int]],
+    ) -> list[int]:
         return [
             index
             for index, point in enumerate(points)
             if all(l <= x <= h for x, l, h in zip(point, lo, hi))
         ]
 
-    def filter_space_batch(self, space: QuerySpace, points):
+    def filter_space_batch(
+        self, space: QuerySpace, points: Sequence[Sequence[int]]
+    ) -> list[int]:
         # QueryBox is by far the most common space; inlining its bounds
         # avoids a method call per tuple.
         if isinstance(space, QueryBox):
@@ -120,18 +136,26 @@ class PurePythonBackend(KernelBackend):
         contains = space.contains_point
         return [index for index, point in enumerate(points) if contains(point)]
 
-    def filter_space_page(self, space: QuerySpace, page):
+    def filter_space_page(self, space: QuerySpace, page: Any) -> list[int]:
         points = [record[1][0] for record in page.records]
         return self.filter_space_batch(space, points)
 
-    def argsort_keys(self, keys: Sequence[Any], *, reverse: bool = False):
+    def argsort_keys(
+        self, keys: Sequence[Any], *, reverse: bool = False
+    ) -> list[int]:
         return sorted(range(len(keys)), key=keys.__getitem__, reverse=reverse)
 
     # ------------------------------------------------------------------
     # fused compound kernels — the reference composition of the
     # primitives above (see the interface docstrings in ``base``)
     # ------------------------------------------------------------------
-    def page_entries(self, curve, space, points, base=0):
+    def page_entries(
+        self,
+        curve: "AnyCurve",
+        space: QuerySpace,
+        points: Sequence[Sequence[int]],
+        base: int = 0,
+    ) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
         selected = self.filter_space_batch(space, points)
         if not selected:
             return 0, [], []
@@ -141,18 +165,24 @@ class PurePythonBackend(KernelBackend):
         ]
         return len(selected), selected, entries
 
-    def scan_page(self, curve, space, page, base=0):
+    def scan_page(
+        self, curve: "AnyCurve", space: QuerySpace, page: Any, base: int = 0
+    ) -> tuple[int, Sequence[int], Sequence[Sequence[int]]]:
         points = [record[1][0] for record in page.records]
         return self.page_entries(curve, space, points, base)
 
-    def scan_page_run(self, curve, space, page, base=0):
+    def scan_page_run(
+        self, curve: "AnyCurve", space: QuerySpace, page: Any, base: int = 0
+    ) -> tuple[int, Sequence[int], Any]:
         # the pure-native run *is* the entry list
         return self.scan_page(curve, space, page, base)
 
-    def make_run_buffer(self):
+    def make_run_buffer(self) -> SortRunBuffer:
         return PureSortRunBuffer()
 
-    def scan_block(self, curve, space, pages):
+    def scan_block(
+        self, curve: "AnyCurve", space: QuerySpace, pages: Sequence[Any]
+    ) -> tuple[list[Sequence[int]], Sequence[int]]:
         selected_per_page: list[Sequence[int]] = []
         entries: list[list[int]] = []
         base = 0
@@ -166,7 +196,13 @@ class PurePythonBackend(KernelBackend):
         entries.sort()
         return selected_per_page, [order for _, order in entries]
 
-    def merge_sorted_keys(self, keys_a, keys_b, *, reverse=False):
+    def merge_sorted_keys(
+        self,
+        keys_a: Sequence[Any],
+        keys_b: Sequence[Any],
+        *,
+        reverse: bool = False,
+    ) -> list[int]:
         length_a = len(keys_a)
         concatenated = list(keys_a) + list(keys_b)
         # timsort over two pre-sorted runs is one galloping merge; its
@@ -177,7 +213,14 @@ class PurePythonBackend(KernelBackend):
             reverse=reverse,
         )
 
-    def region_min_keys(self, z_curve, sort_curve, intervals, lo, hi):
+    def region_min_keys(
+        self,
+        z_curve: "Curve",
+        sort_curve: "AnyCurve",
+        intervals: Sequence[tuple[int, int]],
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> "list[int | None]":
         # per-interval corner collection is shared; encoding is batched
         corners: list[Sequence[int]] = []
         counts: list[int] = []

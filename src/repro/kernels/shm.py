@@ -43,12 +43,13 @@ created/live/retired/unlinked ledger on every mutation
 from __future__ import annotations
 
 import os
-import threading
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any, Iterator
+
+from ..invariants.sanitizer import guarded_by, note_access, tracked_lock
 
 try:  # NumPy is optional for the package; this module needs it at use time
     import numpy as np
@@ -147,13 +148,17 @@ def _finalize_store(
     graveyard.clear()
 
 
+@guarded_by("_lock", "_segments", "_graveyard")
 class SharedColumnStore:
     """Registry of shared-memory column segments for one scan target.
 
     ``label`` names the table (or scan) the store serves — informational
     only, but it keeps multi-table diagnostics readable.  All methods are
-    thread-safe; creation and unlinking are additionally restricted to
-    the process that constructed the store.
+    thread-safe (the segment registry and graveyard are guarded by the
+    ``shm-store`` lock, last in the declared global order because the
+    buffer pool notifies eviction observers while holding its own lock);
+    creation and unlinking are additionally restricted to the process
+    that constructed the store.
     """
 
     def __init__(self, *, label: str = "") -> None:
@@ -166,7 +171,7 @@ class SharedColumnStore:
         self.stats = ShmStats()
         self._segments: dict[int, _Segment] = {}
         self._graveyard: list[shared_memory.SharedMemory] = []
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("shm-store")
         self._owner_pid = os.getpid()
         self._closed = False
         self._pool: "BufferPool | None" = None
@@ -228,6 +233,7 @@ class SharedColumnStore:
             self._segments[page_id] = _Segment(
                 memory, version, tuple(columns.shape), columns.dtype.str
             )
+            note_access(self, "_segments", write=True)
             self.stats.created += 1
             self._validate()
             return view
@@ -278,6 +284,7 @@ class SharedColumnStore:
             segment = self._segments.pop(page_id, None)
             if segment is None:
                 return False
+            note_access(self, "_segments", write=True)
             self._retire(segment)
             self._validate()
             return True

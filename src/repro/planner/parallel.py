@@ -46,11 +46,13 @@ variable or the ``executor=`` argument):
 
 ``inline``
     The slabs run sequentially in the caller (still whole-slab batched).
-    Selected for ``workers <= 1`` and as the fallback when ``fork`` is
-    requested but unavailable — in which case a structured
-    :class:`ExecutorFallbackEvent` is recorded on the result and pushed
-    to :func:`register_fallback_observer` subscribers, mirroring the
-    plan-degradation events of :mod:`repro.planner.executor`.
+    Selected by ``auto`` for ``workers <= 1`` and as the fallback when a
+    requested parallel executor cannot run (``fork`` unavailable, fewer
+    than two workers, a single planned slab) — every downgrade is
+    recorded as a structured :class:`ExecutorFallbackEvent` on the
+    result and pushed to :func:`register_fallback_observer` subscribers,
+    mirroring the plan-degradation events of
+    :mod:`repro.planner.executor`; nothing falls back silently.
 
 Whichever executor runs, the concatenated stream is bit-identical; only
 wall-clock time and observability differ.
@@ -61,7 +63,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
@@ -69,6 +70,7 @@ from typing import Any, Callable, Iterator, Sequence
 from .. import invariants, kernels
 from ..core.query_space import QueryBox, QuerySpace, box_is_empty
 from ..core.tetris import SortedTuple, TetrisScan
+from ..invariants.sanitizer import fork_safe, guarded_by, note_access, tracked_lock
 from ..kernels import shm
 from ..relational.table import UBTable
 
@@ -132,29 +134,58 @@ class ExecutorFallbackEvent:
         )
 
 
-_fallback_observers: list[Callable[[ExecutorFallbackEvent], Any]] = []
+@guarded_by("_lock", "_observers")
+class _FallbackObserverRegistry:
+    """Downgrade subscribers behind the ``executor-observers`` lock.
+
+    The serving layer will register observers from session threads while
+    scans emit from worker coordinators, so the list is guarded like
+    every other shared structure.  Events are delivered *outside* the
+    lock (an observer touching the buffer pool must not nest pool work
+    under the observer lock).
+    """
+
+    def __init__(self) -> None:
+        self._lock = tracked_lock("executor-observers")
+        self._observers: list[Callable[[ExecutorFallbackEvent], Any]] = []
+
+    def register(self, observer: Callable[[ExecutorFallbackEvent], Any]) -> None:
+        with self._lock:
+            self._observers.append(observer)
+            note_access(self, "_observers", write=True)
+
+    def unregister(self, observer: Callable[[ExecutorFallbackEvent], Any]) -> None:
+        with self._lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
+            note_access(self, "_observers", write=True)
+
+    def emit(self, event: ExecutorFallbackEvent) -> None:
+        with self._lock:
+            observers = tuple(self._observers)
+        for observer in observers:
+            observer(event)
+
+
+_fallback_registry = _FallbackObserverRegistry()
 
 
 def register_fallback_observer(
     observer: Callable[[ExecutorFallbackEvent], Any],
 ) -> None:
     """Subscribe to executor fallback events (serving-layer telemetry)."""
-    _fallback_observers.append(observer)
+    _fallback_registry.register(observer)
 
 
 def unregister_fallback_observer(
     observer: Callable[[ExecutorFallbackEvent], Any],
 ) -> None:
     """Drop a subscription added by :func:`register_fallback_observer`."""
-    try:
-        _fallback_observers.remove(observer)
-    except ValueError:
-        pass
+    _fallback_registry.unregister(observer)
 
 
 def _emit_fallback(event: ExecutorFallbackEvent) -> None:
-    for observer in list(_fallback_observers):
-        observer(event)
+    _fallback_registry.emit(event)
 
 
 def select_executor(
@@ -165,18 +196,28 @@ def select_executor(
     ``auto`` picks ``threads`` for the NumPy backend (vectorized kernels
     release the GIL) and ``fork`` for the pure backend (true parallelism
     needs processes there).  A request that cannot be honoured —
-    ``fork`` on a platform without the fork start method — degrades to
-    ``inline`` and returns the :class:`ExecutorFallbackEvent` describing
-    the downgrade; ``workers <= 1`` selects ``inline`` silently (that is
-    the policy, not a fallback).
+    ``fork`` on a platform without the fork start method, or an explicit
+    ``threads``/``fork`` request with fewer than two workers — degrades
+    to ``inline`` and returns the :class:`ExecutorFallbackEvent`
+    describing the downgrade.  ``auto`` with ``workers <= 1`` selects
+    ``inline`` silently (that is the policy deciding, not a fallback;
+    explicit requests are never downgraded silently).
     """
     if requested not in _EXECUTORS:
         raise ValueError(
             f"unknown executor {requested!r}; expected one of "
             f"{', '.join(_EXECUTORS)}"
         )
-    if workers <= 1 or requested == "inline":
+    if requested == "inline" or (requested == "auto" and workers <= 1):
         return "inline", None
+    if workers <= 1:
+        return "inline", ExecutorFallbackEvent(
+            requested=requested,
+            selected="inline",
+            reason="parallel execution needs at least 2 workers",
+            backend=backend_name,
+            workers=workers,
+        )
     if requested == "threads":
         return "threads", None
     fork_available = "fork" in multiprocessing.get_all_start_methods()
@@ -347,7 +388,7 @@ def _run_batched(
     pool_size: int,
 ) -> "list[list[SortedTuple]]":
     """Threaded (or inline, ``pool_size == 1``) whole-slab execution."""
-    staging_lock = threading.Lock()
+    staging_lock = tracked_lock("executor-staging")
 
     def run_one(index: int) -> list[SortedTuple]:
         with staging_lock:
@@ -370,8 +411,15 @@ def _run_batched(
 _WORKER_STATE: dict[str, Any] = {}
 
 
+@fork_safe
 def _run_slab(index: int) -> list[SortedTuple]:
-    """Execute one slab's Tetris sweep (in a worker or inline)."""
+    """Execute one slab's Tetris sweep (in a worker or inline).
+
+    ``@fork_safe`` marks this as the sanctioned process-pool payload:
+    it is a module-level function (pickled by reference) whose inputs
+    arrive via fork-inherited ``_WORKER_STATE``, never by value
+    (reprolint R013 rejects anything else at the ``pool.map`` site).
+    """
     table: UBTable = _WORKER_STATE["table"]
     spaces: list[QuerySpace] = _WORKER_STATE["spaces"]
     scan = TetrisScan(
@@ -409,8 +457,16 @@ def _run_forked(
     strategy: str,
     pool_size: int,
     measure_serialization: bool,
-) -> "tuple[list[list[SortedTuple]], list[int] | None]":
-    """Fork-pool execution; pages travel COW + shm, never pickled."""
+) -> "tuple[list[list[SortedTuple]], list[int] | None, tuple[ExecutorFallbackEvent, ...]]":
+    """Fork-pool execution; pages travel COW + shm, never pickled.
+
+    The NumPy backend normally pre-stages columns in shared memory.
+    When that staging cannot be set up — NumPy unavailable to the shm
+    module, or the store's segment allocation/activation fails — the
+    scan still runs (children rebuild columns from the COW'd records)
+    but the downgrade is returned as a structured
+    :class:`ExecutorFallbackEvent`, never applied silently.
+    """
     _WORKER_STATE.update(
         table=table,
         spaces=spaces,
@@ -419,29 +475,58 @@ def _run_forked(
         strategy=strategy,
     )
     backend = kernels.get_backend()
-    stage_shm = (
-        backend.name == "numpy"
-        and shm.np is not None
-        and shm.active_store() is None
-    )
-    try:
-        if stage_shm:
-            with shm.shared_columns(label=getattr(table, "name", "")):
-                _stage_shared_columns(
-                    table, spaces, sort_dims, descending, strategy
+    events: "list[ExecutorFallbackEvent]" = []
+    store: "shm.SharedColumnStore | None" = None
+    if backend.name == "numpy" and shm.active_store() is None:
+        if shm.np is None:
+            events.append(
+                ExecutorFallbackEvent(
+                    requested="fork+shm",
+                    selected="fork",
+                    reason=(
+                        "NumPy is unavailable to the shared-memory column "
+                        "store; workers rebuild columns from COW pages"
+                    ),
+                    backend=backend.name,
+                    workers=pool_size,
                 )
-                per_slab = _fork_map(pool_size, len(spaces))
+            )
         else:
-            per_slab = _fork_map(pool_size, len(spaces))
+            try:
+                store = shm.SharedColumnStore(label=getattr(table, "name", ""))
+                shm.activate(store)
+            except (RuntimeError, OSError) as error:
+                if store is not None:
+                    store.close()
+                store = None
+                events.append(
+                    ExecutorFallbackEvent(
+                        requested="fork+shm",
+                        selected="fork",
+                        reason=(
+                            f"shared-memory column staging failed ({error}); "
+                            "workers rebuild columns from COW pages"
+                        ),
+                        backend=backend.name,
+                        workers=pool_size,
+                    )
+                )
+    try:
+        if store is not None:
+            _stage_shared_columns(table, spaces, sort_dims, descending, strategy)
+        per_slab = _fork_map(pool_size, len(spaces))
     finally:
         _WORKER_STATE.clear()
+        if store is not None:
+            shm.deactivate()
+            store.close()
     serialized: "list[int] | None" = None
     if measure_serialization:
         # what the process transport actually ships per slab: the result
         # rows (pages are inherited COW and columns attach via shm, so
         # no page bytes appear here)
         serialized = [len(pickle.dumps(chunk)) for chunk in per_slab]
-    return per_slab, serialized
+    return per_slab, serialized, tuple(events)
 
 
 def _fork_map(pool_size: int, slab_count: int) -> "list[list[SortedTuple]]":
@@ -513,12 +598,24 @@ def parallel_tetris_scan(
         )
     spaces = [_slab_space(space, slab, primary, coord_max) for slab in planned]
     if selected != "inline" and len(planned) == 1:
-        selected = "inline"  # one slab cannot overlap with anything
+        # one slab cannot overlap with anything; an explicitly requested
+        # parallel executor reports the downgrade, auto decides silently
+        if requested in ("threads", "fork"):
+            event = ExecutorFallbackEvent(
+                requested=requested,
+                selected="inline",
+                reason="the query planned a single sweep slab",
+                backend=backend_name,
+                workers=workers,
+            )
+            fallbacks = fallbacks + (event,)
+            _emit_fallback(event)
+        selected = "inline"
 
     serialized: "list[int] | None" = None
     if selected == "fork":
         pool_size = min(workers, len(planned))
-        per_slab, serialized = _run_forked(
+        per_slab, serialized, fork_events = _run_forked(
             table,
             spaces,
             sort_dims,
@@ -527,6 +624,9 @@ def parallel_tetris_scan(
             pool_size,
             measure_serialization,
         )
+        for event in fork_events:
+            _emit_fallback(event)
+        fallbacks = fallbacks + fork_events
     else:
         pool_size = min(workers, len(planned)) if selected == "threads" else 1
         per_slab = _run_batched(

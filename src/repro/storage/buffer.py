@@ -34,6 +34,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from .. import invariants
+from ..invariants.sanitizer import guarded_by, note_access, tracked_lock
 from .disk import SimulatedDisk
 from .errors import (
     CorruptPageError,
@@ -56,8 +57,34 @@ class EvictionPolicy(Protocol):
         ...  # pragma: no cover - protocol
 
 
+@guarded_by(
+    "_lock",
+    "_frames",
+    "_dirty",
+    "_prefetched",
+    "_failures",
+    "_quarantined",
+    "_eviction_observers",
+    "hits",
+    "misses",
+    "lookups",
+    "disk_fetches",
+    "rejected",
+    "retry_attempts",
+    "prefetch_issued",
+    "prefetch_claimed",
+    "prefetch_cancelled",
+)
 class BufferPool:
-    """LRU cache of disk pages with hit/miss accounting and quarantine."""
+    """LRU cache of disk pages with hit/miss accounting and quarantine.
+
+    Frame maps, the dirty/prefetch/quarantine sets, the observer list
+    and every shadow counter are guarded by the pool's ``buffer-pool``
+    lock: all mutating entry points take it, internal helpers inherit
+    it from their callers (reprolint R010 verifies the reachability
+    claim through the call graph, and the ``REPRO_CHECKS=1`` sanitizer
+    verifies the happens-before claim at runtime).
+    """
 
     def __init__(
         self,
@@ -72,6 +99,8 @@ class BufferPool:
             raise ValueError("buffer pool needs at least one frame")
         if quarantine_threshold < 1:
             raise ValueError("quarantine threshold must be >= 1")
+        #: reentrant declared lock; rank "buffer-pool" in the global order
+        self._lock = tracked_lock("buffer-pool")
         self.disk = disk
         self.capacity = capacity
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
@@ -109,16 +138,23 @@ class BufferPool:
         self._failures: dict[int, int] = {}
         self._quarantined: set[int] = set()
 
+    def _note_write(self, field: str) -> None:
+        """Happens-before choke point for one guarded-field mutation."""
+        if invariants.enabled():
+            note_access(self, field, write=True, sim_time=self.disk.stats.time)
+
     def add_eviction_observer(self, observer: Callable[[int], Any]) -> None:
         """Call ``observer(page_id)`` whenever a frame leaves the pool."""
-        self._eviction_observers.append(observer)
+        with self._lock:
+            self._eviction_observers.append(observer)
+            self._note_write("_eviction_observers")
 
     def remove_eviction_observer(self, observer: Callable[[int], Any]) -> None:
         """Detach a previously added observer (no-op when absent)."""
-        try:
-            self._eviction_observers.remove(observer)
-        except ValueError:
-            pass
+        with self._lock:
+            if observer in self._eviction_observers:
+                self._eviction_observers.remove(observer)
+            self._note_write("_eviction_observers")
 
     def _notify_evicted(self, page_id: int) -> None:
         for observer in self._eviction_observers:
@@ -145,30 +181,33 @@ class BufferPool:
         failure count reaches the quarantine threshold is refused
         outright on later lookups (:class:`QuarantinedPageError`).
         """
-        self.lookups += 1
-        if page_id in self._quarantined:
-            # a disk stack with replicas may be able to heal the page;
-            # if so, lift the quarantine and serve the lookup normally
-            if self.disk.repair_page(page_id):
-                self.lift_quarantine(page_id)
-            else:
-                self.rejected += 1
-                self._validate()
-                raise QuarantinedPageError(
-                    f"page {page_id} is quarantined after "
-                    f"{self._failures.get(page_id, 0)} failures"
-                )
-        if page_id in self._frames:
-            if page_id in self._prefetched:
-                return self._claim_prefetched(page_id)
-            self.hits += 1
-            self._frames.move_to_end(page_id)
-            return self._frames[page_id]
-        self.misses += 1
-        page = self._fetch(page_id, sequential=sequential, category=category, charge=charge)
-        self._admit(page, category)
-        self._validate()
-        return page
+        with self._lock:
+            self.lookups += 1
+            if page_id in self._quarantined:
+                # a disk stack with replicas may be able to heal the page;
+                # if so, lift the quarantine and serve the lookup normally
+                if self.disk.repair_page(page_id):
+                    self.lift_quarantine(page_id)
+                else:
+                    self.rejected += 1
+                    self._validate()
+                    raise QuarantinedPageError(
+                        f"page {page_id} is quarantined after "
+                        f"{self._failures.get(page_id, 0)} failures"
+                    )
+            if page_id in self._frames:
+                if page_id in self._prefetched:
+                    return self._claim_prefetched(page_id)
+                self.hits += 1
+                self._frames.move_to_end(page_id)
+                return self._frames[page_id]
+            self.misses += 1
+            page = self._fetch(
+                page_id, sequential=sequential, category=category, charge=charge
+            )
+            self._admit(page, category)
+            self._validate()
+            return page
 
     # ------------------------------------------------------------------
     # the prefetch gate
@@ -188,30 +227,32 @@ class BufferPool:
         quarantined pages, and on a transient fault of the async attempt
         — the later demand read then runs the normal retry path.
         """
-        scheduler = self.scheduler
-        if (
-            scheduler is None
-            or scheduler.prefetch_depth <= 0
-            or page_id in self._frames
-            or page_id in self._quarantined
-        ):
-            return False
-        self.disk_fetches += 1
-        self.prefetch_issued += 1
-        page = scheduler.submit(
-            page_id, sequential=sequential, category=category, charge=charge
-        )
-        if page is None:
-            # the async attempt hit a transient fault; account the issue
-            # as immediately cancelled so the lifecycle ledger stays
-            # balanced (issued = claimed + cancelled + pending)
-            self.prefetch_cancelled += 1
+        with self._lock:
+            scheduler = self.scheduler
+            if (
+                scheduler is None
+                or scheduler.prefetch_depth <= 0
+                or page_id in self._frames
+                or page_id in self._quarantined
+            ):
+                return False
+            self.disk_fetches += 1
+            self.prefetch_issued += 1
+            page = scheduler.submit(
+                page_id, sequential=sequential, category=category, charge=charge
+            )
+            if page is None:
+                # the async attempt hit a transient fault; account the issue
+                # as immediately cancelled so the lifecycle ledger stays
+                # balanced (issued = claimed + cancelled + pending)
+                self.prefetch_cancelled += 1
+                self._validate()
+                return False
+            self._prefetched.add(page_id)
+            self._note_write("_prefetched")
+            self._admit(page, category)
             self._validate()
-            return False
-        self._prefetched.add(page_id)
-        self._admit(page, category)
-        self._validate()
-        return True
+            return True
 
     def _claim_prefetched(self, page_id: int) -> Page:
         """First demand lookup of a pending prefetched page.
@@ -245,18 +286,20 @@ class BufferPool:
 
     def cancel_prefetch(self, page_id: int) -> bool:
         """Drop a pending prefetched page (mispredicted sweep)."""
-        if page_id not in self._prefetched:
-            return False
-        self._cancel_pending(page_id)
-        if self._frames.pop(page_id, None) is not None:
-            self._notify_evicted(page_id)
-        self._validate()
-        return True
+        with self._lock:
+            if page_id not in self._prefetched:
+                return False
+            self._cancel_pending(page_id)
+            if self._frames.pop(page_id, None) is not None:
+                self._notify_evicted(page_id)
+            self._validate()
+            return True
 
     def _cancel_pending(self, page_id: int) -> None:
         """Retire a pending prefetch's bookkeeping (frame handled by caller)."""
         self._prefetched.discard(page_id)
         self.prefetch_cancelled += 1
+        self._note_write("_prefetched")
         if self.scheduler is not None:
             self.scheduler.cancel(page_id)
 
@@ -330,6 +373,7 @@ class BufferPool:
             )
         if page_id not in self._quarantined:
             self._quarantined.add(page_id)
+            self._note_write("_quarantined")
             self.disk.stats.faults.quarantined_pages += 1
         # a quarantined page must not linger in the cache (its content is
         # suspect); drop it without write-back, retiring any still-pending
@@ -361,12 +405,14 @@ class BufferPool:
         lifted page must start from a clean slate.  Returns ``False``
         when the page was not quarantined.
         """
-        if page_id not in self._quarantined:
-            return False
-        self._quarantined.discard(page_id)
-        self._failures.pop(page_id, None)
-        self.disk.stats.faults.quarantine_lifted += 1
-        return True
+        with self._lock:
+            if page_id not in self._quarantined:
+                return False
+            self._quarantined.discard(page_id)
+            self._note_write("_quarantined")
+            self._failures.pop(page_id, None)
+            self.disk.stats.faults.quarantine_lifted += 1
+            return True
 
     def repair_quarantined(self) -> list[int]:
         """Try to repair every quarantined page from the disk's replicas.
@@ -376,52 +422,60 @@ class BufferPool:
         quarantined.  Called by the plan executor before dropping a
         degraded physical instance.
         """
-        repaired: list[int] = []
-        for page_id in sorted(self._quarantined):
-            if self.disk.repair_page(page_id):
-                repaired.append(page_id)
-        for page_id in repaired:
-            self.lift_quarantine(page_id)
-        self._validate()
-        return repaired
+        with self._lock:
+            repaired: list[int] = []
+            for page_id in sorted(self._quarantined):
+                if self.disk.repair_page(page_id):
+                    repaired.append(page_id)
+            for page_id in repaired:
+                self.lift_quarantine(page_id)
+            self._validate()
+            return repaired
 
     def mark_dirty(self, page_id: int) -> None:
-        if page_id in self._frames:
-            self._dirty.add(page_id)
+        with self._lock:
+            if page_id in self._frames:
+                self._dirty.add(page_id)
+                self._note_write("_dirty")
 
     def put(self, page: Page, *, dirty: bool = True, category: str = "data") -> None:
         """Install a freshly created page into the pool."""
-        if page.page_id in self._quarantined:
-            raise QuarantinedPageError(
-                f"refusing to cache quarantined page {page.page_id}"
-            )
-        if page.page_id in self._prefetched:
-            # a fresh install supersedes a pending async read of the page
-            self._cancel_pending(page.page_id)
-        self._admit(page, category)
-        if dirty:
-            self._dirty.add(page.page_id)
-        self._validate()
+        with self._lock:
+            if page.page_id in self._quarantined:
+                raise QuarantinedPageError(
+                    f"refusing to cache quarantined page {page.page_id}"
+                )
+            if page.page_id in self._prefetched:
+                # a fresh install supersedes a pending async read of the page
+                self._cancel_pending(page.page_id)
+            self._admit(page, category)
+            if dirty:
+                self._dirty.add(page.page_id)
+            self._validate()
 
     def evict(self, page_id: int, *, category: str = "data") -> None:
         """Explicitly drop one page, writing it back if dirty."""
-        if page_id in self._prefetched:
-            self._cancel_pending(page_id)
-        page = self._frames.pop(page_id, None)
-        if page is not None:
-            if page_id in self._dirty:
-                self._dirty.discard(page_id)
-                self.disk.write(page, category=category)
-            self._notify_evicted(page_id)
-        self._validate()
+        with self._lock:
+            if page_id in self._prefetched:
+                self._cancel_pending(page_id)
+            page = self._frames.pop(page_id, None)
+            if page is not None:
+                self._note_write("_frames")
+                if page_id in self._dirty:
+                    self._dirty.discard(page_id)
+                    self.disk.write(page, category=category)
+                self._notify_evicted(page_id)
+            self._validate()
 
     def flush(self, *, category: str = "data") -> None:
         """Write back all dirty pages (end of a load phase)."""
-        for page_id in sorted(self._dirty):
-            page = self._frames.get(page_id)
-            if page is not None:
-                self.disk.write(page, sequential=True, category=category)
-        self._dirty.clear()
+        with self._lock:
+            for page_id in sorted(self._dirty):
+                page = self._frames.get(page_id)
+                if page is not None:
+                    self.disk.write(page, sequential=True, category=category)
+            self._dirty.clear()
+            self._note_write("_dirty")
 
     def drop_all(self) -> None:
         """Empty the pool without write-back (pages live in the sim anyway).
@@ -432,13 +486,15 @@ class BufferPool:
         Pending prefetches are cancelled (and counted wasted): nobody
         will ever claim them once the frames are gone.
         """
-        for page_id in list(self._prefetched):
-            self._cancel_pending(page_id)
-        dropped = list(self._frames)
-        self._frames.clear()
-        self._dirty.clear()
-        for page_id in dropped:
-            self._notify_evicted(page_id)
+        with self._lock:
+            for page_id in list(self._prefetched):
+                self._cancel_pending(page_id)
+            dropped = list(self._frames)
+            self._frames.clear()
+            self._dirty.clear()
+            self._note_write("_frames")
+            for page_id in dropped:
+                self._notify_evicted(page_id)
 
     @property
     def hit_ratio(self) -> float:
@@ -452,6 +508,7 @@ class BufferPool:
     def _admit(self, page: Page, category: str) -> None:
         self._frames[page.page_id] = page
         self._frames.move_to_end(page.page_id)
+        self._note_write("_frames")
         while len(self._frames) > self.capacity:
             victim_id = self._choose_victim()
             victim = self._frames.pop(victim_id)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import weakref
 from typing import TYPE_CHECKING
 
+from ..invariants.sanitizer import guarded_by, tracked_lock
 from .errors import MissingPageError, TransientIOError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -58,8 +59,14 @@ def armed_scheduler_count() -> int:
     return len(_ARMED)
 
 
+@guarded_by("_lock", "_inflight", "_free_at")
 class IOScheduler:
     """``devices`` independent queues over one (stacked) simulated disk.
+
+    The in-flight table and per-device drain times are guarded by the
+    ``io-scheduler`` lock — ranked *after* ``buffer-pool`` in the global
+    lock order, because the pool issues reads and submits prefetches
+    while holding its own lock.
 
     Parameters
     ----------
@@ -84,6 +91,7 @@ class IOScheduler:
             raise ValueError("scheduler needs at least one device queue")
         if prefetch_depth < 0:
             raise ValueError("prefetch depth must be >= 0")
+        self._lock = tracked_lock("io-scheduler")
         self.disk = disk
         self.devices = devices
         self.prefetch_depth = prefetch_depth
@@ -172,24 +180,25 @@ class IOScheduler:
         attempt's charge stays on the global clock and no queue state
         changes, so retry semantics are unchanged.
         """
-        entry = self._inflight.pop(page_id, None)
-        if entry is not None:
-            ready, page = entry
+        with self._lock:
+            entry = self._inflight.pop(page_id, None)
+            if entry is not None:
+                ready, page = entry
+                self._wait_until(ready)
+                self.disk.stats.prefetch.prefetch_hits += 1
+                return page
+            stats = self.disk.stats
+            start = stats.time
+            page = self.disk.read(
+                page_id, sequential=sequential, category=category, charge=charge
+            )
+            cost = stats.time - start
+            if cost <= 0:
+                return page  # unpriced (index-cache) read: no queue occupancy
+            stats.time = start
+            ready = self._occupy(page_id, start, cost)
             self._wait_until(ready)
-            self.disk.stats.prefetch.prefetch_hits += 1
             return page
-        stats = self.disk.stats
-        start = stats.time
-        page = self.disk.read(
-            page_id, sequential=sequential, category=category, charge=charge
-        )
-        cost = stats.time - start
-        if cost <= 0:
-            return page  # unpriced (index-cache) read: no queue occupancy
-        stats.time = start
-        ready = self._occupy(page_id, start, cost)
-        self._wait_until(ready)
-        return page
 
     # ------------------------------------------------------------------
     # asynchronous (prefetch) reads
@@ -212,38 +221,42 @@ class IOScheduler:
         checked here — corruption must surface at claim time with
         exactly the demand-path semantics.
         """
-        entry = self._inflight.get(page_id)
-        if entry is not None:
-            return entry[1]
-        stats = self.disk.stats
-        start = stats.time
-        stats.prefetch.prefetch_issued += 1
-        try:
-            page = self.disk.read(
-                page_id, sequential=sequential, category=category, charge=charge
-            )
-        except TransientIOError:
+        with self._lock:
+            entry = self._inflight.get(page_id)
+            if entry is not None:
+                return entry[1]
+            stats = self.disk.stats
+            start = stats.time
+            stats.prefetch.prefetch_issued += 1
+            try:
+                page = self.disk.read(
+                    page_id, sequential=sequential, category=category, charge=charge
+                )
+            except TransientIOError:
+                cost = stats.time - start
+                stats.time = start
+                if cost > 0:
+                    self._occupy(page_id, start, cost)
+                stats.prefetch.prefetch_wasted += 1
+                return None
             cost = stats.time - start
             stats.time = start
-            if cost > 0:
-                self._occupy(page_id, start, cost)
-            stats.prefetch.prefetch_wasted += 1
-            return None
-        cost = stats.time - start
-        stats.time = start
-        ready = self._occupy(page_id, start, cost) if cost > 0 else start
-        self._inflight[page_id] = (ready, page)
-        return page
+            ready = self._occupy(page_id, start, cost) if cost > 0 else start
+            self._inflight[page_id] = (ready, page)
+            return page
 
     def claim(self, page_id: int) -> "Page":
         """Consume an in-flight async read, waiting out its remaining time."""
-        entry = self._inflight.pop(page_id, None)
-        if entry is None:
-            raise MissingPageError(f"no in-flight read of page {page_id} to claim")
-        ready, page = entry
-        self._wait_until(ready)
-        self.disk.stats.prefetch.prefetch_hits += 1
-        return page
+        with self._lock:
+            entry = self._inflight.pop(page_id, None)
+            if entry is None:
+                raise MissingPageError(
+                    f"no in-flight read of page {page_id} to claim"
+                )
+            ready, page = entry
+            self._wait_until(ready)
+            self.disk.stats.prefetch.prefetch_hits += 1
+            return page
 
     def cancel(self, page_id: int) -> bool:
         """Drop an in-flight async read whose demand will never come.
@@ -251,10 +264,11 @@ class IOScheduler:
         The service time already spent on the queue stands (the device
         really did the work); the page is accounted as a wasted prefetch.
         """
-        if self._inflight.pop(page_id, None) is None:
-            return False
-        self.disk.stats.prefetch.prefetch_wasted += 1
-        return True
+        with self._lock:
+            if self._inflight.pop(page_id, None) is None:
+                return False
+            self.disk.stats.prefetch.prefetch_wasted += 1
+            return True
 
     def cancel_all(self) -> int:
         """Cancel every in-flight read (end of a scan, cache drop)."""

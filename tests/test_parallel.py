@@ -209,9 +209,17 @@ class TestSelectExecutor:
         with pytest.raises(ValueError, match="unknown executor"):
             select_executor("gpu", "numpy", 4)
 
-    def test_single_worker_is_inline_without_event(self):
+    def test_single_worker_auto_is_inline_without_event(self):
+        # auto deciding on inline for one worker is policy, not a fallback
         assert select_executor("auto", "numpy", 1) == ("inline", None)
-        assert select_executor("fork", "python", 1) == ("inline", None)
+
+    @pytest.mark.parametrize("requested", ("threads", "fork"))
+    def test_single_worker_explicit_request_emits_event(self, requested):
+        selected, event = select_executor(requested, "python", 1)
+        assert selected == "inline"
+        assert event is not None
+        assert (event.requested, event.selected) == (requested, "inline")
+        assert "2 workers" in event.reason
 
     def test_explicit_inline(self):
         assert select_executor("inline", "numpy", 4) == ("inline", None)
@@ -387,6 +395,131 @@ class TestFallbackEvents:
         assert seen == [event]
         # the downgraded run still honours the stream contract
         assert result.rows == list(table.tetris_scan({"a1": (100, 900)}, "a2"))
+
+    def test_single_worker_explicit_request_emits_one_event(self):
+        table = make_table(rows=200)
+        seen = []
+        register_fallback_observer(seen.append)
+        try:
+            result = parallel_tetris_scan(
+                table, {"a1": (100, 900)}, "a2", workers=1, executor="threads"
+            )
+        finally:
+            unregister_fallback_observer(seen.append)
+        assert result.executor == "inline"
+        assert len(result.fallbacks) == 1
+        event = result.fallbacks[0]
+        assert (event.requested, event.selected) == ("threads", "inline")
+        assert "at least 2 workers" in event.reason
+        assert seen == [event]
+
+    def test_single_slab_explicit_request_emits_one_event(self):
+        table = make_table(rows=200)
+        seen = []
+        register_fallback_observer(seen.append)
+        try:
+            result = parallel_tetris_scan(
+                table,
+                {"a1": (100, 900)},
+                "a2",
+                workers=WORKERS,
+                slabs=1,
+                executor="threads",
+            )
+        finally:
+            unregister_fallback_observer(seen.append)
+        assert result.executor == "inline"
+        assert len(result.fallbacks) == 1
+        event = result.fallbacks[0]
+        assert event.reason == "the query planned a single sweep slab"
+        assert seen == [event]
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="no fork start method on this platform",
+    )
+    def test_shm_staging_failure_emits_one_event(self, monkeypatch):
+        if kernels.get_backend().name != "numpy":
+            pytest.skip("shm staging only runs on the numpy backend")
+        table = make_table(rows=200)
+
+        class ExplodingStore:
+            def __init__(self, label=""):
+                raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(
+            parallel_module.shm, "SharedColumnStore", ExplodingStore
+        )
+        seen = []
+        register_fallback_observer(seen.append)
+        try:
+            result = parallel_tetris_scan(
+                table, {"a1": (100, 900)}, "a2", workers=WORKERS, executor="fork"
+            )
+        finally:
+            unregister_fallback_observer(seen.append)
+        # the scan still ran on the fork pool, rebuilding columns from COW
+        assert result.executor == "fork"
+        assert len(result.fallbacks) == 1
+        event = result.fallbacks[0]
+        assert (event.requested, event.selected) == ("fork+shm", "fork")
+        assert "shared-memory column staging failed" in event.reason
+        assert "no space left on /dev/shm" in event.reason
+        assert seen == [event]
+        assert result.rows == list(table.tetris_scan({"a1": (100, 900)}, "a2"))
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="no fork start method on this platform",
+    )
+    def test_numpy_missing_for_shm_emits_one_event(self, monkeypatch):
+        if kernels.get_backend().name != "numpy":
+            pytest.skip("shm staging only runs on the numpy backend")
+        table = make_table(rows=200)
+        monkeypatch.setattr(parallel_module.shm, "np", None)
+        seen = []
+        register_fallback_observer(seen.append)
+        try:
+            result = parallel_tetris_scan(
+                table, {"a1": (100, 900)}, "a2", workers=WORKERS, executor="fork"
+            )
+        finally:
+            unregister_fallback_observer(seen.append)
+        assert result.executor == "fork"
+        assert len(result.fallbacks) == 1
+        event = result.fallbacks[0]
+        assert (event.requested, event.selected) == ("fork+shm", "fork")
+        assert "NumPy is unavailable" in event.reason
+        assert seen == [event]
+        assert result.rows == list(table.tetris_scan({"a1": (100, 900)}, "a2"))
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="no fork start method on this platform",
+    )
+    def test_clean_fork_run_emits_no_events(self):
+        table = make_table(rows=200)
+        seen = []
+        register_fallback_observer(seen.append)
+        try:
+            result = parallel_tetris_scan(
+                table, {"a1": (100, 900)}, "a2", workers=WORKERS, executor="fork"
+            )
+        finally:
+            unregister_fallback_observer(seen.append)
+        assert result.executor == "fork"
+        assert result.fallbacks == ()
+        assert seen == []
+
+    def test_observer_exceptions_after_unregister_cannot_fire(self):
+        # unregister removes by identity-equality of the bound method
+        events = []
+        register_fallback_observer(events.append)
+        unregister_fallback_observer(events.append)
+        parallel_module._emit_fallback(
+            ExecutorFallbackEvent("threads", "inline", "test", "pure", 1)
+        )
+        assert events == []
 
     def test_unregister_unknown_observer_is_noop(self):
         unregister_fallback_observer(lambda event: None)

@@ -752,3 +752,445 @@ class TestDriver:
     def test_repository_tree_is_clean(self):
         """The shipped engine passes its own linter (acceptance gate)."""
         assert lint_paths([REPO_ROOT / "src" / "repro"]) == []
+
+# ----------------------------------------------------------------------
+# R010-R013: interprocedural project rules (engine-driven)
+# ----------------------------------------------------------------------
+def lint_tree(tmp_path, source: str, name: str = "module.py"):
+    """Write one fixture file and lint it with the full project pass."""
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    return lint_paths([tmp_path])
+
+
+class TestR010GuardedState:
+    GUARDED = """\
+        @guarded_by("_lock", "_items", "count")
+        class Registry:
+            def __init__(self):
+                self._lock = tracked_lock("lock-a")
+                self._items = []
+                self.count = 0
+        """
+
+    def test_unlocked_mutation_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.GUARDED
+            + """\
+
+            def add(self, item):
+                self._items.append(item)
+            """,
+        )
+        assert "R010" in rules_of(found)
+
+    def test_lexically_locked_mutation_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.GUARDED
+            + """\
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+                    self.count += 1
+            """,
+        )
+        assert "R010" not in rules_of(found)
+
+    def test_helper_locked_by_every_caller_clean(self, tmp_path):
+        """The interprocedural case: the lock is taken one frame up."""
+        found = lint_tree(
+            tmp_path,
+            self.GUARDED
+            + """\
+
+            def add(self, item):
+                with self._lock:
+                    self._admit(item)
+
+            def _admit(self, item):
+                self._items.append(item)
+                self.count += 1
+            """,
+        )
+        assert "R010" not in rules_of(found)
+
+    def test_helper_with_one_unlocked_caller_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.GUARDED
+            + """\
+
+            def add(self, item):
+                with self._lock:
+                    self._admit(item)
+
+            def add_fast(self, item):
+                self._admit(item)
+
+            def _admit(self, item):
+                self._items.append(item)
+            """,
+        )
+        assert "R010" in rules_of(found)
+
+    def test_init_is_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, self.GUARDED)
+        assert "R010" not in rules_of(found)
+
+    def test_counter_augassign_outside_lock_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.GUARDED
+            + """\
+
+            def bump(self):
+                self.count += 1
+            """,
+        )
+        assert "R010" in rules_of(found)
+
+    def test_suppression_applies(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.GUARDED
+            + """\
+
+            def add(self, item):
+                self._items.append(item)  # reprolint: allow(R010)
+            """,
+        )
+        assert "R010" not in rules_of(found)
+
+
+class TestR011LockOrder:
+    # indented to match the fixture bodies so textwrap.dedent lines up
+    ORDER = '            declare_lock_order("lock-a", "lock-b", "lock-c")\n'
+
+    def test_lexical_inversion_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.ORDER
+            + """\
+
+            def inverted():
+                a = tracked_lock("lock-a")
+                b = tracked_lock("lock-b")
+                with b:
+                    with a:
+                        pass
+            """,
+        )
+        assert "R011" in rules_of(found)
+
+    def test_declared_order_nesting_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.ORDER
+            + """\
+
+            def ordered():
+                a = tracked_lock("lock-a")
+                c = tracked_lock("lock-c")
+                with a:
+                    with c:
+                        pass
+            """,
+        )
+        assert "R011" not in rules_of(found)
+
+    def test_interprocedural_inversion_flagged(self, tmp_path):
+        """Holding lock-b, call a function that takes lock-a."""
+        found = lint_tree(
+            tmp_path,
+            self.ORDER
+            + """\
+
+            def takes_a():
+                a = tracked_lock("lock-a")
+                with a:
+                    pass
+
+            def entry():
+                b = tracked_lock("lock-b")
+                with b:
+                    takes_a()
+            """,
+        )
+        assert "R011" in rules_of(found)
+
+    def test_interprocedural_in_order_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.ORDER
+            + """\
+
+            def takes_b():
+                b = tracked_lock("lock-b")
+                with b:
+                    pass
+
+            def entry():
+                a = tracked_lock("lock-a")
+                with a:
+                    takes_b()
+            """,
+        )
+        assert "R011" not in rules_of(found)
+
+    def test_double_declaration_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.ORDER + '            declare_lock_order("lock-z")\n',
+        )
+        assert "R011" in rules_of(found)
+
+    def test_invertible_undeclared_pair_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            """\
+            def one_way():
+                x = tracked_lock("lock-x")
+                y = tracked_lock("lock-y")
+                with x:
+                    with y:
+                        pass
+
+            def other_way():
+                x = tracked_lock("lock-x")
+                y = tracked_lock("lock-y")
+                with y:
+                    with x:
+                        pass
+            """,
+        )
+        assert "R011" in rules_of(found)
+
+
+class TestR012ForkAfterSpawn:
+    def test_fork_after_thread_spawn_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            """\
+            import os  # threads below are never joined
+
+
+            def run():
+                worker = Thread(target=print)
+                worker.start()
+                os.fork()
+            """,
+        )
+        assert "R012" in rules_of(found)
+
+    def test_fork_before_threads_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            """\
+            import os
+
+
+            def run():
+                os.fork()
+                worker = Thread(target=print)
+                worker.start()
+            """,
+        )
+        assert "R012" not in rules_of(found)
+
+    def test_exclusive_branches_clean(self, tmp_path):
+        """The executor pattern: fork XOR threads, never both."""
+        found = lint_tree(
+            tmp_path,
+            """\
+            import os
+
+
+            def run(use_fork):
+                if use_fork:
+                    os.fork()
+                else:
+                    with ThreadPoolExecutor(2) as pool:
+                        pool.map(print, [1])
+            """,
+        )
+        assert "R012" not in rules_of(found)
+
+    def test_scoped_executor_joins_before_fork_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            """\
+            import os
+
+
+            def run():
+                with ThreadPoolExecutor(2) as pool:
+                    pool.map(print, [1])
+                os.fork()
+            """,
+        )
+        assert "R012" not in rules_of(found)
+
+    def test_fork_inside_live_executor_block_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            """\
+            import os
+
+
+            def run():
+                with ThreadPoolExecutor(2) as pool:
+                    os.fork()
+            """,
+        )
+        assert "R012" in rules_of(found)
+
+    def test_interprocedural_spawn_then_fork_flagged(self, tmp_path):
+        """The spawn happens in a helper; the fork in the caller."""
+        found = lint_tree(
+            tmp_path,
+            """\
+            import os
+
+
+            def start_workers():
+                worker = Thread(target=print)
+                worker.start()
+
+
+            def run():
+                start_workers()
+                os.fork()
+            """,
+        )
+        assert "R012" in rules_of(found)
+
+
+class TestR013ForkShipWhitelist:
+    POOL_PREFIX = (
+        "        import multiprocessing  # reprolint: allow(R009)\n"
+        "\n"
+        "\n"
+    )
+
+    def test_lambda_payload_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.POOL_PREFIX
+            + """\
+        def run():
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(2) as pool:
+                pool.map(lambda x: x, [1])
+        """,
+        )
+        assert "R013" in rules_of(found)
+
+    def test_bound_method_payload_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.POOL_PREFIX
+            + """\
+        class Runner:
+            def work(self, x):
+                return x
+
+            def run(self):
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(2) as pool:
+                    pool.map(self.work, [1])
+        """,
+        )
+        assert "R013" in rules_of(found)
+
+    def test_unmarked_module_function_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.POOL_PREFIX
+            + """\
+        def work(x):
+            return x
+
+
+        def run():
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(2) as pool:
+                pool.map(work, [1])
+        """,
+        )
+        assert "R013" in rules_of(found)
+
+    def test_fork_safe_module_function_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            self.POOL_PREFIX
+            + """\
+        @fork_safe
+        def work(x):
+            return x
+
+
+        def run():
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(2) as pool:
+                pool.map(work, [1])
+        """,
+        )
+        assert "R013" not in rules_of(found)
+
+    def test_thread_pool_closures_not_policed(self, tmp_path):
+        """Thread pools share memory; closures are fine there."""
+        found = lint_tree(
+            tmp_path,
+            """\
+            def run():
+                with ThreadPoolExecutor(2) as pool:
+                    pool.map(lambda x: x, [1])
+            """,
+        )
+        assert "R013" not in rules_of(found)
+
+
+class TestOutputModes:
+    def test_json_mode_structure(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("assert True\n")
+        assert main(["--json", str(dirty)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["count"] == 1
+        [finding] = report["violations"]
+        assert finding["rule"] == "R005"
+        assert finding["line"] == 1
+        assert finding["path"] == str(dirty)
+
+    def test_json_mode_clean(self, tmp_path, capsys):
+        import json
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["--json", str(clean)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"violations": [], "count": 0}
+
+    def test_github_mode_annotations(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("assert True\n")
+        assert main(["--github", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert f"::error file={dirty},line=1,col=0,title=reprolint R005::" in out
+        assert "reprolint: 1 violation(s) found" in out
+
+    def test_github_mode_clean(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["--github", str(clean)]) == 0
+        assert "reprolint: clean" in capsys.readouterr().out
+
+
+class TestToolchainSelfLint:
+    def test_tools_tree_is_clean(self):
+        """The linter (and the chaos harness) pass the linter."""
+        assert lint_paths([REPO_ROOT / "tools"]) == []

@@ -751,7 +751,8 @@ def run_write_schedule(
         # leg 3: simulated crash mid-load must roll back to pristine
         crash_db, crash_design = build_write_world()
         pre_fp = _fingerprint(crash_db)
-        assert crash_db.wal is not None
+        if crash_db.wal is None:
+            raise ChaosViolation("write world built without an armed WAL")
         crash_db.wal.crash_after_appends(3 + seed % 11)
         try:
             crash_design.heap.bulk_load(data)

@@ -5,85 +5,51 @@ contracts that generic linters cannot see.  ``reprolint`` walks the
 Python ASTs under ``src/repro`` and mechanically enforces them:
 
 ``R001`` — no wall-clock time inside the engine.
-    Every duration the engine reports must be charged to the simulated
-    clock (``storage/stats.py``); a stray ``time.time()`` or
-    ``datetime.now()`` silently mixes host wall-clock into results that
-    the paper reproduction requires to be deterministic.
-
 ``R002`` — no per-tuple Python loops over page records in hot paths.
-    ``core/tetris.py`` and ``core/ubtree.py`` must route batch work over
-    ``page.records`` through the :mod:`repro.kernels` API so the NumPy
-    backend can vectorize it; a per-tuple loop reintroduces the exact
-    slowdown the kernel layer exists to remove.
-
 ``R003`` — every mutation of ``Page.records`` pairs with a ``version`` bump.
-    The NumPy backend memoizes a columnar view of each page keyed on
-    ``Page.version``.  A mutation without a bump leaves that cache
-    stale: scans silently return pre-mutation tuples.
-
 ``R004`` — kernel backend parity.
-    Every public method of :class:`repro.kernels.base.KernelBackend`
-    must be overridden by *both* concrete backends, so "observationally
-    identical" stays checkable method-by-method and a new primitive
-    cannot silently fall through to a partial implementation.
-
 ``R005`` — no bare ``assert`` guarding data-dependent invariants.
-    ``python -O`` strips ``assert`` statements; a correctness contract
-    that disappears under optimization is not a contract.  Use explicit
-    raises or the :mod:`repro.invariants` layer.
-
 ``R006`` — no silent error swallowing; retries go through the policy.
-    The resilience layer's guarantee is "correct results or a typed
-    error, never silent garbage".  A bare ``except:`` or an
-    ``except Exception:`` whose body only passes hides the typed
-    :class:`~repro.storage.errors.StorageError` hierarchy, and a
-    hand-rolled loop around ``TransientIOError`` bypasses the
-    :class:`~repro.storage.retry.RetryPolicy` (whose backoff is charged
-    to the simulated clock) — both make fault handling unauditable.
-
 ``R007`` — engine code must not mutate the disk behind an armed WAL.
-    Durability rests on the write-ahead protocol: every data-page
-    write/free/allocation in engine code (outside ``storage/`` itself)
-    must sit in a function that participates in the WAL machinery
-    (``active_wal`` guard, ``log_image``/``log_alloc``/``log_free``
-    journaling), so crash recovery can replay or roll it back.  Scratch
-    I/O is exempt: calls charged to ``category="temp"`` (sort runs) or
-    ``category="wal"`` (the log device itself) are not durable state.
-
 ``R008`` — engine code must read data pages through the pool/scheduler.
-    The buffer pool (and, when armed, the I/O scheduler behind it) is
-    the single gate where reads are retried, checksum-verified,
-    quarantined and — under prefetching — claimed from device queues.
-    A direct ``disk.read(...)`` in engine code (outside ``storage/``
-    itself) bypasses retry accounting, the prefetch ledger *and* the
-    queue model, so its cost silently escapes the multi-device overlap
-    the scheduler prices.  Maintenance reads are exempt: calls charged
-    to ``category="replica"`` (repair traffic) or ``category="wal"``
-    (log replay) are infrastructure, not engine data access.
-
 ``R009`` — process/serialization machinery only in the sanctioned modules.
-    The zero-copy contract of slab-parallel execution ("pages are never
-    pickled") holds because exactly two modules are allowed to touch the
-    process and serialization toolbox: ``planner/parallel.py`` (the
-    executor) and ``kernels/shm.py`` (the shared-memory column store).
-    An ``import multiprocessing`` / ``pickle`` / ``concurrent`` anywhere
-    else in engine code would open a side channel that ships pages by
-    value and silently reintroduces the serialization cost the executor
-    layer exists to remove.
+``R010`` — guarded shared state is only mutated with its lock reachable.
+``R011`` — lock acquisitions respect the single declared global order.
+``R012`` — no fork after threads are spawned on any call path.
+``R013`` — process pools only run module-level ``@fork_safe`` functions.
+
+Each rule's contract and rationale live in its module under
+:mod:`tools.reprolint.rules`.  R001–R009 are single-file rules sharing
+one AST traversal per file; R010–R013 are interprocedural, driven by
+the symbol-table/call-graph/dataflow engine in
+:mod:`tools.reprolint.engine` over the whole linted tree at once.
 
 A finding can be suppressed by putting ``# reprolint: allow(R00X)`` (or
 a blanket ``# reprolint: allow``) on the offending line.
 
 Usage: ``python -m tools.reprolint src/repro`` — exits non-zero when any
-violation is found.
+violation is found.  ``--json`` emits a machine-readable report;
+``--github`` emits GitHub Actions ``::error`` annotations.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
+
+from .engine import ModuleInfo, build_module, build_project
+from .rules import (
+    Dispatcher,
+    FileContext,
+    R009_SANCTIONED_MODULES,
+    all_rule_summaries,
+    check_backend_parity,
+    file_rules,
+    project_rules,
+)
+from .rules.hotloops import HOT_PATH_FILES
+from .violations import Violation, suppressed as _suppressed
 
 __all__ = [
     "ALL_RULES",
@@ -94,541 +60,8 @@ __all__ = [
     "main",
 ]
 
-#: files (path suffixes, ``/``-separated) subject to the hot-path rule R002
-HOT_PATH_FILES: tuple[str, ...] = ("core/tetris.py", "core/ubtree.py")
-
-#: ``time`` module attributes that read the host's wall clock
-_WALL_CLOCK_TIME_ATTRS = frozenset(
-    {
-        "time",
-        "time_ns",
-        "perf_counter",
-        "perf_counter_ns",
-        "monotonic",
-        "monotonic_ns",
-        "process_time",
-        "process_time_ns",
-    }
-)
-
-#: ``datetime.datetime`` / ``datetime.date`` constructors that do the same
-_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
-
-#: list methods that mutate ``Page.records`` in place
-_RECORDS_MUTATORS = frozenset(
-    {"append", "extend", "insert", "pop", "remove", "clear", "sort", "reverse"}
-)
-
-#: free functions that mutate a list passed as an argument
-_MUTATING_FUNCTIONS = frozenset(
-    {"insort", "insort_left", "insort_right", "heappush", "heappop", "heapify"}
-)
-
-ALL_RULES: dict[str, str] = {
-    "R001": "wall-clock time in engine code (charge the simulated clock instead)",
-    "R002": "per-tuple loop over page records in a kernel-consuming hot path",
-    "R003": "Page.records mutation without a paired Page.version bump",
-    "R004": "KernelBackend method not overridden by both kernel backends",
-    "R005": "bare assert (stripped under python -O) guarding an invariant",
-    "R006": "silently swallowed exception or retry loop bypassing RetryPolicy",
-    "R007": "direct SimulatedDisk mutation in engine code bypassing an armed WAL",
-    "R008": "direct disk read in engine code bypassing the BufferPool/IOScheduler gate",
-    "R009": "multiprocessing/pickle outside the sanctioned parallel executor modules",
-}
-
-#: modules allowed to use the process/serialization toolbox (R009):
-#: the parallel executor and the shared-memory column store
-R009_SANCTIONED_MODULES: tuple[str, ...] = (
-    "planner/parallel.py",
-    "kernels/shm.py",
-)
-
-#: import roots that ship data by value or spawn processes (R009)
-_IPC_MODULE_ROOTS = frozenset(
-    {"multiprocessing", "pickle", "_pickle", "concurrent"}
-)
-
-#: names whose presence in a function marks its retry loop as policy-driven
-_RETRY_POLICY_MARKERS = frozenset(
-    {"RetryPolicy", "DEFAULT_RETRY_POLICY", "NO_RETRY", "read_page_resilient"}
-)
-
-#: disk methods that mutate durable state (R007)
-_DISK_MUTATORS = frozenset({"write", "free", "allocate", "allocate_extent"})
-
-#: names whose presence in a function marks it as WAL-participating (R007)
-_WAL_NAME_MARKERS = frozenset({"active_wal", "WriteAheadLog"})
-_WAL_ATTR_MARKERS = frozenset({"wal", "log_image", "log_alloc", "log_free", "touch"})
-
-#: I/O categories whose writes are scratch, not durable state (R007)
-_SCRATCH_CATEGORIES = frozenset({"temp", "wal"})
-
-#: I/O categories whose reads are maintenance, not engine data access (R008)
-_MAINTENANCE_READ_CATEGORIES = frozenset({"replica", "wal"})
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One finding: ``path:line:col: rule message``."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
-
-
-def _suppressed(source_lines: Sequence[str], violation: Violation) -> bool:
-    if not 1 <= violation.line <= len(source_lines):
-        return False
-    text = source_lines[violation.line - 1]
-    index = text.find("# reprolint: allow")
-    if index < 0:
-        return False
-    rest = text[index + len("# reprolint: allow") :].strip()
-    return rest == "" or violation.rule in rest
-
-
-def _records_owner(node: ast.expr) -> str | None:
-    """Source text of ``X`` when ``node`` is the attribute ``X.records``."""
-    if isinstance(node, ast.Attribute) and node.attr == "records":
-        return ast.unparse(node.value)
-    return None
-
-
-class _FileChecker(ast.NodeVisitor):
-    """Per-file rules: R001, R002 (hot paths only), R003, R005-R009."""
-
-    def __init__(self, path: str, hot_path: bool) -> None:
-        self.path = path
-        self.hot_path = hot_path
-        posix = Path(path).as_posix()
-        #: R007 applies to engine code *outside* the storage layer: the
-        #: storage package is where the WAL/replica machinery itself
-        #: lives and must touch the disk directly
-        self.wal_scope = "storage/" not in posix
-        #: R009 applies everywhere except the sanctioned executor/shm
-        #: modules (the only places allowed to fork or serialize)
-        self.ipc_scope = not any(
-            posix.endswith(suffix) for suffix in R009_SANCTIONED_MODULES
-        )
-        self.violations: list[Violation] = []
-        # R003 bookkeeping for the innermost function (or module) scope:
-        # source text of mutated ``.records`` owners and version-bumped
-        # owners; reconciled when the scope is left.
-        self._scope_stack: list[tuple[dict[str, tuple[int, int]], set[str]]] = [
-            ({}, set())
-        ]
-        # R006 bookkeeping: loop nesting depth, and whether the innermost
-        # function references the retry-policy machinery (pre-scanned on
-        # entry so handlers anywhere in the function see the flag).
-        self._loop_depth = 0
-        self._retry_marker_stack: list[bool] = [False]
-        # R007 bookkeeping: whether the innermost function participates
-        # in the WAL machinery (same pre-scan pattern as R006)
-        self._wal_marker_stack: list[bool] = [False]
-
-    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
-        self.violations.append(
-            Violation(
-                self.path,
-                getattr(node, "lineno", 1),
-                getattr(node, "col_offset", 0),
-                rule,
-                message,
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # scope handling (R003 pairs mutation and bump within one function)
-    # ------------------------------------------------------------------
-    def _enter_scope(self) -> None:
-        self._scope_stack.append(({}, set()))
-
-    def _leave_scope(self) -> None:
-        mutated, bumped = self._scope_stack.pop()
-        for owner, (line, col) in mutated.items():
-            if owner in bumped:
-                continue
-            self.violations.append(
-                Violation(
-                    self.path,
-                    line,
-                    col,
-                    "R003",
-                    f"`{owner}.records` is mutated but `{owner}.version` is "
-                    "never bumped in this function; the columnar page cache "
-                    "keyed on `version` goes stale",
-                )
-            )
-
-    def _references_retry_policy(self, node: ast.AST) -> bool:
-        for child in ast.walk(node):
-            if isinstance(child, ast.Name) and child.id in _RETRY_POLICY_MARKERS:
-                return True
-            if isinstance(child, ast.Attribute) and child.attr in (
-                "delays",
-                "retry_policy",
-            ):
-                return True
-        return False
-
-    def _references_wal(self, node: ast.AST) -> bool:
-        for child in ast.walk(node):
-            if isinstance(child, ast.Name) and child.id in _WAL_NAME_MARKERS:
-                return True
-            if isinstance(child, ast.Attribute) and child.attr in _WAL_ATTR_MARKERS:
-                return True
-        return False
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._enter_scope()
-        self._retry_marker_stack.append(self._references_retry_policy(node))
-        self._wal_marker_stack.append(self._references_wal(node))
-        outer_depth, self._loop_depth = self._loop_depth, 0
-        self.generic_visit(node)
-        self._loop_depth = outer_depth
-        self._retry_marker_stack.pop()
-        self._wal_marker_stack.pop()
-        self._leave_scope()
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._enter_scope()
-        self._retry_marker_stack.append(self._references_retry_policy(node))
-        self._wal_marker_stack.append(self._references_wal(node))
-        outer_depth, self._loop_depth = self._loop_depth, 0
-        self.generic_visit(node)
-        self._loop_depth = outer_depth
-        self._retry_marker_stack.pop()
-        self._wal_marker_stack.pop()
-        self._leave_scope()
-
-    def _note_mutation(self, owner: str, node: ast.AST) -> None:
-        mutated, _ = self._scope_stack[-1]
-        mutated.setdefault(
-            owner, (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
-        )
-
-    def _note_bump(self, owner: str) -> None:
-        _, bumped = self._scope_stack[-1]
-        bumped.add(owner)
-
-    # ------------------------------------------------------------------
-    # R001: wall-clock time sources
-    # ------------------------------------------------------------------
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        base = node.value
-        if isinstance(base, ast.Name):
-            if base.id == "time" and node.attr in _WALL_CLOCK_TIME_ATTRS:
-                self._emit(
-                    node,
-                    "R001",
-                    f"`time.{node.attr}` reads the host wall clock; charge "
-                    "the simulated clock (`storage/stats.py`) instead",
-                )
-            elif (
-                base.id in ("datetime", "date")
-                and node.attr in _WALL_CLOCK_DATETIME_ATTRS
-            ):
-                self._emit(
-                    node,
-                    "R001",
-                    f"`{base.id}.{node.attr}` reads the host wall clock; "
-                    "engine results must be simulation-deterministic",
-                )
-        elif (
-            isinstance(base, ast.Attribute)
-            and base.attr in ("datetime", "date")
-            and node.attr in _WALL_CLOCK_DATETIME_ATTRS
-        ):
-            self._emit(
-                node,
-                "R001",
-                f"`{ast.unparse(node)}` reads the host wall clock; engine "
-                "results must be simulation-deterministic",
-            )
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "time":
-            for alias in node.names:
-                if alias.name in _WALL_CLOCK_TIME_ATTRS:
-                    self._emit(
-                        node,
-                        "R001",
-                        f"importing `time.{alias.name}` into engine code; "
-                        "charge the simulated clock instead",
-                    )
-        if node.module is not None and node.level == 0:
-            self._check_ipc_import(node, node.module)
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    # R009: process/serialization machinery outside the executor modules
-    # ------------------------------------------------------------------
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self._check_ipc_import(node, alias.name)
-        self.generic_visit(node)
-
-    def _check_ipc_import(self, node: ast.AST, module: str) -> None:
-        if not self.ipc_scope:
-            return
-        root = module.split(".", 1)[0]
-        if root not in _IPC_MODULE_ROOTS:
-            return
-        sanctioned = " / ".join(f"`{name}`" for name in R009_SANCTIONED_MODULES)
-        self._emit(
-            node,
-            "R009",
-            f"`{module}` spawns processes or ships data by value; parallel "
-            "scan paths hand pages off zero-copy (COW fork + shared-memory "
-            f"columns), so only the sanctioned modules ({sanctioned}) may "
-            "import it",
-        )
-
-    # ------------------------------------------------------------------
-    # R002: per-tuple loops over page records in hot paths
-    # ------------------------------------------------------------------
-    def _iter_target(self, iter_node: ast.expr) -> str | None:
-        """Owner text when an iteration runs tuple-at-a-time over records."""
-        owner = _records_owner(iter_node)
-        if owner is not None:
-            return owner
-        if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name):
-            if iter_node.func.id in ("enumerate", "reversed", "iter") and iter_node.args:
-                return _records_owner(iter_node.args[0])
-        return None
-
-    def _check_iteration(self, iter_node: ast.expr, anchor: ast.AST) -> None:
-        if not self.hot_path:
-            return
-        owner = self._iter_target(iter_node)
-        if owner is not None:
-            self._emit(
-                anchor,
-                "R002",
-                f"per-tuple Python loop over `{owner}.records` in a hot "
-                "path; route batch work through the `repro.kernels` API",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iteration(node.iter, node)
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def visit_While(self, node: ast.While) -> None:
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def _visit_comprehension(
-        self, node: ast.AST, generators: "list[ast.comprehension]"
-    ) -> None:
-        for comp in generators:
-            self._check_iteration(comp.iter, node)
-        self.generic_visit(node)
-
-    def visit_ListComp(self, node: ast.ListComp) -> None:
-        self._visit_comprehension(node, node.generators)
-
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        self._visit_comprehension(node, node.generators)
-
-    def visit_DictComp(self, node: ast.DictComp) -> None:
-        self._visit_comprehension(node, node.generators)
-
-    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
-        self._visit_comprehension(node, node.generators)
-
-    # ------------------------------------------------------------------
-    # R003: records mutations and version bumps
-    # ------------------------------------------------------------------
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute) and func.attr in _RECORDS_MUTATORS:
-            owner = _records_owner(func.value)
-            if owner is not None:
-                self._note_mutation(owner, node)
-        elif isinstance(func, ast.Name) and func.id in _MUTATING_FUNCTIONS:
-            for arg in node.args:
-                owner = _records_owner(arg)
-                if owner is not None:
-                    self._note_mutation(owner, node)
-        self._check_disk_mutation(node)
-        self._check_disk_read(node)
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    # R007: disk mutations outside the WAL machinery
-    # ------------------------------------------------------------------
-    def _check_disk_mutation(self, node: ast.Call) -> None:
-        if not self.wal_scope or self._wal_marker_stack[-1]:
-            return
-        func = node.func
-        if not (isinstance(func, ast.Attribute) and func.attr in _DISK_MUTATORS):
-            return
-        owner = ast.unparse(func.value)
-        if "disk" not in owner:
-            return
-        for keyword in node.keywords:
-            if (
-                keyword.arg == "category"
-                and isinstance(keyword.value, ast.Constant)
-                and keyword.value.value in _SCRATCH_CATEGORIES
-            ):
-                return  # scratch I/O: sort runs and the log device itself
-        self._emit(
-            node,
-            "R007",
-            f"`{owner}.{func.attr}` mutates durable disk state in a function "
-            "with no WAL participation; journal through the armed "
-            "WriteAheadLog (`active_wal`/`log_image`/`log_alloc`/`log_free`) "
-            "so recovery can replay or roll it back",
-        )
-
-    # ------------------------------------------------------------------
-    # R008: disk reads outside the BufferPool/IOScheduler gate
-    # ------------------------------------------------------------------
-    def _check_disk_read(self, node: ast.Call) -> None:
-        if not self.wal_scope:  # the gate itself lives in storage/
-            return
-        func = node.func
-        if not (isinstance(func, ast.Attribute) and func.attr == "read"):
-            return
-        owner = ast.unparse(func.value)
-        if "disk" not in owner:
-            return
-        for keyword in node.keywords:
-            if (
-                keyword.arg == "category"
-                and isinstance(keyword.value, ast.Constant)
-                and keyword.value.value in _MAINTENANCE_READ_CATEGORIES
-            ):
-                return  # replica repair / WAL replay infrastructure
-        self._emit(
-            node,
-            "R008",
-            f"`{owner}.read` bypasses the BufferPool/IOScheduler gate; engine "
-            "data reads must flow through the pool (retry, checksum, "
-            "quarantine, prefetch ledger) or the scheduler's device queues",
-        )
-
-    def _check_assign_target(self, target: ast.expr, node: ast.AST) -> None:
-        owner = _records_owner(target)
-        if owner is not None:
-            self._note_mutation(owner, node)
-            return
-        if isinstance(target, ast.Subscript):
-            owner = _records_owner(target.value)
-            if owner is not None:
-                self._note_mutation(owner, node)
-            return
-        if isinstance(target, ast.Attribute) and target.attr == "version":
-            self._note_bump(ast.unparse(target.value))
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._check_assign_target(target, node)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_assign_target(node.target, node)
-        self.generic_visit(node)
-
-    def visit_Delete(self, node: ast.Delete) -> None:
-        for target in node.targets:
-            owner = _records_owner(target)
-            if owner is None and isinstance(target, ast.Subscript):
-                owner = _records_owner(target.value)
-            if owner is not None:
-                self._note_mutation(owner, node)
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    # R006: swallowed exceptions and policy-free retry loops
-    # ------------------------------------------------------------------
-    def _handler_names(self, handler_type: ast.expr | None) -> list[str]:
-        """Exception class names a handler catches (last attribute part)."""
-        if handler_type is None:
-            return []
-        exprs = (
-            list(handler_type.elts)
-            if isinstance(handler_type, ast.Tuple)
-            else [handler_type]
-        )
-        names: list[str] = []
-        for expr in exprs:
-            if isinstance(expr, ast.Name):
-                names.append(expr.id)
-            elif isinstance(expr, ast.Attribute):
-                names.append(expr.attr)
-        return names
-
-    def _swallows(self, body: list[ast.stmt]) -> bool:
-        """True when a handler body does nothing but pass/``...``."""
-        for stmt in body:
-            if isinstance(stmt, ast.Pass):
-                continue
-            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
-                continue  # ``...`` or a string placeholder
-            return False
-        return True
-
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if node.type is None:
-            self._emit(
-                node,
-                "R006",
-                "bare `except:` hides the typed StorageError hierarchy; "
-                "catch a specific exception class",
-            )
-        else:
-            names = self._handler_names(node.type)
-            if (
-                any(name in ("Exception", "BaseException") for name in names)
-                and self._swallows(node.body)
-            ):
-                self._emit(
-                    node,
-                    "R006",
-                    "`except " + "/".join(names) + ": pass` silently swallows "
-                    "errors; handle or re-raise a typed exception",
-                )
-            if (
-                "TransientIOError" in names
-                and self._loop_depth > 0
-                and not self._retry_marker_stack[-1]
-            ):
-                self._emit(
-                    node,
-                    "R006",
-                    "hand-rolled retry loop around `TransientIOError`; route "
-                    "retries through `repro.storage.retry.RetryPolicy` so "
-                    "backoff is bounded and charged to the simulated clock",
-                )
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    # R005: bare asserts
-    # ------------------------------------------------------------------
-    def visit_Assert(self, node: ast.Assert) -> None:
-        self._emit(
-            node,
-            "R005",
-            "bare `assert` is stripped under `python -O`; raise explicitly "
-            "or use `repro.invariants`",
-        )
-        self.generic_visit(node)
-
-    def finish(self) -> list[Violation]:
-        while self._scope_stack:
-            self._leave_scope()
-        return self.violations
+#: rule id -> one-line summary, R001 first
+ALL_RULES: dict[str, str] = dict(sorted(all_rule_summaries().items()))
 
 
 def _is_hot_path(path: Path) -> bool:
@@ -636,10 +69,20 @@ def _is_hot_path(path: Path) -> bool:
     return any(posix.endswith(suffix) for suffix in HOT_PATH_FILES)
 
 
+def _run_file_rules(tree: ast.Module, path: str, hot_path: bool) -> list[Violation]:
+    """One shared traversal feeding every registered file rule."""
+    ctx = FileContext(path, hot_path)
+    rules = [rule_cls(ctx) for rule_cls in file_rules()]
+    Dispatcher(rules).walk(tree)
+    for rule in rules:
+        rule.finish()
+    return ctx.violations
+
+
 def lint_source(
     source: str, path: str = "<string>", *, hot_path: bool | None = None
 ) -> list[Violation]:
-    """Lint one file's source with the per-file rules (R001/2/3/5)."""
+    """Lint one file's source with the per-file rules (R001/2/3/5-9)."""
     if hot_path is None:
         hot_path = _is_hot_path(Path(path))
     try:
@@ -650,91 +93,9 @@ def lint_source(
                 path, error.lineno or 1, error.offset or 0, "E999", str(error.msg)
             )
         ]
-    checker = _FileChecker(path, hot_path)
-    checker.visit(tree)
+    violations = _run_file_rules(tree, path, hot_path)
     lines = source.splitlines()
-    return [v for v in checker.finish() if not _suppressed(lines, v)]
-
-
-# ----------------------------------------------------------------------
-# R004: kernel backend parity (cross-file, introspection over the ASTs)
-# ----------------------------------------------------------------------
-def _class_methods(tree: ast.Module, class_name: str) -> dict[str, int]:
-    """Directly-defined method names (with line) of ``class_name``."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and node.name == class_name:
-            return {
-                item.name: item.lineno
-                for item in node.body
-                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-            }
-    return {}
-
-
-def _first_class_methods(tree: ast.Module) -> tuple[str | None, dict[str, int]]:
-    """Union of method names over every class in the module."""
-    methods: dict[str, int] = {}
-    name: str | None = None
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef):
-            if name is None:
-                name = node.name
-            for item in node.body:
-                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    methods.setdefault(item.name, item.lineno)
-    return name, methods
-
-
-def check_backend_parity(kernels_dir: Path) -> list[Violation]:
-    """R004 over one ``kernels/`` package directory.
-
-    Public methods declared on ``KernelBackend`` in ``base.py`` must be
-    overridden (defined directly) by the classes in ``pure.py`` and in
-    ``numpy_backend.py``.
-    """
-    base_path = kernels_dir / "base.py"
-    if not base_path.is_file():
-        return []
-    base_tree = ast.parse(base_path.read_text(encoding="utf-8"))
-    interface = {
-        name: line
-        for name, line in _class_methods(base_tree, "KernelBackend").items()
-        if not name.startswith("_")
-    }
-    if not interface:
-        return []
-    violations: list[Violation] = []
-    for backend_file in ("pure.py", "numpy_backend.py"):
-        backend_path = kernels_dir / backend_file
-        if not backend_path.is_file():
-            violations.append(
-                Violation(
-                    str(base_path),
-                    1,
-                    0,
-                    "R004",
-                    f"kernel backend module `{backend_file}` is missing; "
-                    "both backends must implement the full interface",
-                )
-            )
-            continue
-        backend_tree = ast.parse(backend_path.read_text(encoding="utf-8"))
-        class_name, implemented = _first_class_methods(backend_tree)
-        for method, line in sorted(interface.items()):
-            if method not in implemented:
-                violations.append(
-                    Violation(
-                        str(backend_path),
-                        1,
-                        0,
-                        "R004",
-                        f"backend class `{class_name}` does not override "
-                        f"`KernelBackend.{method}` (declared at base.py:"
-                        f"{line}); both backends must stay observationally "
-                        "identical method-by-method",
-                    )
-                )
-    return violations
+    return [v for v in violations if not _suppressed(lines, v)]
 
 
 # ----------------------------------------------------------------------
@@ -749,27 +110,71 @@ def _python_files(root: Path) -> Iterator[Path]:
 
 
 def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
-    """Lint every Python file under ``paths``; returns all findings."""
+    """Lint every Python file under ``paths``; returns all findings.
+
+    Runs the per-file rules on each file, the backend-parity check R004
+    on every ``kernels/`` package found, and the interprocedural project
+    rules R010–R013 over all parseable files together.
+    """
     violations: list[Violation] = []
     kernels_dirs: set[Path] = set()
+    modules: list[ModuleInfo] = []
     for raw in paths:
         root = Path(raw)
         if not root.exists():
             raise FileNotFoundError(f"no such path: {root}")
         for path in _python_files(root):
             source = path.read_text(encoding="utf-8")
-            violations.extend(lint_source(source, str(path)))
+            name = str(path)
+            try:
+                tree = ast.parse(source, filename=name)
+            except SyntaxError as error:
+                violations.append(
+                    Violation(
+                        name,
+                        error.lineno or 1,
+                        error.offset or 0,
+                        "E999",
+                        str(error.msg),
+                    )
+                )
+                continue
+            lines = source.splitlines()
+            violations.extend(
+                v
+                for v in _run_file_rules(tree, name, _is_hot_path(path))
+                if not _suppressed(lines, v)
+            )
+            modules.append(build_module(name, source, tree))
             if path.name == "base.py" and path.parent.name == "kernels":
                 kernels_dirs.add(path.parent)
     for kernels_dir in sorted(kernels_dirs):
         violations.extend(check_backend_parity(kernels_dir))
+    if modules:
+        project = build_project(modules)
+        lines_by_path = {module.path: module.source_lines for module in modules}
+        for rule_cls in project_rules():
+            for violation in rule_cls().run(project):
+                lines = lines_by_path.get(violation.path, [])
+                if not _suppressed(lines, violation):
+                    violations.append(violation)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations
+
+
+def _print_github(violations: list[Violation]) -> None:
+    for violation in violations:
+        print(
+            f"::error file={violation.path},line={violation.line},"
+            f"col={violation.col},title=reprolint {violation.rule}::"
+            f"{violation.message}"
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(
         prog="reprolint",
@@ -781,12 +186,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON document instead of text",
+    )
+    output.add_argument(
+        "--github",
+        action="store_true",
+        help="emit findings as GitHub Actions ::error annotations",
+    )
     options = parser.parse_args(argv)
     if options.list_rules:
         for rule, summary in sorted(ALL_RULES.items()):
             print(f"{rule}: {summary}")
         return 0
     violations = lint_paths(options.paths)
+    if options.json:
+        print(
+            json.dumps(
+                {
+                    "violations": [v.as_dict() for v in violations],
+                    "count": len(violations),
+                },
+                indent=2,
+            )
+        )
+        return 1 if violations else 0
+    if options.github:
+        _print_github(violations)
+        if violations:
+            print(f"reprolint: {len(violations)} violation(s) found")
+            return 1
+        print("reprolint: clean")
+        return 0
     for violation in violations:
         print(violation)
     if violations:

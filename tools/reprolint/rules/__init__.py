@@ -1,0 +1,51 @@
+"""The reprolint rule catalogue.
+
+Importing this package registers every rule with the central registry in
+:mod:`.base` — file rules R001–R003 and R005–R009, the cross-file
+backend-parity check R004, and the interprocedural project rules
+R010–R013 driven by :mod:`tools.reprolint.engine`.
+
+Each rule lives in its own module with a docstring explaining the
+contract it enforces and why violating it corrupts the reproduction.
+Registration order never affects output: the drivers sort findings and
+the rule catalogue by rule id.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for their registration side effect)
+    asserts,
+    durability,
+    forksafety,
+    guards,
+    hotloops,
+    ipc,
+    lockorder,
+    pagecache,
+    parity,
+    resilience,
+    wallclock,
+)
+from .base import (
+    Dispatcher,
+    FileContext,
+    FileRule,
+    ProjectRule,
+    all_rule_summaries,
+    file_rules,
+    project_rules,
+)
+from .ipc import R009_SANCTIONED_MODULES
+from .parity import check_backend_parity
+
+__all__ = [
+    "Dispatcher",
+    "FileContext",
+    "FileRule",
+    "ProjectRule",
+    "R009_SANCTIONED_MODULES",
+    "all_rule_summaries",
+    "check_backend_parity",
+    "file_rules",
+    "project_rules",
+]

@@ -1,0 +1,30 @@
+"""R005 — no bare ``assert`` guarding data-dependent invariants.
+
+``python -O`` strips ``assert`` statements; a correctness contract that
+disappears under optimization is not a contract.  Use explicit raises
+or the :mod:`repro.invariants` layer, whose checks survive every
+interpreter mode and respect the ``REPRO_CHECKS`` arming gate.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileRule, register
+
+__all__ = ["BareAssertRule"]
+
+
+@register
+class BareAssertRule(FileRule):
+    """Flag every ``assert`` statement: contracts must survive ``-O``."""
+
+    rule = "R005"
+    summary = "bare assert (stripped under python -O) guarding an invariant"
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.emit(
+            node,
+            "bare `assert` is stripped under `python -O`; raise explicitly "
+            "or use `repro.invariants`",
+        )

@@ -1,0 +1,197 @@
+"""R010 — guarded shared state is only mutated with its lock reachable.
+
+Classes annotate their concurrency contract with
+``@guarded_by("_lock", "_frames", "hits", ...)``: the first argument
+names the lock attribute, the rest the fields it guards.  Every
+mutation of a guarded field — in-place container methods, item
+assignment, ``del``, counter ``+=`` — must be *provably* under that
+lock:
+
+* lexically, inside a ``with self._lock:`` block, or
+* interprocedurally, in a helper method whose every resolved call site
+  holds the lock (directly or through another such helper via
+  ``self``) — the greatest fixpoint computed by
+  :func:`tools.reprolint.engine.dataflow.protected_methods`.
+
+``__init__`` is exempt (no concurrent access before construction
+completes).  The check is deliberately one-sided: an unresolved call
+edge can hide a protected path and cause a *missed* finding, never a
+false one on provably-locked code.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine.callgraph import Project, lock_label_of
+from ..engine.dataflow import protected_methods
+from ..engine.symbols import ClassInfo, FunctionInfo
+from ..violations import Violation
+from .base import ProjectRule, register
+
+__all__ = ["GuardedStateRule"]
+
+#: container methods that mutate the receiver in place
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "clear",
+        "sort",
+        "reverse",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "appendleft",
+        "popleft",
+    }
+)
+
+
+def _guarded_field(expr: ast.expr, fields: tuple[str, ...]) -> str | None:
+    """The field name when ``expr`` is ``self.<field>`` for a guarded field."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in fields
+    ):
+        return expr.attr
+    return None
+
+
+class _MutationScan:
+    """Walk one method body tracking lexical locks; collect mutations."""
+
+    def __init__(self, project: Project, fn: FunctionInfo, cls: ClassInfo) -> None:
+        self.project = project
+        self.fn = fn
+        self.cls = cls
+        self.fields = cls.guarded_fields
+        #: (field, node, lexically-locked) per mutation site
+        self.mutations: list[tuple[str, ast.AST, bool]] = []
+        self._with_stack: list[tuple[str, str | None]] = []
+
+    def _locked_here(self) -> bool:
+        lock_attr = self.cls.guard_lock_attr
+        label = self.cls.lock_attrs.get(lock_attr) if lock_attr else None
+        for token, held_label in self._with_stack:
+            if lock_attr is not None and token == f"self.{lock_attr}":
+                return True
+            if label is not None and held_label == label:
+                return True
+        return False
+
+    def scan(self) -> None:
+        for stmt in self.fn.node.body:
+            self._stmt(stmt)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in node.items:
+                token = ast.unparse(item.context_expr)
+                label = lock_label_of(self.project, self.fn, item.context_expr)
+                self._with_stack.append((token, label))
+                pushed += 1
+            for child in node.body:
+                self._stmt(child)
+            del self._with_stack[-pushed:]
+            return
+        self._inspect(node)
+        for field in ("body", "orelse", "finalbody"):
+            for child in getattr(node, field, ()):
+                self._stmt(child)
+        for handler in getattr(node, "handlers", ()):
+            for child in handler.body:
+                self._stmt(child)
+
+    def _note(self, field: str, node: ast.AST) -> None:
+        self.mutations.append((field, node, self._locked_here()))
+
+    def _inspect(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._target(target, node)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            self._target(node.target, node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._target(target, node)
+        # mutator method calls can appear in any expression position
+        for field_name, value in ast.iter_fields(node):
+            if field_name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                if not isinstance(item, ast.AST):
+                    continue
+                for child in ast.walk(item):
+                    if (
+                        isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and child.func.attr in _MUTATOR_METHODS
+                    ):
+                        field = _guarded_field(child.func.value, self.fields)
+                        if field is not None:
+                            self._note(field, child)
+
+    def _target(self, target: ast.expr, node: ast.stmt) -> None:
+        field = _guarded_field(target, self.fields)
+        if field is None and isinstance(target, ast.Subscript):
+            field = _guarded_field(target.value, self.fields)
+        if field is not None:
+            self._note(field, node)
+
+
+@register
+class GuardedStateRule(ProjectRule):
+    """Flag guarded-field mutations reachable without the declaring lock."""
+
+    rule = "R010"
+    summary = "guarded shared state mutated on a path that never takes its lock"
+
+    def run(self, project: Project) -> list[Violation]:
+        violations: list[Violation] = []
+        for module in project.modules:
+            for cls in module.classes.values():
+                if cls.guard_lock_attr is None or not cls.guarded_fields:
+                    continue
+                violations.extend(self._check_class(project, cls))
+        return violations
+
+    def _check_class(self, project: Project, cls: ClassInfo) -> list[Violation]:
+        lock_attr = cls.guard_lock_attr
+        label = cls.lock_attrs.get(lock_attr) if lock_attr else None
+        methods = [m for m in cls.methods.values() if m.name != "__init__"]
+        protected = protected_methods(project, methods, label or "")
+        violations: list[Violation] = []
+        for method in methods:
+            scan = _MutationScan(project, method, cls)
+            scan.scan()
+            for field, node, locked in scan.mutations:
+                if locked or method in protected:
+                    continue
+                lock_name = label or f"self.{lock_attr}"
+                violations.append(
+                    Violation(
+                        cls.module.path,
+                        getattr(node, "lineno", cls.node.lineno),
+                        getattr(node, "col_offset", 0),
+                        self.rule,
+                        f"`self.{field}` is guarded by `{lock_name}` "
+                        f"(@guarded_by on `{cls.name}`) but this mutation in "
+                        f"`{method.name}` is reachable without the lock: no "
+                        f"enclosing `with self.{lock_attr}:` and at least one "
+                        "call path reaches the method lock-free",
+                    )
+                )
+        return violations

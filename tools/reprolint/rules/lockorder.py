@@ -1,0 +1,139 @@
+"""R011 — lock acquisitions respect the single declared global order.
+
+Deadlock freedom in the engine rests on one total order over the
+declared locks — the ``declare_lock_order(...)`` call in
+``repro.invariants.sanitizer``.  This rule enforces three things
+statically:
+
+* exactly one ``declare_lock_order`` call with string-literal names
+  exists in the linted tree (a second declaration, or a computed one,
+  would silently split the ordering authority);
+* every *provable* nesting — a lexical ``with a: with b:`` chain, or a
+  call made while holding ``a`` to a function that transitively
+  acquires ``b`` — respects the declared ranks;
+* no pair of locks is ever nested in both directions (an invertible
+  chain deadlocks under the right interleaving even if neither lock is
+  in the declared order).
+
+Nestings the call graph cannot prove are left to the runtime sanitizer
+(``REPRO_CHECKS=1``), which sees every real acquisition — the two
+halves of the toolchain share exactly this split of labor.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine.callgraph import Project
+from ..engine.dataflow import transitive_acquisitions
+from ..violations import Violation
+from .base import ProjectRule, register
+
+__all__ = ["LockOrderRule"]
+
+
+@register
+class LockOrderRule(ProjectRule):
+    """Check provable lock nestings against the declared global order."""
+
+    rule = "R011"
+    summary = "lock nesting that contradicts the declared global lock order"
+
+    def run(self, project: Project) -> list[Violation]:
+        violations: list[Violation] = []
+        order = self._declared_order(project, violations)
+        ranks = {name: index for index, name in enumerate(order)}
+        pairs = self._collect_pairs(project)
+        seen_pairs = {(outer, inner) for outer, inner, _, _ in pairs}
+        reported: set[tuple[str, int, int, str]] = set()
+        for outer, inner, module_path, node in pairs:
+            key = (module_path, node.lineno, node.col_offset, f"{outer}->{inner}")
+            if key in reported:
+                continue
+            if outer in ranks and inner in ranks and ranks[outer] > ranks[inner]:
+                reported.add(key)
+                violations.append(
+                    Violation(
+                        module_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule,
+                        f"lock `{inner}` (rank {ranks[inner]}) acquired while "
+                        f"holding `{outer}` (rank {ranks[outer]}); the "
+                        f"declared global order is {', '.join(order)}",
+                    )
+                )
+            elif (inner, outer) in seen_pairs and (
+                outer not in ranks or inner not in ranks
+            ):
+                reported.add(key)
+                violations.append(
+                    Violation(
+                        module_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule,
+                        f"locks `{outer}` and `{inner}` are nested in both "
+                        "orders across the project; an invertible chain "
+                        "deadlocks under the right interleaving — add both "
+                        "to declare_lock_order and nest consistently",
+                    )
+                )
+        return violations
+
+    def _declared_order(
+        self, project: Project, violations: list[Violation]
+    ) -> tuple[str, ...]:
+        declarations: list[tuple[str, ast.Call, tuple[str, ...] | None]] = []
+        for module in project.modules:
+            for node, names in module.lock_order_calls:
+                declarations.append((module.path, node, names))
+        declarations.sort(key=lambda item: (item[0], item[1].lineno))
+        order: tuple[str, ...] = ()
+        for index, (path, node, names) in enumerate(declarations):
+            if names is None:
+                violations.append(
+                    Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule,
+                        "declare_lock_order must be called with string "
+                        "literals; a computed order cannot be checked "
+                        "statically",
+                    )
+                )
+            elif index == 0:
+                order = names
+            else:
+                violations.append(
+                    Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule,
+                        "more than one declare_lock_order call in the linted "
+                        "tree; the global lock order must have a single "
+                        "declaration",
+                    )
+                )
+        return order
+
+    def _collect_pairs(
+        self, project: Project
+    ) -> list[tuple[str, str, str, ast.AST]]:
+        """(outer label, inner label, module path, anchor node) nestings."""
+        acquisitions = transitive_acquisitions(project)
+        pairs: list[tuple[str, str, str, ast.AST]] = []
+        for fn in project.functions():
+            for outer, inner, node in fn.lexical_pairs:
+                pairs.append((outer, inner, fn.module.path, node))
+        for site in project.call_sites:
+            inner_labels = acquisitions.get(site.callee, set())
+            for outer in site.held_labels:
+                for inner in inner_labels:
+                    if inner != outer:
+                        pairs.append(
+                            (outer, inner, site.caller.module.path, site.node)
+                        )
+        return pairs

@@ -1,0 +1,137 @@
+"""R003 — every mutation of ``Page.records`` pairs with a ``version`` bump.
+
+The NumPy backend memoizes a columnar view of each page keyed on
+``Page.version``.  A mutation without a bump leaves that cache stale:
+scans silently return pre-mutation tuples.  The rule tracks, per
+function scope, the source text of every ``X.records`` owner that is
+mutated (in-place list methods, ``bisect``/``heapq`` helpers, item
+assignment, ``del``) and of every ``X.version`` that is assigned; any
+mutated owner with no matching bump in the same scope is reported when
+the scope closes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..violations import Violation
+from .base import FileContext, FileRule, register
+from .hotloops import records_owner
+
+__all__ = ["PageCacheRule"]
+
+#: list methods that mutate ``Page.records`` in place
+RECORDS_MUTATORS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort", "reverse"}
+)
+
+#: free functions that mutate a list passed as an argument
+MUTATING_FUNCTIONS = frozenset(
+    {"insort", "insort_left", "insort_right", "heappush", "heappop", "heapify"}
+)
+
+
+@register
+class PageCacheRule(FileRule):
+    """Pair records mutations with version bumps, scope by scope."""
+
+    rule = "R003"
+    summary = "Page.records mutation without a paired Page.version bump"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        # innermost-scope bookkeeping: mutated ``.records`` owners (with
+        # first-mutation position) and version-bumped owners, reconciled
+        # when the scope is left
+        self._scope_stack: list[tuple[dict[str, tuple[int, int]], set[str]]] = [
+            ({}, set())
+        ]
+
+    # ------------------------------------------------------------------
+    # scope handling (mutation and bump must pair within one function)
+    # ------------------------------------------------------------------
+    def _leave_scope(self) -> None:
+        mutated, bumped = self._scope_stack.pop()
+        for owner, (line, col) in mutated.items():
+            if owner in bumped:
+                continue
+            self.ctx.violations.append(
+                Violation(
+                    self.ctx.path,
+                    line,
+                    col,
+                    self.rule,
+                    f"`{owner}.records` is mutated but `{owner}.version` is "
+                    "never bumped in this function; the columnar page cache "
+                    "keyed on `version` goes stale",
+                )
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope_stack.append(({}, set()))
+
+    def depart_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._leave_scope()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scope_stack.append(({}, set()))
+
+    def depart_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._leave_scope()
+
+    def _note_mutation(self, owner: str, node: ast.AST) -> None:
+        mutated, _ = self._scope_stack[-1]
+        mutated.setdefault(
+            owner, (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
+        )
+
+    def _note_bump(self, owner: str) -> None:
+        _, bumped = self._scope_stack[-1]
+        bumped.add(owner)
+
+    # ------------------------------------------------------------------
+    # mutation and bump sites
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in RECORDS_MUTATORS:
+            owner = records_owner(func.value)
+            if owner is not None:
+                self._note_mutation(owner, node)
+        elif isinstance(func, ast.Name) and func.id in MUTATING_FUNCTIONS:
+            for arg in node.args:
+                owner = records_owner(arg)
+                if owner is not None:
+                    self._note_mutation(owner, node)
+
+    def _check_assign_target(self, target: ast.expr, node: ast.AST) -> None:
+        owner = records_owner(target)
+        if owner is not None:
+            self._note_mutation(owner, node)
+            return
+        if isinstance(target, ast.Subscript):
+            owner = records_owner(target.value)
+            if owner is not None:
+                self._note_mutation(owner, node)
+            return
+        if isinstance(target, ast.Attribute) and target.attr == "version":
+            self._note_bump(ast.unparse(target.value))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_assign_target(target, node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_assign_target(node.target, node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            owner = records_owner(target)
+            if owner is None and isinstance(target, ast.Subscript):
+                owner = records_owner(target.value)
+            if owner is not None:
+                self._note_mutation(owner, node)
+
+    def finish(self) -> None:
+        while self._scope_stack:
+            self._leave_scope()

@@ -1,0 +1,109 @@
+"""R004 — kernel backend parity.
+
+Every public method of :class:`repro.kernels.base.KernelBackend` must
+be overridden by *both* concrete backends, so "observationally
+identical" stays checkable method-by-method and a new primitive cannot
+silently fall through to a partial implementation.  Unlike the file
+rules this is a cross-file check over a ``kernels/`` package directory,
+so it exposes :func:`check_backend_parity` instead of AST visitors; the
+registry entry exists so the rule shows up in ``--list-rules``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..violations import Violation
+from .base import ProjectRule, register
+
+__all__ = ["BackendParityRule", "check_backend_parity"]
+
+
+def _class_methods(tree: ast.Module, class_name: str) -> dict[str, int]:
+    """Directly-defined method names (with line) of ``class_name``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                item.name: item.lineno
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+    return {}
+
+
+def _first_class_methods(tree: ast.Module) -> tuple[str | None, dict[str, int]]:
+    """Union of method names over every class in the module."""
+    methods: dict[str, int] = {}
+    name: str | None = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if name is None:
+                name = node.name
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.setdefault(item.name, item.lineno)
+    return name, methods
+
+
+def check_backend_parity(kernels_dir: Path) -> list[Violation]:
+    """R004 over one ``kernels/`` package directory.
+
+    Public methods declared on ``KernelBackend`` in ``base.py`` must be
+    overridden (defined directly) by the classes in ``pure.py`` and in
+    ``numpy_backend.py``.
+    """
+    base_path = kernels_dir / "base.py"
+    if not base_path.is_file():
+        return []
+    base_tree = ast.parse(base_path.read_text(encoding="utf-8"))
+    interface = {
+        name: line
+        for name, line in _class_methods(base_tree, "KernelBackend").items()
+        if not name.startswith("_")
+    }
+    if not interface:
+        return []
+    violations: list[Violation] = []
+    for backend_file in ("pure.py", "numpy_backend.py"):
+        backend_path = kernels_dir / backend_file
+        if not backend_path.is_file():
+            violations.append(
+                Violation(
+                    str(base_path),
+                    1,
+                    0,
+                    "R004",
+                    f"kernel backend module `{backend_file}` is missing; "
+                    "both backends must implement the full interface",
+                )
+            )
+            continue
+        backend_tree = ast.parse(backend_path.read_text(encoding="utf-8"))
+        class_name, implemented = _first_class_methods(backend_tree)
+        for method, line in sorted(interface.items()):
+            if method not in implemented:
+                violations.append(
+                    Violation(
+                        str(backend_path),
+                        1,
+                        0,
+                        "R004",
+                        f"backend class `{class_name}` does not override "
+                        f"`KernelBackend.{method}` (declared at base.py:"
+                        f"{line}); both backends must stay observationally "
+                        "identical method-by-method",
+                    )
+                )
+    return violations
+
+
+@register
+class BackendParityRule(ProjectRule):
+    """Registry entry for R004; the driver calls the directory check."""
+
+    rule = "R004"
+    summary = "KernelBackend method not overridden by both kernel backends"
+
+    def run(self, project: "object") -> list[Violation]:  # pragma: no cover
+        return []  # driven per-directory by ``check_backend_parity``

@@ -1,0 +1,82 @@
+"""R001 — no wall-clock time inside the engine.
+
+Every duration the engine reports must be charged to the simulated
+clock (``storage/stats.py``); a stray ``time.time()`` or
+``datetime.now()`` silently mixes host wall-clock into results that the
+paper reproduction requires to be deterministic.  The rule flags both
+attribute access on the ``time``/``datetime`` modules and from-imports
+that smuggle a clock function in under a local name.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileRule, register
+
+__all__ = ["WallClockRule"]
+
+#: ``time`` module attributes that read the host's wall clock
+WALL_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime.datetime`` / ``datetime.date`` constructors that do the same
+WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClockRule(FileRule):
+    """Flag host clock reads: the simulation owns time."""
+
+    rule = "R001"
+    summary = "wall-clock time in engine code (charge the simulated clock instead)"
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id == "time" and node.attr in WALL_CLOCK_TIME_ATTRS:
+                self.emit(
+                    node,
+                    f"`time.{node.attr}` reads the host wall clock; charge "
+                    "the simulated clock (`storage/stats.py`) instead",
+                )
+            elif (
+                base.id in ("datetime", "date")
+                and node.attr in WALL_CLOCK_DATETIME_ATTRS
+            ):
+                self.emit(
+                    node,
+                    f"`{base.id}.{node.attr}` reads the host wall clock; "
+                    "engine results must be simulation-deterministic",
+                )
+        elif (
+            isinstance(base, ast.Attribute)
+            and base.attr in ("datetime", "date")
+            and node.attr in WALL_CLOCK_DATETIME_ATTRS
+        ):
+            self.emit(
+                node,
+                f"`{ast.unparse(node)}` reads the host wall clock; engine "
+                "results must be simulation-deterministic",
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in WALL_CLOCK_TIME_ATTRS:
+                self.emit(
+                    node,
+                    f"importing `time.{alias.name}` into engine code; "
+                    "charge the simulated clock instead",
+                )

@@ -1,0 +1,51 @@
+"""The finding model shared by every reprolint rule and the driver.
+
+A :class:`Violation` is one finding, rendered ``path:line:col: RULE
+message`` — the format the test suite, the CI annotations and the JSON
+output mode all derive from.  Suppression is line-scoped: a trailing
+``# reprolint: allow`` (blanket) or ``# reprolint: allow(R00X)``
+(rule-specific) comment on the offending line silences the finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Violation", "suppressed"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line:col: rule message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-mode payload (stable key order via insertion)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def suppressed(source_lines: Sequence[str], violation: Violation) -> bool:
+    """Whether the finding's line carries a matching allow comment."""
+    if not 1 <= violation.line <= len(source_lines):
+        return False
+    text = source_lines[violation.line - 1]
+    index = text.find("# reprolint: allow")
+    if index < 0:
+        return False
+    rest = text[index + len("# reprolint: allow") :].strip()
+    return rest == "" or violation.rule in rest
