@@ -1,0 +1,224 @@
+"""Range-sharded scan scaling benchmark (simulated clock).
+
+One measurement backs the sharding PR's performance claim, written to
+``BENCH_shard.json`` at the repo root: the Q3-style restricted Tetris
+sweep over LINEITEM (SHIPDATE restriction, ORDERKEY order), re-run
+against a :class:`~repro.shard.ShardedDatabase` with ``k`` = 1..8
+range shards on the sort attribute.  Each shard owns its own simulated
+disk and buffer pool and the coordinator scatters the restricted scan,
+so the simulated elapsed time — the *maximum* per-shard I/O clock, the
+scatter being parallel — must decrease monotonically with ``k`` while
+the merged stream stays bit-identical to the unsharded engine's.
+
+The world is loaded through the streaming TPC-D generator
+(:func:`~repro.tpcd.stream_lineitems`): the coordinator re-invokes the
+stream once per shard copy and filters it on the fly, so peak load
+memory stays at one page batch no matter the scale factor — the
+shard-by-shard loading path the streaming API exists for.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py           # SF 1
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Any
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import invariants, kernels
+from repro.relational.rowsize import page_capacity_for
+from repro.relational.table import Database
+from repro.shard import ShardedDatabase
+from repro.tpcd import TPCDConfig, stream_lineitems
+from repro.tpcd.plans import LINEITEM_EXTRA_BYTES
+from repro.tpcd.queries import Q3Params
+from repro.tpcd.schema import lineitem_schema
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Q3's access pattern: SHIPDATE restriction (~50 %), ORDERKEY order —
+#: sharded on the sort attribute, so every shard serves an ORDERKEY
+#: interval and the k-way merge concatenates in order
+DIMS = ("l_orderkey", "l_shipdate")
+SHARD_ATTR = "l_orderkey"
+SORT_ATTR = "l_orderkey"
+SHARD_COUNTS = tuple(range(1, 9))
+
+
+def _restrictions() -> dict[str, tuple[Any, Any]]:
+    params = Q3Params()
+    return {"l_shipdate": (params.shipdate_after, None)}
+
+
+def _oracle_stream(
+    config: TPCDConfig, schema: Any, page_capacity: int
+) -> "list[tuple]":
+    """The unsharded engine's exact keyed stream for the bench query."""
+    db = Database(buffer_pages=96)
+    table = db.create_ub_table("lineitem_ub", schema, DIMS, page_capacity)
+    table.bulk_load(stream_lineitems(config))
+    return list(table.tetris_scan(_restrictions(), SORT_ATTR))
+
+
+def bench_shard_scaling(config: TPCDConfig) -> dict[str, Any]:
+    schema = lineitem_schema(config.order_count)
+    page_capacity = page_capacity_for(
+        schema, extra_payload_bytes=LINEITEM_EXTRA_BYTES
+    )
+    oracle = _oracle_stream(config, schema, page_capacity)
+    print(
+        f"[shard] oracle: {len(oracle):,} tuples out of the unsharded scan "
+        f"({page_capacity} rows/page)"
+    )
+
+    series: list[dict[str, Any]] = []
+    base_elapsed: float | None = None
+    for count in SHARD_COUNTS:
+        sdb = ShardedDatabase(
+            schema,
+            DIMS,
+            SHARD_ATTR,
+            shards=count,
+            page_capacity=page_capacity,
+            buffer_pages=96,
+        )
+        loaded = sdb.load(lambda: stream_lineitems(config))
+        sdb.reset_measurement()
+        result = sdb.sorted_scan(_restrictions(), SORT_ATTR)
+        if result.rows != oracle:
+            raise AssertionError(
+                f"shards={count}: merged stream diverged from the "
+                "unsharded scan"
+            )
+        if result.degraded or result.partial:
+            raise AssertionError(
+                f"shards={count}: fault-free run degraded; timings are "
+                "not comparable"
+            )
+        elapsed = result.simulated_elapsed
+        if base_elapsed is None:
+            base_elapsed = elapsed
+        series.append(
+            {
+                "shards": count,
+                "elapsed_simulated": round(elapsed, 6),
+                "speedup_vs_unsharded": (
+                    round(base_elapsed / elapsed, 3) if elapsed > 0 else None
+                ),
+                "rows_loaded": loaded,
+                "per_shard_rows": list(result.per_shard_rows),
+                "per_shard_elapsed": [
+                    round(value, 6) for value in result.per_shard_elapsed
+                ],
+            }
+        )
+        print(
+            f"[shard] k={count} elapsed={elapsed:.4f}s "
+            f"(speedup {base_elapsed / elapsed:.2f}x, "
+            f"{loaded:,} rows loaded shard-by-shard)"
+        )
+    elapsed_series = [entry["elapsed_simulated"] for entry in series]
+    monotonic = all(
+        later < earlier
+        for earlier, later in zip(elapsed_series, elapsed_series[1:])
+    )
+    return {
+        "backend": kernels.get_backend().name,
+        "tuples_output": len(oracle),
+        "page_capacity": page_capacity,
+        "series": series,
+        "monotonic_decreasing": monotonic,
+        "identical_streams": True,  # asserted above, every k
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small scale factor",
+    )
+    parser.add_argument(
+        "--scale-factor",
+        type=float,
+        default=None,
+        help="TPC-D scale factor (default: 1.0, or 0.2 with --quick)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_shard.json"),
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if invariants.enabled():
+        raise RuntimeError(
+            "benchmarks must run with invariant checks disabled "
+            "(unset REPRO_CHECKS); checks-on timings are not comparable"
+        )
+    from repro.storage import armed_disk_count
+
+    if armed_disk_count():
+        raise RuntimeError(
+            "benchmarks must run fault-free; disarm every FaultyDisk "
+            "before timing (chaos-mode numbers are not comparable)"
+        )
+
+    scale_factor = args.scale_factor or (0.2 if args.quick else 1.0)
+    config = TPCDConfig(scale_factor=scale_factor)
+    backends = kernels.available_backends()
+    report: dict[str, Any] = {
+        "workload": {
+            "query": "Q3-style: 50% SHIPDATE restriction, ORDERKEY order",
+            "scale_factor": scale_factor,
+            "orders": config.order_count,
+            "shard_attr": SHARD_ATTR,
+            "shard_counts": list(SHARD_COUNTS),
+            "streaming_load": True,
+            "quick": args.quick,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": None,
+            "backends": list(backends),
+        },
+    }
+    if "numpy" in backends:
+        import numpy
+
+        report["environment"]["numpy"] = numpy.__version__
+
+    print(
+        f"[shard] SF {scale_factor}: {config.order_count:,} orders, "
+        f"shards {SHARD_COUNTS[0]}..{SHARD_COUNTS[-1]} ..."
+    )
+    report["shard_scaling"] = bench_shard_scaling(config)
+
+    if not report["shard_scaling"]["monotonic_decreasing"]:
+        print(
+            "ERROR: simulated elapsed is not monotonically decreasing "
+            "in the shard count",
+            file=sys.stderr,
+        )
+        return 1
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,9 @@ Validators
 * :func:`validate_wal` / :func:`validate_replicated_disk` — write-ahead
   log structure (dense LSNs, serial batches, mirror/device agreement)
   and replica-store consistency (:mod:`repro.invariants.durability`).
+* :func:`validate_sharded_database` — shard slabs partition the shard
+  dimension and every copy of a shard holds the same rows
+  (:mod:`repro.invariants.sharding`).
 """
 
 from __future__ import annotations
@@ -73,6 +76,7 @@ from .sanitizer import (
     reset_sanitizer,
     tracked_lock,
 )
+from .sharding import validate_sharded_database
 from .streams import StreamChecker
 from .structural import validate_bptree, validate_leaf, validate_ubtree
 
@@ -102,6 +106,7 @@ __all__ = [
     "validate_buffer_pool",
     "validate_leaf",
     "validate_replicated_disk",
+    "validate_sharded_database",
     "validate_shm_store",
     "validate_ubtree",
     "validate_wal",

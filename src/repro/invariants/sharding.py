@@ -1,0 +1,58 @@
+"""Coordinator-level invariants of the range-sharded engine.
+
+The sharded scan's bit-identity argument leans on two structural facts:
+the shard slabs *partition* the shard dimension (disjoint, contiguous,
+covering — so every tuple lives in exactly one shard), and every copy
+of a shard holds exactly the same rows (so failover and cross-copy
+repair change nothing observable).  This validator pins both down in
+O(shards × copies), cheap enough to run at every load and scan under
+``REPRO_CHECKS=1``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errors import check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..shard.coordinator import ShardedDatabase
+
+
+def validate_sharded_database(sdb: "ShardedDatabase") -> None:
+    """Structural contract of one :class:`ShardedDatabase`."""
+    coord_max = sdb.space.coord_max[sdb.shard_dim]
+    expected_lo = 0
+    for shard in sdb.shards:
+        slab = shard.slab
+        check(
+            slab.lo == expected_lo,
+            f"shard slabs do not tile the domain: shard {shard.index} "
+            f"starts at {slab.lo}, expected {expected_lo}",
+        )
+        check(
+            slab.lo <= slab.hi,
+            f"shard {shard.index} has an empty slab [{slab.lo}, {slab.hi}]",
+        )
+        expected_lo = slab.hi + 1
+        check(
+            len(shard.copies) >= 1,
+            f"shard {shard.index} has no copies",
+        )
+        loaded = sdb.rows_loaded[shard.index]
+        for copy in shard.copies:
+            check(
+                len(copy.table) == loaded,
+                f"shard {shard.index} copy {copy.copy_index} holds "
+                f"{len(copy.table)} rows but the shard ledger says {loaded}; "
+                "copies must stay bit-identical",
+            )
+    check(
+        expected_lo == coord_max + 1,
+        f"shard slabs cover [0, {expected_lo - 1}] but the shard dimension "
+        f"domain is [0, {coord_max}]",
+    )
+    check(
+        sdb.total_rows == sum(sdb.rows_loaded),
+        "total_rows disagrees with the per-shard ledger",
+    )

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterator
 
 from ..costmodel.model import CostParameters
+from ..telemetry import ObserverRegistry, TelemetryEvent
 from ..relational.operators import (
     ExternalMergeSort,
     FullTableScan,
@@ -247,7 +248,7 @@ def plan_sorted_query(
 
 
 @dataclass(frozen=True)
-class DegradationEvent:
+class DegradationEvent(TelemetryEvent):
     """One plan abort-and-replan step, reported to the caller.
 
     ``fallback_method``/``fallback_instance`` name the plan the query
@@ -282,6 +283,37 @@ class DegradationEvent:
             f"{self.method} on {self.instance} aborted with "
             f"{self.error_type} ({self.error}); {target}"
         )
+
+
+#: subscribers to plan-degradation events, mirroring the parallel
+#: executor's fallback registry (same :class:`~repro.telemetry
+#: .ObserverRegistry`, same delivered-outside-the-lock discipline)
+_degradation_registry: ObserverRegistry[DegradationEvent] = ObserverRegistry()
+
+
+def register_degradation_observer(
+    observer: "Callable[[DegradationEvent], Any]",
+) -> None:
+    """Subscribe to plan-degradation events (serving-layer telemetry).
+
+    Each degradation step of a query is delivered exactly once, in
+    order, when the query settles — on success (possibly degraded) or
+    on :class:`PlanExhaustedError` — so observers always see the
+    *finalized* event, with its fallback plan filled in.
+    """
+    _degradation_registry.register(observer)
+
+
+def unregister_degradation_observer(
+    observer: "Callable[[DegradationEvent], Any]",
+) -> None:
+    """Drop a subscription added by :func:`register_degradation_observer`."""
+    _degradation_registry.unregister(observer)
+
+
+def _emit_degradations(events: "list[DegradationEvent]") -> None:
+    for event in events:
+        _degradation_registry.emit(event)
 
 
 class PlanExhaustedError(StorageError):
@@ -371,6 +403,7 @@ def execute_sorted_query(
     current: PhysicalDesign | None = design
     while True:
         if current is None:
+            _emit_degradations(events)
             raise PlanExhaustedError(
                 f"no physical instance of the design can serve the query "
                 f"after {len(events)} failure(s): "
@@ -378,6 +411,7 @@ def execute_sorted_query(
                 tuple(events),
             )
         if len(events) > max_degradations:
+            _emit_degradations(events)
             raise PlanExhaustedError(
                 f"gave up after {len(events)} degradations: "
                 + "; ".join(event.describe() for event in events),
@@ -398,6 +432,7 @@ def execute_sorted_query(
             # (e.g. only a pipelined plan was admissible and it is gone)
             if pipelined and not events:
                 raise
+            _emit_degradations(events)
             raise PlanExhaustedError(
                 f"re-planning failed after {len(events)} degradation(s): {exc}",
                 tuple(events),
@@ -429,4 +464,5 @@ def execute_sorted_query(
             # degraded plans may block; correctness outranks pipelining
             pipelined = False
             continue
+        _emit_degradations(events)
         return QueryResult(rows=rows, plan=plan, degradations=tuple(events))

@@ -70,9 +70,10 @@ from typing import Any, Callable, Iterator, Sequence
 from .. import invariants, kernels
 from ..core.query_space import QueryBox, QuerySpace, box_is_empty
 from ..core.tetris import SortedTuple, TetrisScan
-from ..invariants.sanitizer import fork_safe, guarded_by, note_access, tracked_lock
+from ..invariants.sanitizer import fork_safe, tracked_lock
 from ..kernels import shm
 from ..relational.table import UBTable
+from ..telemetry import ObserverRegistry, TelemetryEvent
 
 __all__ = [
     "EXECUTOR_ENV_VAR",
@@ -111,12 +112,13 @@ class SweepSlab:
 
 
 @dataclass(frozen=True)
-class ExecutorFallbackEvent:
+class ExecutorFallbackEvent(TelemetryEvent):
     """One executor-selection downgrade, reported to the caller.
 
-    Mirrors :class:`repro.planner.executor.DegradationEvent`: a
-    structured record that a requested execution mode was not honoured,
-    observable on the :class:`ParallelScanResult` and through
+    Mirrors :class:`repro.planner.executor.DegradationEvent` (both
+    extend :class:`repro.telemetry.TelemetryEvent`): a structured
+    record that a requested execution mode was not honoured, observable
+    on the :class:`ParallelScanResult` and through
     :func:`register_fallback_observer` — never a silent downgrade.
     """
 
@@ -134,40 +136,7 @@ class ExecutorFallbackEvent:
         )
 
 
-@guarded_by("_lock", "_observers")
-class _FallbackObserverRegistry:
-    """Downgrade subscribers behind the ``executor-observers`` lock.
-
-    The serving layer will register observers from session threads while
-    scans emit from worker coordinators, so the list is guarded like
-    every other shared structure.  Events are delivered *outside* the
-    lock (an observer touching the buffer pool must not nest pool work
-    under the observer lock).
-    """
-
-    def __init__(self) -> None:
-        self._lock = tracked_lock("executor-observers")
-        self._observers: list[Callable[[ExecutorFallbackEvent], Any]] = []
-
-    def register(self, observer: Callable[[ExecutorFallbackEvent], Any]) -> None:
-        with self._lock:
-            self._observers.append(observer)
-            note_access(self, "_observers", write=True)
-
-    def unregister(self, observer: Callable[[ExecutorFallbackEvent], Any]) -> None:
-        with self._lock:
-            if observer in self._observers:
-                self._observers.remove(observer)
-            note_access(self, "_observers", write=True)
-
-    def emit(self, event: ExecutorFallbackEvent) -> None:
-        with self._lock:
-            observers = tuple(self._observers)
-        for observer in observers:
-            observer(event)
-
-
-_fallback_registry = _FallbackObserverRegistry()
+_fallback_registry: ObserverRegistry[ExecutorFallbackEvent] = ObserverRegistry()
 
 
 def register_fallback_observer(

@@ -1,0 +1,38 @@
+"""Range-sharded Tetris engine with chaos-tested shard failover.
+
+Scale-out layer over the single-node engine: ``k`` range shards along
+one index dimension, each a fully independent engine instance with
+optional peer copies, scattered restricted sorted scans merged back
+into a stream bit-identical to the unsharded scan, and a per-shard
+failure ladder (repair → retry → failover → typed loss) that never
+returns silently wrong rows.
+"""
+
+from .coordinator import (
+    RowSource,
+    Shard,
+    ShardCopy,
+    ShardedDatabase,
+    ShardedScanResult,
+)
+from .errors import ShardCopyKilledError, ShardFailedError
+from .events import (
+    ShardDegradationEvent,
+    register_shard_observer,
+    unregister_shard_observer,
+)
+from .merge import merge_shard_streams
+
+__all__ = [
+    "RowSource",
+    "Shard",
+    "ShardCopy",
+    "ShardCopyKilledError",
+    "ShardDegradationEvent",
+    "ShardFailedError",
+    "ShardedDatabase",
+    "ShardedScanResult",
+    "merge_shard_streams",
+    "register_shard_observer",
+    "unregister_shard_observer",
+]

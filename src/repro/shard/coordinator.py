@@ -1,0 +1,706 @@
+"""Range-sharded Tetris engine with chaos-grade shard failover.
+
+:class:`ShardedDatabase` splits one logical UB-tree table into ``k``
+range shards along a designated index dimension — the interval planning
+is the parallel executor's :func:`~repro.planner.parallel.plan_slabs`,
+applied to the full attribute domain instead of one query's range — and
+gives each shard ``r`` *copies*, every copy a fully independent engine
+instance: own :class:`~repro.storage.disk.SimulatedDisk`, own buffer
+pool, own optional WAL and fault plan.  A shard is the fault domain;
+its copies are loaded from the same row stream in the same order, so
+they hold bit-identical pages (same page ids, same contents) — the
+property that makes cross-copy page repair exact.
+
+The coordinator's restricted sorted scan scatters the query to every
+overlapping shard, collects each shard's stream keyed by the *full*
+tetris-curve address, and k-way-merges the streams
+(:mod:`repro.shard.merge`).  Because a tuple lives in exactly one shard
+and duplicate points share a page, the merged stream is bit-identical
+to the unsharded scan for any sort attribute.
+
+Robustness is a ladder, climbed per shard and logged one
+:class:`~repro.shard.events.ShardDegradationEvent` per rung:
+
+1. **repair** — quarantined pages are healed bit-exactly from a healthy
+   peer copy (the shard-level analogue of replica repair);
+2. **retry** — transient and corrupt read faults are retried on the
+   same copy after an exponential backoff charged to its clock;
+3. **failover** — the copy is quarantined and the scan resumes on the
+   next healthy copy from the exact residual range (no re-emission,
+   no loss: the resume point is the last emitted curve address);
+4. **abandon / fail** — with no copy left, the shard's contribution is
+   dropped and its range recorded as failed (``allow_partial=True``) or
+   the scan raises a typed :class:`~repro.shard.errors.ShardFailedError`.
+   Never silent wrong rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .. import invariants
+from ..core.query_space import QueryBox, QuerySpace
+from ..core.tetris import SortedTuple
+from ..core.zorder import ZSpace
+from ..planner.parallel import SweepSlab, plan_slabs
+from ..relational.schema import Schema
+from ..relational.table import Database, Row, UBTable
+from ..storage.disk import DiskParameters
+from ..storage.errors import (
+    CorruptPageError,
+    StorageError,
+    TransientIOError,
+    ensure_page_integrity,
+)
+from ..storage.faults import FaultPlan, FaultyDisk
+from ..storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .errors import ShardCopyKilledError, ShardFailedError
+from .events import ShardDegradationEvent, _emit_degradations
+from .merge import KeyedStream, merge_shard_streams
+
+__all__ = [
+    "RowSource",
+    "Shard",
+    "ShardCopy",
+    "ShardedDatabase",
+    "ShardedScanResult",
+]
+
+#: Rows to load: a re-iterable sequence, or a zero-argument factory that
+#: regenerates the stream — the streaming path, O(batch) memory, called
+#: once per (shard, copy) loading pass.
+RowSource = Callable[[], Iterable[Row]] | Sequence[Row]
+
+
+class ShardCopy:
+    """One independent engine instance holding one shard's rows."""
+
+    def __init__(
+        self, shard_index: int, copy_index: int, db: Database, table: UBTable
+    ) -> None:
+        self.shard_index = shard_index
+        self.copy_index = copy_index
+        self.db = db
+        self.table = table
+        #: killed copies never serve again (process death, not data loss)
+        self.alive = True
+        #: cleared by the coordinator when the ladder gives up on a copy
+        self.healthy = True
+        self.rows_served = 0
+        self._kill_at: int | None = None
+
+    @property
+    def available(self) -> bool:
+        """Whether the coordinator may route a scan to this copy."""
+        return self.alive and self.healthy
+
+    def schedule_kill(self, after_rows: int | None) -> None:
+        """Die immediately, or after serving ``after_rows`` more rows."""
+        if after_rows is None:
+            self.alive = False
+        else:
+            self._kill_at = self.rows_served + after_rows
+
+    def note_row_served(self) -> None:
+        """Account one served row; dies mid-scan when a kill is due."""
+        if not self.alive:
+            raise ShardCopyKilledError(
+                f"shard {self.shard_index} copy {self.copy_index} is dead"
+            )
+        self.rows_served += 1
+        if self._kill_at is not None and self.rows_served >= self._kill_at:
+            self.alive = False
+            raise ShardCopyKilledError(
+                f"shard {self.shard_index} copy {self.copy_index} killed "
+                f"after serving {self.rows_served} rows"
+            )
+
+
+class Shard:
+    """One range shard: a slab of the shard dimension plus its copies."""
+
+    def __init__(self, index: int, slab: SweepSlab, copies: list[ShardCopy]) -> None:
+        self.index = index
+        self.slab = slab
+        self.copies = copies
+
+    def available_copies(self) -> list[ShardCopy]:
+        return [copy for copy in self.copies if copy.available]
+
+
+@dataclass(frozen=True)
+class ShardedScanResult:
+    """A merged sorted scan plus its degradation ledger.
+
+    ``failed_ranges`` lists encoded shard-dimension intervals whose rows
+    are missing (``allow_partial`` scans only) — a non-empty list is the
+    explicit partial-result flag the coordinator's contract promises in
+    place of silently wrong rows.
+    """
+
+    rows: list[SortedTuple]
+    degradations: tuple[ShardDegradationEvent, ...]
+    failed_ranges: tuple[tuple[int, int], ...]
+    per_shard_rows: tuple[int, ...]
+    per_shard_elapsed: tuple[float, ...]
+    simulated_elapsed: float
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one shard's rows are missing."""
+        return bool(self.failed_ranges)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any downgrade rung fired during the scan."""
+        return bool(self.degradations)
+
+
+class ShardedDatabase:
+    """Coordinator over ``k`` range shards × ``r`` copies of one table."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        dims: Sequence[str],
+        shard_attr: str,
+        *,
+        shards: int,
+        copies: int = 1,
+        page_capacity: int = 32,
+        buffer_pages: int = 64,
+        params: DiskParameters | None = None,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_threshold: int = 3,
+        wal: bool = False,
+        fault_plans: dict[tuple[int, int], FaultPlan] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        if copies < 1:
+            raise ValueError("every shard needs at least one copy")
+        if shard_attr not in dims:
+            raise ValueError(
+                f"shard attribute {shard_attr!r} is not an index dimension"
+            )
+        self.schema = schema
+        self.dims = tuple(dims)
+        self.shard_attr = shard_attr
+        self.shard_dim = self.dims.index(shard_attr)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
+        self.space: ZSpace = ZSpace(schema.bit_lengths(self.dims))
+        slabs = plan_slabs(
+            QueryBox.full(self.space.coord_max),
+            self.shard_dim,
+            self.space.coord_max,
+            shards,
+        )
+        plans = fault_plans or {}
+        self.shards: list[Shard] = []
+        for index, slab in enumerate(slabs):
+            shard_copies: list[ShardCopy] = []
+            for copy_index in range(copies):
+                db = Database(
+                    params,
+                    buffer_pages,
+                    fault_plan=plans.get((index, copy_index)),
+                    retry_policy=retry_policy,
+                    quarantine_threshold=quarantine_threshold,
+                    wal=wal,
+                )
+                table = db.create_ub_table(
+                    f"shard{index}", schema, self.dims, page_capacity
+                )
+                shard_copies.append(ShardCopy(index, copy_index, db, table))
+            self.shards.append(Shard(index, slab, shard_copies))
+        self.rows_loaded: list[int] = [0] * len(self.shards)
+        self._shard_pos = schema.position(shard_attr)
+        self._shard_encoder = schema.attribute(shard_attr).encoder
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self, source: RowSource, *, fill: float = 1.0) -> int:
+        """Bulk-load every shard copy from ``source``; returns row total.
+
+        A callable ``source`` is re-invoked once per (shard, copy) pass
+        and its stream filtered on the fly, so peak memory stays at one
+        page batch no matter the scale factor.  A sequence works too —
+        it is simply iterated ``k × r`` times.
+        """
+        factory = self._row_factory(source)
+        total = 0
+        for shard in self.shards:
+            counts = []
+            for copy in shard.copies:
+                copy.table.bulk_load(
+                    self._rows_for_slab(factory(), shard.slab), fill=fill
+                )
+                counts.append(len(copy.table))
+            if len(set(counts)) > 1:
+                raise ValueError(
+                    f"shard {shard.index} copies diverged during load: "
+                    f"{counts} rows (source is not deterministic)"
+                )
+            self.rows_loaded[shard.index] = counts[0]
+            total += counts[0]
+        if invariants.enabled():
+            invariants.validate_sharded_database(self)
+        return total
+
+    def _row_factory(self, source: RowSource) -> Callable[[], Iterable[Row]]:
+        if callable(source):
+            return source
+        rows: Sequence[Row] = source
+        return lambda: rows
+
+    def _rows_for_slab(
+        self, rows: Iterable[Row], slab: SweepSlab
+    ) -> Iterator[Row]:
+        encode = self._shard_encoder.encode
+        position = self._shard_pos
+        for row in rows:
+            if slab.lo <= encode(row[position]) <= slab.hi:
+                yield row
+
+    # ------------------------------------------------------------------
+    # fault administration
+    # ------------------------------------------------------------------
+    def arm_faults(self) -> None:
+        """Arm every copy that was built with a fault plan."""
+        for shard in self.shards:
+            for copy in shard.copies:
+                if isinstance(copy.db.disk, FaultyDisk):
+                    copy.db.arm_faults()
+
+    def disarm_faults(self) -> None:
+        """Stop all injection; delegation becomes pure again."""
+        for shard in self.shards:
+            for copy in shard.copies:
+                copy.db.disarm_faults()
+
+    def kill_copy(
+        self, shard: int, copy: int, *, after_rows: int | None = None
+    ) -> None:
+        """Kill one copy's engine, now or after it serves more rows."""
+        self.shards[shard].copies[copy].schedule_kill(after_rows)
+
+    def health(self) -> tuple[tuple[str, ...], ...]:
+        """Per-shard copy states: ``ok``, ``quarantined`` or ``dead``."""
+        states: list[tuple[str, ...]] = []
+        for shard in self.shards:
+            states.append(
+                tuple(
+                    "dead"
+                    if not copy.alive
+                    else ("ok" if copy.healthy else "quarantined")
+                    for copy in shard.copies
+                )
+            )
+        return tuple(states)
+
+    def fault_totals(self) -> dict[str, int]:
+        """Aggregate fault counters summed over every copy's disk.
+
+        External harnesses (the chaos sweep in particular) read these
+        instead of reaching into per-copy engine internals, which the
+        R014 lint forbids outside this package.
+        """
+        totals = {
+            "injected": 0,
+            "retries": 0,
+            "quarantined": 0,
+            "repaired": 0,
+            "lifted": 0,
+        }
+        for shard in self.shards:
+            for copy in shard.copies:
+                faults = copy.db.disk.stats.faults
+                totals["injected"] += faults.total_injected
+                totals["retries"] += faults.retries
+                totals["quarantined"] += faults.quarantined_pages
+                totals["repaired"] += faults.repaired_pages
+                totals["lifted"] += faults.quarantine_lifted
+        return totals
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.rows_loaded)
+
+    def reset_measurement(self) -> None:
+        """Drop every copy's caches between experiments."""
+        for shard in self.shards:
+            for copy in shard.copies:
+                copy.db.reset_measurement()
+
+    # ------------------------------------------------------------------
+    # the scattered, merged, failure-laddered sorted scan
+    # ------------------------------------------------------------------
+    def sorted_scan(
+        self,
+        restrictions: dict[str, tuple[Any, Any]] | None,
+        sort_attr: str | Sequence[str],
+        *,
+        descending: bool = False,
+        strategy: str = "eager",
+        allow_partial: bool = False,
+        max_degradations: int = 16,
+    ) -> ShardedScanResult:
+        """Restricted sorted scan over all shards, merged in order.
+
+        Bit-identical to the unsharded scan when every shard survives;
+        otherwise degrades down the documented ladder, emitting one
+        event per rung, and either flags the lost ranges
+        (``allow_partial=True``) or raises
+        :class:`~repro.shard.errors.ShardFailedError`.
+        """
+        box = self._reference_table().build_query_box(restrictions)
+        events: list[ShardDegradationEvent] = []
+        failed_ranges: list[tuple[int, int]] = []
+        start_clocks = [
+            [copy.db.clock for copy in shard.copies] for shard in self.shards
+        ]
+        streams: list[KeyedStream] = []
+        try:
+            for shard in self.shards:
+                shard_box = box.restricted(
+                    self.shard_dim, shard.slab.lo, shard.slab.hi
+                )
+                if shard_box.is_empty:
+                    streams.append([])
+                    continue
+                streams.append(
+                    self._scan_shard(
+                        shard,
+                        shard_box,
+                        sort_attr,
+                        descending,
+                        strategy,
+                        allow_partial,
+                        max_degradations,
+                        events,
+                        failed_ranges,
+                    )
+                )
+        except ShardFailedError:
+            _emit_degradations(tuple(events))
+            raise
+        merged = merge_shard_streams(streams)
+        rows = [pair for _, pair in merged]
+        if invariants.enabled():
+            invariants.validate_sharded_database(self)
+            self._check_stream(rows, box, sort_attr, descending)
+        per_shard_elapsed = tuple(
+            sum(
+                copy.db.clock - before
+                for copy, before in zip(shard.copies, start_clocks[index])
+            )
+            for index, shard in enumerate(self.shards)
+        )
+        _emit_degradations(tuple(events))
+        return ShardedScanResult(
+            rows=rows,
+            degradations=tuple(events),
+            failed_ranges=tuple(failed_ranges),
+            per_shard_rows=tuple(len(stream) for stream in streams),
+            per_shard_elapsed=per_shard_elapsed,
+            simulated_elapsed=max(per_shard_elapsed, default=0.0),
+        )
+
+    def _reference_table(self) -> UBTable:
+        return self.shards[0].copies[0].table
+
+    def _sort_dims(self, sort_attr: str | Sequence[str]) -> tuple[int, ...]:
+        if isinstance(sort_attr, str):
+            return (self.dims.index(sort_attr),)
+        return tuple(self.dims.index(attr) for attr in sort_attr)
+
+    def _check_stream(
+        self,
+        rows: list[SortedTuple],
+        box: QuerySpace,
+        sort_attr: str | Sequence[str],
+        descending: bool,
+    ) -> None:
+        checker = invariants.StreamChecker(
+            self._sort_dims(sort_attr), descending, box
+        )
+        for point, _ in rows:
+            checker.observe(point)
+
+    # -- one shard, down the ladder ------------------------------------
+    def _scan_shard(
+        self,
+        shard: Shard,
+        shard_box: QueryBox,
+        sort_attr: str | Sequence[str],
+        descending: bool,
+        strategy: str,
+        allow_partial: bool,
+        max_degradations: int,
+        events: list[ShardDegradationEvent],
+        failed_ranges: list[tuple[int, int]],
+    ) -> KeyedStream:
+        emitted: KeyedStream = []
+        retry_budgets: dict[int, Iterator[float]] = {}
+        rungs = 0
+        copy = self._next_copy(shard)
+        if copy is not None and copy is not shard.copies[0]:
+            # the primary never even got the scan: that is a downgrade
+            # too, and it gets its event like every other rung
+            primary = shard.copies[0]
+            events.append(
+                ShardDegradationEvent(
+                    shard=shard.index,
+                    copy=primary.copy_index,
+                    action="failover",
+                    error_type=(
+                        "ShardCopyKilledError"
+                        if not primary.alive
+                        else "StorageError"
+                    ),
+                    error="primary copy unavailable at scan start",
+                    fallback_copy=copy.copy_index,
+                )
+            )
+        while True:
+            if copy is None:
+                return self._lose_shard(
+                    shard,
+                    shard_box,
+                    "no available copy",
+                    "StorageError",
+                    allow_partial,
+                    events,
+                    failed_ranges,
+                )
+            try:
+                self._drain_copy(
+                    copy, shard_box, sort_attr, descending, strategy, emitted
+                )
+                return emitted
+            except StorageError as exc:
+                rungs += 1
+                if rungs > max_degradations:
+                    copy.healthy = False
+                    return self._lose_shard(
+                        shard,
+                        shard_box,
+                        f"degradation budget exhausted ({max_degradations})",
+                        type(exc).__name__,
+                        allow_partial,
+                        events,
+                        failed_ranges,
+                    )
+                copy = self._climb_ladder(
+                    shard, copy, exc, retry_budgets, events
+                )
+
+    def _climb_ladder(
+        self,
+        shard: Shard,
+        copy: ShardCopy,
+        exc: StorageError,
+        retry_budgets: dict[int, Iterator[float]],
+        events: list[ShardDegradationEvent],
+    ) -> ShardCopy | None:
+        """One rung: repair, retry, or failover.  Returns the next copy
+        to drain (``None`` when the shard is lost)."""
+        quarantined = (
+            copy.db.buffer.quarantined_pages if copy.available else frozenset()
+        )
+        if quarantined:
+            peer = self._peer_copy(shard, copy)
+            if peer is not None:
+                healed = self._repair_from_peer(copy, peer, quarantined)
+                if healed:
+                    events.append(
+                        ShardDegradationEvent(
+                            shard=shard.index,
+                            copy=copy.copy_index,
+                            action="repaired",
+                            error_type=type(exc).__name__,
+                            error=str(exc),
+                            repaired_pages=tuple(healed),
+                        )
+                    )
+                    return copy
+        if copy.available and isinstance(exc, (TransientIOError, CorruptPageError)):
+            budget = retry_budgets.setdefault(
+                copy.copy_index, iter(self.retry_policy.delays())
+            )
+            delay = next(budget, None)
+            if delay is not None:
+                copy.db.disk.advance_clock(delay)
+                events.append(
+                    ShardDegradationEvent(
+                        shard=shard.index,
+                        copy=copy.copy_index,
+                        action="retry",
+                        error_type=type(exc).__name__,
+                        error=str(exc),
+                    )
+                )
+                return copy
+        copy.healthy = False
+        fallback = self._next_copy(shard)
+        if fallback is not None:
+            events.append(
+                ShardDegradationEvent(
+                    shard=shard.index,
+                    copy=copy.copy_index,
+                    action="failover",
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    fallback_copy=fallback.copy_index,
+                )
+            )
+        return fallback
+
+    def _lose_shard(
+        self,
+        shard: Shard,
+        shard_box: QueryBox,
+        message: str,
+        error_type: str,
+        allow_partial: bool,
+        events: list[ShardDegradationEvent],
+        failed_ranges: list[tuple[int, int]],
+    ) -> KeyedStream:
+        lost = (shard_box.lo[self.shard_dim], shard_box.hi[self.shard_dim])
+        if allow_partial:
+            events.append(
+                ShardDegradationEvent(
+                    shard=shard.index,
+                    copy=-1,
+                    action="abandoned",
+                    error_type=error_type,
+                    error=message,
+                )
+            )
+            failed_ranges.append(lost)
+            return []
+        events.append(
+            ShardDegradationEvent(
+                shard=shard.index,
+                copy=-1,
+                action="failed",
+                error_type=error_type,
+                error=message,
+            )
+        )
+        raise ShardFailedError(
+            f"shard {shard.index} lost every copy: {message}",
+            shard.index,
+            tuple(events),
+        )
+
+    def _next_copy(self, shard: Shard) -> ShardCopy | None:
+        available = shard.available_copies()
+        return available[0] if available else None
+
+    def _peer_copy(self, shard: Shard, copy: ShardCopy) -> ShardCopy | None:
+        for candidate in shard.available_copies():
+            if candidate.copy_index != copy.copy_index:
+                return candidate
+        return None
+
+    # -- drain one copy from the residual range ------------------------
+    def _drain_copy(
+        self,
+        copy: ShardCopy,
+        shard_box: QueryBox,
+        sort_attr: str | Sequence[str],
+        descending: bool,
+        strategy: str,
+        emitted: KeyedStream,
+    ) -> None:
+        """Append the shard's residual tuples to ``emitted`` via ``copy``.
+
+        The residual range is recovered from what is already emitted:
+        the stream is totally ordered by full-curve address, so the
+        suffix still owed is exactly the keys above the last emitted
+        address, minus the rows already delivered *at* that address (a
+        duplicate-point tie is served in arrival order on one page, so
+        a count suffices).  The primary sort dimension is additionally
+        clamped to the resume point — curve addresses put that
+        dimension in the most significant bits, so no owed row can sit
+        below it — letting the restarted sweep skip the served prefix's
+        pages instead of re-reading them.
+        """
+        if not copy.alive:
+            raise ShardCopyKilledError(
+                f"shard {copy.shard_index} copy {copy.copy_index} is dead"
+            )
+        box = shard_box
+        last_key: int | None = None
+        skip_at_last = 0
+        if emitted:
+            last_key = emitted[-1][0]
+            for key, _ in reversed(emitted):
+                if key != last_key:
+                    break
+                skip_at_last += 1
+            primary = self._sort_dims(sort_attr)[0]
+            resume_coord = emitted[-1][1][0][primary]
+            if descending:
+                box = box.restricted(primary, 0, resume_coord)
+            else:
+                box = box.restricted(
+                    primary, resume_coord, self.space.coord_max[primary]
+                )
+        scan = copy.table.tetris_scan(
+            box, sort_attr, descending=descending, strategy=strategy
+        )
+        encode = scan.tetris_curve.encode
+        for point, payload in scan:
+            copy.note_row_served()
+            key = encode(point)
+            if last_key is not None:
+                if key < last_key:
+                    continue
+                if key == last_key and skip_at_last > 0:
+                    skip_at_last -= 1
+                    continue
+            emitted.append((key, (point, payload)))
+
+    # -- bit-exact cross-copy page repair ------------------------------
+    def _repair_from_peer(
+        self, copy: ShardCopy, peer: ShardCopy, page_ids: frozenset[int]
+    ) -> list[int]:
+        """Heal ``copy``'s quarantined pages from ``peer``'s intact ones.
+
+        Copies are loaded identically, so page ids and contents line up
+        one-to-one; each healed page costs one random read on the peer
+        and one random write on the patient, charged to their own
+        clocks.  Pages whose peer copy fails its own checksum are left
+        quarantined (never propagate damage), and only pages whose
+        quarantine actually lifts count as healed.
+        """
+        healed: list[int] = []
+        for page_id in sorted(page_ids):
+            try:
+                peer_page = peer.db.disk.peek(page_id)
+                read_cost = peer.db.disk.params.random_cost(1)
+                peer.db.disk.advance_clock(read_cost)
+                peer.db.disk.stats.faults.repair_reads += 1
+                ensure_page_integrity(
+                    peer_page,
+                    context=f"peer copy {peer.copy_index} during shard repair",
+                )
+                page = copy.db.disk.peek(page_id)
+            except StorageError:
+                continue
+            page.records = list(peer_page.records)
+            page.version += 1
+            page.seal_checksum()
+            write_cost = copy.db.disk.params.random_cost(1)
+            copy.db.disk.advance_clock(write_cost)
+            copy.db.disk.stats.faults.repair_delay += write_cost
+            if copy.db.buffer.lift_quarantine(page_id):
+                copy.db.disk.stats.faults.repaired_pages += 1
+                healed.append(page_id)
+        return healed

@@ -1,0 +1,51 @@
+"""Typed failures of the sharded coordinator.
+
+Both errors extend :class:`~repro.storage.errors.StorageError`, keeping
+the engine-wide contract — correct rows or a typed error, never silent
+garbage — intact one level up: a caller that already catches
+``StorageError`` for single-database degradation handles whole-shard
+loss with no new code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..storage.errors import StorageError, TransientIOError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .events import ShardDegradationEvent
+
+__all__ = [
+    "ShardCopyKilledError",
+    "ShardFailedError",
+]
+
+
+class ShardCopyKilledError(TransientIOError):
+    """One shard copy's engine died mid-scan (whole-shard fault domain).
+
+    Subclasses :class:`~repro.storage.errors.TransientIOError` because a
+    *different* copy of the same shard can still serve the residual
+    range — the failure is transient from the coordinator's viewpoint
+    even though this copy never comes back.
+    """
+
+
+class ShardFailedError(StorageError):
+    """Every copy of one shard is gone and partial results were not allowed.
+
+    Carries the coordinator's degradation trail (mirroring
+    :class:`~repro.planner.executor.PlanExhaustedError`) so callers can
+    report the full retry/repair/failover ladder that preceded the loss.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int,
+        degradations: "tuple[ShardDegradationEvent, ...]",
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.degradations = degradations

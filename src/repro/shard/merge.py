@@ -1,0 +1,64 @@
+"""K-way order-preserving merge of shard streams.
+
+Each shard's restricted sorted scan yields ``(key, (point, payload))``
+pairs where ``key`` is the tuple's address on the *full* tetris curve
+(sort-dimension bits most significant, Z-order of the remaining bits
+below).  That is exactly the key the run buffer inside
+:class:`~repro.core.tetris.TetrisScan` orders by, so each shard stream
+is ascending in ``key`` — descending scans included, because the
+flipped curve encoding makes their addresses ascend too.
+
+A point lives in exactly one shard (the slab ranges partition the
+shard dimension) and duplicate points share a page, hence a shard, so
+equal keys never meet across shards: merging the streams by ``key``
+with any tie-breaking rule reproduces the unsharded scan bit-for-bit.
+
+The merge itself reuses the kernel two-way primitive
+:func:`~repro.kernels.merge_sorted_keys` in a pairwise tree —
+``ceil(log2(k))`` passes over the data, the same discipline an
+external-sort merge phase would use, except no I/O is charged because
+the coordinator merges in memory.
+"""
+
+from __future__ import annotations
+
+from .. import kernels
+from ..core.tetris import SortedTuple
+
+__all__ = ["merge_shard_streams"]
+
+#: One shard's scan output: full-curve address paired with the tuple.
+KeyedStream = list[tuple[int, SortedTuple]]
+
+
+def _merge_pair(left: KeyedStream, right: KeyedStream) -> KeyedStream:
+    if not left:
+        return right
+    if not right:
+        return left
+    permutation = kernels.merge_sorted_keys(
+        [key for key, _ in left], [key for key, _ in right]
+    )
+    combined = left + right
+    return [combined[index] for index in permutation]
+
+
+def merge_shard_streams(streams: list[KeyedStream]) -> KeyedStream:
+    """Merge per-shard ascending streams into one ascending stream.
+
+    Stable across the pairwise tree: ``merge_sorted_keys`` lets its
+    first operand win ties, and pairs are always joined left-to-right,
+    so lower shard indexes win — immaterial for correctness (equal keys
+    cannot span shards) but it keeps the merge deterministic.
+    """
+    if not streams:
+        return []
+    level = list(streams)
+    while len(level) > 1:
+        merged: list[KeyedStream] = []
+        for index in range(0, len(level) - 1, 2):
+            merged.append(_merge_pair(level[index], level[index + 1]))
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]

@@ -1,0 +1,90 @@
+"""Shared degradation-telemetry plumbing: one event shape, one registry.
+
+Three subsystems report "I did not do what was asked, here is the
+structured record" events: the plan executor's
+:class:`~repro.planner.executor.DegradationEvent` (an access path
+failed, the query re-planned), the parallel executor's
+:class:`~repro.planner.parallel.ExecutorFallbackEvent` (a requested
+execution mode was downgraded) and the shard coordinator's
+:class:`~repro.shard.ShardDegradationEvent` (a shard copy was retried,
+repaired, failed over, or given up on).  They share one contract:
+
+* the event is a frozen dataclass extending :class:`TelemetryEvent`
+  with a human-readable :meth:`~TelemetryEvent.describe`;
+* every downgrade path emits **exactly one** event — never zero (a
+  silent downgrade) and never duplicates;
+* subscribers register through an :class:`ObserverRegistry`, and events
+  are delivered *outside* the registry lock so an observer touching the
+  buffer pool cannot nest pool work under the observer lock.
+
+The registry lock defaults to the declared ``executor-observers`` rank
+of :data:`repro.invariants.sanitizer.GLOBAL_LOCK_ORDER`; the shard
+coordinator names its own ``shard-observers`` lock.  Either way the
+invariant is the same — observer lists never nest inside any other
+engine lock, whichever subsystem owns them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, TypeVar
+
+from .invariants.sanitizer import guarded_by, note_access, tracked_lock
+
+__all__ = [
+    "ObserverRegistry",
+    "TelemetryEvent",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base shape of every structured downgrade/degradation event.
+
+    Subclasses add their fields and override :meth:`describe`; the base
+    exists so cross-cutting telemetry (logging, the serving layer's
+    metrics, tests asserting "exactly one event per downgrade") can
+    treat all event families uniformly.
+    """
+
+    def describe(self) -> str:
+        """One human-readable line describing the downgrade."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement describe()"
+        )
+
+
+_EventT = TypeVar("_EventT", bound=TelemetryEvent)
+
+
+@guarded_by("_lock", "_observers")
+class ObserverRegistry(Generic[_EventT]):
+    """Subscribers of one event family behind the observers lock.
+
+    The serving layer registers observers from session threads while
+    scans emit from worker coordinators, so the list is guarded like
+    every other shared structure.  Events are delivered *outside* the
+    lock: an observer may do arbitrary engine work (touch the buffer
+    pool, start a repair) without nesting it under the observer lock.
+    """
+
+    def __init__(self, name: str = "executor-observers") -> None:
+        self._lock = tracked_lock(name)
+        self._observers: list[Callable[[_EventT], Any]] = []
+
+    def register(self, observer: Callable[[_EventT], Any]) -> None:
+        with self._lock:
+            self._observers.append(observer)
+            note_access(self, "_observers", write=True)
+
+    def unregister(self, observer: Callable[[_EventT], Any]) -> None:
+        with self._lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
+            note_access(self, "_observers", write=True)
+
+    def emit(self, event: _EventT) -> None:
+        with self._lock:
+            observers = tuple(self._observers)
+        for observer in observers:
+            observer(event)

@@ -1,6 +1,16 @@
 """TPC-D substrate: generator, logical queries Q3/Q4/Q6, physical plans."""
 
-from .datagen import DEFAULT_CUSTOMERS_PER_SF, TPCDConfig, TPCDData, generate, shuffled
+from .datagen import (
+    DEFAULT_CUSTOMERS_PER_SF,
+    TPCDConfig,
+    TPCDData,
+    generate,
+    in_batches,
+    shuffled,
+    stream_customers,
+    stream_lineitems,
+    stream_orders,
+)
 from .queries import (
     Q3Params,
     Q4Params,
@@ -21,6 +31,7 @@ __all__ = [
     "TPCDConfig",
     "TPCDData",
     "generate",
+    "in_batches",
     "q3_lineitem_selectivity",
     "q4_order_selectivity",
     "q6_selectivity",
@@ -28,4 +39,7 @@ __all__ = [
     "reference_q4",
     "reference_q6",
     "shuffled",
+    "stream_customers",
+    "stream_lineitems",
+    "stream_orders",
 ]

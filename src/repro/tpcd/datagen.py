@@ -15,6 +15,7 @@ from __future__ import annotations
 import datetime as dt
 import random
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from .schema import (
     ANYDATE_HI,
@@ -133,3 +134,126 @@ def shuffled(rows: list[tuple], seed: int = 7) -> list[tuple]:
     copy = list(rows)
     random.Random(seed).shuffle(copy)
     return copy
+
+
+# ----------------------------------------------------------------------
+# streaming generation
+# ----------------------------------------------------------------------
+# The batch API regenerates rows on demand instead of materializing
+# relations, so a sharded loader can stream SF >= 1 once per (shard,
+# copy) pass in O(batch) memory.  It is a *separate* deterministic
+# family from :func:`generate`: that one threads a single RNG through
+# every row, so row i's content depends on how many rows preceded it and
+# the stream cannot be prefix-stable.  Here every entity draws from its
+# own RNG seeded by ``mix(seed, tag, key)``, making row content a pure
+# function of (seed, key): the SF 0.01 stream is a literal prefix of the
+# SF 1 stream, and any suffix can be regenerated without its past.
+
+_CUSTOMER_TAG = 0x1099
+_ORDER_TAG = 0x2099
+_LINEITEM_TAG = 0x3099
+
+
+def _mix(*parts: int) -> int:
+    """splitmix64 over the parts — a seeded, stable stream splitter."""
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        acc = (acc + part) & 0xFFFFFFFFFFFFFFFF
+        acc ^= acc >> 30
+        acc = (acc * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        acc ^= acc >> 27
+        acc = (acc * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        acc ^= acc >> 31
+    return acc
+
+
+def _entity_rng(config: TPCDConfig, tag: int, key: int) -> random.Random:
+    return random.Random(_mix(config.seed, tag, key))
+
+
+def stream_customers(config: TPCDConfig | None = None) -> Iterator[tuple]:
+    """CUSTOMER rows one at a time, prefix-stable across scale factors."""
+    config = config or TPCDConfig()
+    for custkey in range(1, config.customer_count + 1):
+        rng = _entity_rng(config, _CUSTOMER_TAG, custkey)
+        segment = MKTSEGMENTS[rng.randrange(len(MKTSEGMENTS))]
+        yield (custkey, segment)
+
+
+def _order_row(config: TPCDConfig, orderkey: int) -> tuple:
+    rng = _entity_rng(config, _ORDER_TAG, orderkey)
+    order_window_days = (ORDERDATE_HI - ORDERDATE_LO).days
+    # deterministic key coupling instead of a draw over the (scale-
+    # dependent) customer domain — the one substitution prefix
+    # stability demands; clustering stays TPC-D-shaped (each customer
+    # places ``orders_per_customer`` orders)
+    custkey = (orderkey - 1) // config.orders_per_customer + 1
+    orderdate = ORDERDATE_LO + dt.timedelta(days=rng.randint(0, order_window_days))
+    priority = ORDERPRIORITIES[rng.randrange(len(ORDERPRIORITIES))]
+    return (orderkey, custkey, orderdate, priority, 0)
+
+
+def stream_orders(config: TPCDConfig | None = None) -> Iterator[tuple]:
+    """ORDER rows one at a time, prefix-stable across scale factors."""
+    config = config or TPCDConfig()
+    for orderkey in range(1, config.order_count + 1):
+        yield _order_row(config, orderkey)
+
+
+def stream_lineitems(config: TPCDConfig | None = None) -> Iterator[tuple]:
+    """LINEITEM rows one at a time, prefix-stable across scale factors.
+
+    Each order's items are a pure function of its orderkey, and orders
+    stream in key order, so a shorter scale factor's lineitem stream is
+    a prefix of any longer one's.
+    """
+    config = config or TPCDConfig()
+    latest_any = (ANYDATE_HI - ORDERDATE_LO).days
+    for orderkey in range(1, config.order_count + 1):
+        _, _, orderdate, _, _ = _order_row(config, orderkey)
+        base_days = (orderdate - ORDERDATE_LO).days
+        rng = _entity_rng(config, _LINEITEM_TAG, orderkey)
+        for linenumber in range(1, rng.randint(1, config.max_lineitems_per_order) + 1):
+            shipdate = orderdate + dt.timedelta(
+                days=min(rng.randint(1, 121), latest_any - base_days)
+            )
+            commitdate = orderdate + dt.timedelta(
+                days=min(rng.randint(30, 90), latest_any - base_days)
+            )
+            receiptdate = shipdate + dt.timedelta(
+                days=min(rng.randint(1, 30), latest_any - (shipdate - ORDERDATE_LO).days)
+            )
+            discount = rng.randint(0, 10)
+            quantity = rng.randint(1, 50)
+            unit_price_cents = rng.randint(90_000, 105_000)
+            extendedprice = min(quantity * unit_price_cents, 11_000_000)
+            yield (
+                orderkey,
+                linenumber,
+                shipdate,
+                commitdate,
+                receiptdate,
+                discount,
+                quantity,
+                extendedprice,
+            )
+
+
+def in_batches(
+    rows: Iterable[tuple], batch_size: int = 1024
+) -> Iterator[list[tuple]]:
+    """Group a row stream into lists of ``batch_size`` (last one short).
+
+    The loader-facing shape: each batch is materialized, handed over,
+    and dropped, so peak memory is one batch regardless of scale.
+    """
+    if batch_size < 1:
+        raise ValueError("batch size must be >= 1")
+    batch: list[tuple] = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

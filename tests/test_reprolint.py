@@ -697,6 +697,122 @@ class TestR009IPCConfinement:
 
 
 # ----------------------------------------------------------------------
+# R014: shard isolation
+# ----------------------------------------------------------------------
+class TestR014ShardIsolation:
+    def test_deep_import_flagged(self):
+        found = lint(
+            "from repro.shard.coordinator import ShardedDatabase\n",
+            path="src/repro/planner/executor.py",
+        )
+        assert rules_of(found) == {"R014"}
+
+    def test_plain_import_of_internals_flagged(self):
+        found = lint(
+            "import repro.shard.merge\n", path="src/repro/core/tetris.py"
+        )
+        assert rules_of(found) == {"R014"}
+
+    def test_relative_deep_import_flagged(self):
+        found = lint(
+            "from ..shard.coordinator import ShardCopy\n",
+            path="src/repro/planner/executor.py",
+        )
+        assert rules_of(found) == {"R014"}
+
+    def test_facade_import_passes(self):
+        found = lint(
+            "from repro.shard import ShardedDatabase\n",
+            path="src/repro/planner/executor.py",
+        )
+        assert found == []
+
+    def test_type_checking_import_passes(self):
+        found = lint(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from ..shard.coordinator import ShardedDatabase
+            """,
+            path="src/repro/invariants/sharding.py",
+        )
+        assert found == []
+
+    def test_copy_engine_dereference_flagged(self):
+        found = lint(
+            """
+            def poke(copy):
+                return copy.db.clock
+            """,
+            path="src/repro/planner/executor.py",
+        )
+        assert rules_of(found) == {"R014"}
+
+    def test_copies_chain_dereference_flagged(self):
+        found = lint(
+            """
+            def poke(sdb):
+                return sdb.shards[0].copies[1].disk
+            """,
+            path="tools/chaos/__init__.py",
+        )
+        assert rules_of(found) == {"R014"}
+
+    def test_suffix_name_dereference_flagged(self):
+        found = lint(
+            """
+            def poke(primary_copy):
+                primary_copy.buffer.drop_all()
+            """,
+            path="src/repro/core/tetris.py",
+        )
+        assert rules_of(found) == {"R014"}
+
+    def test_shard_package_is_exempt(self):
+        found = lint(
+            """
+            def heal(copy, peer):
+                page = peer.db.disk.peek(3)
+                return copy.db.buffer.lift_quarantine(3)
+            """,
+            path="src/repro/shard/coordinator.py",
+        )
+        assert found == []
+
+    def test_coordinator_api_use_passes(self):
+        found = lint(
+            """
+            def run(sdb):
+                sdb.kill_copy(1, 0, after_rows=10)
+                return sdb.sorted_scan({"a1": (0, 9)}, "a2")
+            """,
+            path="tools/chaos/__init__.py",
+        )
+        assert found == []
+
+    def test_unrelated_attribute_passes(self):
+        found = lint(
+            """
+            def repair(slots):
+                for copy in slots:
+                    if copy.intact:
+                        return list(copy.records)
+            """,
+            path="src/repro/storage/replica.py",
+        )
+        assert found == []
+
+    def test_suppression_applies(self):
+        found = lint(
+            "from repro.shard.merge import merge_shard_streams"
+            "  # reprolint: allow(R014)\n",
+            path="src/repro/core/tetris.py",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 class TestDriver:
     def test_suppression_by_rule(self):
         found = lint("assert True  # reprolint: allow(R005)\n")

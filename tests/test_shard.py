@@ -1,0 +1,398 @@
+"""Tests for the range-sharded coordinator (``repro.shard``).
+
+The load-bearing claim: a sharded restricted sorted scan is
+bit-identical to the unsharded scan — with no faults, across failover,
+and through cross-copy repair — and every deviation from the clean path
+is a typed error or an explicitly flagged partial result, never silent
+wrong rows.
+"""
+
+import random
+
+import pytest
+
+from repro import invariants, kernels
+from repro.relational import Attribute, Database, IntEncoder, Schema
+from repro.shard import (
+    ShardedDatabase,
+    ShardFailedError,
+    merge_shard_streams,
+    register_shard_observer,
+    unregister_shard_observer,
+)
+from repro.storage import FaultPlan
+from repro.telemetry import TelemetryEvent
+
+DIMS = ("a1", "a2")
+QUERY = {"a1": (100, 900)}
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("a1", IntEncoder(0, 1023)),
+            Attribute("a2", IntEncoder(0, 1023)),
+            Attribute("v", IntEncoder(0, 10**9)),
+        ]
+    )
+
+
+def make_rows(count: int, seed: int = 99) -> list[tuple]:
+    rng = random.Random(seed)
+    return [(rng.randrange(1024), rng.randrange(1024), i) for i in range(count)]
+
+
+def oracle_rows(rows, restrictions, sort_attr, *, descending=False):
+    """The unsharded engine's stream, the coordinator's ground truth."""
+    db = Database()
+    table = db.create_ub_table("oracle", make_schema(), DIMS, 32)
+    table.bulk_load(rows)
+    return list(
+        table.tetris_scan(restrictions, sort_attr, descending=descending)
+    )
+
+
+def make_sharded(rows, *, shards=4, copies=1, **kwargs) -> ShardedDatabase:
+    sdb = ShardedDatabase(
+        make_schema(), DIMS, "a1", shards=shards, copies=copies, **kwargs
+    )
+    sdb.load(rows)
+    return sdb
+
+
+# ----------------------------------------------------------------------
+# bit-identity on the clean path
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    def test_matches_unsharded_scan(self):
+        rows = make_rows(600)
+        sdb = make_sharded(rows)
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.rows == oracle_rows(rows, QUERY, "a2")
+        assert not result.degraded
+        assert not result.partial
+
+    def test_descending(self):
+        rows = make_rows(600)
+        sdb = make_sharded(rows)
+        result = sdb.sorted_scan(QUERY, "a2", descending=True)
+        assert result.rows == oracle_rows(rows, QUERY, "a2", descending=True)
+
+    def test_sort_on_shard_attribute(self):
+        rows = make_rows(600)
+        sdb = make_sharded(rows)
+        result = sdb.sorted_scan(QUERY, "a1")
+        assert result.rows == oracle_rows(rows, QUERY, "a1")
+
+    def test_duplicate_points_survive_sharding(self):
+        rng = random.Random(3)
+        rows = [(rng.randrange(8), rng.randrange(8), i) for i in range(400)]
+        sdb = make_sharded(rows, shards=3)
+        result = sdb.sorted_scan(None, "a2")
+        assert result.rows == oracle_rows(rows, None, "a2")
+
+    def test_unrestricted_scan(self):
+        rows = make_rows(500)
+        sdb = make_sharded(rows)
+        result = sdb.sorted_scan(None, "a2")
+        assert result.rows == oracle_rows(rows, None, "a2")
+
+    def test_empty_query(self):
+        rows = make_rows(200)
+        sdb = make_sharded(rows)
+        result = sdb.sorted_scan({"a1": (700, 100)}, "a2")
+        assert result.rows == []
+        assert result.per_shard_rows == (0, 0, 0, 0)
+
+    def test_both_backends_agree(self):
+        rows = make_rows(400)
+        expected = oracle_rows(rows, QUERY, "a2")
+        for backend in kernels.available_backends():
+            with kernels.use_backend(backend):
+                sdb = make_sharded(rows)
+                assert sdb.sorted_scan(QUERY, "a2").rows == expected
+
+    def test_single_shard_degenerate(self):
+        rows = make_rows(300)
+        sdb = make_sharded(rows, shards=1)
+        assert sdb.sorted_scan(QUERY, "a2").rows == oracle_rows(
+            rows, QUERY, "a2"
+        )
+
+    def test_elapsed_accounting(self):
+        rows = make_rows(400)
+        sdb = make_sharded(rows)
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.simulated_elapsed == max(result.per_shard_elapsed)
+        assert result.simulated_elapsed > 0
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+class TestLoading:
+    def test_rows_partition_across_shards(self):
+        rows = make_rows(500)
+        sdb = make_sharded(rows)
+        assert sum(sdb.rows_loaded) == len(rows)
+        assert sdb.total_rows == len(rows)
+
+    def test_streaming_factory_load(self):
+        rows = make_rows(500)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return iter(rows)  # a one-shot stream, regenerated per pass
+
+        sdb = ShardedDatabase(make_schema(), DIMS, "a1", shards=3, copies=2)
+        assert sdb.load(factory) == len(rows)
+        assert len(calls) == 3 * 2  # one pass per (shard, copy)
+        assert sdb.sorted_scan(QUERY, "a2").rows == oracle_rows(
+            rows, QUERY, "a2"
+        )
+
+    def test_nondeterministic_source_rejected(self):
+        state = {"calls": 0}
+
+        def flaky():
+            state["calls"] += 1
+            return make_rows(100 + state["calls"])
+
+        sdb = ShardedDatabase(make_schema(), DIMS, "a1", shards=2, copies=2)
+        with pytest.raises(ValueError, match="diverged"):
+            sdb.load(flaky)
+
+    def test_validator_accepts_fresh_load(self):
+        sdb = make_sharded(make_rows(300), copies=2)
+        invariants.validate_sharded_database(sdb)
+
+    def test_validator_rejects_ledger_drift(self):
+        sdb = make_sharded(make_rows(300), copies=2)
+        sdb.rows_loaded[0] += 1
+        with pytest.raises(invariants.InvariantViolation, match="ledger"):
+            invariants.validate_sharded_database(sdb)
+
+    def test_scan_under_repro_checks(self):
+        rows = make_rows(300)
+        with invariants.checks():
+            sdb = make_sharded(rows, copies=2)
+            result = sdb.sorted_scan(QUERY, "a2")
+        assert result.rows == oracle_rows(rows, QUERY, "a2")
+
+
+# ----------------------------------------------------------------------
+# the failure ladder
+# ----------------------------------------------------------------------
+class TestFailover:
+    def test_mid_stream_death_resumes_on_replica(self):
+        rows = make_rows(600)
+        oracle = oracle_rows(rows, QUERY, "a2")
+        sdb = make_sharded(rows, copies=2)
+        sdb.kill_copy(1, 0, after_rows=40)
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.rows == oracle
+        assert [e.action for e in result.degradations] == ["failover"]
+        event = result.degradations[0]
+        assert (event.shard, event.copy, event.fallback_copy) == (1, 0, 1)
+        assert sdb.health()[1] == ("dead", "ok")
+
+    def test_mid_stream_death_descending(self):
+        rows = make_rows(600)
+        sdb = make_sharded(rows, copies=2)
+        sdb.kill_copy(2, 0, after_rows=25)
+        result = sdb.sorted_scan(QUERY, "a2", descending=True)
+        assert result.rows == oracle_rows(rows, QUERY, "a2", descending=True)
+
+    def test_death_at_scan_start_emits_failover(self):
+        rows = make_rows(400)
+        sdb = make_sharded(rows, copies=2)
+        sdb.kill_copy(1, 0)
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.rows == oracle_rows(rows, QUERY, "a2")
+        assert [e.action for e in result.degradations] == ["failover"]
+
+    def test_cascading_deaths_chain_failovers(self):
+        rows = make_rows(600)
+        sdb = make_sharded(rows, copies=3)
+        sdb.kill_copy(1, 0, after_rows=20)
+        sdb.kill_copy(1, 1, after_rows=30)
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.rows == oracle_rows(rows, QUERY, "a2")
+        assert [e.action for e in result.degradations] == [
+            "failover",
+            "failover",
+        ]
+
+    def test_last_copy_death_raises_typed_error(self):
+        rows = make_rows(600)
+        sdb = make_sharded(rows, copies=1)
+        sdb.kill_copy(1, 0, after_rows=10)
+        with pytest.raises(ShardFailedError) as excinfo:
+            sdb.sorted_scan(QUERY, "a2")
+        assert excinfo.value.shard == 1
+        assert [e.action for e in excinfo.value.degradations] == ["failed"]
+
+    def test_allow_partial_flags_lost_range(self):
+        rows = make_rows(600)
+        oracle = oracle_rows(rows, QUERY, "a2")
+        sdb = make_sharded(rows, copies=1)
+        sdb.kill_copy(1, 0, after_rows=10)
+        result = sdb.sorted_scan(QUERY, "a2", allow_partial=True)
+        assert result.partial
+        (lost,) = result.failed_ranges
+        kept = [
+            row for row in oracle if not lost[0] <= row[0][0] <= lost[1]
+        ]
+        assert result.rows == kept
+        assert [e.action for e in result.degradations] == ["abandoned"]
+
+    def test_corrupt_pages_healed_from_peer(self):
+        rows = make_rows(600)
+        plan = FaultPlan(seed=5, corrupt_rate=0.30)
+        sdb = make_sharded(
+            rows,
+            copies=2,
+            fault_plans={(0, 0): plan},
+            quarantine_threshold=2,
+        )
+        sdb.arm_faults()
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.rows == oracle_rows(rows, QUERY, "a2")
+        repaired = [e for e in result.degradations if e.action == "repaired"]
+        assert repaired
+        assert all(e.repaired_pages for e in repaired)
+
+    def test_transient_faults_retried_in_place(self):
+        rows = make_rows(600)
+        plan = FaultPlan(seed=11, transient_rate=0.05)
+        sdb = make_sharded(rows, copies=2, fault_plans={(2, 0): plan})
+        sdb.arm_faults()
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.rows == oracle_rows(rows, QUERY, "a2")
+        assert all(
+            event.shard == 2 for event in result.degradations
+        )
+
+    def test_slow_shard_still_bit_identical(self):
+        rows = make_rows(600)
+        plan = FaultPlan(seed=7, latency_rate=0.5)
+        sdb = make_sharded(rows, copies=2, fault_plans={(1, 0): plan})
+        baseline = sdb.sorted_scan(QUERY, "a2")
+        sdb.reset_measurement()
+        sdb.arm_faults()
+        slow = sdb.sorted_scan(QUERY, "a2")
+        assert slow.rows == baseline.rows == oracle_rows(rows, QUERY, "a2")
+        assert slow.per_shard_elapsed[1] > baseline.per_shard_elapsed[1]
+
+
+# ----------------------------------------------------------------------
+# degradation telemetry
+# ----------------------------------------------------------------------
+class TestShardTelemetry:
+    def test_events_share_the_telemetry_base(self):
+        rows = make_rows(400)
+        sdb = make_sharded(rows, copies=2)
+        sdb.kill_copy(0, 0, after_rows=5)
+        result = sdb.sorted_scan(QUERY, "a2")
+        assert result.degradations
+        for event in result.degradations:
+            assert isinstance(event, TelemetryEvent)
+            assert "shard" in event.describe()
+
+    def test_observer_sees_exactly_the_scan_events(self):
+        rows = make_rows(400)
+        sdb = make_sharded(rows, copies=2)
+        sdb.kill_copy(1, 0, after_rows=15)
+        seen = []
+        register_shard_observer(seen.append)
+        try:
+            result = sdb.sorted_scan(QUERY, "a2")
+        finally:
+            unregister_shard_observer(seen.append)
+        assert tuple(seen) == result.degradations
+
+    def test_observer_notified_on_typed_failure(self):
+        rows = make_rows(400)
+        sdb = make_sharded(rows, copies=1)
+        sdb.kill_copy(0, 0, after_rows=5)
+        seen = []
+        register_shard_observer(seen.append)
+        try:
+            with pytest.raises(ShardFailedError):
+                sdb.sorted_scan(QUERY, "a2")
+        finally:
+            unregister_shard_observer(seen.append)
+        assert [event.action for event in seen] == ["failed"]
+
+    def test_clean_scan_emits_nothing(self):
+        rows = make_rows(300)
+        sdb = make_sharded(rows, copies=2)
+        seen = []
+        register_shard_observer(seen.append)
+        try:
+            sdb.sorted_scan(QUERY, "a2")
+        finally:
+            unregister_shard_observer(seen.append)
+        assert seen == []
+
+
+# ----------------------------------------------------------------------
+# the merge primitive
+# ----------------------------------------------------------------------
+class TestMergeStreams:
+    def test_merges_in_key_order(self):
+        streams = [
+            [(1, ((1,), "a")), (5, ((5,), "b"))],
+            [(2, ((2,), "c")), (9, ((9,), "d"))],
+            [(0, ((0,), "e"))],
+        ]
+        merged = merge_shard_streams(streams)
+        assert [key for key, _ in merged] == [0, 1, 2, 5, 9]
+
+    def test_empty_inputs(self):
+        assert merge_shard_streams([]) == []
+        assert merge_shard_streams([[], []]) == []
+
+    def test_single_stream_passthrough(self):
+        stream = [(3, ((3,), "x")), (4, ((4,), "y"))]
+        assert merge_shard_streams([stream, []]) == stream
+
+    def test_matches_sorted_reference(self):
+        rng = random.Random(17)
+        streams = []
+        everything = []
+        for _ in range(5):
+            keys = sorted(rng.randrange(10_000) for _ in range(200))
+            stream = [(key, ((key,), None)) for key in keys]
+            streams.append(stream)
+            everything.extend(stream)
+        merged = merge_shard_streams(streams)
+        assert [key for key, _ in merged] == sorted(
+            key for key, _ in everything
+        )
+
+
+# ----------------------------------------------------------------------
+# construction guards
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shard count"):
+            ShardedDatabase(make_schema(), DIMS, "a1", shards=0)
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ValueError, match="at least one copy"):
+            ShardedDatabase(make_schema(), DIMS, "a1", shards=2, copies=0)
+
+    def test_rejects_non_index_shard_attribute(self):
+        with pytest.raises(ValueError, match="not an index dimension"):
+            ShardedDatabase(make_schema(), DIMS, "v", shards=2)
+
+    def test_slabs_partition_the_domain(self):
+        sdb = ShardedDatabase(make_schema(), DIMS, "a1", shards=5)
+        edges = [(s.slab.lo, s.slab.hi) for s in sdb.shards]
+        assert edges[0][0] == 0
+        assert edges[-1][1] == 1023
+        for (_, hi), (lo, _) in zip(edges, edges[1:]):
+            assert lo == hi + 1

@@ -1,0 +1,154 @@
+"""Tests for the unified degradation telemetry (``repro.telemetry``).
+
+Three event families — planner :class:`DegradationEvent`, parallel
+:class:`ExecutorFallbackEvent` and shard :class:`ShardDegradationEvent`
+— share one frozen-dataclass base and one observer-registry delivery
+mechanism, and every downgrade path emits exactly one event.
+"""
+
+from dataclasses import FrozenInstanceError, dataclass
+
+import pytest
+
+from repro.costmodel import CostParameters
+from repro.planner import (
+    DegradationEvent,
+    ExecutorFallbackEvent,
+    PlanExhaustedError,
+    execute_sorted_query,
+    register_degradation_observer,
+    unregister_degradation_observer,
+)
+from repro.shard import ShardDegradationEvent
+from repro.storage import FaultPlan
+from repro.storage.faults import CORRUPT
+from repro.telemetry import ObserverRegistry, TelemetryEvent
+from tools.chaos import build_world
+
+PARAMS = CostParameters(memory_pages=8)
+QUERY = {"a1": (100, 900)}
+
+
+@dataclass(frozen=True)
+class _ProbeEvent(TelemetryEvent):
+    label: str
+
+    def describe(self) -> str:
+        return f"probe {self.label}"
+
+
+# ----------------------------------------------------------------------
+# the shared base
+# ----------------------------------------------------------------------
+class TestTelemetryEvent:
+    def test_all_families_extend_the_base(self):
+        assert issubclass(DegradationEvent, TelemetryEvent)
+        assert issubclass(ExecutorFallbackEvent, TelemetryEvent)
+        assert issubclass(ShardDegradationEvent, TelemetryEvent)
+
+    def test_events_are_frozen(self):
+        event = _ProbeEvent(label="x")
+        with pytest.raises(FrozenInstanceError):
+            event.label = "y"  # type: ignore[misc]
+
+    def test_base_describe_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            TelemetryEvent().describe()
+
+    def test_shard_event_describe_variants(self):
+        failover = ShardDegradationEvent(
+            shard=1,
+            copy=0,
+            action="failover",
+            error_type="TransientIOError",
+            error="boom",
+            fallback_copy=1,
+        )
+        assert "copy 0 -> copy 1" in failover.describe()
+        repaired = ShardDegradationEvent(
+            shard=2,
+            copy=1,
+            action="repaired",
+            error_type="QuarantinedPageError",
+            error="page 7",
+            repaired_pages=(7, 9),
+        )
+        assert "pages [7,9]" in repaired.describe()
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+class TestObserverRegistry:
+    def test_emit_reaches_every_observer_in_order(self):
+        registry: ObserverRegistry[_ProbeEvent] = ObserverRegistry()
+        calls = []
+        registry.register(lambda e: calls.append(("a", e.label)))
+        registry.register(lambda e: calls.append(("b", e.label)))
+        registry.emit(_ProbeEvent(label="one"))
+        assert calls == [("a", "one"), ("b", "one")]
+
+    def test_unregister_stops_delivery(self):
+        registry: ObserverRegistry[_ProbeEvent] = ObserverRegistry()
+        calls = []
+        registry.register(calls.append)
+        registry.unregister(calls.append)
+        registry.emit(_ProbeEvent(label="gone"))
+        assert calls == []
+
+    def test_unregister_unknown_observer_is_harmless(self):
+        registry: ObserverRegistry[_ProbeEvent] = ObserverRegistry()
+        registry.unregister(lambda e: None)  # never registered
+        registry.emit(_ProbeEvent(label="still fine"))
+
+    def test_emit_without_observers_is_a_no_op(self):
+        registry: ObserverRegistry[_ProbeEvent] = ObserverRegistry()
+        registry.emit(_ProbeEvent(label="quiet"))
+
+
+# ----------------------------------------------------------------------
+# exactly-once planner emission
+# ----------------------------------------------------------------------
+class TestPlannerEmission:
+    def test_degraded_query_notifies_observer_exactly_once(self):
+        db, design, data = build_world(FaultPlan(), rows=600)
+        target = design.heap.heap.page_ids[0]
+        db.disk.plan = FaultPlan(seed=0, scripted_reads=((target, 0, CORRUPT),))
+        db.arm_faults()
+        seen = []
+        register_degradation_observer(seen.append)
+        try:
+            result = execute_sorted_query(design, QUERY, "a2", PARAMS)
+        finally:
+            unregister_degradation_observer(seen.append)
+            db.disarm_faults()
+        if not result.degraded:
+            pytest.skip("initial plan avoided the scripted page")
+        assert tuple(seen) == result.degradations
+        assert all(isinstance(event, TelemetryEvent) for event in seen)
+
+    def test_clean_query_emits_nothing(self):
+        db, design, data = build_world(rows=400)
+        seen = []
+        register_degradation_observer(seen.append)
+        try:
+            result = execute_sorted_query(design, QUERY, "a2", PARAMS)
+        finally:
+            unregister_degradation_observer(seen.append)
+        assert not result.degraded
+        assert seen == []
+
+    def test_exhausted_plan_still_emits_each_event_once(self):
+        db, design, data = build_world(FaultPlan(), rows=400)
+        db.disk.plan = FaultPlan(seed=0, transient_rate=1.0)
+        db.arm_faults()
+        seen = []
+        register_degradation_observer(seen.append)
+        try:
+            with pytest.raises(PlanExhaustedError) as excinfo:
+                execute_sorted_query(design, QUERY, "a2", PARAMS)
+        finally:
+            unregister_degradation_observer(seen.append)
+            db.disarm_faults()
+        assert tuple(seen) == excinfo.value.degradations
+        assert len(seen) == len(set(id(event) for event in seen))

@@ -40,6 +40,15 @@ Three extensions ride on the same machinery:
   structural degradation trail, bit-identical rows, same fault log.
   A corrupt page must hurt exactly as much whether the engine read it
   on demand or speculatively ahead of the sweep plane.
+* ``--shards K`` switches to the shard sweep
+  (:func:`run_shard_schedule`): the harness query runs against a K-way
+  range-sharded :class:`~repro.shard.ShardedDatabase` while one shard
+  copy is killed, corrupted, or slowed mid-scan.  With replica copies
+  the merged stream must stay bit-identical to the unsharded fault-free
+  oracle across failover and cross-copy repair; without them the run
+  must end in a typed :class:`~repro.shard.ShardFailedError` or an
+  explicitly flagged partial result whose ``failed_ranges`` account for
+  every missing row.
 
 Usage: ``python -m tools.chaos --seeds 11 17 23`` (add ``--backend
 python`` to force a kernel backend; default sweeps whatever is
@@ -63,6 +72,7 @@ from repro.planner import (
     execute_sorted_query,
 )
 from repro.relational import Attribute, Database, IntEncoder, Schema
+from repro.shard import ShardedDatabase, ShardedScanResult, ShardFailedError
 from repro.storage import (
     FaultPlan,
     FaultyDisk,
@@ -76,23 +86,35 @@ __all__ = [
     "ChaosViolation",
     "DEFAULT_PREFETCH_SEEDS",
     "DEFAULT_SEEDS",
+    "DEFAULT_SHARD_SEEDS",
     "DEFAULT_WRITE_SEEDS",
     "QUERY",
+    "build_shard_world",
     "build_world",
     "build_write_world",
     "chaos_plan",
     "run_prefetch_schedule",
     "run_prefetch_suite",
     "run_schedule",
+    "run_shard_schedule",
+    "run_shard_suite",
     "run_suite",
     "run_write_schedule",
     "run_write_suite",
+    "shard_scenario",
     "write_plan",
 ]
 
 #: the CI sweep's pinned seeds (chosen to cover clean, degraded and
 #: failed outcomes on both kernel backends)
 DEFAULT_SEEDS: tuple[int, ...] = (17, 23, 33)
+
+#: the shard sweep's pinned seeds (each lands on a different cell of the
+#: :func:`shard_scenario` grid, so the default sweep covers a clean
+#: sharded run, a latency-only run, failover by kill, cross-copy repair
+#: after corruption, a typed failure and a flagged-partial result on
+#: both kernel backends)
+DEFAULT_SHARD_SEEDS: tuple[int, ...] = (2, 6, 7, 10, 13, 29)
 
 #: the write sweep's pinned seeds (chosen so every schedule tears at
 #: least one page mid-``bulk_load`` on both kernel backends, forcing the
@@ -121,7 +143,7 @@ class ChaosOutcome:
 
     seed: int
     backend: str
-    status: str  #: "clean" | "degraded" | "failed" | "recovered"
+    status: str  #: "clean" | "degraded" | "failed" | "recovered" | "partial"
     rows: int
     faults_injected: int
     retries: int
@@ -800,4 +822,256 @@ def run_write_suite(
     for name in names:
         for seed in seeds:
             outcomes.append(run_write_schedule(seed, backend=name, rows=rows))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# shard sweep: kill/corrupt/slow one shard copy mid-scan
+# ----------------------------------------------------------------------
+SHARD_DIMS: tuple[str, str] = ("a1", "a2")
+
+
+def shard_scenario(seed: int) -> tuple[str, str]:
+    """Deterministic ``(scenario, fault)`` grid cell for one seed.
+
+    ``seed % 3`` picks the replication scenario — ``clean`` (nothing
+    armed), ``failover`` (two copies per shard, one of them faulted) or
+    ``lone`` (a single copy, so the failure ladder must bottom out in a
+    typed error or a flagged partial) — and ``(seed // 3) % 3`` picks
+    the fault: ``kill`` (the copy dies mid-scan), ``corrupt``
+    (persistent checksum damage driving quarantine) or ``slow``
+    (latency injection only; the scan must still finish bit-identical).
+    """
+    scenario = ("clean", "failover", "lone")[seed % 3]
+    fault = ("kill", "corrupt", "slow")[(seed // 3) % 3]
+    return scenario, fault
+
+
+def build_shard_world(
+    seed: int,
+    *,
+    rows: int = 900,
+    shards: int = 4,
+    copies: int = 1,
+    fault: "str | None" = None,
+) -> tuple[ShardedDatabase, "list[tuple]", int]:
+    """A range-sharded world, its dataset, and the faulted shard index.
+
+    The victim shard is ``seed % shards`` — always inside the harness
+    query's ``a1`` range, so the armed fault is provably on the scan
+    path.  ``corrupt``/``slow`` plans are armed on the victim's primary
+    copy only; ``kill`` is scheduled separately through
+    :meth:`~repro.shard.ShardedDatabase.kill_copy`.
+    """
+    victim = seed % shards
+    plans: "dict[tuple[int, int], FaultPlan] | None" = None
+    if fault == "corrupt":
+        plans = {(victim, 0): FaultPlan(seed=seed, corrupt_rate=0.30)}
+    elif fault == "slow":
+        plans = {
+            (victim, 0): FaultPlan(
+                seed=seed, latency_rate=0.5, latency_seconds=0.020
+            )
+        }
+    sdb = ShardedDatabase(
+        _chaos_schema(),
+        SHARD_DIMS,
+        "a1",
+        shards=shards,
+        copies=copies,
+        page_capacity=32,
+        quarantine_threshold=2,
+        fault_plans=plans,
+    )
+    data = _chaos_data(rows, data_seed=0)
+    sdb.load(data)
+    return sdb, data, victim
+
+
+def _shard_oracle(data: "list[tuple]") -> "list[tuple]":
+    """The unsharded fault-free engine's exact keyed stream."""
+    db = Database()
+    table = db.create_ub_table("oracle", _chaos_schema(), SHARD_DIMS, 32)
+    table.bulk_load(data)
+    return list(
+        table.tetris_scan(QUERY["restrictions"], QUERY["sort_attr"])
+    )
+
+
+def _verify_shard_result(
+    result: ShardedScanResult,
+    oracle_pairs: "list[tuple]",
+    survivors: "list[tuple]",
+    scenario: str,
+    fault: str,
+    totals: "dict[str, int]",
+    seed: int,
+) -> None:
+    """Hold a completed sharded scan to the bit-identity contract."""
+    if result.partial:
+        lost = result.failed_ranges
+        expected = [
+            pair
+            for pair in oracle_pairs
+            if not any(lo <= pair[0][0] <= hi for lo, hi in lost)
+        ]
+        if result.rows != expected:
+            raise ChaosViolation(
+                f"seed {seed}: partial result is not the oracle stream minus "
+                "its flagged ranges; the surviving rows are silently wrong"
+            )
+        if not result.degradations:
+            raise ChaosViolation(
+                f"seed {seed}: partial result carries no degradation events; "
+                "a shard was dropped silently"
+            )
+        return
+    if result.rows != oracle_pairs:
+        raise ChaosViolation(
+            f"seed {seed}: completed sharded scan is not bit-identical to "
+            f"the unsharded fault-free oracle ({len(result.rows)} rows vs "
+            f"{len(oracle_pairs)}); this is silent garbage"
+        )
+    if sorted(payload for _, payload in result.rows) != sorted(survivors):
+        raise ChaosViolation(
+            f"seed {seed}: sharded scan and the pure-python oracle disagree "
+            "on the row multiset"
+        )
+    if scenario == "clean" and result.degraded:
+        raise ChaosViolation(
+            f"seed {seed}: fault-free sharded world reported degradations"
+        )
+    if scenario == "failover":
+        if fault in ("kill", "corrupt") and not result.degraded:
+            raise ChaosViolation(
+                f"seed {seed}: armed {fault} fault never forced a "
+                "degradation; the schedule is vacuous"
+            )
+        if fault == "slow" and totals["injected"] < 1:
+            raise ChaosViolation(
+                f"seed {seed}: latency plan never injected; the schedule "
+                "is vacuous"
+            )
+
+
+def run_shard_schedule(
+    seed: int,
+    *,
+    backend: str | None = None,
+    rows: int = 900,
+    shards: int = 4,
+    copies: int = 2,
+) -> ChaosOutcome:
+    """Run the sharded harness scan under one seeded schedule.
+
+    The seed's :func:`shard_scenario` cell decides what happens to the
+    victim shard mid-scan, and the contract is graded accordingly:
+
+    * any run that completes non-partial must be **bit-identical** to
+      the unsharded fault-free oracle — across failover to a replica
+      copy, cross-copy page repair, and latency injection alike;
+    * a ``lone`` run (no replicas) that loses its copy must end in a
+      typed :class:`~repro.shard.ShardFailedError` or — on odd seeds,
+      which opt into ``allow_partial`` — a result whose
+      ``failed_ranges`` exactly account for every missing row;
+    * a wrong row, a silently dropped shard, or an untyped crash is a
+      :class:`ChaosViolation`.
+    """
+    backend_name = backend or kernels.get_backend().name
+    scenario, fault = shard_scenario(seed)
+    effective_copies = copies if scenario == "failover" else 1
+    armed_fault = None if scenario == "clean" else fault
+    allow_partial = scenario == "lone" and bool(seed % 2)
+
+    with kernels.use_backend(backend_name):
+        sdb, data, victim = build_shard_world(
+            seed,
+            rows=rows,
+            shards=shards,
+            copies=effective_copies,
+            fault=armed_fault,
+        )
+        oracle_pairs = _shard_oracle(data)
+        survivors = _oracle_rows(data, QUERY["restrictions"], QUERY["sort_attr"])
+        if sorted(payload for _, payload in oracle_pairs) != sorted(survivors):
+            raise ChaosViolation(
+                "fault-free oracle is broken; shard-chaos results are "
+                "meaningless"
+            )
+
+        sdb.arm_faults()
+        if armed_fault == "kill":
+            sdb.kill_copy(victim, 0, after_rows=12 + seed % 25)
+        try:
+            result = sdb.sorted_scan(
+                QUERY["restrictions"],
+                QUERY["sort_attr"],
+                allow_partial=allow_partial,
+            )
+        except ShardFailedError as exc:
+            totals = sdb.fault_totals()
+            return ChaosOutcome(
+                seed=seed,
+                backend=backend_name,
+                status="failed",
+                rows=0,
+                faults_injected=totals["injected"],
+                retries=totals["retries"],
+                quarantined=totals["quarantined"],
+                degradations=tuple(e.describe() for e in exc.degradations),
+                error=f"shard {exc.shard}: {exc}",
+                repaired=totals["repaired"],
+                lifted=totals["lifted"],
+            )
+        finally:
+            sdb.disarm_faults()
+
+        totals = sdb.fault_totals()
+        _verify_shard_result(
+            result, oracle_pairs, survivors, scenario, fault, totals, seed
+        )
+        if armed_fault == "kill":
+            states = sdb.health()
+            if states[victim][0] != "dead":
+                raise ChaosViolation(
+                    f"seed {seed}: scheduled kill never fired; the schedule "
+                    "is vacuous"
+                )
+        status = (
+            "partial"
+            if result.partial
+            else ("degraded" if result.degraded else "clean")
+        )
+        return ChaosOutcome(
+            seed=seed,
+            backend=backend_name,
+            status=status,
+            rows=len(result.rows),
+            faults_injected=totals["injected"],
+            retries=totals["retries"],
+            quarantined=totals["quarantined"],
+            degradations=tuple(e.describe() for e in result.degradations),
+            repaired=totals["repaired"],
+            lifted=totals["lifted"],
+        )
+
+
+def run_shard_suite(
+    seeds: Iterable[int] = DEFAULT_SHARD_SEEDS,
+    *,
+    backends: "Sequence[str] | None" = None,
+    rows: int = 900,
+    shards: int = 4,
+    copies: int = 2,
+) -> list[ChaosOutcome]:
+    """Sweep the shard schedules across ``backends`` (default: all)."""
+    names = list(backends) if backends else kernels.available_backends()
+    outcomes = []
+    for name in names:
+        for seed in seeds:
+            outcomes.append(
+                run_shard_schedule(
+                    seed, backend=name, rows=rows, shards=shards, copies=copies
+                )
+            )
     return outcomes

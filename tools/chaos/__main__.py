@@ -8,9 +8,12 @@ is a bug in the engine, not in the schedule).
 ``--write`` runs the write sweep (torn writes during WAL-journaled bulk
 loads) instead of the read sweep; ``--prefetch`` runs the prefetch
 identity sweep (a scripted corrupt page must degrade identically
-whether it was demand-fetched or prefetched); ``--replicas k`` gives
-the read sweep's world k-way page replicas so checksum failures repair
-in place; ``--replay SEED`` re-runs a single schedule and prints the
+whether it was demand-fetched or prefetched); ``--shards K`` runs the
+shard failover sweep (kill/corrupt/slow one copy of a K-way
+range-sharded world mid-scan and hold the merged stream to the
+bit-identity-or-typed-error contract); ``--replicas k`` gives the read
+sweep's world k-way page replicas so checksum failures repair in
+place; ``--replay SEED`` re-runs a single schedule and prints the
 replayable fault log and degradation/repair trail as JSON.
 """
 
@@ -27,11 +30,14 @@ from repro import kernels
 from . import (
     DEFAULT_PREFETCH_SEEDS,
     DEFAULT_SEEDS,
+    DEFAULT_SHARD_SEEDS,
     DEFAULT_WRITE_SEEDS,
     ChaosOutcome,
     run_prefetch_schedule,
     run_prefetch_suite,
     run_schedule,
+    run_shard_schedule,
+    run_shard_suite,
     run_suite,
     run_write_schedule,
     run_write_suite,
@@ -95,6 +101,23 @@ def main(argv: "list[str] | None" = None) -> int:
         help="k-way page replicas under the fault layer (read sweep only)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "run the shard sweep: kill/corrupt/slow one shard copy of a "
+            "K-way range-sharded world mid-scan"
+        ),
+    )
+    parser.add_argument(
+        "--copies",
+        type=int,
+        default=2,
+        metavar="R",
+        help="replica copies per shard in failover scenarios (shard sweep)",
+    )
+    parser.add_argument(
         "--replay",
         type=int,
         default=None,
@@ -102,12 +125,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="re-run one schedule and print its fault/repair trail as JSON",
     )
     options = parser.parse_args(argv)
-    if options.write and options.prefetch:
-        parser.error("--write and --prefetch are mutually exclusive sweeps")
+    if sum((options.write, options.prefetch, options.shards > 0)) > 1:
+        parser.error("--write, --prefetch and --shards are mutually exclusive")
     if options.write:
         default_seeds, default_rows = list(DEFAULT_WRITE_SEEDS), 600
     elif options.prefetch:
         default_seeds, default_rows = list(DEFAULT_PREFETCH_SEEDS), 1200
+    elif options.shards:
+        default_seeds, default_rows = list(DEFAULT_SHARD_SEEDS), 900
     else:
         default_seeds, default_rows = list(DEFAULT_SEEDS), 1200
     seeds = options.seeds or default_seeds
@@ -120,6 +145,14 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         if options.write:
             outcome = run_write_schedule(options.replay, backend=backend, rows=rows)
+        elif options.shards:
+            outcome = run_shard_schedule(
+                options.replay,
+                backend=backend,
+                rows=rows,
+                shards=options.shards,
+                copies=options.copies,
+            )
         elif options.prefetch:
             demand, armed = run_prefetch_schedule(
                 options.replay, backend=backend, rows=rows
@@ -131,7 +164,13 @@ def main(argv: "list[str] | None" = None) -> int:
             outcome = run_schedule(
                 options.replay, backend=backend, rows=rows, replicas=options.replicas
             )
-        print(_replay_json(outcome, "write" if options.write else "read"))
+        if options.write:
+            mode = "write"
+        elif options.shards:
+            mode = "shard"
+        else:
+            mode = "read"
+        print(_replay_json(outcome, mode))
         return 0
 
     if options.prefetch:
@@ -151,6 +190,14 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if options.write:
         outcomes = run_write_suite(seeds, backends=backends, rows=rows)
+    elif options.shards:
+        outcomes = run_shard_suite(
+            seeds,
+            backends=backends,
+            rows=rows,
+            shards=options.shards,
+            copies=options.copies,
+        )
     else:
         outcomes = run_suite(
             seeds, backends=backends, rows=rows, replicas=options.replicas

@@ -1,7 +1,7 @@
 """The reprolint rule catalogue.
 
 Importing this package registers every rule with the central registry in
-:mod:`.base` — file rules R001–R003 and R005–R009, the cross-file
+:mod:`.base` — file rules R001–R003, R005–R009 and R014, the cross-file
 backend-parity check R004, and the interprocedural project rules
 R010–R013 driven by :mod:`tools.reprolint.engine`.
 
@@ -24,6 +24,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     pagecache,
     parity,
     resilience,
+    sharding,
     wallclock,
 )
 from .base import (

@@ -1,0 +1,119 @@
+"""R014 — shard isolation: cross-shard access goes through the coordinator.
+
+The sharded engine's failure ladder (repair → retry → failover → typed
+loss) is sound only if the coordinator is the *single* authority over
+shard health: code that reaches directly into another shard copy's
+engine — its ``Database``, disk, buffer pool or WAL — can observe
+quarantined state, read around a fault, or mutate pages behind the
+repair protocol's back, silently breaking the bit-identity guarantee.
+
+Outside the ``shard/`` package this rule therefore bans
+
+* deep imports of shard internals (``repro.shard.coordinator`` and
+  friends) — only the package facade ``repro.shard`` is public; and
+* dereferencing a shard copy's engine internals (``.db``, ``.disk``,
+  ``.buffer``, ``.wal``) off shard-shaped expressions (``shard``/
+  ``copy`` names, ``.shards``/``.copies``/``.primary`` chains).
+
+Typing-only imports under ``if TYPE_CHECKING:`` are exempt — they
+vanish at runtime and cannot touch anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+
+from .base import FileContext, FileRule, register
+
+__all__ = ["ShardIsolationRule"]
+
+#: engine internals a shard copy owns exclusively (R014)
+ENGINE_INTERNALS = frozenset({"db", "disk", "buffer", "wal"})
+
+#: names that denote one shard or one shard copy in engine idiom
+_SHARDISH_NAMES = frozenset({"shard", "copy", "shard_copy"})
+_SHARDISH_SUFFIXES = ("_shard", "_copy")
+
+#: attribute chains that address the shard / copy collections
+_SHARDISH_ATTRS = frozenset({"shards", "copies", "primary"})
+
+
+def _is_shardish(node: ast.expr) -> bool:
+    """Whether ``node`` plausibly denotes a shard or shard copy."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        name = node.id
+        return name in _SHARDISH_NAMES or name.endswith(_SHARDISH_SUFFIXES)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SHARDISH_ATTRS
+    return False
+
+
+def _names_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+@register
+class ShardIsolationRule(FileRule):
+    """Flag direct pokes at shard internals outside the shard package."""
+
+    rule = "R014"
+    summary = "cross-shard engine access bypassing the shard coordinator"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        posix = PurePosixPath(ctx.path).as_posix()
+        #: the shard package itself implements the coordinator
+        self._scoped = "shard/" not in posix
+        self._type_checking_depth = 0
+
+    # -- TYPE_CHECKING tracking ----------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        if _names_type_checking(node.test):
+            self._type_checking_depth += 1
+
+    def depart_If(self, node: ast.If) -> None:
+        if _names_type_checking(node.test):
+            self._type_checking_depth -= 1
+
+    # -- deep imports of shard internals -------------------------------
+    def _check_import(self, node: ast.AST, module: str) -> None:
+        if not self._scoped or self._type_checking_depth:
+            return
+        parts = module.split(".")
+        if "shard" in parts and parts.index("shard") < len(parts) - 1:
+            self.emit(
+                node,
+                f"`{module}` imports shard internals; only the package "
+                "facade `repro.shard` is public — cross-shard behavior "
+                "must go through the coordinator, which owns the failure "
+                "ladder and the bit-identity guarantee",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_import(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None:
+            self._check_import(node, node.module)
+
+    # -- dereferencing a copy's engine internals ------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self._scoped:
+            return
+        if node.attr in ENGINE_INTERNALS and _is_shardish(node.value):
+            self.emit(
+                node,
+                f"`.{node.attr}` dereferenced on a shard expression: a "
+                "shard copy's engine (database, disk, buffer pool, WAL) "
+                "is private to the coordinator — reading or mutating it "
+                "directly bypasses quarantine, repair and failover "
+                "accounting",
+            )
