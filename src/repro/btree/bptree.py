@@ -181,12 +181,12 @@ class BPlusTree:
             if invariants.enabled():
                 invariants.validate_leaf(self, leaf, low, high)
             return
-        meta = self._meta_snapshot()
+        meta = self.meta_snapshot()
         try:
             with wal.batch("bptree.insert"):
                 self._insert_journaled(wal, key, value)
         except BaseException:
-            self._meta_restore(meta)
+            self.meta_restore(meta)
             raise
 
     def _insert_journaled(self, wal: WriteAheadLog, key: Any, value: Any) -> None:
@@ -212,7 +212,17 @@ class BPlusTree:
             wal.log_image(right)
             self.disk.write(right, category=self.category)
 
-    def _meta_snapshot(self) -> tuple[int, int, int, int, int, int]:
+    def meta_snapshot(self) -> tuple[int, int, int, int, int, int]:
+        """The tree's in-memory descriptors (root, height, counts).
+
+        The WAL restores *page content* on rollback but knows nothing of
+        the tree object sitting on top, so every journaled mutation
+        snapshots these and restores them if its batch aborts.  Code
+        that holds one WAL batch open across several mutations — the
+        2PC participant layer in :mod:`repro.shard` — must do the same
+        at batch granularity: a later abort (or a post-crash presumed
+        abort) rolls the pages back underneath the live tree object.
+        """
         return (
             self.root_id,
             self.first_leaf_id,
@@ -222,7 +232,8 @@ class BPlusTree:
             self.overflow_pages,
         )
 
-    def _meta_restore(self, meta: tuple[int, int, int, int, int, int]) -> None:
+    def meta_restore(self, meta: tuple[int, int, int, int, int, int]) -> None:
+        """Restore a :meth:`meta_snapshot` after the WAL rolled pages back."""
         (
             self.root_id,
             self.first_leaf_id,
@@ -320,12 +331,12 @@ class BPlusTree:
             if invariants.enabled():
                 invariants.validate_bptree(self)
             return
-        meta = self._meta_snapshot()
+        meta = self.meta_snapshot()
         try:
             with wal.batch("bptree.bulk_load"):
                 self._bulk_build(pairs, fill, wal)
         except BaseException:
-            self._meta_restore(meta)
+            self.meta_restore(meta)
             raise
 
     def _bulk_build(

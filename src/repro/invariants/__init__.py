@@ -49,6 +49,10 @@ Validators
 * :func:`validate_sharded_database` — shard slabs partition the shard
   dimension and every copy of a shard holds the same rows
   (:mod:`repro.invariants.sharding`).
+* :func:`validate_txn_log` — 2PC decision-log structure (prepare →
+  decision → ack, once each, legal verdicts) and the no-unilateral-
+  commit cross-check against every participant WAL
+  (:mod:`repro.invariants.txn`).
 """
 
 from __future__ import annotations
@@ -79,6 +83,7 @@ from .sanitizer import (
 from .sharding import validate_sharded_database
 from .streams import StreamChecker
 from .structural import validate_bptree, validate_leaf, validate_ubtree
+from .txn import validate_txn_log
 
 __all__ = [
     "GLOBAL_LOCK_ORDER",
@@ -108,6 +113,7 @@ __all__ = [
     "validate_replicated_disk",
     "validate_sharded_database",
     "validate_shm_store",
+    "validate_txn_log",
     "validate_ubtree",
     "validate_wal",
 ]

@@ -7,9 +7,12 @@ every batch boundary / repair (under ``REPRO_CHECKS=1``) and pin down:
 
 * the log is a well-formed interleaving: LSNs are dense and increasing,
   every record belongs to a ``begin``-opened transaction, at most one
-  transaction is ever open (batches are serial), closed transactions
-  are closed exactly once, and page-image records only appear between
-  their transaction's ``begin`` and its close;
+  transaction is ever *actively mutating* (batches are serial), closed
+  transactions are closed exactly once, page-image records only appear
+  between their transaction's ``begin`` and its close, and a
+  ``prepare`` moves its transaction into the in-doubt set — whose
+  members may be closed out of serial order, but only once, and must
+  carry the global transaction id the coordinator decided under;
 * the in-memory mirror and the durable log-device pages agree record for
   record (the mirror is what recovery reads; the device is what priced
   the forces);
@@ -44,6 +47,7 @@ def validate_wal(wal: "WriteAheadLog") -> None:
         )
     open_txn: int | None = None
     closed: set[int] = set()
+    prepared: set[int] = set()
     for record in records:
         if record.kind in _OPENERS:
             check(
@@ -52,18 +56,35 @@ def validate_wal(wal: "WriteAheadLog") -> None:
                 "is still open; batches must be serial",
             )
             check(
-                record.txn not in closed,
+                record.txn not in closed and record.txn not in prepared,
                 f"WAL transaction id {record.txn} was reused after closing",
             )
             open_txn = record.txn
-        elif record.kind in _CLOSERS:
+        elif record.kind == "prepare":
             check(
                 open_txn == record.txn,
+                f"WAL prepare for transaction {record.txn} but open "
+                f"transaction is {open_txn}",
+            )
+            check(
+                bool(record.label),
+                f"WAL prepare record (lsn {record.lsn}) carries no global "
+                "transaction id; recovery could never match a decision",
+            )
+            prepared.add(record.txn)
+            open_txn = None
+        elif record.kind in _CLOSERS:
+            check(
+                open_txn == record.txn or record.txn in prepared,
                 f"WAL {record.kind} for transaction {record.txn} but "
-                f"open transaction is {open_txn}",
+                f"open transaction is {open_txn} and {record.txn} is "
+                "not in-doubt",
             )
             closed.add(record.txn)
-            open_txn = None
+            if record.txn in prepared:
+                prepared.discard(record.txn)
+            else:
+                open_txn = None
         elif record.kind in _MEMBERS:
             check(
                 open_txn == record.txn,

@@ -10,7 +10,7 @@ I/O is priced identically.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..btree.iot import TOP, IndexOrganizedTable
 from ..btree.secondary import SecondaryIndex
@@ -46,7 +46,11 @@ class Database:
     repair and quarantine lifting.  ``wal=True`` arms a
     :class:`~repro.storage.wal.WriteAheadLog` on the whole stack, making
     every ``bulk_load`` (and WAL-aware insert) an atomic, replayable
-    batch; :meth:`recover` is the redo-on-open entry point.
+    batch; :meth:`recover` is the redo-on-open entry point.  ``wal_name``
+    names the log for recovery telemetry and crash-schedule enumeration,
+    and ``wal_fault_plan`` puts the *log device itself* under fault
+    injection (armed and disarmed together with the data disk), so torn
+    or transient log forces are part of the chaos surface too.
 
     ``devices=d`` stripes pages across ``d`` independent device queues
     via an :class:`~repro.storage.scheduler.IOScheduler` sitting on top
@@ -65,6 +69,8 @@ class Database:
         retry_policy: RetryPolicy | None = None,
         quarantine_threshold: int = 3,
         wal: bool = False,
+        wal_name: str = "wal",
+        wal_fault_plan: FaultPlan | None = None,
         replicas: int = 0,
         devices: int = 1,
         prefetch_depth: int = 0,
@@ -80,7 +86,18 @@ class Database:
             if devices > 1 or prefetch_depth > 0
             else None
         )
-        self.wal: WriteAheadLog | None = WriteAheadLog(self.disk) if wal else None
+        if wal_fault_plan is not None and not wal:
+            raise ValueError("wal_fault_plan requires wal=True")
+        self.wal: WriteAheadLog | None = (
+            WriteAheadLog(
+                self.disk,
+                name=wal_name,
+                fault_plan=wal_fault_plan,
+                retry_policy=retry_policy,
+            )
+            if wal
+            else None
+        )
         self.buffer = BufferPool(
             self.disk,
             buffer_pages,
@@ -91,21 +108,39 @@ class Database:
         self.tables: dict[str, "BaseTable"] = {}
 
     def arm_faults(self) -> None:
-        """Start injecting faults (requires a ``fault_plan``)."""
-        if not isinstance(self.disk, FaultyDisk):
+        """Start injecting faults (requires a ``fault_plan`` or
+        ``wal_fault_plan``); data disk and log device arm together."""
+        data_faulted = isinstance(self.disk, FaultyDisk)
+        log_faulted = self.wal is not None and isinstance(
+            self.wal.device, FaultyDisk
+        )
+        if not data_faulted and not log_faulted:
             raise RuntimeError("database was created without a fault plan")
-        self.disk.arm()
+        if data_faulted:
+            self.disk.arm()
+        if self.wal is not None:
+            self.wal.arm_log_faults()
 
     def disarm_faults(self) -> None:
         """Stop injecting faults, leaving any damage in place."""
         if isinstance(self.disk, FaultyDisk):
             self.disk.disarm()
+        if self.wal is not None:
+            self.wal.disarm_log_faults()
 
-    def recover(self) -> RecoveryReport:
-        """Run WAL redo-on-open recovery and drop the (suspect) cache."""
+    def recover(
+        self, decide: "Callable[[str], bool] | None" = None
+    ) -> RecoveryReport:
+        """Run WAL redo-on-open recovery and drop the (suspect) cache.
+
+        ``decide`` resolves in-doubt two-phase batches from the
+        coordinator's decision log; without it every in-doubt batch is
+        presumed aborted (see
+        :meth:`~repro.storage.wal.WriteAheadLog.recover`).
+        """
         if self.wal is None:
             raise RuntimeError("database was created without a write-ahead log")
-        report = self.wal.recover()
+        report = self.wal.recover(decide)
         self.buffer.drop_all()
         return report
 
@@ -326,6 +361,21 @@ class UBTable(BaseTable):
 
     def point_of(self, row: Row) -> tuple[int, ...]:
         return self.schema.encode_point(row, self.dims)
+
+    def meta_snapshot(self) -> tuple:
+        """In-memory UB-tree descriptors (root, height, counts).
+
+        The 2PC participant layer snapshots these when it opens a
+        multi-operation WAL batch and restores them if the batch later
+        aborts (in-process or by post-crash presumed abort): the WAL
+        rolls back *page content* only, and would otherwise leave the
+        live tree object pointing at freed pages with stale counts.
+        """
+        return self.ubtree.tree.meta_snapshot()
+
+    def meta_restore(self, meta: tuple) -> None:
+        """Restore a :meth:`meta_snapshot` after a WAL batch rollback."""
+        self.ubtree.tree.meta_restore(meta)
 
     def insert(self, row: Row) -> None:
         self.ubtree.insert(self.point_of(row), row)

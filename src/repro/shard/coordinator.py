@@ -32,12 +32,22 @@ Robustness is a ladder, climbed per shard and logged one
    dropped and its range recorded as failed (``allow_partial=True``) or
    the scan raises a typed :class:`~repro.shard.errors.ShardFailedError`.
    Never silent wrong rows.
+
+With ``wal=True`` every copy is also a **two-phase-commit participant**:
+a :class:`~repro.txn.TransactionCoordinator` attaches via
+:meth:`ShardedDatabase.attach_coordinator` and drives multi-shard writes
+through the participant API (``begin_participant`` …
+``recover_participant``), making bulk loads and insert batches atomic
+across all ``k × r`` independent WALs.  The participant layer owns the
+piece the WAL cannot: it snapshots each table's in-memory tree
+descriptors when a batch opens and restores them on any abort path,
+because WAL rollback restores page content only.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from .. import invariants
 from ..core.query_space import QueryBox, QuerySpace
@@ -55,9 +65,17 @@ from ..storage.errors import (
 )
 from ..storage.faults import FaultPlan, FaultyDisk
 from ..storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from ..storage.wal import RecoveryReport, WALRecord, WriteAheadLog
 from .errors import ShardCopyKilledError, ShardFailedError
 from .events import ShardDegradationEvent, _emit_degradations
 from .merge import KeyedStream, merge_shard_streams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..storage.disk import SimulatedDisk
+    from ..txn import TransactionCoordinator, TxnRecoveryReport
+
+#: participant id: (shard index, copy index)
+Pid = tuple[int, int]
 
 __all__ = [
     "RowSource",
@@ -175,6 +193,7 @@ class ShardedDatabase:
         quarantine_threshold: int = 3,
         wal: bool = False,
         fault_plans: dict[tuple[int, int], FaultPlan] | None = None,
+        wal_fault_plans: dict[tuple[int, int], FaultPlan] | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shard count must be >= 1")
@@ -188,6 +207,13 @@ class ShardedDatabase:
         self.dims = tuple(dims)
         self.shard_attr = shard_attr
         self.shard_dim = self.dims.index(shard_attr)
+        self.params = params
+        self.wal_enabled = wal
+        #: the attached 2PC coordinator, if any (see attach_coordinator)
+        self.txn: "TransactionCoordinator | None" = None
+        #: pid -> table tree-meta snapshot, held while its batch is open
+        #: or in-doubt; restored on abort, discarded on commit
+        self._participant_meta: dict[Pid, tuple] = {}
         self.retry_policy = (
             retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         )
@@ -199,6 +225,9 @@ class ShardedDatabase:
             shards,
         )
         plans = fault_plans or {}
+        wal_plans = wal_fault_plans or {}
+        if wal_plans and not wal:
+            raise ValueError("wal_fault_plans requires wal=True")
         self.shards: list[Shard] = []
         for index, slab in enumerate(slabs):
             shard_copies: list[ShardCopy] = []
@@ -210,6 +239,8 @@ class ShardedDatabase:
                     retry_policy=retry_policy,
                     quarantine_threshold=quarantine_threshold,
                     wal=wal,
+                    wal_name=f"shard{index}.copy{copy_index}.wal",
+                    wal_fault_plan=wal_plans.get((index, copy_index)),
                 )
                 table = db.create_ub_table(
                     f"shard{index}", schema, self.dims, page_capacity
@@ -230,7 +261,12 @@ class ShardedDatabase:
         and its stream filtered on the fly, so peak memory stays at one
         page batch no matter the scale factor.  A sequence works too —
         it is simply iterated ``k × r`` times.
+
+        With a transaction coordinator attached the load runs as one
+        atomic global transaction (all shards commit or none do).
         """
+        if self.txn is not None:
+            return self.txn.atomic_load(source, fill=fill).rows
         factory = self._row_factory(source)
         total = 0
         for shard in self.shards:
@@ -266,14 +302,236 @@ class ShardedDatabase:
             if slab.lo <= encode(row[position]) <= slab.hi:
                 yield row
 
+    def insert_batch(self, rows: Iterable[Row]) -> int:
+        """Insert a batch of rows, routed to their owning shards.
+
+        With a transaction coordinator attached the batch is one atomic
+        global transaction; otherwise each copy applies its slab as one
+        local WAL batch (or plain inserts without a WAL).  Returns the
+        total row count after the batch.
+        """
+        rows = list(rows)
+        if self.txn is not None:
+            return self.txn.atomic_insert(rows).rows
+        for shard in self.shards:
+            for copy in shard.copies:
+                shard_rows = list(self._rows_for_slab(rows, shard.slab))
+                if not shard_rows:
+                    continue
+                wal = copy.db.wal
+                if wal is None:
+                    for row in shard_rows:
+                        copy.table.insert(row)
+                    continue
+                meta = copy.table.meta_snapshot()
+                try:
+                    with wal.batch("shard.insert_batch"):
+                        for row in shard_rows:
+                            copy.table.insert(row)
+                except BaseException:
+                    copy.table.meta_restore(meta)
+                    raise
+        return self.refresh_row_counts()
+
+    # ------------------------------------------------------------------
+    # the 2PC participant layer (driven by repro.txn; R015 bans any
+    # other caller of the mutating participant methods)
+    # ------------------------------------------------------------------
+    def attach_coordinator(self, coordinator: "TransactionCoordinator") -> None:
+        """Bind a transaction coordinator; loads/inserts become atomic.
+
+        Requires a WAL on every copy (the participant protocol journals
+        prepare records there) and refuses a second coordinator.
+        """
+        if self.txn is not None:
+            raise RuntimeError(
+                "a transaction coordinator is already attached"
+            )
+        for shard in self.shards:
+            for copy in shard.copies:
+                if copy.db.wal is None:
+                    raise RuntimeError(
+                        "two-phase commit requires wal=True on every "
+                        f"shard copy (shard {shard.index} copy "
+                        f"{copy.copy_index} has none)"
+                    )
+        self.txn = coordinator
+
+    def participant_ids(self) -> tuple[Pid, ...]:
+        """Every (shard, copy) pair, in shard-major order."""
+        return tuple(
+            (shard.index, copy.copy_index)
+            for shard in self.shards
+            for copy in shard.copies
+        )
+
+    def participant_name(self, pid: Pid) -> str:
+        return f"shard{pid[0]}.copy{pid[1]}"
+
+    def _participant(self, pid: Pid) -> ShardCopy:
+        return self.shards[pid[0]].copies[pid[1]]
+
+    def _participant_wal(self, pid: Pid) -> WriteAheadLog:
+        wal = self._participant(pid).db.wal
+        if wal is None:  # pragma: no cover - guarded by attach_coordinator
+            raise RuntimeError(f"{self.participant_name(pid)} has no WAL")
+        return wal
+
+    def begin_participant(self, pid: Pid, gid: str) -> int:
+        """Open this participant's WAL batch under the global txn id.
+
+        The table's in-memory tree descriptors are snapshotted first:
+        WAL rollback restores page content only, so any abort path
+        (in-process or post-crash presumed abort) restores these too.
+        """
+        copy = self._participant(pid)
+        self._participant_meta[pid] = copy.table.meta_snapshot()
+        return self._participant_wal(pid).begin(gid)
+
+    def load_participant(
+        self, pid: Pid, source: RowSource, *, fill: float = 1.0
+    ) -> int:
+        """Bulk-load this copy's slab of ``source`` inside its batch."""
+        copy = self._participant(pid)
+        shard = self.shards[pid[0]]
+        factory = self._row_factory(source)
+        copy.table.bulk_load(
+            self._rows_for_slab(factory(), shard.slab), fill=fill
+        )
+        return len(copy.table)
+
+    def insert_participant(self, pid: Pid, rows: Iterable[Row]) -> int:
+        """Insert this copy's slab of ``rows`` inside its batch."""
+        copy = self._participant(pid)
+        shard = self.shards[pid[0]]
+        inserted = 0
+        for row in self._rows_for_slab(rows, shard.slab):
+            copy.table.insert(row)
+            inserted += 1
+        return inserted
+
+    def prepare_participant(self, pid: Pid, gid: str) -> int:
+        """Force this participant's prepare record (its commit vote)."""
+        return self._participant_wal(pid).prepare(gid)
+
+    def commit_participant(self, pid: Pid, gid: str) -> None:
+        """Apply the coordinator's commit verdict to the prepared batch."""
+        self._participant_wal(pid).commit_prepared(gid)
+        self._participant_meta.pop(pid, None)
+
+    def abort_participant(self, pid: Pid, gid: str) -> None:
+        """Roll this participant back, whatever state its batch is in.
+
+        Handles a prepared batch (verdict abort), a still-open batch
+        (work-phase failure) and a batch that never began (no-op) — the
+        coordinator's abort path cannot know which it will find.  The
+        tree-meta snapshot is restored unconditionally; page rollback
+        that a crash interrupts here is re-driven by recovery.
+        """
+        wal = self._participant_wal(pid)
+        try:
+            if gid in wal.prepared_gids:
+                wal.abort_prepared(gid)
+            elif wal.in_batch:
+                wal.abort()
+        finally:
+            meta = self._participant_meta.pop(pid, None)
+            if meta is not None:
+                self._participant(pid).table.meta_restore(meta)
+
+    def recover_participant(
+        self, pid: Pid, decide: "Callable[[str], bool] | None" = None
+    ) -> RecoveryReport:
+        """Run this copy's WAL recovery and settle its in-memory state.
+
+        ``decide`` is the coordinator's decision-log lookup; without it
+        (or for any gid it declines) prepared batches presume abort.
+        The held tree-meta snapshot is restored unless the decision log
+        vouches for a commit — a committed participant's in-memory state
+        already reflects the applied work.
+        """
+        copy = self._participant(pid)
+        wal = self._participant_wal(pid)
+        committed = decide is not None and any(
+            decide(gid) for gid in wal.prepared_gids
+        )
+        report = copy.db.recover(decide)
+        meta = self._participant_meta.pop(pid, None)
+        if meta is not None and not committed:
+            copy.table.meta_restore(meta)
+        return report
+
+    def participant_wal_records(self, pid: Pid) -> tuple[WALRecord, ...]:
+        """Read-only view of one participant's log (validators only)."""
+        return tuple(self._participant_wal(pid).records)
+
+    def refresh_row_counts(self) -> int:
+        """Re-derive ``rows_loaded`` from the live tables; returns total.
+
+        Transactional writes change row counts outside :meth:`load`'s
+        bookkeeping; this re-reads every copy, re-checks cross-copy
+        convergence and keeps the coordinator's ledger honest.
+        """
+        total = 0
+        for shard in self.shards:
+            counts = [len(copy.table) for copy in shard.copies]
+            if len(set(counts)) > 1:
+                raise ValueError(
+                    f"shard {shard.index} copies diverged: {counts} rows"
+                )
+            self.rows_loaded[shard.index] = counts[0]
+            total += counts[0]
+        return total
+
+    def recover(self) -> "TxnRecoveryReport | tuple[RecoveryReport, ...]":
+        """Crash recovery across every shard log.
+
+        With a coordinator attached, delegates to its decision-log
+        replay (commit in-doubt batches whose verdict is durable,
+        presume abort otherwise).  Without one, every copy recovers
+        standalone — all in-doubt batches presume abort.
+        """
+        if self.txn is not None:
+            return self.txn.recover()
+        reports = tuple(
+            self.recover_participant(pid) for pid in self.participant_ids()
+        )
+        self.refresh_row_counts()
+        return reports
+
+    # ------------------------------------------------------------------
+    # deterministic crash hooks (the crash-schedule explorer's surface)
+    # ------------------------------------------------------------------
+    def _base_disk(self, pid: Pid) -> "SimulatedDisk":
+        disk = self._participant(pid).db.disk
+        while hasattr(disk, "inner"):
+            disk = disk.inner
+        return disk
+
+    def wal_append_count(self, pid: Pid) -> int:
+        return self._participant_wal(pid).append_count
+
+    def arm_wal_crash(self, pid: Pid, appends: int) -> None:
+        self._participant_wal(pid).crash_after_appends(appends)
+
+    def data_write_count(self, pid: Pid) -> int:
+        return self._base_disk(pid).write_count
+
+    def arm_data_crash(self, pid: Pid, writes: int) -> None:
+        self._base_disk(pid).crash_after_writes(writes)
+
     # ------------------------------------------------------------------
     # fault administration
     # ------------------------------------------------------------------
     def arm_faults(self) -> None:
-        """Arm every copy that was built with a fault plan."""
+        """Arm every copy built with a data-disk or log-device plan."""
         for shard in self.shards:
             for copy in shard.copies:
-                if isinstance(copy.db.disk, FaultyDisk):
+                data_faulted = isinstance(copy.db.disk, FaultyDisk)
+                log_faulted = copy.db.wal is not None and isinstance(
+                    copy.db.wal.device, FaultyDisk
+                )
+                if data_faulted or log_faulted:
                     copy.db.arm_faults()
 
     def disarm_faults(self) -> None:
@@ -302,6 +560,21 @@ class ShardedDatabase:
             )
         return tuple(states)
 
+    def clock_total(self) -> float:
+        """Summed simulated seconds across every copy's devices.
+
+        Data disks plus WAL log devices; external harnesses price whole
+        worlds with this instead of reaching into per-copy engine
+        internals (R014).
+        """
+        total = 0.0
+        for shard in self.shards:
+            for copy in shard.copies:
+                total += copy.db.disk.clock
+                if copy.db.wal is not None:
+                    total += copy.db.wal.device.clock
+        return total
+
     def fault_totals(self) -> dict[str, int]:
         """Aggregate fault counters summed over every copy's disk.
 
@@ -315,6 +588,7 @@ class ShardedDatabase:
             "quarantined": 0,
             "repaired": 0,
             "lifted": 0,
+            "log_injected": 0,
         }
         for shard in self.shards:
             for copy in shard.copies:
@@ -324,6 +598,11 @@ class ShardedDatabase:
                 totals["quarantined"] += faults.quarantined_pages
                 totals["repaired"] += faults.repaired_pages
                 totals["lifted"] += faults.quarantine_lifted
+                wal = copy.db.wal
+                if wal is not None and isinstance(wal.device, FaultyDisk):
+                    totals["log_injected"] += (
+                        wal.device.stats.faults.total_injected
+                    )
         return totals
 
     @property

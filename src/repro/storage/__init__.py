@@ -18,6 +18,7 @@ from .buffer import BufferPool
 from .disk import ICDE99_ANALYSIS, ICDE99_TESTBED, DiskParameters, SimulatedDisk
 from .errors import (
     CorruptPageError,
+    LogDeviceError,
     MissingPageError,
     QuarantinedPageError,
     SimulatedCrashError,
@@ -33,9 +34,19 @@ from .replica import ReplicaCopy, ReplicatedDisk
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy, read_page_resilient
 from .scheduler import IOScheduler, armed_scheduler_count
 from .stats import CategoryStats, FaultStats, IOStats, PrefetchStats
-from .wal import RecoveryReport, WALRecord, WriteAheadLog, active_wal
+from .wal import (
+    AppendOnlyLog,
+    RecoveryEvent,
+    RecoveryReport,
+    WALRecord,
+    WriteAheadLog,
+    active_wal,
+    register_recovery_observer,
+    unregister_recovery_observer,
+)
 
 __all__ = [
+    "AppendOnlyLog",
     "BufferPool",
     "CategoryStats",
     "CorruptPageError",
@@ -49,6 +60,7 @@ __all__ = [
     "ICDE99_TESTBED",
     "IOScheduler",
     "IOStats",
+    "LogDeviceError",
     "LookaheadCursor",
     "MissingPageError",
     "NO_RETRY",
@@ -56,6 +68,7 @@ __all__ = [
     "PageOverflowError",
     "PrefetchStats",
     "QuarantinedPageError",
+    "RecoveryEvent",
     "RecoveryReport",
     "ReplicaCopy",
     "ReplicatedDisk",
@@ -73,4 +86,6 @@ __all__ = [
     "armed_scheduler_count",
     "ensure_page_integrity",
     "read_page_resilient",
+    "register_recovery_observer",
+    "unregister_recovery_observer",
 ]

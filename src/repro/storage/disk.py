@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
-from .errors import MissingPageError
+from .errors import MissingPageError, SimulatedCrashError
 from .page import Page
 from .stats import IOStats
 
@@ -85,6 +85,8 @@ class SimulatedDisk:
         self._read_run = 0
         self._head_after_write = -2
         self._write_run = 0
+        self._writes_total = 0
+        self._write_crash_countdown: int | None = None
 
     # ------------------------------------------------------------------
     # allocation
@@ -142,6 +144,25 @@ class SimulatedDisk:
         return self.stats.copy()
 
     # ------------------------------------------------------------------
+    # the deterministic write-crash hook (crash-schedule exploration)
+    # ------------------------------------------------------------------
+    @property
+    def write_count(self) -> int:
+        """Total write attempts this disk has seen (crash-grid indexing)."""
+        return self._writes_total
+
+    def crash_after_writes(self, writes: int) -> None:
+        """Raise :class:`SimulatedCrashError` on the ``writes``-th next
+        write attempt (that write is *lost* from the accounting's point of
+        view), then disarm — the data-disk analogue of
+        :meth:`~repro.storage.wal.WriteAheadLog.crash_after_appends`, so
+        the crash-schedule explorer can place a crash on every device of
+        a transaction, not just its logs."""
+        if writes < 1:
+            raise ValueError("crash countdown must be >= 1")
+        self._write_crash_countdown = writes
+
+    # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
     def read(
@@ -195,6 +216,15 @@ class SimulatedDisk:
         """Write a page back to disk, priced like a read."""
         if page.page_id not in self._pages:
             raise MissingPageError(f"no page at address {page.page_id}")
+        self._writes_total += 1
+        if self._write_crash_countdown is not None:
+            self._write_crash_countdown -= 1
+            if self._write_crash_countdown <= 0:
+                self._write_crash_countdown = None
+                raise SimulatedCrashError(
+                    f"simulated crash: write #{self._writes_total} "
+                    f"(page {page.page_id}) never reached the platter"
+                )
 
         bucket = self.stats.category(category)
         bucket.pages_written += 1

@@ -30,10 +30,16 @@ hierarchy instead of bare ``KeyError``/``RuntimeError``:
     failures.  Raised without touching the disk.
 
 ``SimulatedCrashError``
-    The write-ahead log's deterministic crash hook fired mid-batch
-    (:meth:`~repro.storage.wal.WriteAheadLog.crash_after_appends`).
-    Used by durability tests to prove that an interrupted load rolls
-    back to the pre-batch state from the log alone.
+    A deterministic crash hook fired mid-batch — the write-ahead log's
+    :meth:`~repro.storage.wal.AppendOnlyLog.crash_after_appends` or the
+    simulated disk's
+    :meth:`~repro.storage.disk.SimulatedDisk.crash_after_writes`.
+    Used by durability tests and the crash-schedule explorer to prove
+    that an interrupted transaction recovers from the logs alone.
+
+``LogDeviceError``
+    A log device refused to durably accept a force after the verified
+    write-verify-rewrite loop exhausted its bounded attempts.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 __all__ = [
     "CorruptPageError",
+    "LogDeviceError",
     "MissingPageError",
     "QuarantinedPageError",
     "SimulatedCrashError",
@@ -83,7 +90,11 @@ class QuarantinedPageError(StorageError):
 
 
 class SimulatedCrashError(StorageError):
-    """The WAL's deterministic crash hook fired (durability testing only)."""
+    """A deterministic crash hook fired (durability testing only)."""
+
+
+class LogDeviceError(StorageError):
+    """A log force could not land intact within its bounded retries."""
 
 
 def ensure_page_integrity(page: "Page", *, context: str = "read") -> None:

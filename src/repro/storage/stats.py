@@ -54,6 +54,8 @@ class FaultStats:
 
     * ``wal_appends`` / ``wal_delay`` — write-ahead-log records forced to
       the log device and the simulated time the engine waited for them;
+    * ``wal_reforced`` — log forces re-issued after the fault layer tore
+      the log page (the verified-force loop detected and repaired it);
     * ``wal_rollbacks`` — aborted WAL batches (explicit or crash-driven);
     * ``wal_redo_pages`` — pages healed by redo during recovery;
     * ``replica_writes`` / ``replica_delay`` — replica copies written by
@@ -74,6 +76,7 @@ class FaultStats:
     quarantined_pages: int = 0
     wal_appends: int = 0
     wal_delay: float = 0.0
+    wal_reforced: int = 0
     wal_rollbacks: int = 0
     wal_redo_pages: int = 0
     replica_writes: int = 0

@@ -19,45 +19,76 @@ classical write-ahead protocol:
   resurrect the page);
 * ``commit`` / ``abort`` close the batch.
 
-:meth:`recover` is redo-on-open: it rolls an interrupted batch back
-from the logged undo records and allocations, then replays the last
-committed after-image of every page whose on-disk content no longer
-matches — healing torn writes (and any other record-level rot) to the
-exact committed state.  Running it twice is a no-op.
+Two-phase participation: ``prepare(gid)`` closes the active batch into
+the *in-doubt* state instead — the before-images are held, a ``prepare``
+record carrying the global transaction id is forced, and the batch waits
+for the coordinator's verdict (``commit_prepared`` / ``abort_prepared``).
+:meth:`recover` resolves in-doubt batches through the ``decide``
+callback (the coordinator's decision log) and **presumes abort** for any
+gid without a durably logged commit decision — safe, because the
+coordinator only acknowledges a commit after its decision record is
+durable.
 
-The log is *simulated-durable*: records survive everything the fault
-layer can do to the data disk, and the deterministic crash hook
-(:meth:`crash_after_appends`) proves that rollback needs nothing beyond
-the log.  ``REPRO_CHECKS=1`` re-validates the log's structural contract
-(:func:`repro.invariants.validate_wal`) after every batch boundary.
+:meth:`recover` is redo-on-open: it rolls interrupted batches back from
+the logged undo records and allocations, resolves in-doubt prepared
+batches, then replays the last committed after-image of every page whose
+on-disk content no longer matches — healing torn writes (and any other
+record-level rot) to the exact committed state.  Running it twice is a
+no-op.  Every pass emits exactly one structured :class:`RecoveryEvent`
+through the unified telemetry registry.
+
+The log is *simulated-durable* even on a faulted log device: passing a
+``fault_plan`` wraps the device in a
+:class:`~repro.storage.faults.FaultyDisk`, and the *verified force*
+(:meth:`AppendOnlyLog._force_tail`) detects torn log appends against the
+intended content and re-forces until the page is intact — modelling a
+real log manager's write-verify-rewrite discipline.  The deterministic
+crash hook (:meth:`crash_after_appends`) proves that rollback needs
+nothing beyond the log.  ``REPRO_CHECKS=1`` re-validates the log's
+structural contract (:func:`repro.invariants.validate_wal`) after every
+batch boundary.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from .. import invariants
-from .disk import SimulatedDisk
-from .errors import SimulatedCrashError
+from ..telemetry import ObserverRegistry, TelemetryEvent
+from .disk import DiskParameters, SimulatedDisk
+from .errors import LogDeviceError, SimulatedCrashError, TransientIOError
+from .faults import CORRUPT, FaultPlan, FaultyDisk
 from .page import Page
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
+    "AppendOnlyLog",
+    "RecoveryEvent",
     "RecoveryReport",
     "WALRecord",
     "WriteAheadLog",
     "active_wal",
+    "register_recovery_observer",
+    "unregister_recovery_observer",
 ]
 
-#: record kinds, in the order a batch emits them
+#: record kinds, in the order a batch emits them.  ``prepare`` replaces
+#: the close for a two-phase participant batch: the transaction is then
+#: *in-doubt* until a later ``commit``/``abort`` resolves it.
 BEGIN = "begin"
 ALLOC = "alloc"
 UNDO = "undo"
 IMAGE = "image"
 FREE = "free"
+PREPARE = "prepare"
 COMMIT = "commit"
 ABORT = "abort"
+
+#: bounded attempts of the verified log force; the fault plan re-draws
+#: per write attempt, so repeated tears of one page decay geometrically
+_MAX_FORCE_ATTEMPTS = 8
 
 
 def active_wal(disk: SimulatedDisk) -> "WriteAheadLog | None":
@@ -114,7 +145,9 @@ def _restore_payload(page: Page, snap: tuple) -> None:
 class WALRecord:
     """One journal entry.  ``records``/``payload``/``checksum`` are only
     populated for page-image kinds (``undo`` carries the before-image
-    and the pre-batch checksum, ``image`` the after-image)."""
+    and the pre-batch checksum, ``image`` the after-image); ``label``
+    carries the batch label on ``begin`` and the global transaction id
+    on ``prepare``."""
 
     lsn: int
     txn: int
@@ -136,14 +169,62 @@ class RecoveryReport:
     freed_pages: int
     log_records: int
     log_pages: int
+    resolved_commits: int = 0
+    resolved_aborts: int = 0
+    wal_name: str = "wal"
 
     def describe(self) -> str:
+        resolved = ""
+        if self.resolved_commits or self.resolved_aborts:
+            resolved = (
+                f", in-doubt resolved {self.resolved_commits} commit / "
+                f"{self.resolved_aborts} presumed-abort"
+            )
         return (
-            f"recovery: {self.healed_pages}/{self.examined_pages} pages healed "
-            f"by redo, {self.rolled_back_batches} batch(es) rolled back, "
-            f"{self.freed_pages} page(s) freed, log={self.log_records} records "
-            f"on {self.log_pages} pages"
+            f"{self.wal_name} recovery: {self.healed_pages}/"
+            f"{self.examined_pages} pages healed by redo, "
+            f"{self.rolled_back_batches} batch(es) rolled back, "
+            f"{self.freed_pages} page(s) freed{resolved}, "
+            f"log={self.log_records} records on {self.log_pages} pages"
         )
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(TelemetryEvent):
+    """One completed recovery pass, emitted exactly once per pass.
+
+    Recovery used to return its report and bypass the observer
+    registry the rest of the engine standardized on; serving-layer
+    metrics and the chaos harness now watch redo/rollback/in-doubt
+    resolution the same way they watch shard degradations.
+    """
+
+    wal_name: str
+    report: RecoveryReport
+
+    def describe(self) -> str:
+        return self.report.describe()
+
+
+_recovery_registry: ObserverRegistry[RecoveryEvent] = ObserverRegistry(
+    "recovery-observers"
+)
+
+
+def register_recovery_observer(
+    observer: Callable[[RecoveryEvent], None],
+) -> None:
+    """Subscribe ``observer`` to every WAL recovery pass."""
+
+    _recovery_registry.register(observer)
+
+
+def unregister_recovery_observer(
+    observer: Callable[[RecoveryEvent], None],
+) -> None:
+    """Remove a previously registered recovery observer."""
+
+    _recovery_registry.unregister(observer)
 
 
 class _Batch:
@@ -160,49 +241,81 @@ class _Batch:
         self.frees: list[int] = []
 
 
-class WriteAheadLog:
-    """Journal of page mutations for one simulated disk.
+class AppendOnlyLog:
+    """Shared machinery of the engine's append-only simulated logs.
 
-    Constructing the log *arms* it: it registers itself as ``disk.wal``,
-    and WAL-aware engine code (:func:`active_wal`) starts journaling its
-    mutations.  ``records_per_page`` sizes the log device's pages — log
-    records are small, so many fit one page and sequential forces are
-    cheap (mostly ``t_tau``).
+    Owns the dedicated log device, the in-memory record mirror, dense
+    LSN assignment, the deterministic crash hook
+    (:meth:`crash_after_appends`) and the *verified force*: every
+    appended record is forced to the device, and a torn log page is
+    detected against the intended content and re-forced (bounded
+    attempts) — so an acknowledged append is durable even on a faulted
+    log device.  :class:`WriteAheadLog` (per-disk page journaling) and
+    the 2PC coordinator's decision log
+    (:class:`repro.txn.log.DecisionLog`) both build on it; each log's
+    ``name`` is its identity in crash-schedule enumeration, telemetry
+    and recovery reports.
     """
 
-    def __init__(self, disk: SimulatedDisk, *, records_per_page: int = 64) -> None:
+    def __init__(
+        self,
+        params: DiskParameters | None = None,
+        *,
+        records_per_page: int = 64,
+        name: str = "log",
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         if records_per_page < 1:
             raise ValueError("records_per_page must be >= 1")
-        if active_wal(disk) is not None:
-            raise RuntimeError("disk already has an armed write-ahead log")
-        self.disk = disk
+        self.name = name
         self.records_per_page = records_per_page
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
+        device: SimulatedDisk = SimulatedDisk(params)
+        if fault_plan is not None:
+            if fault_plan.corrupt_rate > 0 or any(
+                kind == CORRUPT for _, _, kind in fault_plan.scripted_reads
+            ):
+                raise ValueError(
+                    "log devices verify every force at write time, so "
+                    "silent on-platter rot cannot be modelled on them — "
+                    "use transient, torn or latency faults"
+                )
+            device = FaultyDisk(device, fault_plan)
         #: the log's own device: same cost model, separate address space
-        self.device = SimulatedDisk(disk.params)
+        self.device: SimulatedDisk = device
         #: in-memory mirror of the durable log, in LSN order
         self.records: list[WALRecord] = []
         self._log_pages: list[Page] = []
         self._next_lsn = 0
-        self._next_txn = 0
-        self._active: _Batch | None = None
         self._crash_countdown: int | None = None
-        disk.wal = self
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
-    def in_batch(self) -> bool:
-        return self._active is not None
+    def append_count(self) -> int:
+        """Append attempts so far (the crash grid's schedule index space)."""
+        return self._next_lsn
 
     @property
     def log_page_count(self) -> int:
         return len(self._log_pages)
 
-    def detach(self) -> None:
-        """Unregister from the disk; engine code stops journaling."""
-        if getattr(self.disk, "wal", None) is self:
-            self.disk.wal = None
+    # ------------------------------------------------------------------
+    # fault administration (log-device fault plan, if any)
+    # ------------------------------------------------------------------
+    def arm_log_faults(self) -> None:
+        """Start injecting the log device's fault plan, if one exists."""
+        if isinstance(self.device, FaultyDisk):
+            self.device.arm()
+
+    def disarm_log_faults(self) -> None:
+        """Stop log-device injection; forces become pure delegation."""
+        if isinstance(self.device, FaultyDisk):
+            self.device.disarm()
 
     # ------------------------------------------------------------------
     # the deterministic crash hook
@@ -219,7 +332,7 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # the append path (every record is forced to the log device)
     # ------------------------------------------------------------------
-    def _append(
+    def _append_record(
         self,
         kind: str,
         txn: int,
@@ -229,13 +342,14 @@ class WriteAheadLog:
         payload: tuple | None = None,
         checksum: int | None = None,
         label: str | None = None,
-    ) -> WALRecord:
+    ) -> tuple[WALRecord, float]:
+        """Append one record and force it; returns (record, force time)."""
         if self._crash_countdown is not None:
             self._crash_countdown -= 1
             if self._crash_countdown <= 0:
                 self._crash_countdown = None
                 raise SimulatedCrashError(
-                    f"simulated crash: WAL append #{self._next_lsn} "
+                    f"simulated crash: {self.name} append #{self._next_lsn} "
                     f"({kind} for txn {txn}) never reached the log"
                 )
         record = WALRecord(
@@ -253,17 +367,146 @@ class WriteAheadLog:
             self._log_pages.append(self.device.allocate(self.records_per_page))
         tail = self._log_pages[-1]
         tail.add(record)
-        # force the log page; the engine waits for it, so the device time
-        # is mirrored onto the data disk's clock
         before = self.device.stats.time
-        self.device.write(tail, sequential=True, category="wal")
+        self._force_tail(tail)
         delta = self.device.stats.time - before
+        # the mirror is the log itself, not page content: no version field
+        self.records.append(record)  # reprolint: allow(R003)
+        return record, delta
+
+    def _force_tail(self, tail: Page) -> None:
+        """Force the tail log page, verifying the content that landed.
+
+        A torn log force truncates the page in place; the verified force
+        detects the divergence from the intended record list, restores
+        the same record objects (mirror identity is preserved) and
+        forces again — write-verify-rewrite, the reason an acknowledged
+        append survives a faulted log device.
+        """
+        intended = list(tail.records)
+        for _ in range(_MAX_FORCE_ATTEMPTS):
+            self.device.write(tail, sequential=True, category="wal")
+            if tail.records == intended:
+                return
+            tail.records = list(intended)
+            tail.version += 1
+            tail.stored_checksum = None
+            self.device.stats.faults.wal_reforced += 1
+        raise LogDeviceError(
+            f"{self.name} log page {tail.page_id} failed to force intact "
+            f"after {_MAX_FORCE_ATTEMPTS} attempts"
+        )
+
+    def _scan_device(self) -> None:
+        """One sequential, priced scan of the log device (recovery read).
+
+        Transient read faults on a faulted log device are retried on the
+        policy's backoff schedule, charged to the device clock.
+        """
+        for log_page in self._log_pages:
+            delays = self.retry_policy.delays()
+            while True:
+                try:
+                    self.device.read(
+                        log_page.page_id, sequential=True, category="wal"
+                    )
+                except TransientIOError:
+                    delay = next(delays, None)
+                    if delay is None:
+                        raise
+                    faults = self.device.stats.faults
+                    faults.retries += 1
+                    faults.retry_delay += delay
+                    self.device.advance_clock(delay)
+                    continue
+                break
+
+
+class WriteAheadLog(AppendOnlyLog):
+    """Journal of page mutations for one simulated disk.
+
+    Constructing the log *arms* it: it registers itself as ``disk.wal``,
+    and WAL-aware engine code (:func:`active_wal`) starts journaling its
+    mutations.  ``records_per_page`` sizes the log device's pages — log
+    records are small, so many fit one page and sequential forces are
+    cheap (mostly ``t_tau``).  ``name`` is the log's identity in
+    recovery telemetry and crash-schedule enumeration; ``fault_plan``
+    puts the *log device itself* under fault injection (armed together
+    with the data disk by :meth:`repro.relational.table.Database
+    .arm_faults`).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        *,
+        records_per_page: int = 64,
+        name: str = "wal",
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        if active_wal(disk) is not None:
+            raise RuntimeError("disk already has an armed write-ahead log")
+        super().__init__(
+            disk.params,
+            records_per_page=records_per_page,
+            name=name,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+        )
+        self.disk = disk
+        self._next_txn = 0
+        self._active: _Batch | None = None
+        #: gid -> in-doubt batch, held between ``prepare`` and the verdict
+        self._prepared: dict[str, _Batch] = {}
+        disk.wal = self
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_batch(self) -> bool:
+        return self._active is not None
+
+    @property
+    def prepared_gids(self) -> tuple[str, ...]:
+        """Global transaction ids of batches currently held in-doubt."""
+        return tuple(self._prepared)
+
+    def detach(self) -> None:
+        """Unregister from the disk; engine code stops journaling."""
+        if getattr(self.disk, "wal", None) is self:
+            self.disk.wal = None
+
+    # ------------------------------------------------------------------
+    # the append path (force time is mirrored onto the data disk clock)
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        kind: str,
+        txn: int,
+        *,
+        page_id: int | None = None,
+        records: tuple | None = None,
+        payload: tuple | None = None,
+        checksum: int | None = None,
+        label: str | None = None,
+    ) -> WALRecord:
+        record, delta = self._append_record(
+            kind,
+            txn,
+            page_id=page_id,
+            records=records,
+            payload=payload,
+            checksum=checksum,
+            label=label,
+        )
+        # the engine waits for the force, so the device time is mirrored
+        # onto the data disk's clock
         self.disk.advance_clock(delta)
         faults = self.disk.stats.faults
         faults.wal_appends += 1
         faults.wal_delay += delta
-        # the mirror is the log itself, not page content: no version field
-        self.records.append(record)  # reprolint: allow(R003)
         return record
 
     # ------------------------------------------------------------------
@@ -274,6 +517,12 @@ class WriteAheadLog:
         if self._active is not None:
             raise RuntimeError(
                 f"a WAL batch is already active ({self._active.label!r})"
+            )
+        if self._prepared:
+            gids = ", ".join(sorted(self._prepared))
+            raise RuntimeError(
+                f"in-doubt prepared batch(es) [{gids}] must be decided "
+                "before a new batch begins (prepared state holds its locks)"
             )
         txn_id = self._next_txn
         self._append(BEGIN, txn_id, label=label)
@@ -294,17 +543,51 @@ class WriteAheadLog:
         """Roll the batch back: restore before-images, free allocations."""
         batch = self._require_batch()
         self._active = None
-        allocated = set(batch.allocated)
-        for page_id, (records, payload, checksum) in batch.touched.items():
-            if page_id in allocated or not self.disk.page_exists(page_id):
-                continue
-            page = self.disk.peek(page_id)
-            page.records = list(records)
-            page.version += 1
-            _restore_payload(page, payload)
-            page.stored_checksum = checksum
-        for page_id in batch.allocated:
+        self._rollback_batch(batch)
+        self._append(ABORT, batch.txn_id)
+        self.disk.stats.faults.wal_rollbacks += 1
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # two-phase participation (the coordinator lives in repro.txn)
+    # ------------------------------------------------------------------
+    def prepare(self, gid: str) -> int:
+        """Close the active batch into the *in-doubt* prepared state.
+
+        The batch's before-images are held and its pages stay locked
+        (a new ``begin`` is refused) until the coordinator's verdict
+        arrives via :meth:`commit_prepared` / :meth:`abort_prepared`, or
+        :meth:`recover` resolves it from the decision log.  The forced
+        ``prepare`` record carries ``gid`` so a post-crash recovery can
+        match the in-doubt batch to the coordinator's decision.
+        """
+        batch = self._require_batch()
+        if gid in self._prepared:
+            raise RuntimeError(f"a prepared batch already holds gid {gid!r}")
+        self._append(PREPARE, batch.txn_id, label=gid)
+        self._active = None
+        self._prepared[gid] = batch
+        self._validate()
+        return batch.txn_id
+
+    def commit_prepared(self, gid: str) -> None:
+        """Apply the coordinator's commit verdict to a prepared batch."""
+        batch = self._prepared.get(gid)
+        if batch is None:
+            raise RuntimeError(f"no prepared batch for gid {gid!r}")
+        self._append(COMMIT, batch.txn_id)
+        del self._prepared[gid]
+        for page_id in batch.frees:
             self.disk.free(page_id)
+        self._validate()
+
+    def abort_prepared(self, gid: str) -> None:
+        """Apply the coordinator's abort verdict: roll the batch back."""
+        batch = self._prepared.get(gid)
+        if batch is None:
+            raise RuntimeError(f"no prepared batch for gid {gid!r}")
+        del self._prepared[gid]
+        self._rollback_batch(batch)
         self._append(ABORT, batch.txn_id)
         self.disk.stats.faults.wal_rollbacks += 1
         self._validate()
@@ -333,6 +616,20 @@ class WriteAheadLog:
         if self._active is None:
             raise RuntimeError("no active WAL batch")
         return self._active
+
+    def _rollback_batch(self, batch: _Batch) -> None:
+        """Restore a batch's before-images and free its allocations."""
+        allocated = set(batch.allocated)
+        for page_id, (records, payload, checksum) in batch.touched.items():
+            if page_id in allocated or not self.disk.page_exists(page_id):
+                continue
+            page = self.disk.peek(page_id)
+            page.records = list(records)
+            page.version += 1
+            _restore_payload(page, payload)
+            page.stored_checksum = checksum
+        for page_id in batch.allocated:
+            self.disk.free(page_id)
 
     # ------------------------------------------------------------------
     # journaling primitives (engine code calls these inside a batch)
@@ -401,14 +698,27 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # recovery
     # ------------------------------------------------------------------
-    def recover(self) -> RecoveryReport:
-        """Redo-on-open: roll back open batches, replay committed images.
+    def recover(
+        self, decide: Callable[[str], bool] | None = None
+    ) -> RecoveryReport:
+        """Redo-on-open: roll back open batches, resolve in-doubt
+        prepared batches, replay committed images.
+
+        ``decide`` maps a prepared batch's global transaction id to the
+        coordinator's logged verdict (``True`` = commit).  Without a
+        decision function — or for any gid it does not vouch for — the
+        participant *presumes abort*: safe, because the coordinator only
+        acknowledges a commit after its decision record is durable, so a
+        missing decision means no participant committed.
 
         Safe to call any number of times; a second pass finds every page
-        matching its committed image and heals nothing.
+        matching its committed image and heals nothing.  Emits exactly
+        one :class:`RecoveryEvent` per pass.
         """
         rolled_back = 0
         freed = 0
+        resolved_commits = 0
+        resolved_aborts = 0
         if self._active is not None:
             # an open in-process batch is an interrupted one
             freed += len(self._active.allocated)
@@ -416,43 +726,47 @@ class WriteAheadLog:
             rolled_back += 1
         # one sequential scan of the log device, mirrored onto the clock
         before = self.device.stats.time
-        for log_page in self._log_pages:
-            self.device.read(log_page.page_id, sequential=True, category="wal")
+        self._scan_device()
         self.disk.advance_clock(self.device.stats.time - before)
 
         committed = {r.txn for r in self.records if r.kind == COMMIT}
         closed = committed | {r.txn for r in self.records if r.kind == ABORT}
+        prepared: dict[int, str] = {
+            r.txn: r.label or ""
+            for r in self.records
+            if r.kind == PREPARE and r.txn not in closed
+        }
         open_txns = [
-            r.txn for r in self.records if r.kind == BEGIN and r.txn not in closed
+            r.txn
+            for r in self.records
+            if r.kind == BEGIN and r.txn not in closed and r.txn not in prepared
         ]
         # roll back batches the in-process abort never saw (a log replayed
         # "from disk": the crash hook can lose the begin's batch object)
         for txn in open_txns:
             rolled_back += 1
-            undo = [r for r in self.records if r.txn == txn and r.kind == UNDO]
-            allocated = {
-                r.page_id for r in self.records if r.txn == txn and r.kind == ALLOC
-            }
-            for record in reversed(undo):
-                page_id = record.page_id
-                if (
-                    page_id is None
-                    or page_id in allocated
-                    or not self.disk.page_exists(page_id)
-                ):
-                    continue
-                page = self.disk.peek(page_id)
-                page.records = list(record.records or ())
-                page.version += 1
-                if record.payload is not None:
-                    _restore_payload(page, record.payload)
-                page.stored_checksum = record.checksum
-            for page_id in sorted(allocated):
-                if page_id is not None and self.disk.page_exists(page_id):
-                    self.disk.free(page_id)
-                    freed += 1
-            self._append(ABORT, txn)
-            self.disk.stats.faults.wal_rollbacks += 1
+            freed += self._rollback_from_log(txn)
+
+        # resolve in-doubt prepared batches against the decision log:
+        # commit when the coordinator durably decided commit, otherwise
+        # presume abort
+        for txn, gid in prepared.items():
+            if decide is not None and decide(gid):
+                frees = [
+                    r.page_id
+                    for r in self.records
+                    if r.txn == txn and r.kind == FREE
+                ]
+                self._append(COMMIT, txn)
+                for page_id in frees:
+                    if page_id is not None and self.disk.page_exists(page_id):
+                        self.disk.free(page_id)
+                committed.add(txn)
+                resolved_commits += 1
+            else:
+                freed += self._rollback_from_log(txn)
+                resolved_aborts += 1
+            self._prepared.pop(gid, None)
 
         # last committed after-image per page, in LSN order
         last_image: dict[int, WALRecord] = {}
@@ -485,14 +799,53 @@ class WriteAheadLog:
             healed += 1
             self.disk.stats.faults.wal_redo_pages += 1
         self._validate()
-        return RecoveryReport(
+        report = RecoveryReport(
             examined_pages=examined,
             healed_pages=healed,
             rolled_back_batches=rolled_back,
             freed_pages=freed,
             log_records=len(self.records),
             log_pages=len(self._log_pages),
+            resolved_commits=resolved_commits,
+            resolved_aborts=resolved_aborts,
+            wal_name=self.name,
         )
+        _recovery_registry.emit(RecoveryEvent(wal_name=self.name, report=report))
+        return report
+
+    def _rollback_from_log(self, txn: int) -> int:
+        """Roll ``txn`` back from its logged undo/alloc records.
+
+        Returns the number of pages freed.  Idempotent: restoring the
+        same before-images twice and freeing already-freed allocations
+        are both no-ops.
+        """
+        freed = 0
+        undo = [r for r in self.records if r.txn == txn and r.kind == UNDO]
+        allocated = {
+            r.page_id for r in self.records if r.txn == txn and r.kind == ALLOC
+        }
+        for record in reversed(undo):
+            page_id = record.page_id
+            if (
+                page_id is None
+                or page_id in allocated
+                or not self.disk.page_exists(page_id)
+            ):
+                continue
+            page = self.disk.peek(page_id)
+            page.records = list(record.records or ())
+            page.version += 1
+            if record.payload is not None:
+                _restore_payload(page, record.payload)
+            page.stored_checksum = record.checksum
+        for page_id in sorted(p for p in allocated if p is not None):
+            if self.disk.page_exists(page_id):
+                self.disk.free(page_id)
+                freed += 1
+        self._append(ABORT, txn)
+        self.disk.stats.faults.wal_rollbacks += 1
+        return freed
 
     def _validate(self) -> None:
         if invariants.enabled():
@@ -500,4 +853,4 @@ class WriteAheadLog:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"in batch {self._active.label!r}" if self._active else "idle"
-        return f"<WriteAheadLog {len(self.records)} records, {state}>"
+        return f"<WriteAheadLog {self.name!r} {len(self.records)} records, {state}>"

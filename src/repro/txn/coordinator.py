@@ -1,0 +1,343 @@
+"""Two-phase commit over the per-shard write-ahead logs.
+
+A :class:`TransactionCoordinator` attaches to a
+:class:`~repro.shard.ShardedDatabase` whose every copy runs a WAL, and
+makes multi-shard writes (bulk loads, insert batches) atomic across
+those ``k × r`` independent logs:
+
+1. **work** — every participant opens a WAL batch under the global
+   transaction id (gid) and applies its slab of the write;
+2. **prepare** — every participant forces a ``prepare`` record and
+   moves its batch into the in-doubt state (before-images held, new
+   batches refused);
+3. **decide** — the coordinator forces ``prepare`` then ``decision``
+   records onto its own :class:`~repro.txn.log.DecisionLog`.  The
+   commit-decision force is *the* commit point of the protocol;
+4. **apply** — every participant commits (or rolls back) its prepared
+   batch; the coordinator forces an ``ack`` once all have applied.
+
+Any failure before the commit point aborts everywhere — and a crash
+before it needs no decision record at all, because participants
+**presume abort** for a prepared gid the decision log does not vouch
+for.  Any crash after the commit point is driven forward by
+:meth:`TransactionCoordinator.recover`, which replays the decision log
+and re-commits every in-doubt participant.  The deterministic crash
+hooks on every device (coordinator log, shard WALs, shard data disks)
+let the crash-schedule explorer (``tools.crashgrid``) prove both halves
+at every single append index.
+
+In-memory state follows the same discipline the engine's journaled
+mutations use: the participant layer snapshots each table's tree
+descriptors when its batch opens and restores them on any abort path,
+since the WAL rolls back page content only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from .. import invariants
+from ..storage.disk import DiskParameters
+from ..storage.errors import SimulatedCrashError, StorageError
+from ..storage.faults import FaultPlan
+from ..storage.retry import RetryPolicy
+from ..storage.wal import RecoveryReport
+from .errors import CoordinatorStateError, TxnAbortedError
+from .events import TxnEvent, _emit
+from .log import DecisionLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..shard import RowSource, ShardedDatabase
+    from ..relational.table import Row
+
+__all__ = [
+    "TransactionCoordinator",
+    "TxnRecoveryReport",
+    "TxnResult",
+]
+
+#: participant id: (shard index, copy index)
+Pid = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TxnResult:
+    """Outcome of one committed global transaction."""
+
+    gid: str
+    verdict: str
+    rows: int  #: total rows in the sharded database after the verdict
+    participants: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TxnRecoveryReport:
+    """What one coordinator-driven recovery pass did, across all logs."""
+
+    participant_reports: tuple[RecoveryReport, ...]
+    resolved_commits: int
+    resolved_aborts: int
+    reacked: tuple[str, ...]
+    total_rows: int
+
+    def describe(self) -> str:
+        return (
+            f"txn recovery: {len(self.participant_reports)} participant "
+            f"log(s) replayed, in-doubt resolved {self.resolved_commits} "
+            f"commit / {self.resolved_aborts} presumed-abort, "
+            f"{len(self.reacked)} decision(s) re-acked, "
+            f"{self.total_rows} rows"
+        )
+
+
+class TransactionCoordinator:
+    """2PC coordinator for one :class:`~repro.shard.ShardedDatabase`."""
+
+    def __init__(
+        self,
+        sdb: "ShardedDatabase",
+        *,
+        params: DiskParameters | None = None,
+        records_per_page: int = 64,
+        log_fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        log_name: str = "txn-log",
+    ) -> None:
+        self.sdb = sdb
+        self.log = DecisionLog(
+            params if params is not None else sdb.params,
+            records_per_page=records_per_page,
+            name=log_name,
+            fault_plan=log_fault_plan,
+            retry_policy=retry_policy,
+        )
+        self._seq = 0
+        #: gid of the transaction currently in flight (or crashed);
+        #: cleared by commit, completed abort, or :meth:`recover`
+        self._active_gid: str | None = None
+        sdb.attach_coordinator(self)
+
+    # ------------------------------------------------------------------
+    # the public write API
+    # ------------------------------------------------------------------
+    def atomic_load(self, source: "RowSource", *, fill: float = 1.0) -> TxnResult:
+        """Bulk-load every shard copy as one global transaction."""
+        return self._two_phase(
+            "load",
+            lambda pid: self.sdb.load_participant(pid, source, fill=fill),
+        )
+
+    def atomic_insert(self, rows: "list[Row]") -> TxnResult:
+        """Insert a batch of rows, all shards or none."""
+        rows = list(rows)
+        return self._two_phase(
+            "insert",
+            lambda pid: self.sdb.insert_participant(pid, rows),
+        )
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+    def _two_phase(
+        self, label: str, work: "Callable[[Pid], int]"
+    ) -> TxnResult:
+        if self._active_gid is not None:
+            raise CoordinatorStateError(
+                f"transaction {self._active_gid!r} is still in flight; "
+                "commit/abort it or run recover() first"
+            )
+        gid = f"{label}#{self._seq}"
+        self._seq += 1
+        self._active_gid = gid
+        pids = self.sdb.participant_ids()
+        names = tuple(self.sdb.participant_name(pid) for pid in pids)
+        _emit(
+            TxnEvent(
+                gid=gid, phase="begin", detail=f"{len(pids)} participant(s)"
+            )
+        )
+        begun: list[Pid] = []
+        try:
+            # phase 1a: work, one open WAL batch per participant
+            for pid in pids:
+                self.sdb.begin_participant(pid, gid)
+                begun.append(pid)
+                work(pid)
+            # phase 1b: every participant votes by forcing its prepare
+            for pid, name in zip(pids, names):
+                self.sdb.prepare_participant(pid, gid)
+                _emit(TxnEvent(gid=gid, phase="prepared", participant=name))
+            # the decision: prepare roster, then the commit point itself
+            self.log.log_prepare(gid, names)
+            self.log.log_decision(gid, "commit")
+        except SimulatedCrashError:
+            # the process is dead: no in-process cleanup — recovery owns
+            # the outcome (presumed abort; _active_gid stays set so the
+            # next transaction is refused until recover() runs)
+            raise
+        except StorageError as exc:
+            reason = f"{type(exc).__name__}: {exc}"
+            self._abort(gid, begun, names, reason)
+            raise TxnAbortedError(gid, reason) from exc
+        except Exception as exc:
+            # non-storage failures (bad input, divergent source) abort
+            # the transaction but keep their own type for the caller
+            self._abort(gid, begun, names, f"{type(exc).__name__}: {exc}")
+            raise
+        _emit(TxnEvent(gid=gid, phase="decided", verdict="commit"))
+        # phase 2: the decision is durable — errors from here on must
+        # propagate un-aborted; recovery drives the commit forward
+        for pid, name in zip(pids, names):
+            self.sdb.commit_participant(pid, gid)
+            _emit(TxnEvent(gid=gid, phase="committed", participant=name))
+        self.log.log_ack(gid)
+        _emit(TxnEvent(gid=gid, phase="acked"))
+        rows = self.sdb.refresh_row_counts()
+        self._active_gid = None
+        self._validate()
+        return TxnResult(
+            gid=gid, verdict="commit", rows=rows, participants=names
+        )
+
+    def _abort(
+        self,
+        gid: str,
+        begun: "list[Pid]",
+        names: tuple[str, ...],
+        reason: str,
+    ) -> None:
+        """Roll the transaction back everywhere (crash errors re-raise)."""
+        logged = gid in self.log.prepared_gids()
+        if logged:
+            try:
+                self.log.log_decision(gid, "abort")
+            except SimulatedCrashError:
+                raise
+            except StorageError:
+                # presumed abort covers a decision log that will not
+                # accept the record: no durable commit, so no commit
+                pass
+        _emit(
+            TxnEvent(gid=gid, phase="decided", verdict="abort", detail=reason)
+        )
+        failures: list[str] = []
+        pid_names = dict(zip(self.sdb.participant_ids(), names))
+        for pid in begun:
+            try:
+                self.sdb.abort_participant(pid, gid)
+            except SimulatedCrashError:
+                raise
+            except StorageError as exc:
+                # recovery's presumed abort re-rolls this participant
+                failures.append(f"{pid_names.get(pid, pid)}: {exc}")
+                continue
+            _emit(
+                TxnEvent(
+                    gid=gid,
+                    phase="aborted",
+                    participant=pid_names.get(pid, str(pid)),
+                )
+            )
+        if logged and self.log.decision_for(gid) == "abort" and not failures:
+            try:
+                self.log.log_ack(gid)
+            except SimulatedCrashError:
+                raise
+            except StorageError:
+                pass
+        self.sdb.refresh_row_counts()
+        self._active_gid = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # recovery: replay the decision log, drive every shard to a verdict
+    # ------------------------------------------------------------------
+    def recover(self) -> TxnRecoveryReport:
+        """Resolve every participant log against the decision log.
+
+        Open batches roll back; prepared batches commit exactly when the
+        decision log holds a durable commit verdict for their gid and
+        are presumed aborted otherwise; decided-but-unacked transactions
+        are re-acked once every participant has applied them.  Safe to
+        run any number of times.
+        """
+
+        def decide(gid: str) -> bool:
+            return self.log.decision_for(gid) == "commit"
+
+        reports: list[RecoveryReport] = []
+        for pid in self.sdb.participant_ids():
+            reports.append(self.sdb.recover_participant(pid, decide))
+        reacked: list[str] = []
+        for gid, verdict in self.log.unacked_decisions():
+            _emit(TxnEvent(gid=gid, phase="resolved", verdict=verdict))
+            self.log.log_ack(gid)
+            reacked.append(gid)
+        total = self.sdb.refresh_row_counts()
+        self._active_gid = None
+        self._validate()
+        return TxnRecoveryReport(
+            participant_reports=tuple(reports),
+            resolved_commits=sum(r.resolved_commits for r in reports),
+            resolved_aborts=sum(r.resolved_aborts for r in reports),
+            reacked=tuple(reacked),
+            total_rows=total,
+        )
+
+    # ------------------------------------------------------------------
+    # the crash-schedule explorer's device surface
+    # ------------------------------------------------------------------
+    def devices(self) -> tuple[str, ...]:
+        """Every device a crash can land on, coordinator log first."""
+        names: list[str] = [self.log.name]
+        for pid in self.sdb.participant_ids():
+            base = self.sdb.participant_name(pid)
+            names.append(f"{base}.wal")
+            names.append(f"{base}.disk")
+        return tuple(names)
+
+    def _pid_for(self, device: str) -> "tuple[Pid, str]":
+        base, _, kind = device.rpartition(".")
+        for pid in self.sdb.participant_ids():
+            if self.sdb.participant_name(pid) == base and kind in (
+                "wal",
+                "disk",
+            ):
+                return pid, kind
+        raise KeyError(f"unknown crash device {device!r}")
+
+    def append_count(self, device: str) -> int:
+        """Total appends (or data writes) the named device has seen."""
+        if device == self.log.name:
+            return self.log.append_count
+        pid, kind = self._pid_for(device)
+        if kind == "wal":
+            return self.sdb.wal_append_count(pid)
+        return self.sdb.data_write_count(pid)
+
+    def crash_after(self, device: str, countdown: int) -> None:
+        """Arm a one-shot crash on the named device's ``countdown``-th
+        next append (WALs, decision log) or write (data disks)."""
+        if device == self.log.name:
+            self.log.crash_after_appends(countdown)
+            return
+        pid, kind = self._pid_for(device)
+        if kind == "wal":
+            self.sdb.arm_wal_crash(pid, countdown)
+        else:
+            self.sdb.arm_data_crash(pid, countdown)
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if invariants.enabled():
+            invariants.validate_txn_log(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            f"in flight {self._active_gid!r}" if self._active_gid else "idle"
+        )
+        return (
+            f"<TransactionCoordinator {len(self.sdb.participant_ids())} "
+            f"participant(s), {state}>"
+        )

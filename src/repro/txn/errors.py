@@ -1,0 +1,47 @@
+"""Typed failures of the cross-shard transaction layer.
+
+``TxnError``
+    Root of every coordinator-layer failure; subclasses
+    :class:`~repro.storage.errors.StorageError` so existing degradation
+    paths that catch storage failures keep working.
+
+``TxnAbortedError``
+    The coordinator rolled a global transaction back — every participant
+    restored its before-images and the decision log (if the transaction
+    got that far) records the abort verdict.  Carries the global
+    transaction id and the triggering reason; atomicity held, the write
+    simply did not happen.
+
+``CoordinatorStateError``
+    The two-phase protocol was driven out of order: a second transaction
+    opened while one is in flight, a decision logged for an unknown
+    transaction, contradictory verdicts for one gid, an ack without a
+    decision.  Always a bug in the caller, never a recoverable outcome.
+"""
+
+from __future__ import annotations
+
+from ..storage.errors import StorageError
+
+__all__ = [
+    "CoordinatorStateError",
+    "TxnAbortedError",
+    "TxnError",
+]
+
+
+class TxnError(StorageError):
+    """Root of all transaction-coordinator failures."""
+
+
+class TxnAbortedError(TxnError):
+    """A global transaction was rolled back on every participant."""
+
+    def __init__(self, gid: str, reason: str) -> None:
+        super().__init__(f"transaction {gid} aborted: {reason}")
+        self.gid = gid
+        self.reason = reason
+
+
+class CoordinatorStateError(TxnError):
+    """The two-phase protocol was driven out of order (caller bug)."""

@@ -813,6 +813,83 @@ class TestR014ShardIsolation:
 
 
 # ----------------------------------------------------------------------
+# R015: 2PC participant discipline
+# ----------------------------------------------------------------------
+class TestR015TxnParticipants:
+    def test_direct_commit_participant_flagged(self):
+        found = lint(
+            """
+            def sneak(sdb, pid):
+                sdb.commit_participant(pid, "load#0")
+            """,
+            path="tools/chaos/__init__.py",
+        )
+        assert rules_of(found) == {"R015"}
+
+    def test_every_mutator_flagged(self):
+        found = lint(
+            """
+            def drive(sdb, pid, rows):
+                sdb.begin_participant(pid, "g")
+                sdb.load_participant(pid, rows)
+                sdb.insert_participant(pid, rows)
+                sdb.prepare_participant(pid, "g")
+                sdb.abort_participant(pid, "g")
+                sdb.recover_participant(pid)
+            """,
+            path="src/repro/planner/executor.py",
+        )
+        assert rules_of(found) == {"R015"}
+        assert len(found) == 6
+
+    def test_txn_package_is_exempt(self):
+        found = lint(
+            """
+            def drive(sdb, pid, gid):
+                sdb.prepare_participant(pid, gid)
+                sdb.commit_participant(pid, gid)
+            """,
+            path="src/repro/txn/coordinator.py",
+        )
+        assert found == []
+
+    def test_shard_package_is_exempt(self):
+        found = lint(
+            """
+            def recover(self):
+                return tuple(
+                    self.recover_participant(pid)
+                    for pid in self.participant_ids()
+                )
+            """,
+            path="src/repro/shard/coordinator.py",
+        )
+        assert found == []
+
+    def test_read_only_surface_passes(self):
+        found = lint(
+            """
+            def observe(sdb):
+                for pid in sdb.participant_ids():
+                    print(sdb.participant_name(pid))
+                    print(len(sdb.participant_wal_records(pid)))
+                    print(sdb.wal_append_count(pid))
+            """,
+            path="tools/crashgrid/__init__.py",
+        )
+        assert found == []
+
+    def test_suppression_applies(self):
+        found = lint(
+            'def f(sdb, pid):\n'
+            '    sdb.abort_participant(pid, "g")'
+            "  # reprolint: allow(R015)\n",
+            path="tools/chaos/__init__.py",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 class TestDriver:
     def test_suppression_by_rule(self):
         found = lint("assert True  # reprolint: allow(R005)\n")

@@ -19,10 +19,17 @@ from repro.planner import (
     register_degradation_observer,
     unregister_degradation_observer,
 )
+from repro.relational import Attribute, Database, IntEncoder, Schema
 from repro.shard import ShardDegradationEvent
-from repro.storage import FaultPlan
+from repro.storage import (
+    FaultPlan,
+    RecoveryEvent,
+    register_recovery_observer,
+    unregister_recovery_observer,
+)
 from repro.storage.faults import CORRUPT
 from repro.telemetry import ObserverRegistry, TelemetryEvent
+from repro.txn import TxnEvent
 from tools.chaos import build_world
 
 PARAMS = CostParameters(memory_pages=8)
@@ -45,6 +52,8 @@ class TestTelemetryEvent:
         assert issubclass(DegradationEvent, TelemetryEvent)
         assert issubclass(ExecutorFallbackEvent, TelemetryEvent)
         assert issubclass(ShardDegradationEvent, TelemetryEvent)
+        assert issubclass(RecoveryEvent, TelemetryEvent)
+        assert issubclass(TxnEvent, TelemetryEvent)
 
     def test_events_are_frozen(self):
         event = _ProbeEvent(label="x")
@@ -152,3 +161,62 @@ class TestPlannerEmission:
             db.disarm_faults()
         assert tuple(seen) == excinfo.value.degradations
         assert len(seen) == len(set(id(event) for event in seen))
+
+
+# ----------------------------------------------------------------------
+# recovery emission: one structured event per recovery pass
+# ----------------------------------------------------------------------
+class TestRecoveryEmission:
+    def _loaded_db(self):
+        schema = Schema(
+            [
+                Attribute("k", IntEncoder(0, 1023)),
+                Attribute("v", IntEncoder(0, 1023)),
+            ]
+        )
+        db = Database(wal=True)
+        table = db.create_heap_table("t", schema, 8)
+        table.bulk_load([(i, i % 7) for i in range(50)])
+        return db
+
+    def test_each_recover_pass_emits_exactly_once(self):
+        db = self._loaded_db()
+        seen = []
+        register_recovery_observer(seen.append)
+        try:
+            report = db.recover()
+            db.recover()
+        finally:
+            unregister_recovery_observer(seen.append)
+        assert len(seen) == 2  # one event per pass, idempotent or not
+        assert all(isinstance(event, RecoveryEvent) for event in seen)
+        assert seen[0].report.healed_pages == report.healed_pages
+        assert seen[0].wal_name == report.wal_name
+        assert seen[0].describe()
+
+    def test_coordinator_recovery_emits_one_event_per_shard_log(self):
+        from repro.shard import ShardedDatabase
+        from repro.txn import TransactionCoordinator
+
+        schema = Schema(
+            [
+                Attribute("a1", IntEncoder(0, 1023)),
+                Attribute("a2", IntEncoder(0, 1023)),
+            ]
+        )
+        sdb = ShardedDatabase(
+            schema, ("a1", "a2"), "a1", shards=2, page_capacity=8, wal=True
+        )
+        txn = TransactionCoordinator(sdb)
+        txn.atomic_load([(i % 1024, i * 3 % 1024) for i in range(40)])
+        seen = []
+        register_recovery_observer(seen.append)
+        try:
+            report = txn.recover()
+        finally:
+            unregister_recovery_observer(seen.append)
+        assert len(seen) == len(report.participant_reports) == 2
+        assert sorted(e.wal_name for e in seen) == [
+            "shard0.copy0.wal",
+            "shard1.copy0.wal",
+        ]

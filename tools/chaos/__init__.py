@@ -73,6 +73,7 @@ from repro.planner import (
 )
 from repro.relational import Attribute, Database, IntEncoder, Schema
 from repro.shard import ShardedDatabase, ShardedScanResult, ShardFailedError
+from repro.txn import TransactionCoordinator
 from repro.storage import (
     FaultPlan,
     FaultyDisk,
@@ -87,9 +88,11 @@ __all__ = [
     "DEFAULT_PREFETCH_SEEDS",
     "DEFAULT_SEEDS",
     "DEFAULT_SHARD_SEEDS",
+    "DEFAULT_TXN_SEEDS",
     "DEFAULT_WRITE_SEEDS",
     "QUERY",
     "build_shard_world",
+    "build_txn_world",
     "build_world",
     "build_write_world",
     "chaos_plan",
@@ -99,9 +102,12 @@ __all__ = [
     "run_shard_schedule",
     "run_shard_suite",
     "run_suite",
+    "run_txn_schedule",
+    "run_txn_suite",
     "run_write_schedule",
     "run_write_suite",
     "shard_scenario",
+    "txn_plan",
     "write_plan",
 ]
 
@@ -1074,4 +1080,225 @@ def run_shard_suite(
                     seed, backend=name, rows=rows, shards=shards, copies=copies
                 )
             )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# txn sweep: the 2PC commit path under log-device fire, plus a seeded
+# crash mid-transaction followed by a reboot and decision-log recovery
+# ----------------------------------------------------------------------
+#: the txn sweep's pinned seeds: 6 crashes the decision log's ack force
+#: (verdict durable, recovery re-acks a fully committed transaction),
+#: 23 crashes a shard WAL mid-work (presumed abort rolls everything
+#: back), and 85 crashes a shard WAL's own commit record (recovery
+#: resolves the in-doubt batches forward to commit) — so the default
+#: sweep covers commit-through-fire plus all three recovery verdict
+#: paths on both kernel backends
+DEFAULT_TXN_SEEDS: tuple[int, ...] = (6, 23, 85)
+
+
+def txn_plan(seed: int) -> FaultPlan:
+    """Log-device fault mix for one txn-sweep seed.
+
+    Torn and transient *appends* only — log devices refuse corrupt
+    plans by contract (a checksum lie on the log would be silent
+    history rewriting, not a crash), and the verified force is expected
+    to absorb everything this plan throws.
+    """
+    return FaultPlan(seed=seed, transient_rate=0.05, torn_write_rate=0.20)
+
+
+def build_txn_world(
+    seed: "int | None" = None,
+    *,
+    shards: int = 2,
+    copies: int = 1,
+    page_capacity: int = 16,
+) -> "tuple[ShardedDatabase, TransactionCoordinator]":
+    """A WAL-armed sharded world with a 2PC coordinator attached.
+
+    With a ``seed``, every shard WAL *and* the coordinator's decision
+    log get their own derived fault plan; with ``None`` the world is
+    fault-free (the sweep's oracle).
+    """
+    wal_plans = None
+    log_plan = None
+    if seed is not None:
+        wal_plans = {
+            (s, c): txn_plan(seed + 7 * s + c)
+            for s in range(shards)
+            for c in range(copies)
+        }
+        log_plan = txn_plan(seed + 101)
+    sdb = ShardedDatabase(
+        _chaos_schema(),
+        SHARD_DIMS,
+        "a1",
+        shards=shards,
+        copies=copies,
+        page_capacity=page_capacity,
+        wal=True,
+        wal_fault_plans=wal_plans,
+    )
+    return sdb, TransactionCoordinator(sdb, log_fault_plan=log_plan)
+
+
+def _txn_fingerprint(sdb: ShardedDatabase) -> tuple:
+    """Full-domain sharded scan: the txn sweep's equality oracle."""
+    result = sdb.sorted_scan({"a1": (0, 1023)}, "a2")
+    if result.partial or result.degraded:
+        raise ChaosViolation("txn fingerprint scan degraded unexpectedly")
+    return tuple(result.rows)
+
+
+def _txn_faults(sdb: ShardedDatabase, txn: TransactionCoordinator) -> int:
+    """Faults injected into every log device this world owns."""
+    total = sdb.fault_totals()["log_injected"]
+    if isinstance(txn.log.device, FaultyDisk):
+        total += txn.log.device.stats.faults.total_injected
+    return total
+
+
+def run_txn_schedule(
+    seed: int,
+    *,
+    backend: "str | None" = None,
+    shards: int = 2,
+    copies: int = 1,
+    rows: int = 200,
+    extra_rows: int = 24,
+) -> ChaosOutcome:
+    """One seed's 2PC schedule: commit through fire, then crash+recover.
+
+    Two legs, both against a fault-free oracle world driven through the
+    identical coordinator path:
+
+    1. *commit through fire*: an ``atomic_load`` and an
+       ``atomic_insert`` run with torn/transient append faults armed on
+       every shard WAL and the decision log; the verified force must
+       absorb every fault and the world must land bit-identical to the
+       oracle.
+    2. *crash + reboot + recover*: a fresh faulted world loads, then a
+       deterministic crash (seed-picked log device, seed-picked append
+       countdown) kills the insert mid-protocol.  Injection stops (the
+       reboot), :meth:`~repro.txn.TransactionCoordinator.recover`
+       replays the decision log, and the world must land on the oracle
+       (durable commit verdict) or the pre-insert baseline (presumed
+       abort) — with a second recovery pass changing nothing.
+    """
+    backend_name = backend or kernels.get_backend().name
+    with kernels.use_backend(backend_name):
+        data = _chaos_data(rows, data_seed=0)
+        extras = _chaos_data(extra_rows, data_seed=1)
+
+        oracle_sdb, oracle_txn = build_txn_world(
+            None, shards=shards, copies=copies
+        )
+        oracle_txn.atomic_load(data)
+        base_fp = _txn_fingerprint(oracle_sdb)
+        devices = oracle_txn.devices()
+        before = {d: oracle_txn.append_count(d) for d in devices}
+        oracle_txn.atomic_insert(extras)
+        #: per-device appends the insert transaction makes — identical
+        #: in the faulted world (fault retries re-force, they do not
+        #: re-append), so the seed can aim anywhere in the protocol
+        insert_appends = {
+            d: oracle_txn.append_count(d) - before[d] for d in devices
+        }
+        oracle_fp = _txn_fingerprint(oracle_sdb)
+
+        # leg 1: the whole commit path under seeded log-device fire
+        sdb, txn = build_txn_world(seed, shards=shards, copies=copies)
+        sdb.arm_faults()
+        txn.log.arm_log_faults()
+        try:
+            txn.atomic_load(data)
+            txn.atomic_insert(extras)
+        finally:
+            sdb.disarm_faults()
+            txn.log.disarm_log_faults()
+        if _txn_fingerprint(sdb) != oracle_fp:
+            raise ChaosViolation(
+                f"seed {seed}: committed world diverged from the oracle; "
+                "a log fault leaked past the verified force"
+            )
+        faults = _txn_faults(sdb, txn)
+
+        # leg 2: crash mid-insert, reboot, decision-log recovery
+        sdb2, txn2 = build_txn_world(seed, shards=shards, copies=copies)
+        sdb2.arm_faults()
+        txn2.log.arm_log_faults()
+        crashed = False
+        resolved = 0
+        try:
+            txn2.atomic_load(data)
+            # crash only on *log* devices: their appends happen strictly
+            # inside transactions, so a countdown that never fires here
+            # can never go off later (data-disk crash points are covered
+            # exhaustively by ``tools.crashgrid``)
+            log_devices = [
+                device
+                for device in txn2.devices()
+                if not device.endswith(".disk")
+            ]
+            device = log_devices[seed % len(log_devices)]
+            countdown = 1 + (seed // 3) % insert_appends[device]
+            txn2.crash_after(device, countdown)
+            try:
+                txn2.atomic_insert(extras)
+            except SimulatedCrashError:
+                crashed = True
+        finally:
+            sdb2.disarm_faults()
+            txn2.log.disarm_log_faults()
+        faults += _txn_faults(sdb2, txn2)
+        if crashed:
+            report = txn2.recover()
+            resolved = report.resolved_commits + report.resolved_aborts
+            fp = _txn_fingerprint(sdb2)
+            decided = txn2.log.decision_for("insert#1")
+            expected = oracle_fp if decided == "commit" else base_fp
+            if fp != expected:
+                raise ChaosViolation(
+                    f"seed {seed}: recovery landed on neither verdict "
+                    f"(decision log says {decided!r})"
+                )
+            again = txn2.recover()
+            if (
+                again.resolved_commits
+                or again.resolved_aborts
+                or again.reacked
+                or _txn_fingerprint(sdb2) != fp
+            ):
+                raise ChaosViolation(
+                    f"seed {seed}: txn recovery is not idempotent"
+                )
+        elif _txn_fingerprint(sdb2) != oracle_fp:
+            raise ChaosViolation(
+                f"seed {seed}: uncrashed insert diverged from the oracle"
+            )
+        return ChaosOutcome(
+            seed=seed,
+            backend=backend_name,
+            status="recovered" if crashed else "clean",
+            rows=len(oracle_fp),
+            faults_injected=faults,
+            retries=0,
+            quarantined=0,
+            healed=resolved,
+        )
+
+
+def run_txn_suite(
+    seeds: Iterable[int] = DEFAULT_TXN_SEEDS,
+    *,
+    backends: "Sequence[str] | None" = None,
+    rows: int = 200,
+) -> list[ChaosOutcome]:
+    """Sweep the txn schedules across ``backends`` (default: all)."""
+    names = list(backends) if backends else kernels.available_backends()
+    outcomes = []
+    for name in names:
+        for seed in seeds:
+            outcomes.append(run_txn_schedule(seed, backend=name, rows=rows))
     return outcomes

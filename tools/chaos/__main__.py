@@ -11,7 +11,10 @@ identity sweep (a scripted corrupt page must degrade identically
 whether it was demand-fetched or prefetched); ``--shards K`` runs the
 shard failover sweep (kill/corrupt/slow one copy of a K-way
 range-sharded world mid-scan and hold the merged stream to the
-bit-identity-or-typed-error contract); ``--replicas k`` gives the read
+bit-identity-or-typed-error contract); ``--txn`` runs the 2PC sweep
+(torn/transient append faults on every shard WAL and the coordinator's
+decision log during atomic cross-shard writes, then a seeded crash
+mid-protocol followed by decision-log recovery); ``--replicas k`` gives the read
 sweep's world k-way page replicas so checksum failures repair in
 place; ``--replay SEED`` re-runs a single schedule and prints the
 replayable fault log and degradation/repair trail as JSON.
@@ -31,6 +34,7 @@ from . import (
     DEFAULT_PREFETCH_SEEDS,
     DEFAULT_SEEDS,
     DEFAULT_SHARD_SEEDS,
+    DEFAULT_TXN_SEEDS,
     DEFAULT_WRITE_SEEDS,
     ChaosOutcome,
     run_prefetch_schedule,
@@ -39,6 +43,8 @@ from . import (
     run_shard_schedule,
     run_shard_suite,
     run_suite,
+    run_txn_schedule,
+    run_txn_suite,
     run_write_schedule,
     run_write_suite,
 )
@@ -118,6 +124,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="replica copies per shard in failover scenarios (shard sweep)",
     )
     parser.add_argument(
+        "--txn",
+        action="store_true",
+        help=(
+            "run the 2PC sweep: log-device faults during atomic "
+            "cross-shard writes, plus a seeded crash + recovery"
+        ),
+    )
+    parser.add_argument(
         "--replay",
         type=int,
         default=None,
@@ -125,14 +139,18 @@ def main(argv: "list[str] | None" = None) -> int:
         help="re-run one schedule and print its fault/repair trail as JSON",
     )
     options = parser.parse_args(argv)
-    if sum((options.write, options.prefetch, options.shards > 0)) > 1:
-        parser.error("--write, --prefetch and --shards are mutually exclusive")
+    if sum((options.write, options.prefetch, options.shards > 0, options.txn)) > 1:
+        parser.error(
+            "--write, --prefetch, --shards and --txn are mutually exclusive"
+        )
     if options.write:
         default_seeds, default_rows = list(DEFAULT_WRITE_SEEDS), 600
     elif options.prefetch:
         default_seeds, default_rows = list(DEFAULT_PREFETCH_SEEDS), 1200
     elif options.shards:
         default_seeds, default_rows = list(DEFAULT_SHARD_SEEDS), 900
+    elif options.txn:
+        default_seeds, default_rows = list(DEFAULT_TXN_SEEDS), 200
     else:
         default_seeds, default_rows = list(DEFAULT_SEEDS), 1200
     seeds = options.seeds or default_seeds
@@ -145,6 +163,8 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         if options.write:
             outcome = run_write_schedule(options.replay, backend=backend, rows=rows)
+        elif options.txn:
+            outcome = run_txn_schedule(options.replay, backend=backend, rows=rows)
         elif options.shards:
             outcome = run_shard_schedule(
                 options.replay,
@@ -168,6 +188,8 @@ def main(argv: "list[str] | None" = None) -> int:
             mode = "write"
         elif options.shards:
             mode = "shard"
+        elif options.txn:
+            mode = "txn"
         else:
             mode = "read"
         print(_replay_json(outcome, mode))
@@ -190,6 +212,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if options.write:
         outcomes = run_write_suite(seeds, backends=backends, rows=rows)
+    elif options.txn:
+        outcomes = run_txn_suite(seeds, backends=backends, rows=rows)
     elif options.shards:
         outcomes = run_shard_suite(
             seeds,

@@ -1,0 +1,357 @@
+"""Exhaustive crash-schedule explorer for cross-shard 2PC.
+
+The atomicity claim of :mod:`repro.txn` — a multi-shard write commits
+everywhere or nowhere, no matter when the process dies — is not the kind
+of claim a few hand-picked crash tests settle.  This tool settles it by
+**enumeration**: a reference run counts every append the workload makes
+on every durable device (the coordinator's decision log, each shard
+copy's WAL, each shard copy's data disk), and the grid then re-executes
+the workload once per ``(device, append index)`` pair with a
+deterministic crash armed at exactly that point.  After each crash the
+world recovers (:meth:`~repro.txn.TransactionCoordinator.recover`) and
+must land in one of exactly two states:
+
+* **committed** — the post-recovery sharded scan is bit-identical to the
+  fault-free oracle, and the decision log holds a durable ``commit``
+  verdict for the workload's gid;
+* **aborted** — the scan is bit-identical to the untouched baseline, and
+  the decision log holds *no* commit verdict (presumed abort).
+
+Any other landing — a partial write, a scan matching neither state, an
+outcome contradicting the decision log, a crash point that never fired,
+or a second recovery pass that is not a no-op — raises
+:class:`CrashGridViolation`.  Every append index is visited; there are
+no sampled or skipped schedules, and the grid refuses to report success
+unless the enumeration was complete.
+
+Run ``python -m tools.crashgrid`` for the CLI (writes ``BENCH_txn.json``
+with the explored-schedule count and the 2PC commit-path overhead
+against a raw, coordinator-less sharded load).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro import kernels
+from repro.relational import Attribute, IntEncoder, Schema
+from repro.shard import ShardedDatabase
+from repro.storage.errors import SimulatedCrashError
+from repro.txn import TransactionCoordinator
+
+__all__ = [
+    "CrashGridResult",
+    "CrashGridViolation",
+    "CrashPoint",
+    "WORKLOADS",
+    "run_crash_grid",
+    "run_crash_grids",
+]
+
+#: index dimensions / shard attribute of the grid's fixed world
+DIMS = ("a1", "a2")
+SHARD_ATTR = "a1"
+
+#: the full-domain query whose sorted rows fingerprint the world
+FULL_QUERY = {"a1": (0, 1023)}
+SORT_ATTR = "a2"
+
+#: the two workload shapes the grid explores
+WORKLOADS = ("load", "insert")
+
+
+class CrashGridViolation(AssertionError):
+    """A crash schedule broke the all-or-nothing recovery contract."""
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """What one (device, append-index) crash schedule did."""
+
+    device: str
+    index: int  #: 1-based append index the crash was armed at
+    outcome: str  #: "committed" | "aborted"
+    rows: int  #: row total after recovery
+    decided: str  #: decision-log verdict for the gid ("" = presumed abort)
+
+
+@dataclass(frozen=True)
+class CrashGridResult:
+    """One workload's complete enumeration over every device."""
+
+    workload: str
+    backend: str
+    devices: tuple[str, ...]
+    appends_per_device: tuple[int, ...]
+    points: tuple[CrashPoint, ...] = field(repr=False)
+
+    @property
+    def schedules(self) -> int:
+        return len(self.points)
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for p in self.points if p.outcome == "committed")
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for p in self.points if p.outcome == "aborted")
+
+    def describe(self) -> str:
+        return (
+            f"workload={self.workload:<7s} backend={self.backend:<6s} "
+            f"devices={len(self.devices)} schedules={self.schedules} "
+            f"committed={self.committed} aborted={self.aborted}"
+        )
+
+
+def _grid_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("a1", IntEncoder(0, 1023)),
+            Attribute("a2", IntEncoder(0, 1023)),
+            Attribute("v", IntEncoder(0, 10**9)),
+        ]
+    )
+
+
+def _grid_rows(count: int, seed: int) -> list[tuple]:
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(1024), rng.randrange(1024), i) for i in range(count)
+    ]
+
+
+def _build_world(
+    *, shards: int, copies: int, page_capacity: int
+) -> tuple[ShardedDatabase, TransactionCoordinator]:
+    sdb = ShardedDatabase(
+        _grid_schema(),
+        DIMS,
+        SHARD_ATTR,
+        shards=shards,
+        copies=copies,
+        page_capacity=page_capacity,
+        wal=True,
+    )
+    return sdb, TransactionCoordinator(sdb)
+
+
+def _fingerprint(sdb: ShardedDatabase) -> tuple:
+    """The sharded scan over the full domain: the grid's equality oracle."""
+    result = sdb.sorted_scan(FULL_QUERY, SORT_ATTR)
+    if result.partial or result.degraded:
+        raise CrashGridViolation(
+            "fingerprint scan degraded in a fault-free world"
+        )
+    return tuple(result.rows)
+
+
+def _world_clock(
+    sdb: ShardedDatabase, txn: "TransactionCoordinator | None"
+) -> float:
+    """Summed simulated seconds across every device in the world."""
+    total = sdb.clock_total()
+    if txn is not None:
+        total += txn.log.device.clock
+    return total
+
+
+def _run_workload(
+    txn: TransactionCoordinator,
+    workload: str,
+    rows: list[tuple],
+    extra: list[tuple],
+) -> None:
+    """One global transaction (callers pre-load the insert baseline)."""
+    if workload == "load":
+        txn.atomic_load(rows)
+    elif workload == "insert":
+        txn.atomic_insert(extra)
+    else:  # pragma: no cover - guarded by run_crash_grid
+        raise ValueError(f"unknown workload {workload!r}")
+
+
+def run_crash_grid(
+    workload: str = "load",
+    *,
+    backend: "str | None" = None,
+    shards: int = 2,
+    copies: int = 1,
+    rows: int = 24,
+    extra_rows: int = 8,
+    page_capacity: int = 8,
+    seed: int = 99,
+) -> CrashGridResult:
+    """Enumerate every crash point of one workload; raise on any breach.
+
+    The ``insert`` workload pre-loads ``rows`` rows fault-free (through
+    the coordinator, so the explored transaction is the *second* gid)
+    and then crashes an ``atomic_insert`` of ``extra_rows`` more;
+    ``load`` crashes the initial ``atomic_load`` itself.
+    """
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; pick {WORKLOADS}")
+    backend_name = backend or kernels.get_backend().name
+    data = _grid_rows(rows, seed)
+    extra = _grid_rows(extra_rows, seed + 1)
+
+    with kernels.use_backend(backend_name):
+        # reference run: count appends, fingerprint both landing states
+        sdb, txn = _build_world(
+            shards=shards, copies=copies, page_capacity=page_capacity
+        )
+        if workload == "insert":
+            txn.atomic_load(data)
+        baseline_fp = _fingerprint(sdb)
+        devices = txn.devices()
+        before = {dev: txn.append_count(dev) for dev in devices}
+        _run_workload(txn, workload, data, extra)
+        gid = f"{workload}#{0 if workload == 'load' else 1}"
+        counts = {
+            dev: txn.append_count(dev) - before[dev] for dev in devices
+        }
+        oracle_fp = _fingerprint(sdb)
+        if oracle_fp == baseline_fp:
+            raise CrashGridViolation(
+                "workload is a no-op; the grid would prove nothing"
+            )
+
+        points: list[CrashPoint] = []
+        for device in devices:
+            for index in range(1, counts[device] + 1):
+                sdb, txn = _build_world(
+                    shards=shards, copies=copies, page_capacity=page_capacity
+                )
+                if workload == "insert":
+                    txn.atomic_load(data)
+                txn.crash_after(device, index)
+                fired = False
+                try:
+                    _run_workload(txn, workload, data, extra)
+                except SimulatedCrashError:
+                    fired = True
+                if not fired:
+                    raise CrashGridViolation(
+                        f"crash at {device}#{index} never fired — the "
+                        "reference count claims this append happens"
+                    )
+                report = txn.recover()
+                fp = _fingerprint(sdb)
+                again = txn.recover()
+                if again.resolved_commits or again.resolved_aborts or again.reacked:
+                    raise CrashGridViolation(
+                        f"{device}#{index}: second recovery pass was not "
+                        f"a no-op ({again.describe()})"
+                    )
+                if _fingerprint(sdb) != fp:
+                    raise CrashGridViolation(
+                        f"{device}#{index}: second recovery pass changed "
+                        "the recovered world"
+                    )
+                decided = txn.log.decision_for(gid) or ""
+                if fp == oracle_fp:
+                    outcome = "committed"
+                    if decided != "commit":
+                        raise CrashGridViolation(
+                            f"{device}#{index}: world holds the committed "
+                            f"state but the decision log says {decided!r}"
+                        )
+                elif fp == baseline_fp:
+                    outcome = "aborted"
+                    if decided == "commit":
+                        raise CrashGridViolation(
+                            f"{device}#{index}: decision log committed "
+                            f"{gid!r} but the world rolled back"
+                        )
+                else:
+                    raise CrashGridViolation(
+                        f"{device}#{index}: post-recovery world matches "
+                        "neither the oracle nor the baseline — a partial "
+                        "write survived"
+                    )
+                points.append(
+                    CrashPoint(
+                        device=device,
+                        index=index,
+                        outcome=outcome,
+                        rows=report.total_rows,
+                        decided=decided,
+                    )
+                )
+        expected = sum(counts[dev] for dev in devices)
+        if len(points) != expected:
+            raise CrashGridViolation(
+                f"enumeration incomplete: visited {len(points)} of "
+                f"{expected} crash points"
+            )
+        return CrashGridResult(
+            workload=workload,
+            backend=backend_name,
+            devices=devices,
+            appends_per_device=tuple(counts[dev] for dev in devices),
+            points=tuple(points),
+        )
+
+
+def run_crash_grids(
+    workloads: Iterable[str] = WORKLOADS,
+    *,
+    backends: "Iterable[str] | None" = None,
+    **kwargs: object,
+) -> list[CrashGridResult]:
+    """The full grid: every workload on every requested backend."""
+    names = list(backends) if backends else kernels.available_backends()
+    results: list[CrashGridResult] = []
+    for backend in names:
+        for workload in workloads:
+            results.append(
+                run_crash_grid(workload, backend=backend, **kwargs)  # type: ignore[arg-type]
+            )
+    return results
+
+
+def measure_commit_overhead(
+    *,
+    shards: int = 2,
+    copies: int = 1,
+    rows: int = 24,
+    page_capacity: int = 8,
+    seed: int = 99,
+) -> dict:
+    """Simulated-clock cost of the 2PC commit path vs a raw sharded load.
+
+    Both worlds run ``wal=True``; the raw world loads without a
+    coordinator (per-copy local WAL batches, no prepare forces, no
+    decision log), so the difference prices exactly what 2PC adds:
+    the per-participant prepare force, the coordinator's three decision
+    records, and their verified-force overhead.
+    """
+    data = _grid_rows(rows, seed)
+    raw = ShardedDatabase(
+        _grid_schema(),
+        DIMS,
+        SHARD_ATTR,
+        shards=shards,
+        copies=copies,
+        page_capacity=page_capacity,
+        wal=True,
+    )
+    raw.load(data)
+    raw_clock = _world_clock(raw, None)
+    sdb, txn = _build_world(
+        shards=shards, copies=copies, page_capacity=page_capacity
+    )
+    txn.atomic_load(data)
+    txn_clock = _world_clock(sdb, txn)
+    return {
+        "rows": rows,
+        "shards": shards,
+        "copies": copies,
+        "raw_load_seconds": round(raw_clock, 6),
+        "txn_load_seconds": round(txn_clock, 6),
+        "overhead_seconds": round(txn_clock - raw_clock, 6),
+        "overhead_ratio": round(txn_clock / raw_clock, 4) if raw_clock else None,
+    }

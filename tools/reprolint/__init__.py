@@ -17,10 +17,13 @@ Python ASTs under ``src/repro`` and mechanically enforces them:
 ``R011`` — lock acquisitions respect the single declared global order.
 ``R012`` — no fork after threads are spawned on any call path.
 ``R013`` — process pools only run module-level ``@fork_safe`` functions.
+``R014`` — cross-shard engine access goes through the shard coordinator.
+``R015`` — 2PC participant mutations go through the transaction coordinator.
 
 Each rule's contract and rationale live in its module under
-:mod:`tools.reprolint.rules`.  R001–R009 are single-file rules sharing
-one AST traversal per file; R010–R013 are interprocedural, driven by
+:mod:`tools.reprolint.rules`.  R001–R009, R014 and R015 are single-file
+rules sharing one AST traversal per file; R010–R013 are interprocedural,
+driven by
 the symbol-table/call-graph/dataflow engine in
 :mod:`tools.reprolint.engine` over the whole linted tree at once.
 
