@@ -20,6 +20,7 @@ A :class:`QuerySpace` must provide three things:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Callable, Sequence
 
 Box = tuple[tuple[int, ...], tuple[int, ...]]
@@ -180,6 +181,99 @@ class ComparisonSpace(QuerySpace):
             lo[self.left_dim] if self.op in ("<", "<=") else hi[self.left_dim],
             hi[self.right_dim] if self.op in ("<", "<=") else lo[self.right_dim],
         )
+
+
+class IntervalUnionSpace(QuerySpace):
+    """A union of disjoint encoded value intervals along one attribute.
+
+    This is the geometric carrier of join-restriction *pushdown*: the
+    planner condenses the qualifying join keys of one join input into a
+    bounded union of key intervals — a box cover in the sense of "Box
+    Covers and Domain Orderings for Beyond Worst-Case Join Processing" —
+    and intersects it with the other input's query space, so the Tetris
+    sweep skips whole Z-regions that cannot produce join matches.
+
+    Every test is exact, never merely conservative: the space is a
+    union of full-width slabs along one dimension, so a box intersects
+    it iff the box's range on that dimension meets some interval, and
+    membership is a bisection over the interval starts.  The bounding
+    box clamps the dimension to the cover's convex hull (an empty cover
+    reports an inverted — empty — box).
+
+    Construction is confined to :mod:`repro.planner.pushdown` (enforced
+    by reprolint rule R016); the sweep and the kernels only *test*
+    against instances handed to them.
+    """
+
+    def __init__(
+        self,
+        coord_max: Sequence[int],
+        dim: int,
+        intervals: Sequence[tuple[int, int]],
+    ) -> None:
+        self.coord_max = tuple(int(value) for value in coord_max)
+        self.dims = len(self.coord_max)
+        if not 0 <= dim < self.dims:
+            raise ValueError(f"dimension {dim} out of range for {self.dims} dims")
+        self.dim = dim
+        cleaned: list[tuple[int, int]] = []
+        previous_hi: int | None = None
+        for lo, hi in intervals:
+            lo, hi = int(lo), int(hi)
+            if lo > hi:
+                raise ValueError(f"inverted interval [{lo}, {hi}]")
+            if not 0 <= lo <= hi <= self.coord_max[dim]:
+                raise ValueError(
+                    f"interval [{lo}, {hi}] outside the attribute domain "
+                    f"[0, {self.coord_max[dim]}]"
+                )
+            if previous_hi is not None and lo <= previous_hi:
+                raise ValueError("intervals must be sorted and disjoint")
+            cleaned.append((lo, hi))
+            previous_hi = hi
+        self.intervals = tuple(cleaned)
+        self.starts = tuple(lo for lo, _ in cleaned)
+        self.ends = tuple(hi for _, hi in cleaned)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def bounding_box(self) -> Box | None:
+        los = [0] * self.dims
+        his = list(self.coord_max)
+        if not self.intervals:
+            los[self.dim], his[self.dim] = 1, 0  # inverted: empty space
+        else:
+            los[self.dim] = self.starts[0]
+            his[self.dim] = self.ends[-1]
+        return tuple(los), tuple(his)
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        value = point[self.dim]
+        index = bisect_right(self.starts, value) - 1
+        return index >= 0 and value <= self.ends[index]
+
+    def intersects_box(self, lo: Sequence[int], hi: Sequence[int]) -> bool:
+        # exact: the first interval ending at or after the box's low end
+        # either starts within the box's range or nothing does
+        index = bisect_left(self.ends, lo[self.dim])
+        return index < len(self.starts) and self.starts[index] <= hi[self.dim]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IntervalUnionSpace)
+            and self.coord_max == other.coord_max
+            and self.dim == other.dim
+            and self.intervals == other.intervals
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.coord_max, self.dim, self.intervals))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ranges = ", ".join(f"[{lo}, {hi}]" for lo, hi in self.intervals)
+        return f"IntervalUnionSpace(dim={self.dim}, {ranges})"
 
 
 class PredicateSpace(QuerySpace):

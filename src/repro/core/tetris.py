@@ -67,6 +67,9 @@ class TetrisStats:
     regions_examined: int = 0  #: index descents performed
     regions_read: int = 0  #: data pages actually fetched (random accesses)
     regions_skipped: int = 0  #: pruned by non-rectangular geometry
+    #: pruned *only* because of a pushed-down join-key cover — pages the
+    #: local restriction would have read but no join match can live on
+    pages_skipped_by_pushdown: int = 0
     tuples_output: int = 0
     slices: int = 0  #: flush batches — completed processing ranges
     max_cache_tuples: int = 0  #: peak size of the Tetris cache
@@ -123,6 +126,15 @@ class TetrisScan:
     strategy:
         ``"eager"`` (static region keys + heap, the default) or
         ``"sweep"`` (event points, the paper's literal loop).
+    pushdown:
+        An optional extra restriction pushed down from the *other* side
+        of a join — typically the
+        :class:`~repro.core.query_space.IntervalUnionSpace` built by
+        :func:`repro.planner.pushdown.pushdown_space` over the already
+        evaluated side's qualifying join keys.  It is conjoined with
+        ``space`` for tuple filtering, and regions that pass the local
+        restriction but miss the pushdown are skipped without I/O,
+        counted separately in ``stats.pages_skipped_by_pushdown``.
     """
 
     def __init__(
@@ -133,6 +145,7 @@ class TetrisScan:
         *,
         descending: bool = False,
         strategy: str = "eager",
+        pushdown: "QuerySpace | None" = None,
     ) -> None:
         if strategy not in ("sweep", "eager"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -144,13 +157,31 @@ class TetrisScan:
         for dim in sort_dims:
             if not 0 <= dim < ubtree.space.dims:
                 raise ValueError(f"sort dimension {dim} out of range")
+        if pushdown is not None and pushdown.dims != ubtree.space.dims:
+            raise ValueError(
+                f"pushdown space has {pushdown.dims} dims, "
+                f"table has {ubtree.space.dims}"
+            )
         self.ubtree = ubtree
         self.space = space
+        self.pushdown = pushdown
+        #: what tuples are actually filtered against: the local
+        #: restriction conjoined with any pushed-down join-key cover
+        self.effective_space = (
+            space if pushdown is None else space.intersect(pushdown)
+        )
         self.sort_dims = sort_dims
         self.sort_dim = sort_dims[0]
         self.descending = descending
         self.strategy = strategy
         self.stats = TetrisStats()
+        #: set by a join-side coordinator (DualCursorPrefetcher): either
+        #: the coordinator-owned SweepPrefetcher this sweep should drive
+        #: its per-region top-ups through (but never close), or ``True``
+        #: to suppress read-ahead entirely.  Either way the scan skips
+        #: creating a prefetcher of its own, so the two policies never
+        #: fight over the window.
+        self.external_prefetch: "SweepPrefetcher | bool" = False
 
         base = ubtree.space.tetris(sort_dims)
         if descending:
@@ -225,7 +256,7 @@ class TetrisScan:
         disk = self.ubtree.tree.buffer.disk
         buffer = self.ubtree.tree.buffer
         curve = self.tetris_curve
-        space = self.space
+        space = self.effective_space
         stats = self.stats
         kernel = kernels.get_backend()
         stats.start_clock = disk.clock
@@ -248,8 +279,18 @@ class TetrisScan:
         # sweep-ahead prefetching: with a scheduler armed on the pool,
         # keep a bounded window of async reads in flight for the regions
         # the cursor projects next, so transfers overlap across device
-        # queues instead of serializing behind the sweep
-        prefetcher = SweepPrefetcher.for_pool(buffer, category=self.ubtree.category)
+        # queues instead of serializing behind the sweep.  A join-side
+        # coordinator may hand the sweep a shared window to drive (and
+        # retain ownership of), or suppress read-ahead with ``True``.
+        external = self.external_prefetch
+        if external:
+            prefetcher = external if isinstance(external, SweepPrefetcher) else None
+            owns_prefetcher = False
+        else:
+            prefetcher = SweepPrefetcher.for_pool(
+                buffer, category=self.ubtree.category
+            )
+            owns_prefetcher = True
 
         try:
             for first, last, page_id, barrier in regions:
@@ -314,8 +355,10 @@ class TetrisScan:
         finally:
             # leftover submissions (early termination, or a conservative
             # projection) are cancelled and accounted as wasted; the
-            # pool's previous eviction policy comes back either way
-            if prefetcher is not None:
+            # pool's previous eviction policy comes back either way.  A
+            # coordinator-owned window outlives the sweep — the join
+            # closes it once *all* sides are drained.
+            if prefetcher is not None and owns_prefetcher:
                 prefetcher.close()
 
     # ------------------------------------------------------------------
@@ -323,6 +366,7 @@ class TetrisScan:
     # ------------------------------------------------------------------
     def _eager_regions(self) -> Iterator[_ScheduledRegion]:
         z_curve = self.ubtree.space.z
+        pushdown = self.pushdown
         candidates = []
         for region in self.ubtree.regions_overlapping(self.space, prune=False):
             self.stats.regions_examined += 1
@@ -330,6 +374,13 @@ class TetrisScan:
                 z_curve, self.space
             ):
                 self.stats.regions_skipped += 1
+                continue
+            # the local restriction wants this page; the pushed-down
+            # join-key cover may still rule it out — that, and only
+            # that, is a pushdown skip (the tests are exact, so every
+            # skipped page truly holds no joinable tuple)
+            if pushdown is not None and not region.intersects(z_curve, pushdown):
+                self.stats.pages_skipped_by_pushdown += 1
                 continue
             candidates.append(region)
         # static region keys — ``min T_j over (region ∩ bounding box)``,
@@ -373,14 +424,21 @@ class TetrisScan:
                 self.stats.regions_examined += 1
                 phi.add(region.first, region.last)
                 covered = (region.first, region.last)
-                if isinstance(self.space, QueryBox) or region.intersects(
+                base_ok = isinstance(self.space, QueryBox) or region.intersects(
                     z_space.z, self.space
+                )
+                if base_ok and (
+                    self.pushdown is None
+                    or region.intersects(z_space.z, self.pushdown)
                 ):
                     next_event = self._skip_interval(event, covered)
                     yield region.first, region.last, region.page_id, next_event
                     event = next_event
                     continue
-                self.stats.regions_skipped += 1
+                if base_ok:
+                    self.stats.pages_skipped_by_pushdown += 1
+                else:
+                    self.stats.regions_skipped += 1
             event = self._skip_interval(event, covered)
 
     def _skip_interval(self, event: int, interval: tuple[int, int]) -> int | None:
@@ -495,6 +553,7 @@ def tetris_sorted(
     *,
     descending: bool = False,
     strategy: str = "eager",
+    pushdown: "QuerySpace | None" = None,
 ) -> TetrisScan:
     """Convenience constructor for a :class:`TetrisScan`.
 
@@ -504,5 +563,10 @@ def tetris_sorted(
     ones as tiebreak (see :meth:`~repro.core.zorder.ZSpace.tetris`).
     """
     return TetrisScan(
-        ubtree, space, sort_dim, descending=descending, strategy=strategy
+        ubtree,
+        space,
+        sort_dim,
+        descending=descending,
+        strategy=strategy,
+        pushdown=pushdown,
     )

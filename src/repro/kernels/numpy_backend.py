@@ -27,6 +27,7 @@ from ..core.curves import Curve, FlippedCurve
 from ..core.query_space import (
     ComparisonSpace,
     IntersectionSpace,
+    IntervalUnionSpace,
     QueryBox,
     QuerySpace,
 )
@@ -255,6 +256,10 @@ class NumPyBackend(PurePythonBackend):
         self._boxes: "weakref.WeakKeyDictionary[QueryBox, tuple | None]" = (
             weakref.WeakKeyDictionary()
         )
+        # per-pushdown-cover interval arrays, same reasoning as _boxes
+        self._intervals: "weakref.WeakKeyDictionary[IntervalUnionSpace, tuple | None]" = (
+            weakref.WeakKeyDictionary()
+        )
         # columnar cache: the uint64 coordinate matrix of a Z-region
         # page, keyed by the page's mutation version.  Repeated scans
         # over the same relation (the common OLAP pattern) then skip the
@@ -274,6 +279,19 @@ class NumPyBackend(PurePythonBackend):
             except (OverflowError, ValueError, TypeError):
                 arrays = None
             self._boxes[space] = arrays
+        return arrays
+
+    def _interval_arrays(self, space: IntervalUnionSpace) -> "tuple | None":
+        arrays = self._intervals.get(space, False)
+        if arrays is False:
+            try:
+                arrays = (
+                    np.asarray(space.starts, dtype=_U64),
+                    np.asarray(space.ends, dtype=_U64),
+                )
+            except (OverflowError, ValueError, TypeError):
+                arrays = None
+            self._intervals[space] = arrays
         return arrays
 
     # ------------------------------------------------------------------
@@ -398,6 +416,22 @@ class NumPyBackend(PurePythonBackend):
         elif isinstance(space, ComparisonSpace):
             compare = _NP_COMPARATORS[space.op]
             mask &= compare(columns[:, space.left_dim], columns[:, space.right_dim])
+        elif isinstance(space, IntervalUnionSpace):
+            arrays = self._interval_arrays(space)
+            if arrays is None:
+                self._mask_pointwise(space, points, mask)
+                return
+            starts, ends = arrays
+            if not starts.size:
+                mask[:] = False
+                return
+            column = columns[:, space.dim]
+            # slot of the last interval starting at or below each value;
+            # membership iff that interval also ends at or above it
+            slots = np.searchsorted(starts, column, side="right") - 1
+            inside = slots >= 0
+            np.clip(slots, 0, None, out=slots)
+            mask &= inside & (column <= ends[slots])
         elif isinstance(space, IntersectionSpace):
             for part in space.parts:
                 if not mask.any():

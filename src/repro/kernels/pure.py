@@ -9,13 +9,14 @@ standard library as its only hard dependency).
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from operator import itemgetter
 from typing import Any, Sequence, TYPE_CHECKING
 
 from ..core.query_space import (
     ComparisonSpace,
     IntersectionSpace,
+    IntervalUnionSpace,
     QueryBox,
     QuerySpace,
 )
@@ -125,6 +126,15 @@ class PurePythonBackend(KernelBackend):
                 for index, point in enumerate(points)
                 if cmp(point[left], point[right])
             ]
+        if isinstance(space, IntervalUnionSpace):
+            starts, ends, dim = space.starts, space.ends, space.dim
+            chosen: list[int] = []
+            for index, point in enumerate(points):
+                value = point[dim]
+                slot = bisect_right(starts, value) - 1
+                if slot >= 0 and value <= ends[slot]:
+                    chosen.append(index)
+            return chosen
         if isinstance(space, IntersectionSpace):
             selected = range(len(points))
             for part in space.parts:

@@ -18,6 +18,7 @@ from ..costmodel.model import CostParameters
 from ..telemetry import ObserverRegistry, TelemetryEvent
 from ..relational.operators import (
     ExternalMergeSort,
+    FirstTupleTimer,
     FullTableScan,
     IOTScan,
     Operator,
@@ -330,11 +331,18 @@ class PlanExhaustedError(StorageError):
 
 @dataclass
 class QueryResult:
-    """Materialized rows plus the (possibly degraded) plan that made them."""
+    """Materialized rows plus the (possibly degraded) plan that made them.
+
+    ``time_to_first`` is the simulated seconds between starting the
+    winning (final) plan and its first output tuple — the paper's
+    time-to-first-result metric, ``None`` for an empty result.  Aborted
+    plans earlier on the degradation ladder do not count against it.
+    """
 
     rows: list[tuple]
     plan: ExecutablePlan
     degradations: tuple[DegradationEvent, ...] = ()
+    time_to_first: float | None = None
 
     @property
     def degraded(self) -> bool:
@@ -443,8 +451,9 @@ def execute_sorted_query(
                 fallback_method=plan.choice.method,
                 fallback_instance=plan.choice.instance,
             )
+        timer = FirstTupleTimer(plan.operator, current.shared_buffer().disk)
         try:
-            rows = list(plan.operator)
+            rows = list(timer)
         except StorageError as exc:
             # before dropping the instance, try replica-driven repair of
             # every quarantined page: a healed instance stays eligible
@@ -465,4 +474,9 @@ def execute_sorted_query(
             pipelined = False
             continue
         _emit_degradations(events)
-        return QueryResult(rows=rows, plan=plan, degradations=tuple(events))
+        return QueryResult(
+            rows=rows,
+            plan=plan,
+            degradations=tuple(events),
+            time_to_first=timer.time_to_first,
+        )

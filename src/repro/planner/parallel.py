@@ -80,6 +80,7 @@ __all__ = [
     "ExecutorFallbackEvent",
     "ParallelScanResult",
     "SweepSlab",
+    "aligned_shard_slabs",
     "parallel_tetris_scan",
     "plan_slabs",
     "register_fallback_observer",
@@ -269,6 +270,35 @@ def plan_slabs(
             break
         start = end + 1
     return planned
+
+
+def aligned_shard_slabs(
+    left: Sequence[SweepSlab], right: Sequence[SweepSlab]
+) -> tuple[SweepSlab, ...]:
+    """Validate two shard partitionings are join-key aligned; return them.
+
+    A co-partitioned merge join is only order- and group-preserving when
+    both relations are range-sharded on *identical* encoded join-key
+    intervals — then every equal-key group lives in exactly one shard
+    pair and per-shard joins concatenate into the serial join.  The two
+    sides' slab lists must therefore match interval-for-interval (which
+    :func:`plan_slabs` guarantees when both sides share the join key's
+    encoder domain and shard count).  Raises :class:`ValueError` on any
+    mismatch.
+    """
+    if len(left) != len(right):
+        raise ValueError(
+            f"shard counts differ: {len(left)} vs {len(right)} — the "
+            "join sides are not co-partitioned"
+        )
+    for slab_a, slab_b in zip(left, right):
+        if (slab_a.lo, slab_a.hi) != (slab_b.lo, slab_b.hi):
+            raise ValueError(
+                f"shard {slab_a.index} key ranges differ: "
+                f"[{slab_a.lo}, {slab_a.hi}] vs [{slab_b.lo}, {slab_b.hi}]"
+                " — the join sides are not co-partitioned"
+            )
+    return tuple(left)
 
 
 def _slab_space(

@@ -94,10 +94,15 @@ class TetrisOperator(Operator):
         descending: bool = False,
         strategy: str = "eager",
         predicate: Callable[[Row], bool] | None = None,
+        pushdown: QuerySpace | None = None,
     ) -> None:
         self.table = table
         self.scan: TetrisScan = table.tetris_scan(
-            space, sort_attr, descending=descending, strategy=strategy
+            space,
+            sort_attr,
+            descending=descending,
+            strategy=strategy,
+            pushdown=pushdown,
         )
         self.predicate = predicate
 

@@ -421,11 +421,15 @@ class UBTable(BaseTable):
         *,
         descending: bool = False,
         strategy: str = "eager",
+        pushdown: QuerySpace | None = None,
     ) -> TetrisScan:
         """A Tetris sweep delivering rows sorted by ``sort_attr``.
 
         ``sort_attr`` may be a single attribute name or a sequence of
-        names for a composite (multi-column) sort order.
+        names for a composite (multi-column) sort order.  ``pushdown``
+        carries a join-key restriction pushed down from the other side
+        of a join (see :mod:`repro.planner.pushdown`); regions it rules
+        out are skipped without I/O.
         """
         if space is None or isinstance(space, dict):
             space = self.build_query_box(space)
@@ -439,6 +443,7 @@ class UBTable(BaseTable):
             sort_dims,
             descending=descending,
             strategy=strategy,
+            pushdown=pushdown,
         )
 
     def range_query(

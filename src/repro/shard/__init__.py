@@ -9,10 +9,12 @@ returns silently wrong rows.
 """
 
 from .coordinator import (
+    CoPartitionedJoin,
     RowSource,
     Shard,
     ShardCopy,
     ShardedDatabase,
+    ShardedJoinResult,
     ShardedScanResult,
 )
 from .errors import ShardCopyKilledError, ShardFailedError
@@ -24,6 +26,7 @@ from .events import (
 from .merge import merge_shard_streams
 
 __all__ = [
+    "CoPartitionedJoin",
     "RowSource",
     "Shard",
     "ShardCopy",
@@ -31,6 +34,7 @@ __all__ = [
     "ShardDegradationEvent",
     "ShardFailedError",
     "ShardedDatabase",
+    "ShardedJoinResult",
     "ShardedScanResult",
     "merge_shard_streams",
     "register_shard_observer",

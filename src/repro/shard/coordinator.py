@@ -53,9 +53,11 @@ from .. import invariants
 from ..core.query_space import QueryBox, QuerySpace
 from ..core.tetris import SortedTuple
 from ..core.zorder import ZSpace
-from ..planner.parallel import SweepSlab, plan_slabs
+from ..planner.parallel import SweepSlab, aligned_shard_slabs, plan_slabs
+from ..relational.operators.join import MergeJoin, MergeSemiJoin
 from ..relational.schema import Schema
 from ..relational.table import Database, Row, UBTable
+from ..telemetry import JoinEvent
 from ..storage.disk import DiskParameters
 from ..storage.errors import (
     CorruptPageError,
@@ -78,10 +80,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 Pid = tuple[int, int]
 
 __all__ = [
+    "CoPartitionedJoin",
     "RowSource",
     "Shard",
     "ShardCopy",
     "ShardedDatabase",
+    "ShardedJoinResult",
     "ShardedScanResult",
 ]
 
@@ -778,6 +782,97 @@ class ShardedDatabase:
                     shard, copy, exc, retry_budgets, events
                 )
 
+    # -- one shard, streamed down the same ladder ----------------------
+    def _stream_shard(
+        self,
+        shard: Shard,
+        shard_box: QueryBox,
+        sort_attr: str | Sequence[str],
+        descending: bool,
+        strategy: str,
+        allow_partial: bool,
+        max_degradations: int,
+        events: list[ShardDegradationEvent],
+        failed_ranges: list[tuple[int, int]],
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> Iterator[tuple[int, SortedTuple]]:
+        """Stream one shard's tuples, climbing the ladder between pulls.
+
+        The generator sibling of :meth:`_scan_shard`, feeding pipelined
+        consumers (co-partitioned join legs): rows are yielded as the
+        sweep produces them, and the repair/retry/failover ladder runs
+        *inside* the generator, so the consumer never sees a
+        :class:`StorageError` — resume after failover continues from the
+        exact residual range, with no re-emission.  On an abandoned
+        shard (``allow_partial=True``) the stream simply ends early with
+        the shard's key range recorded in ``failed_ranges``; rows
+        already yielded were consumed, so the caller must treat the
+        *whole* range as missing and flag its result partial.  Without
+        ``allow_partial`` the terminal rung raises
+        :class:`~repro.shard.errors.ShardFailedError` through the
+        generator.
+        """
+        emitted: KeyedStream = []
+        retry_budgets: dict[int, Iterator[float]] = {}
+        rungs = 0
+        copy = self._next_copy(shard)
+        if copy is not None and copy is not shard.copies[0]:
+            primary = shard.copies[0]
+            events.append(
+                ShardDegradationEvent(
+                    shard=shard.index,
+                    copy=primary.copy_index,
+                    action="failover",
+                    error_type=(
+                        "ShardCopyKilledError"
+                        if not primary.alive
+                        else "StorageError"
+                    ),
+                    error="primary copy unavailable at scan start",
+                    fallback_copy=copy.copy_index,
+                )
+            )
+        while True:
+            if copy is None:
+                self._lose_shard(
+                    shard,
+                    shard_box,
+                    "no available copy",
+                    "StorageError",
+                    allow_partial,
+                    events,
+                    failed_ranges,
+                )
+                return
+            try:
+                yield from self._drain_copy_iter(
+                    copy,
+                    shard_box,
+                    sort_attr,
+                    descending,
+                    strategy,
+                    emitted,
+                    predicate,
+                )
+                return
+            except StorageError as exc:
+                rungs += 1
+                if rungs > max_degradations:
+                    copy.healthy = False
+                    self._lose_shard(
+                        shard,
+                        shard_box,
+                        f"degradation budget exhausted ({max_degradations})",
+                        type(exc).__name__,
+                        allow_partial,
+                        events,
+                        failed_ranges,
+                    )
+                    return
+                copy = self._climb_ladder(
+                    shard, copy, exc, retry_budgets, events
+                )
+
     def _climb_ladder(
         self,
         shard: Shard,
@@ -897,7 +992,31 @@ class ShardedDatabase:
         strategy: str,
         emitted: KeyedStream,
     ) -> None:
+        for _ in self._drain_copy_iter(
+            copy, shard_box, sort_attr, descending, strategy, emitted
+        ):
+            pass
+
+    def _drain_copy_iter(
+        self,
+        copy: ShardCopy,
+        shard_box: QueryBox,
+        sort_attr: str | Sequence[str],
+        descending: bool,
+        strategy: str,
+        emitted: KeyedStream,
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> Iterator[tuple[int, SortedTuple]]:
         """Append the shard's residual tuples to ``emitted`` via ``copy``.
+
+        Yields each pair right after appending it, so a streaming
+        consumer (a co-partitioned join leg) sees rows as the sweep
+        produces them; a :class:`StorageError` can only surface *before*
+        an append, which keeps ``emitted`` an exact ledger of what the
+        consumer received — the resume bookkeeping below needs nothing
+        else.  ``predicate`` filters rows before they are emitted (and
+        before they enter the resume ledger, so a restart re-applies it
+        consistently).
 
         The residual range is recovered from what is already emitted:
         the stream is totally ordered by full-curve address, so the
@@ -937,6 +1056,8 @@ class ShardedDatabase:
         encode = scan.tetris_curve.encode
         for point, payload in scan:
             copy.note_row_served()
+            if predicate is not None and not predicate(payload):
+                continue
             key = encode(point)
             if last_key is not None:
                 if key < last_key:
@@ -944,7 +1065,9 @@ class ShardedDatabase:
                 if key == last_key and skip_at_last > 0:
                     skip_at_last -= 1
                     continue
-            emitted.append((key, (point, payload)))
+            pair = (key, (point, payload))
+            emitted.append(pair)
+            yield pair
 
     # -- bit-exact cross-copy page repair ------------------------------
     def _repair_from_peer(
@@ -983,3 +1106,235 @@ class ShardedDatabase:
                 copy.db.disk.stats.faults.repaired_pages += 1
                 healed.append(page_id)
         return healed
+
+
+# ----------------------------------------------------------------------
+# co-partitioned sharded merge joins
+# ----------------------------------------------------------------------
+class _LegClock:
+    """Summed simulated clock over one join leg's engine instances.
+
+    A leg drains copies of *two* shards (one per join side), each an
+    independent engine with its own disk; the leg's
+    :class:`~repro.telemetry.JoinEvent` clocks are read off this sum, so
+    ``first_tuple_clock - start_clock`` is the simulated service time
+    spent before the leg's first output row.
+    """
+
+    def __init__(self, copies: Sequence[ShardCopy]) -> None:
+        self._copies = tuple(copies)
+
+    @property
+    def clock(self) -> float:
+        return sum(copy.db.clock for copy in self._copies)
+
+
+@dataclass(frozen=True)
+class ShardedJoinResult:
+    """A co-partitioned join's concatenated output plus its ledgers.
+
+    ``rows`` are combined output rows in serial join order (see
+    :class:`CoPartitionedJoin` for the order-preservation argument).  A
+    failed shard pair contributes **no** rows — its encoded join-key
+    range appears in ``failed_ranges`` instead (``allow_partial`` runs
+    only), so output is never silently truncated mid-shard.
+    ``join_events`` holds one :class:`~repro.telemetry.JoinEvent` per
+    *surviving* leg; failed legs are covered by ``degradations``.
+    ``simulated_elapsed`` models the legs running in parallel: the max
+    over per-leg summed service time.
+    """
+
+    rows: list[Row]
+    degradations: tuple[ShardDegradationEvent, ...]
+    failed_ranges: tuple[tuple[int, int], ...]
+    per_shard_rows: tuple[int, ...]
+    per_shard_elapsed: tuple[float, ...]
+    simulated_elapsed: float
+    join_events: tuple[JoinEvent, ...]
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one shard pair's output is missing."""
+        return bool(self.failed_ranges)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
+
+
+class CoPartitionedJoin:
+    """Pipelined merge join across two co-partitioned sharded relations.
+
+    Both sides must be range-sharded on their join attribute over
+    identical encoded key intervals (validated through
+    :func:`~repro.planner.parallel.aligned_shard_slabs`).  Then every
+    equal-join-key group lives in exactly one shard *pair*, and each
+    pair can run its own pipelined :class:`MergeJoin` /
+    :class:`MergeSemiJoin` leg — both inputs streamed in join-key order
+    straight off their shards' Tetris sweeps, down the full
+    repair/retry/failover ladder, with no cross-shard coordination.
+
+    **Order preservation.**  Each side's shard stream ascends in the
+    full tetris-curve address (join-key bits most significant), and the
+    slabs partition the encoded join-key domain in ascending ranges, so
+    concatenating per-shard streams reproduces the serial sorted stream
+    bit-for-bit.  A merge join consumes its inputs group-by-group and a
+    key group never spans a slab boundary, hence concatenating the leg
+    outputs in shard order *is* the k-way ordered merge of the legs and
+    equals the serial join of the serial streams, row for row.
+    """
+
+    def __init__(
+        self,
+        left: ShardedDatabase,
+        right: ShardedDatabase,
+        *,
+        kind: str = "inner",
+        combine: Callable[[Row, Row], Row] | None = None,
+    ) -> None:
+        if kind not in ("inner", "semi"):
+            raise ValueError(f"unknown join kind {kind!r} (inner | semi)")
+        left_max = left.space.coord_max[left.shard_dim]
+        right_max = right.space.coord_max[right.shard_dim]
+        if left_max != right_max:
+            raise ValueError(
+                f"join-key domains differ: {left.shard_attr!r} encodes to "
+                f"[0, {left_max}] but {right.shard_attr!r} to [0, {right_max}]"
+            )
+        self.slabs = aligned_shard_slabs(
+            [shard.slab for shard in left.shards],
+            [shard.slab for shard in right.shards],
+        )
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.combine = combine
+        self._left_pos = left.schema.position(left.shard_attr)
+        self._right_pos = right.schema.position(right.shard_attr)
+
+    def run(
+        self,
+        left_restrictions: dict[str, tuple[Any, Any]] | None = None,
+        right_restrictions: dict[str, tuple[Any, Any]] | None = None,
+        *,
+        left_predicate: Callable[[Row], bool] | None = None,
+        right_predicate: Callable[[Row], bool] | None = None,
+        strategy: str = "eager",
+        allow_partial: bool = False,
+        max_degradations: int = 16,
+    ) -> ShardedJoinResult:
+        """Run every shard pair's join leg; concatenate in shard order.
+
+        Each leg is fully pipelined: both side streams climb the shard
+        failure ladder internally, so the merge operator itself never
+        sees a :class:`StorageError`.  A shard pair that loses a side
+        raises :class:`~repro.shard.errors.ShardFailedError` (default)
+        or — with ``allow_partial`` — contributes nothing and records
+        its join-key range in ``failed_ranges``.
+        """
+        left_box = self.left._reference_table().build_query_box(
+            left_restrictions
+        )
+        right_box = self.right._reference_table().build_query_box(
+            right_restrictions
+        )
+        left_pos, right_pos = self._left_pos, self._right_pos
+        events: list[ShardDegradationEvent] = []
+        failed_ranges: list[tuple[int, int]] = []
+        join_events: list[JoinEvent] = []
+        rows: list[Row] = []
+        per_shard_rows: list[int] = []
+        per_shard_elapsed: list[float] = []
+        try:
+            for index, slab in enumerate(self.slabs):
+                left_shard = self.left.shards[index]
+                right_shard = self.right.shards[index]
+                slab_left = left_box.restricted(
+                    self.left.shard_dim, slab.lo, slab.hi
+                )
+                slab_right = right_box.restricted(
+                    self.right.shard_dim, slab.lo, slab.hi
+                )
+                if slab_left.is_empty or slab_right.is_empty:
+                    # an inner or semi join emits nothing without both sides
+                    per_shard_rows.append(0)
+                    per_shard_elapsed.append(0.0)
+                    continue
+                copies = tuple(left_shard.copies) + tuple(right_shard.copies)
+                leg_clock = _LegClock(copies)
+                clock_before = leg_clock.clock
+                failed_before = len(failed_ranges)
+                left_rows = (
+                    pair[1][1]
+                    for pair in self.left._stream_shard(
+                        left_shard,
+                        slab_left,
+                        self.left.shard_attr,
+                        False,
+                        strategy,
+                        allow_partial,
+                        max_degradations,
+                        events,
+                        failed_ranges,
+                        left_predicate,
+                    )
+                )
+                right_rows = (
+                    pair[1][1]
+                    for pair in self.right._stream_shard(
+                        right_shard,
+                        slab_right,
+                        self.right.shard_attr,
+                        False,
+                        strategy,
+                        allow_partial,
+                        max_degradations,
+                        events,
+                        failed_ranges,
+                        right_predicate,
+                    )
+                )
+                leg: MergeJoin | MergeSemiJoin
+                if self.kind == "inner":
+                    leg = MergeJoin(
+                        left_rows,
+                        right_rows,
+                        left_key=lambda row: row[left_pos],
+                        right_key=lambda row: row[right_pos],
+                        combine=self.combine,
+                        disk=leg_clock,  # duck-typed: only .clock is read
+                        shard=index,
+                    )
+                else:
+                    leg = MergeSemiJoin(
+                        left_rows,
+                        right_rows,
+                        left_key=lambda row: row[left_pos],
+                        right_key=lambda row: row[right_pos],
+                        disk=leg_clock,
+                        shard=index,
+                    )
+                leg_rows = list(leg)
+                per_shard_elapsed.append(leg_clock.clock - clock_before)
+                if len(failed_ranges) > failed_before:
+                    # a side was abandoned mid-leg: drop the leg's output
+                    # wholesale — the flagged range covers the whole shard
+                    per_shard_rows.append(0)
+                    continue
+                rows.extend(leg_rows)
+                per_shard_rows.append(len(leg_rows))
+                if leg.last_event is not None:
+                    join_events.append(leg.last_event)
+        except ShardFailedError:
+            _emit_degradations(tuple(events))
+            raise
+        _emit_degradations(tuple(events))
+        return ShardedJoinResult(
+            rows=rows,
+            degradations=tuple(events),
+            failed_ranges=tuple(failed_ranges),
+            per_shard_rows=tuple(per_shard_rows),
+            per_shard_elapsed=tuple(per_shard_elapsed),
+            simulated_elapsed=max(per_shard_elapsed, default=0.0),
+            join_events=tuple(join_events),
+        )

@@ -22,11 +22,12 @@ frame is still pending.
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, Iterable, Iterator, TypeVar
+from typing import Any, Generic, Iterable, Iterator, TypeVar
 
 from .buffer import BufferPool
 
 __all__ = [
+    "DualCursorPrefetcher",
     "LookaheadCursor",
     "SweepEvictionPolicy",
     "SweepPrefetcher",
@@ -177,6 +178,25 @@ class SweepPrefetcher:
         """The sweep plane passed this page; its window slot frees up."""
         self._outstanding.discard(page_id)
 
+    def retain(self, upcoming: Iterable[int]) -> int:
+        """Reconcile the window against the sweep's current projection.
+
+        An externally driven sweep (a join leg under
+        :class:`DualCursorPrefetcher`) consumes pages through demand
+        reads that claim the in-flight submission directly, without
+        calling :meth:`mark_consumed`; dropping outstanding pages no
+        longer projected frees those window slots.  Nothing is
+        cancelled — a submission the sweep has not reached yet is still
+        in its projection and therefore kept.  Returns the number of
+        slots freed.
+        """
+        if self._closed:
+            return 0
+        keep = set(upcoming)
+        freed = len(self._outstanding - keep)
+        self._outstanding &= keep
+        return freed
+
     def close(self) -> None:
         """Cancel leftover submissions and restore the eviction policy."""
         if self._closed:
@@ -187,3 +207,116 @@ class SweepPrefetcher:
         self._outstanding.clear()
         if isinstance(self.pool.eviction_policy, SweepEvictionPolicy):
             self.pool.eviction_policy = self._previous_policy
+
+
+class DualCursorPrefetcher:
+    """Join-aware read-ahead across the two inputs of a merge join.
+
+    A pipelined merge join alternates between its sorted inputs, so
+    neither side's solo :class:`SweepPrefetcher` sees enough consecutive
+    demand to keep the device queues busy — the sweeps stall each other.
+    This policy drives one window per side from the *join's* cursor
+    instead: :meth:`advise` is called with the side the merge is about
+    to pull from and tops *every* side's window — the demanded side
+    first, so its transfers win the device-queue slots, while the other
+    side's next group stays in flight for when the cursor swings back.
+    With pages striped across devices the elapsed time of the join
+    approaches ``max`` of the two sweeps instead of their sum.
+
+    Sides are duck-typed: anything exposing ``.ubtree`` (with
+    ``.tree.buffer`` and ``.category``), ``.upcoming_regions(count)``,
+    and an ``.external_prefetch`` attribute — i.e. ``TetrisScan``.
+    Each side's ``external_prefetch`` is set to its *shared* window: the
+    sweep drives per-region top-ups through it while it is the one being
+    drained (a scan can read many regions between two emitted rows, when
+    the join's cursor cannot advise), the join's cursor refreshes the
+    idle side, and ownership — closing, cancelling leftovers — stays
+    here.
+    """
+
+    def __init__(
+        self, sides: "list[tuple[Any, SweepPrefetcher]]"
+    ) -> None:
+        if len(sides) < 2:
+            raise ValueError("dual-cursor policy needs at least two sides")
+        self._sides = sides
+        self._closed = False
+        for scan, prefetcher in sides:
+            scan.external_prefetch = prefetcher
+
+    @classmethod
+    def for_scans(
+        cls, *scans: Any, depth: int | None = None
+    ) -> "DualCursorPrefetcher | None":
+        """A dual policy when every side's pool can prefetch, else ``None``."""
+        sides: "list[tuple[Any, SweepPrefetcher]]" = []
+        for scan in scans:
+            prefetcher = (
+                None
+                if scan is None
+                else SweepPrefetcher.for_pool(
+                    scan.ubtree.tree.buffer,
+                    depth=depth,
+                    category=scan.ubtree.category,
+                )
+            )
+            if prefetcher is None:
+                for _, opened in sides:
+                    opened.close()
+                return None
+            sides.append((scan, prefetcher))
+        if len(sides) < 2:
+            for _, opened in sides:
+                opened.close()
+            return None
+        return cls(sides)
+
+    @classmethod
+    def for_operators(
+        cls, *operators: Any, depth: int | None = None
+    ) -> "DualCursorPrefetcher | None":
+        """Adapt operators exposing a ``.scan`` (``TetrisOperator``)."""
+        scans = [getattr(operator, "scan", None) for operator in operators]
+        if any(scan is None for scan in scans):
+            return None
+        return cls.for_scans(*scans, depth=depth)
+
+    def backlog(self) -> float:
+        """Banked overlap across the distinct schedulers under the sides."""
+        seen: "dict[int, float]" = {}
+        for scan, prefetcher in self._sides:
+            scheduler = prefetcher.pool.scheduler
+            if scheduler is not None:
+                seen[id(scheduler)] = scheduler.queue_backlog()
+        return sum(seen.values())
+
+    def advise(self, index: int) -> None:
+        """The merge cursor is about to pull from side ``index``.
+
+        Every side's window is reconciled against its projection
+        (demand reads claim submissions without ``mark_consumed``) and
+        topped to full depth — the demanded side first, so when windows
+        compete for queue slots the side about to be read wins.
+        """
+        if self._closed:
+            return
+        order = [index] + [
+            side for side in range(len(self._sides)) if side != index
+        ]
+        for side_index in order:
+            scan, prefetcher = self._sides[side_index]
+            upcoming = [
+                region.page_id
+                for region in scan.upcoming_regions(prefetcher.depth)
+            ]
+            prefetcher.retain(upcoming)
+            prefetcher.top_up(upcoming)
+
+    def close(self) -> None:
+        """Close both windows and hand the scans their solo policy back."""
+        if self._closed:
+            return
+        self._closed = True
+        for scan, prefetcher in self._sides:
+            prefetcher.close()
+            scan.external_prefetch = False

@@ -32,8 +32,12 @@ from typing import Any, Callable, Generic, TypeVar
 from .invariants.sanitizer import guarded_by, note_access, tracked_lock
 
 __all__ = [
+    "JoinEvent",
     "ObserverRegistry",
     "TelemetryEvent",
+    "emit_join_event",
+    "register_join_observer",
+    "unregister_join_observer",
 ]
 
 
@@ -88,3 +92,69 @@ class ObserverRegistry(Generic[_EventT]):
             observers = tuple(self._observers)
         for observer in observers:
             observer(event)
+
+
+@dataclass(frozen=True)
+class JoinEvent(TelemetryEvent):
+    """Exactly-once record of one completed join leg.
+
+    Emitted by a join operator when its output stream drains *naturally*
+    (the merge loop ends on its own) — an abandoned iteration or an
+    error emits nothing, so observers can treat the event as "this leg's
+    numbers are final".  A co-partitioned sharded join emits one event
+    per shard leg, labelled with :attr:`shard`; the serial operators
+    leave it ``None``.
+
+    Clocks are simulated seconds from the engine's
+    :class:`~repro.storage.disk.SimulatedDisk`; they are ``None`` when
+    the operator was not handed a disk to observe.
+    """
+
+    operator: str
+    rows: int
+    pages_skipped_by_pushdown: int = 0
+    start_clock: float | None = None
+    first_tuple_clock: float | None = None
+    end_clock: float | None = None
+    shard: int | None = None
+
+    @property
+    def time_to_first(self) -> float | None:
+        """Seconds from operator start to first output tuple."""
+        if self.start_clock is None or self.first_tuple_clock is None:
+            return None
+        return self.first_tuple_clock - self.start_clock
+
+    def describe(self) -> str:
+        where = "" if self.shard is None else f" shard={self.shard}"
+        first = (
+            "no tuples"
+            if self.time_to_first is None
+            else f"first tuple after {self.time_to_first:.6f}s"
+        )
+        return (
+            f"{self.operator}{where}: {self.rows} rows, "
+            f"{self.pages_skipped_by_pushdown} pages skipped by pushdown, "
+            f"{first}"
+        )
+
+
+#: process-wide registry for join telemetry; no observers are registered
+#: by default, so emission is a no-op on every pre-existing code path
+_JOIN_OBSERVERS: "ObserverRegistry[JoinEvent]" = ObserverRegistry(
+    "join-observers"
+)
+
+
+def register_join_observer(observer: Callable[[JoinEvent], Any]) -> None:
+    """Subscribe to the exactly-once per-leg :class:`JoinEvent` stream."""
+    _JOIN_OBSERVERS.register(observer)
+
+
+def unregister_join_observer(observer: Callable[[JoinEvent], Any]) -> None:
+    _JOIN_OBSERVERS.unregister(observer)
+
+
+def emit_join_event(event: JoinEvent) -> None:
+    """Deliver a join leg's final record to all subscribers."""
+    _JOIN_OBSERVERS.emit(event)

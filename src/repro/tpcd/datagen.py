@@ -34,13 +34,23 @@ DEFAULT_CUSTOMERS_PER_SF = 1500
 
 @dataclass(frozen=True)
 class TPCDConfig:
-    """Knobs of the generator; defaults reproduce the paper's ratios."""
+    """Knobs of the generator; defaults reproduce the paper's ratios.
+
+    ``correlated_dates`` makes O_ORDERDATE monotone in O_ORDERKEY up to
+    ±7 days of jitter — the layout of a real order table grown over
+    time, where keys are assigned in arrival order.  It is what makes
+    join-key interval pushdown effective (a date restriction then maps
+    to a *bounded* set of orderkey runs instead of keys sprayed across
+    the whole domain).  The default ``False`` keeps every stream
+    byte-identical to previous releases.
+    """
 
     scale_factor: float = 0.25
     customers_per_sf: int = DEFAULT_CUSTOMERS_PER_SF
     orders_per_customer: int = 10
     max_lineitems_per_order: int = 7
     seed: int = 19990323  # ICDE'99, Sydney
+    correlated_dates: bool = False
 
     @property
     def customer_count(self) -> int:
@@ -93,7 +103,12 @@ def generate(config: TPCDConfig | None = None) -> TPCDData:
 
     for orderkey in range(1, config.order_count + 1):
         custkey = rng.randint(1, config.customer_count)
-        orderdate = ORDERDATE_LO + dt.timedelta(days=rng.randint(0, order_window_days))
+        if config.correlated_dates:
+            orderdate = _correlated_orderdate(config, orderkey, rng)
+        else:
+            orderdate = ORDERDATE_LO + dt.timedelta(
+                days=rng.randint(0, order_window_days)
+            )
         priority = ORDERPRIORITIES[rng.randrange(len(ORDERPRIORITIES))]
         shippriority = 0
         data.orders.append((orderkey, custkey, orderdate, priority, shippriority))
@@ -180,6 +195,27 @@ def stream_customers(config: TPCDConfig | None = None) -> Iterator[tuple]:
         yield (custkey, segment)
 
 
+def _correlated_orderdate(
+    config: TPCDConfig, orderkey: int, rng: random.Random
+) -> dt.date:
+    """Orderdate monotone in orderkey, ±7 days of jitter, clamped.
+
+    The deterministic base walks the full date window as orderkey walks
+    the key domain; one jitter draw replaces the uniform draw of the
+    default path, so either mode consumes exactly one RNG value for the
+    date.  Jitter means the mapping is *nearly* monotone — qualifying
+    keys form short runs with ragged edges, which is what the pushdown
+    cover's interval budgeting has to absorb.
+    """
+    order_window_days = (ORDERDATE_HI - ORDERDATE_LO).days
+    span = max(1, config.order_count - 1)
+    base = ((orderkey - 1) * order_window_days) // span
+    jitter = rng.randint(-7, 7)
+    return ORDERDATE_LO + dt.timedelta(
+        days=max(0, min(order_window_days, base + jitter))
+    )
+
+
 def _order_row(config: TPCDConfig, orderkey: int) -> tuple:
     rng = _entity_rng(config, _ORDER_TAG, orderkey)
     order_window_days = (ORDERDATE_HI - ORDERDATE_LO).days
@@ -188,7 +224,12 @@ def _order_row(config: TPCDConfig, orderkey: int) -> tuple:
     # stability demands; clustering stays TPC-D-shaped (each customer
     # places ``orders_per_customer`` orders)
     custkey = (orderkey - 1) // config.orders_per_customer + 1
-    orderdate = ORDERDATE_LO + dt.timedelta(days=rng.randint(0, order_window_days))
+    if config.correlated_dates:
+        orderdate = _correlated_orderdate(config, orderkey, rng)
+    else:
+        orderdate = ORDERDATE_LO + dt.timedelta(
+            days=rng.randint(0, order_window_days)
+        )
     priority = ORDERPRIORITIES[rng.randrange(len(ORDERPRIORITIES))]
     return (orderkey, custkey, orderdate, priority, 0)
 

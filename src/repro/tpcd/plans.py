@@ -16,10 +16,13 @@ model.
 from __future__ import annotations
 
 import datetime as dt
+from dataclasses import dataclass
 from typing import Iterable
 
 from ..core.query_space import IntersectionSpace, QuerySpace
 from ..invariants import require_instance
+from ..planner.pushdown import DEFAULT_COVER_BUDGET, KeyCover, pushdown_space
+from ..storage.prefetch import DualCursorPrefetcher
 from ..relational.operators import (
     Count,
     ExternalMergeSort,
@@ -293,9 +296,14 @@ def q3_full_plan(
         )
         order_stream: Iterable[tuple] = TetrisOperator(
             order,
-            {"o_orderdate": (None, params.orderdate_before - dt.timedelta(days=1))},
+            {
+                "o_orderdate": (
+                    params.orderdate_from,
+                    params.orderdate_before - dt.timedelta(days=1),
+                )
+            },
             "o_custkey",
-            predicate=lambda row: row[O_ORDERDATE] < params.orderdate_before,
+            predicate=lambda row: params.order_qualifies(row[O_ORDERDATE]),
         )
         customer_order = MergeJoin(
             customer_stream,
@@ -310,7 +318,8 @@ def q3_full_plan(
             customer, predicate=lambda row: row[C_MKTSEGMENT] == params.segment
         )
         order_stream = FullTableScan(
-            order, predicate=lambda row: row[O_ORDERDATE] < params.orderdate_before
+            order,
+            predicate=lambda row: params.order_qualifies(row[O_ORDERDATE]),
         )
         customer_order = HashJoin(
             customer_stream,
@@ -434,6 +443,250 @@ def q4_full_plan(
         by_priority,
         key=lambda row: (row[O_ORDERPRIORITY],),
         aggregates=[Count()],
+    )
+
+
+# ----------------------------------------------------------------------
+# pipelined join plans: pushdown covers and join-aware prefetch
+# ----------------------------------------------------------------------
+def _q4_triangle(lineitem_ub: UBTable) -> QuerySpace:
+    return IntersectionSpace(
+        [
+            lineitem_ub.build_query_box(None),
+            lineitem_ub.comparison_space("l_commitdate", "<", "l_receiptdate"),
+        ]
+    )
+
+
+@dataclass
+class PushdownJoinPlan:
+    """A join plan whose probe side carries a box-cover pushdown.
+
+    ``plan`` is the full operator tree; ``probe`` the pushdown-
+    restricted LINEITEM Tetris operator (read ``probe.stats`` after
+    consumption for ``pages_skipped_by_pushdown`` / ``regions_read``);
+    ``cover`` the join-key interval cover pushed into it; ``build_rows``
+    how many rows the evaluated build side qualified.
+    """
+
+    plan: Operator
+    probe: TetrisOperator
+    cover: KeyCover
+    build_rows: int
+
+
+@dataclass
+class PipelinedJoinPlan:
+    """A join plan whose two inputs are live Tetris sweeps.
+
+    ``plan`` is the full operator tree; ``left``/``right`` the two side
+    operators (read their ``.stats`` after consumption); ``prefetch``
+    the dual-cursor policy driving both sweeps' read-ahead, or ``None``
+    when the database has no scheduler or prefetching was not requested.
+    """
+
+    plan: Operator
+    left: TetrisOperator
+    right: TetrisOperator
+    prefetch: "DualCursorPrefetcher | None"
+
+
+def q3_pushdown_plan(
+    db: Database,
+    customer: UBTable,
+    order: UBTable,
+    lineitem_ub: UBTable,
+    params: Q3Params | None = None,
+    *,
+    budget: int = DEFAULT_COVER_BUDGET,
+) -> PushdownJoinPlan:
+    """Q3's Tetris tree with the ORDERKEY cover pushed into LINEITEM.
+
+    The restricted smaller side — CUSTOMER ⋈ ORDER under the segment
+    and date restrictions — is evaluated *now* (at plan-build time);
+    its qualifying ORDERKEYs are coalesced into at most ``budget``
+    intervals and intersected with LINEITEM's query box, so the Tetris
+    sweep over LINEITEM skips every Z-region containing no qualifying
+    join key.  The join output is bit-identical to
+    :func:`q3_full_plan` with ``use_tetris=True``: the pushdown space
+    over-approximates the key set, and the merge join drops non-
+    qualifying keys exactly as before.
+    """
+    params = params or Q3Params()
+    customer = require_instance(customer, UBTable, "Q3 pushdown plan")
+    order = require_instance(order, UBTable, "Q3 pushdown plan")
+    after = params.shipdate_after
+
+    customer_stream = TetrisOperator(
+        customer,
+        {"c_mktsegment": (params.segment, params.segment)},
+        "c_custkey",
+        predicate=lambda row: row[C_MKTSEGMENT] == params.segment,
+    )
+    order_stream = TetrisOperator(
+        order,
+        {
+            "o_orderdate": (
+                params.orderdate_from,
+                params.orderdate_before - dt.timedelta(days=1),
+            )
+        },
+        "o_custkey",
+        predicate=lambda row: params.order_qualifies(row[O_ORDERDATE]),
+    )
+    customer_width = 2
+    customer_order = sorted(
+        MergeJoin(
+            customer_stream,
+            order_stream,
+            left_key=lambda row: row[C_CUSTKEY],
+            right_key=lambda row: row[O_CUSTKEY],
+        ),
+        key=lambda row: row[customer_width + O_ORDERKEY],
+    )
+    keys = [row[customer_width + O_ORDERKEY] for row in customer_order]
+    cover_space, cover = pushdown_space(
+        lineitem_ub, "l_orderkey", keys, budget=budget
+    )
+    probe = TetrisOperator(
+        lineitem_ub,
+        {"l_shipdate": (after + dt.timedelta(days=1), None)},
+        "l_orderkey",
+        predicate=lambda row: row[L_SHIPDATE] > after,
+        pushdown=cover_space,
+    )
+    joined = MergeJoin(
+        customer_order,
+        probe,
+        left_key=lambda row: row[customer_width + O_ORDERKEY],
+        right_key=lambda row: row[L_ORDERKEY],
+        disk=db.disk,
+    )
+    co_width = customer_width + 5
+    grouped = SortedGroupBy(
+        joined,
+        key=lambda row: (
+            row[co_width + L_ORDERKEY],
+            row[customer_width + O_ORDERDATE],
+            row[customer_width + O_SHIPPRIORITY],
+        ),
+        aggregates=[Sum(lambda row: revenue_numerator(row[co_width:]))],
+    )
+    plan = InMemorySort(
+        grouped, key=lambda row: (-row[3], row[1].toordinal(), row[0])
+    )
+    return PushdownJoinPlan(
+        plan=plan, probe=probe, cover=cover, build_rows=len(customer_order)
+    )
+
+
+def q4_pipelined_plan(
+    db: Database,
+    order_ub: UBTable,
+    lineitem_ub: UBTable,
+    params: Q4Params | None = None,
+    *,
+    prefetch: bool = False,
+) -> PipelinedJoinPlan:
+    """Figure 5-8 with both sides as live Tetris streams.
+
+    Unlike :func:`q4_full_plan` (which takes a prebuilt ORDER plan),
+    both inputs stream here, so with ``prefetch=True`` (and a database
+    built with devices/prefetch enabled) a
+    :class:`~repro.storage.prefetch.DualCursorPrefetcher` drives
+    read-ahead for whichever side the semi-join's cursor demands next —
+    the two sweeps overlap instead of serializing.
+    """
+    params = params or Q4Params()
+    lo, hi = params.orderdate_from, params.orderdate_until
+    order_stream = TetrisOperator(
+        order_ub,
+        {"o_orderdate": (lo, hi - dt.timedelta(days=1))},
+        "o_orderkey",
+        predicate=lambda row: lo <= row[O_ORDERDATE] < hi,
+    )
+    lineitem_stream = TetrisOperator(
+        lineitem_ub,
+        _q4_triangle(lineitem_ub),
+        "l_orderkey",
+        predicate=lambda row: row[L_COMMITDATE] < row[L_RECEIPTDATE],
+    )
+    dual = (
+        DualCursorPrefetcher.for_operators(order_stream, lineitem_stream)
+        if prefetch
+        else None
+    )
+    semijoined = MergeSemiJoin(
+        order_stream,
+        lineitem_stream,
+        left_key=lambda row: row[O_ORDERKEY],
+        right_key=lambda row: row[L_ORDERKEY],
+        disk=db.disk,
+        prefetch=dual,
+    )
+    by_priority = InMemorySort(semijoined, key=lambda row: row[O_ORDERPRIORITY])
+    plan = SortedGroupBy(
+        by_priority,
+        key=lambda row: (row[O_ORDERPRIORITY],),
+        aggregates=[Count()],
+    )
+    return PipelinedJoinPlan(
+        plan=plan, left=order_stream, right=lineitem_stream, prefetch=dual
+    )
+
+
+def q4_pushdown_plan(
+    db: Database,
+    order_ub: UBTable,
+    lineitem_ub: UBTable,
+    params: Q4Params | None = None,
+    *,
+    budget: int = DEFAULT_COVER_BUDGET,
+) -> PushdownJoinPlan:
+    """Q4 with the restricted ORDER side's key cover pushed into LINEITEM.
+
+    The date-restricted ORDER scan (the small side, ≈ 3.5 %) is
+    evaluated first; its ORDERKEYs become the interval cover that lets
+    the LINEITEM sweep skip Z-regions holding no qualifying order.
+    Result is bit-identical to :func:`q4_full_plan` over the Tetris
+    ORDER access: the semi-join discards any over-approximated keys.
+    """
+    params = params or Q4Params()
+    lo, hi = params.orderdate_from, params.orderdate_until
+    order_rows = list(
+        TetrisOperator(
+            order_ub,
+            {"o_orderdate": (lo, hi - dt.timedelta(days=1))},
+            "o_orderkey",
+            predicate=lambda row: lo <= row[O_ORDERDATE] < hi,
+        )
+    )
+    keys = [row[O_ORDERKEY] for row in order_rows]
+    cover_space, cover = pushdown_space(
+        lineitem_ub, "l_orderkey", keys, budget=budget
+    )
+    probe = TetrisOperator(
+        lineitem_ub,
+        _q4_triangle(lineitem_ub),
+        "l_orderkey",
+        predicate=lambda row: row[L_COMMITDATE] < row[L_RECEIPTDATE],
+        pushdown=cover_space,
+    )
+    semijoined = MergeSemiJoin(
+        order_rows,
+        probe,
+        left_key=lambda row: row[O_ORDERKEY],
+        right_key=lambda row: row[L_ORDERKEY],
+        disk=db.disk,
+    )
+    by_priority = InMemorySort(semijoined, key=lambda row: row[O_ORDERPRIORITY])
+    plan = SortedGroupBy(
+        by_priority,
+        key=lambda row: (row[O_ORDERPRIORITY],),
+        aggregates=[Count()],
+    )
+    return PushdownJoinPlan(
+        plan=plan, probe=probe, cover=cover, build_rows=len(order_rows)
     )
 
 

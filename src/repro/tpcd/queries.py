@@ -55,6 +55,18 @@ class Q3Params:
     segment: str = "BUILDING"
     orderdate_before: dt.date = dt.date(1998, 5, 1)
     shipdate_after: dt.date = dt.date(1995, 6, 30)  # ≈ 50 % of LINEITEM
+    #: optional inclusive lower bound on O_ORDERDATE; ``None`` keeps the
+    #: classic one-sided Q3 window.  A two-sided window is what makes
+    #: the join-key pushdown measurable on a key-correlated instance:
+    #: qualifying orderkeys then form a band in the *middle* of the
+    #: domain, which merge-join early exit alone cannot skip.
+    orderdate_from: dt.date | None = None
+
+    def order_qualifies(self, orderdate: dt.date) -> bool:
+        """The date window, including the optional lower bound."""
+        if self.orderdate_from is not None and orderdate < self.orderdate_from:
+            return False
+        return orderdate < self.orderdate_before
 
 
 def reference_q3(data: TPCDData, params: Q3Params | None = None) -> list[tuple]:
@@ -68,7 +80,7 @@ def reference_q3(data: TPCDData, params: Q3Params | None = None) -> list[tuple]:
         row[O_ORDERKEY]: row
         for row in data.orders
         if row[O_CUSTKEY] in wanted_customers
-        and row[O_ORDERDATE] < params.orderdate_before
+        and params.order_qualifies(row[O_ORDERDATE])
     }
     revenue: dict[tuple, int] = defaultdict(int)
     for item in data.lineitems:

@@ -890,6 +890,86 @@ class TestR015TxnParticipants:
 
 
 # ----------------------------------------------------------------------
+# R016: pushdown cover construction confined to the planner
+# ----------------------------------------------------------------------
+class TestR016PushdownConstruction:
+    def test_direct_construction_flagged(self):
+        found = lint(
+            """
+            from repro.core.query_space import IntervalUnionSpace
+
+            space = IntervalUnionSpace(dim=0, intervals=((1, 5),))
+            """,
+            path="src/repro/core/tetris.py",
+        )
+        assert rules_of(found) == {"R016"}
+
+    def test_qualified_construction_flagged(self):
+        found = lint(
+            """
+            from repro.core import query_space
+
+            space = query_space.IntervalUnionSpace(0, ((1, 5),))
+            """,
+            path="src/repro/relational/table.py",
+        )
+        assert rules_of(found) == {"R016"}
+
+    def test_build_key_cover_call_flagged(self):
+        found = lint(
+            """
+            from repro.planner.pushdown import build_key_cover
+
+            cover = build_key_cover([1, 2, 3], budget=4)
+            """,
+            path="src/repro/tpcd/plans.py",
+        )
+        assert rules_of(found) == {"R016"}
+
+    def test_planner_pushdown_is_exempt(self):
+        found = lint(
+            """
+            def pushdown_space(keys, budget):
+                cover = build_key_cover(keys, budget)
+                return IntervalUnionSpace(0, cover.intervals)
+            """,
+            path="src/repro/planner/pushdown.py",
+        )
+        assert found == []
+
+    def test_query_space_module_is_exempt(self):
+        found = lint(
+            """
+            def intersect(self, other):
+                return IntervalUnionSpace(self.dim, merged)
+            """,
+            path="src/repro/core/query_space.py",
+        )
+        assert found == []
+
+    def test_isinstance_dispatch_passes(self):
+        found = lint(
+            """
+            from repro.core.query_space import IntervalUnionSpace
+
+            def filter_rows(space):
+                if isinstance(space, IntervalUnionSpace):
+                    return space.intervals
+                return None
+            """,
+            path="src/repro/kernels/pure.py",
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = lint(
+            "space = IntervalUnionSpace(0, ())  # reprolint: allow(R016)\n",
+            path="src/repro/core/tetris.py",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 class TestDriver:
     def test_suppression_by_rule(self):
         found = lint("assert True  # reprolint: allow(R005)\n")

@@ -49,6 +49,13 @@ Three extensions ride on the same machinery:
   must end in a typed :class:`~repro.shard.ShardFailedError` or an
   explicitly flagged partial result whose ``failed_ranges`` account for
   every missing row.
+* ``--join`` switches to the join sweep (:func:`run_join_schedule`): a
+  co-partitioned merge join (:class:`~repro.shard.CoPartitionedJoin`,
+  inner or semi depending on the seed) runs while one probe-side shard
+  copy is killed, corrupted, or slowed mid-join.  The concatenated
+  output must stay bit-identical to the serial merge join of the two
+  serial sorted streams, or end in a typed error / flagged partial
+  whose ``failed_ranges`` account for every missing output row.
 
 Usage: ``python -m tools.chaos --seeds 11 17 23`` (add ``--backend
 python`` to force a kernel backend; default sweeps whatever is
@@ -72,7 +79,14 @@ from repro.planner import (
     execute_sorted_query,
 )
 from repro.relational import Attribute, Database, IntEncoder, Schema
-from repro.shard import ShardedDatabase, ShardedScanResult, ShardFailedError
+from repro.relational.operators import MergeJoin, MergeSemiJoin
+from repro.shard import (
+    CoPartitionedJoin,
+    ShardedDatabase,
+    ShardedJoinResult,
+    ShardedScanResult,
+    ShardFailedError,
+)
 from repro.txn import TransactionCoordinator
 from repro.storage import (
     FaultPlan,
@@ -85,17 +99,22 @@ from repro.storage.faults import CORRUPT
 __all__ = [
     "ChaosOutcome",
     "ChaosViolation",
+    "DEFAULT_JOIN_SEEDS",
     "DEFAULT_PREFETCH_SEEDS",
     "DEFAULT_SEEDS",
     "DEFAULT_SHARD_SEEDS",
     "DEFAULT_TXN_SEEDS",
     "DEFAULT_WRITE_SEEDS",
     "QUERY",
+    "build_join_world",
     "build_shard_world",
     "build_txn_world",
     "build_world",
     "build_write_world",
     "chaos_plan",
+    "join_scenario",
+    "run_join_schedule",
+    "run_join_suite",
     "run_prefetch_schedule",
     "run_prefetch_suite",
     "run_schedule",
@@ -1077,6 +1096,269 @@ def run_shard_suite(
         for seed in seeds:
             outcomes.append(
                 run_shard_schedule(
+                    seed, backend=name, rows=rows, shards=shards, copies=copies
+                )
+            )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# join sweep: a co-partitioned merge join under shard-copy fire
+# ----------------------------------------------------------------------
+#: the join sweep's pinned seeds — the same grid cells as the shard
+#: sweep (clean, latency-only, failover by kill, cross-copy repair,
+#: typed failure, flagged partial) but spread over both join kinds:
+#: 2/6/7 run the inner merge join, 10/13/29 the merge semi-join
+DEFAULT_JOIN_SEEDS: tuple[int, ...] = (2, 6, 7, 10, 13, 29)
+
+
+def join_scenario(seed: int) -> tuple[str, str, str]:
+    """``(scenario, fault, kind)`` for one join-sweep seed.
+
+    The first two axes reuse :func:`shard_scenario`'s grid; the third
+    picks the join kind — ``(seed // 9) % 2`` alternates between the
+    inner :class:`~repro.relational.operators.MergeJoin` and the
+    :class:`~repro.relational.operators.MergeSemiJoin` of Q4, so the
+    pinned sweep exercises both merge loops' abandon paths.
+    """
+    scenario, fault = shard_scenario(seed)
+    kind = ("inner", "semi")[(seed // 9) % 2]
+    return scenario, fault, kind
+
+
+def build_join_world(
+    seed: int,
+    *,
+    rows: int = 500,
+    shards: int = 4,
+    copies: int = 1,
+    fault: "str | None" = None,
+) -> tuple[ShardedDatabase, ShardedDatabase, "list[tuple]", "list[tuple]", int]:
+    """Two co-partitioned sharded relations plus the faulted shard index.
+
+    Both sides are range-sharded on the join attribute ``a1`` over the
+    same encoded domain, so every slab pair is join-aligned.  The fault
+    is armed on the *right* (probe) side's victim copy — the side a
+    pipelined merge join is mid-stream on whenever the build cursor
+    advances — and the victim shard is ``seed % shards``; the join runs
+    unrestricted, so the armed fault is always on the join path.  The
+    right relation is twice the size of the left (duplicate join keys
+    on the probe side, the usual fact-table shape).
+    """
+    victim = seed % shards
+    plans: "dict[tuple[int, int], FaultPlan] | None" = None
+    if fault == "corrupt":
+        plans = {(victim, 0): FaultPlan(seed=seed, corrupt_rate=0.30)}
+    elif fault == "slow":
+        plans = {
+            (victim, 0): FaultPlan(
+                seed=seed, latency_rate=0.5, latency_seconds=0.020
+            )
+        }
+    left = ShardedDatabase(
+        _chaos_schema(),
+        SHARD_DIMS,
+        "a1",
+        shards=shards,
+        copies=copies,
+        page_capacity=32,
+        quarantine_threshold=2,
+    )
+    left_data = _chaos_data(rows, data_seed=0)
+    left.load(left_data)
+    right = ShardedDatabase(
+        _chaos_schema(),
+        SHARD_DIMS,
+        "a1",
+        shards=shards,
+        copies=copies,
+        page_capacity=32,
+        quarantine_threshold=2,
+        fault_plans=plans,
+    )
+    right_data = _chaos_data(rows * 2, data_seed=1)
+    right.load(right_data)
+    return left, right, left_data, right_data, victim
+
+
+def _join_oracle(
+    left_data: "list[tuple]", right_data: "list[tuple]", kind: str
+) -> "list[tuple]":
+    """The serial fault-free merge join — the sweep's ground truth."""
+
+    def stream(data: "list[tuple]") -> "list[tuple]":
+        db = Database()
+        table = db.create_ub_table("oracle", _chaos_schema(), SHARD_DIMS, 32)
+        table.bulk_load(data)
+        return [row for _, row in table.tetris_scan(None, "a1")]
+
+    join_cls = MergeJoin if kind == "inner" else MergeSemiJoin
+    return list(
+        join_cls(
+            stream(left_data),
+            stream(right_data),
+            left_key=lambda row: row[0],
+            right_key=lambda row: row[0],
+        )
+    )
+
+
+def _verify_join_result(
+    result: ShardedJoinResult,
+    oracle: "list[tuple]",
+    scenario: str,
+    fault: str,
+    totals: "dict[str, int]",
+    seed: int,
+) -> None:
+    """Hold a completed co-partitioned join to the bit-identity contract."""
+    if result.partial:
+        encoder = _chaos_schema().attribute("a1").encoder
+        lost = result.failed_ranges
+        expected = [
+            row
+            for row in oracle
+            if not any(lo <= encoder.encode(row[0]) <= hi for lo, hi in lost)
+        ]
+        if result.rows != expected:
+            raise ChaosViolation(
+                f"seed {seed}: partial join is not the serial join minus its "
+                "flagged key ranges; the surviving rows are silently wrong"
+            )
+        if not result.degradations:
+            raise ChaosViolation(
+                f"seed {seed}: partial join carries no degradation events; "
+                "a shard pair was dropped silently"
+            )
+        return
+    if result.rows != oracle:
+        raise ChaosViolation(
+            f"seed {seed}: completed co-partitioned join is not bit-identical "
+            f"to the serial join ({len(result.rows)} rows vs {len(oracle)}); "
+            "this is silent garbage"
+        )
+    if scenario == "clean" and result.degraded:
+        raise ChaosViolation(
+            f"seed {seed}: fault-free co-partitioned join reported degradations"
+        )
+    if scenario == "failover":
+        if fault in ("kill", "corrupt") and not result.degraded:
+            raise ChaosViolation(
+                f"seed {seed}: armed {fault} fault never forced a "
+                "degradation; the schedule is vacuous"
+            )
+        if fault == "slow" and totals["injected"] < 1:
+            raise ChaosViolation(
+                f"seed {seed}: latency plan never injected; the schedule "
+                "is vacuous"
+            )
+
+
+def run_join_schedule(
+    seed: int,
+    *,
+    backend: str | None = None,
+    rows: int = 500,
+    shards: int = 4,
+    copies: int = 2,
+) -> ChaosOutcome:
+    """Run one co-partitioned join under a seeded shard-copy schedule.
+
+    The grading mirrors :func:`run_shard_schedule`, applied to the
+    join's concatenated output stream:
+
+    * any run that completes non-partial must be **bit-identical** to
+      the serial merge join of the two serial sorted streams — across
+      mid-join failover to a replica copy, cross-copy page repair, and
+      latency injection alike;
+    * a ``lone`` run that loses its probe-side copy must end in a typed
+      :class:`~repro.shard.ShardFailedError` or — on odd seeds, which
+      opt into ``allow_partial`` — a result whose ``failed_ranges``
+      exactly account for every missing output row;
+    * a wrong or reordered row, a silently dropped shard pair, or an
+      untyped crash is a :class:`ChaosViolation`.
+    """
+    backend_name = backend or kernels.get_backend().name
+    scenario, fault, kind = join_scenario(seed)
+    effective_copies = copies if scenario == "failover" else 1
+    armed_fault = None if scenario == "clean" else fault
+    allow_partial = scenario == "lone" and bool(seed % 2)
+
+    with kernels.use_backend(backend_name):
+        left, right, left_data, right_data, victim = build_join_world(
+            seed,
+            rows=rows,
+            shards=shards,
+            copies=effective_copies,
+            fault=armed_fault,
+        )
+        oracle = _join_oracle(left_data, right_data, kind)
+        join = CoPartitionedJoin(left, right, kind=kind)
+        right.arm_faults()
+        if armed_fault == "kill":
+            right.kill_copy(victim, 0, after_rows=12 + seed % 25)
+        try:
+            result = join.run(allow_partial=allow_partial)
+        except ShardFailedError as exc:
+            totals = right.fault_totals()
+            return ChaosOutcome(
+                seed=seed,
+                backend=backend_name,
+                status="failed",
+                rows=0,
+                faults_injected=totals["injected"],
+                retries=totals["retries"],
+                quarantined=totals["quarantined"],
+                degradations=tuple(e.describe() for e in exc.degradations),
+                error=f"shard {exc.shard}: {exc}",
+                repaired=totals["repaired"],
+                lifted=totals["lifted"],
+            )
+        finally:
+            right.disarm_faults()
+
+        totals = right.fault_totals()
+        _verify_join_result(result, oracle, scenario, fault, totals, seed)
+        if armed_fault == "kill":
+            if right.health()[victim][0] != "dead":
+                raise ChaosViolation(
+                    f"seed {seed}: scheduled kill never fired; the schedule "
+                    "is vacuous"
+                )
+        status = (
+            "partial"
+            if result.partial
+            else ("degraded" if result.degraded else "clean")
+        )
+        return ChaosOutcome(
+            seed=seed,
+            backend=backend_name,
+            status=status,
+            rows=len(result.rows),
+            faults_injected=totals["injected"],
+            retries=totals["retries"],
+            quarantined=totals["quarantined"],
+            degradations=tuple(e.describe() for e in result.degradations),
+            repaired=totals["repaired"],
+            lifted=totals["lifted"],
+        )
+
+
+def run_join_suite(
+    seeds: Iterable[int] = DEFAULT_JOIN_SEEDS,
+    *,
+    backends: "Sequence[str] | None" = None,
+    rows: int = 500,
+    shards: int = 4,
+    copies: int = 2,
+) -> list[ChaosOutcome]:
+    """Sweep the join schedules across ``backends`` (default: all)."""
+    names = list(backends) if backends else kernels.available_backends()
+    outcomes = []
+    for name in names:
+        for seed in seeds:
+            outcomes.append(
+                run_join_schedule(
                     seed, backend=name, rows=rows, shards=shards, copies=copies
                 )
             )

@@ -11,7 +11,10 @@ identity sweep (a scripted corrupt page must degrade identically
 whether it was demand-fetched or prefetched); ``--shards K`` runs the
 shard failover sweep (kill/corrupt/slow one copy of a K-way
 range-sharded world mid-scan and hold the merged stream to the
-bit-identity-or-typed-error contract); ``--txn`` runs the 2PC sweep
+bit-identity-or-typed-error contract); ``--join`` runs the
+co-partitioned join sweep (kill/corrupt/slow one probe-side shard copy
+mid-join and hold the concatenated join output to the same contract
+against the serial merge join); ``--txn`` runs the 2PC sweep
 (torn/transient append faults on every shard WAL and the coordinator's
 decision log during atomic cross-shard writes, then a seeded crash
 mid-protocol followed by decision-log recovery); ``--replicas k`` gives the read
@@ -31,12 +34,15 @@ from dataclasses import asdict
 from repro import kernels
 
 from . import (
+    DEFAULT_JOIN_SEEDS,
     DEFAULT_PREFETCH_SEEDS,
     DEFAULT_SEEDS,
     DEFAULT_SHARD_SEEDS,
     DEFAULT_TXN_SEEDS,
     DEFAULT_WRITE_SEEDS,
     ChaosOutcome,
+    run_join_schedule,
+    run_join_suite,
     run_prefetch_schedule,
     run_prefetch_suite,
     run_schedule,
@@ -124,6 +130,16 @@ def main(argv: "list[str] | None" = None) -> int:
         help="replica copies per shard in failover scenarios (shard sweep)",
     )
     parser.add_argument(
+        "--join",
+        action="store_true",
+        help=(
+            "run the co-partitioned join sweep: kill/corrupt/slow one "
+            "probe-side shard copy mid-join; the concatenated output must "
+            "stay bit-identical to the serial merge join or end in a "
+            "typed error / flagged partial"
+        ),
+    )
+    parser.add_argument(
         "--txn",
         action="store_true",
         help=(
@@ -139,9 +155,17 @@ def main(argv: "list[str] | None" = None) -> int:
         help="re-run one schedule and print its fault/repair trail as JSON",
     )
     options = parser.parse_args(argv)
-    if sum((options.write, options.prefetch, options.shards > 0, options.txn)) > 1:
+    exclusive = (
+        options.write,
+        options.prefetch,
+        options.shards > 0,
+        options.join,
+        options.txn,
+    )
+    if sum(exclusive) > 1:
         parser.error(
-            "--write, --prefetch, --shards and --txn are mutually exclusive"
+            "--write, --prefetch, --shards, --join and --txn are "
+            "mutually exclusive"
         )
     if options.write:
         default_seeds, default_rows = list(DEFAULT_WRITE_SEEDS), 600
@@ -149,6 +173,8 @@ def main(argv: "list[str] | None" = None) -> int:
         default_seeds, default_rows = list(DEFAULT_PREFETCH_SEEDS), 1200
     elif options.shards:
         default_seeds, default_rows = list(DEFAULT_SHARD_SEEDS), 900
+    elif options.join:
+        default_seeds, default_rows = list(DEFAULT_JOIN_SEEDS), 500
     elif options.txn:
         default_seeds, default_rows = list(DEFAULT_TXN_SEEDS), 200
     else:
@@ -165,6 +191,13 @@ def main(argv: "list[str] | None" = None) -> int:
             outcome = run_write_schedule(options.replay, backend=backend, rows=rows)
         elif options.txn:
             outcome = run_txn_schedule(options.replay, backend=backend, rows=rows)
+        elif options.join:
+            outcome = run_join_schedule(
+                options.replay,
+                backend=backend,
+                rows=rows,
+                copies=options.copies,
+            )
         elif options.shards:
             outcome = run_shard_schedule(
                 options.replay,
@@ -188,6 +221,8 @@ def main(argv: "list[str] | None" = None) -> int:
             mode = "write"
         elif options.shards:
             mode = "shard"
+        elif options.join:
+            mode = "join"
         elif options.txn:
             mode = "txn"
         else:
@@ -214,6 +249,10 @@ def main(argv: "list[str] | None" = None) -> int:
         outcomes = run_write_suite(seeds, backends=backends, rows=rows)
     elif options.txn:
         outcomes = run_txn_suite(seeds, backends=backends, rows=rows)
+    elif options.join:
+        outcomes = run_join_suite(
+            seeds, backends=backends, rows=rows, copies=options.copies
+        )
     elif options.shards:
         outcomes = run_shard_suite(
             seeds,

@@ -19,9 +19,10 @@ Python ASTs under ``src/repro`` and mechanically enforces them:
 ``R013`` — process pools only run module-level ``@fork_safe`` functions.
 ``R014`` — cross-shard engine access goes through the shard coordinator.
 ``R015`` — 2PC participant mutations go through the transaction coordinator.
+``R016`` — pushdown interval covers are built only by ``planner/pushdown.py``.
 
 Each rule's contract and rationale live in its module under
-:mod:`tools.reprolint.rules`.  R001–R009, R014 and R015 are single-file
+:mod:`tools.reprolint.rules`.  R001–R009 and R014–R016 are single-file
 rules sharing one AST traversal per file; R010–R013 are interprocedural,
 driven by
 the symbol-table/call-graph/dataflow engine in

@@ -1,7 +1,7 @@
 """The reprolint rule catalogue.
 
 Importing this package registers every rule with the central registry in
-:mod:`.base` — file rules R001–R003, R005–R009, R014 and R015, the cross-file
+:mod:`.base` — file rules R001–R003, R005–R009 and R014–R016, the cross-file
 backend-parity check R004, and the interprocedural project rules
 R010–R013 driven by :mod:`tools.reprolint.engine`.
 
@@ -23,6 +23,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     lockorder,
     pagecache,
     parity,
+    pushdown,
     resilience,
     sharding,
     txn,

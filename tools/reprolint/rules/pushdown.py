@@ -1,0 +1,81 @@
+"""R016 — pushdown covers are built only by the planner.
+
+Join-key interval pushdown rests on one invariant: every
+:class:`~repro.core.query_space.IntervalUnionSpace` handed to a Tetris
+scan was produced by :func:`repro.planner.pushdown.build_key_cover`,
+which sorts, dedupes, coalesces and *budget-caps* the qualifying keys
+(falling back to the convex hull rather than exceeding the interval
+budget).  The engine's skip accounting and the kernels' interval
+filters assume those properties — disjoint, ascending, bounded-count
+intervals.  An ad-hoc ``IntervalUnionSpace(...)`` constructed elsewhere
+can violate them silently (overlapping runs double-count skips,
+unsorted runs break the kernels' binary searches, an unbounded interval
+list defeats the whole budget design) and would scatter the pushdown
+policy across layers.
+
+Outside ``planner/pushdown.py`` this rule therefore bans
+
+* calling ``IntervalUnionSpace(...)`` — constructing the space
+  directly instead of going through :func:`pushdown_space`; and
+* calling ``build_key_cover(...)`` — the cover constructor is an
+  implementation detail of :func:`pushdown_space`, not a public
+  entry point.
+
+``core/query_space.py`` is exempt: it *defines* the class and may
+construct canonical instances (e.g. in intersection code).  Imports of
+the names and ``isinstance(space, IntervalUnionSpace)`` checks remain
+legal everywhere — the kernels dispatch on the type without ever
+building one.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+
+from .base import FileContext, FileRule, register
+
+__all__ = ["PushdownConstructionRule"]
+
+#: callables whose invocation is confined to the planner (R016)
+CONFINED_CALLABLES = frozenset({"IntervalUnionSpace", "build_key_cover"})
+
+#: files allowed to construct covers / interval spaces
+_CONSTRUCTION_HOMES = ("planner/pushdown.py", "core/query_space.py")
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    """The terminal name of a call target (``f`` or ``mod.f``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class PushdownConstructionRule(FileRule):
+    """Flag interval-cover construction outside the planner."""
+
+    rule = "R016"
+    summary = "pushdown interval construction outside planner/pushdown.py"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        posix = PurePosixPath(ctx.path).as_posix()
+        self._scoped = not any(posix.endswith(home) for home in _CONSTRUCTION_HOMES)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._scoped:
+            return
+        name = _callee_name(node.func)
+        if name in CONFINED_CALLABLES:
+            self.emit(
+                node,
+                f"`{name}(...)` called outside the planner: pushdown "
+                "interval covers are built only by "
+                "`repro.planner.pushdown` (via `pushdown_space`), which "
+                "guarantees sorted, disjoint, budget-capped intervals — "
+                "the properties the sweep's skip accounting and the "
+                "kernels' interval filters rely on",
+            )
